@@ -1,0 +1,74 @@
+"""Experiment E3 — Figure 4 / Example 5.2 (win–move games).
+
+Regenerates the three analyses of Figure 4:
+
+* (a) acyclic move graph — total AFP model, winners ``{b, e, g}``;
+* (b) cyclic graph with a tail — partial model: ``wins(c)`` true,
+  ``wins(d)`` false, ``a``/``b`` drawn; two stable models resolve the draw;
+* (c) cyclic graph with a total model — ``wins(b)`` true, the model is also
+  the unique stable model.
+
+Each benchmark times the alternating-fixpoint game analysis.
+"""
+
+import pytest
+
+from repro.core import alternating_fixpoint, stable_models, unique_stable_model
+from repro.games import (
+    figure4a_edges,
+    figure4b_edges,
+    figure4c_edges,
+    solve_game,
+    win_move_program,
+)
+
+
+@pytest.mark.repro("E3")
+def test_fig4a_acyclic_total_model(benchmark, report):
+    solution = benchmark(lambda: solve_game(figure4a_edges()))
+    assert solution.won == {"b", "e", "g"}
+    assert solution.lost == {"a", "c", "d", "f", "h", "i"}
+    assert solution.drawn == set()
+    report(
+        "Figure 4(a) — acyclic game",
+        [("won", sorted(solution.won)), ("lost", sorted(solution.lost))],
+    )
+    # Total AFP model => unique stable model (Section 5).
+    program = win_move_program(figure4a_edges())
+    assert unique_stable_model(program).true_atoms == alternating_fixpoint(program).true_atoms()
+
+
+@pytest.mark.repro("E3")
+def test_fig4b_cycle_partial_model(benchmark, report):
+    solution = benchmark(lambda: solve_game(figure4b_edges()))
+    assert solution.won == {"c"}
+    assert solution.lost == {"d"}
+    assert solution.drawn == {"a", "b"}
+    models = stable_models(win_move_program(figure4b_edges()))
+    winners = {
+        frozenset(a.args[0].value for a in model.true_atoms if a.predicate == "wins")
+        for model in models
+    }
+    assert winners == {frozenset({"a", "c"}), frozenset({"b", "c"})}
+    report(
+        "Figure 4(b) — cyclic game, partial model",
+        [
+            ("won", sorted(solution.won)),
+            ("lost", sorted(solution.lost)),
+            ("drawn", sorted(solution.drawn)),
+            ("stable models", [sorted(w) for w in winners]),
+        ],
+    )
+
+
+@pytest.mark.repro("E3")
+def test_fig4c_cycle_total_model(benchmark, report):
+    solution = benchmark(lambda: solve_game(figure4c_edges()))
+    assert solution.won == {"b"}
+    assert solution.lost == {"a", "c"}
+    assert solution.drawn == set()
+    assert solution.result.is_total
+    report(
+        "Figure 4(c) — cyclic game, total model",
+        [("won", sorted(solution.won)), ("lost", sorted(solution.lost))],
+    )

@@ -1,0 +1,115 @@
+"""Experiment E9 — Theorems 8.1, 8.6 and 8.7 (simulation of fixpoint logic).
+
+A fixpoint-logic system evaluated three ways must agree on the original
+relations:
+
+1. the FP least fixpoint;
+2. the positive part of the alternating fixpoint of the same general
+   program (Theorem 8.1);
+3. the positive part of the AFP model of the Lloyd–Topor normal program
+   obtained by elementary simplifications (Theorems 8.6–8.7).
+
+The benchmark measures each pipeline on reachability and well-foundedness
+systems over graph workloads.
+"""
+
+import pytest
+
+from repro.core import alternating_fixpoint
+from repro.datalog import Program
+from repro.datalog.atoms import Atom
+from repro.datalog.terms import Variable
+from repro.fol import (
+    FiniteStructure,
+    GeneralProgram,
+    GeneralRule,
+    and_,
+    atom_formula,
+    domain_facts,
+    exists,
+    fixpoint_logic_model,
+    general_alternating_fixpoint,
+    lloyd_topor_transform,
+    not_,
+    or_,
+)
+from repro.games.graphs import chain_edges, lollipop_edges, random_digraph_edges
+
+
+def tc_system() -> GeneralProgram:
+    rule = GeneralRule(
+        Atom("tc", (Variable("X"), Variable("Y"))),
+        or_(
+            atom_formula("e", "X", "Y"),
+            exists(["Z"], and_(atom_formula("e", "X", "Z"), atom_formula("tc", "Z", "Y"))),
+        ),
+    )
+    return GeneralProgram([rule])
+
+
+def wf_system() -> GeneralProgram:
+    rule = GeneralRule(
+        Atom("w", (Variable("X"),)),
+        not_(exists(["Y"], and_(atom_formula("e", "Y", "X"), not_(atom_formula("w", "Y"))))),
+    )
+    return GeneralProgram([rule])
+
+
+GRAPHS = [
+    ("chain-6", chain_edges(6)),
+    ("lollipop-3-4", lollipop_edges(3, 4)),
+    ("random-7", random_digraph_edges(7, 0.3, seed=9)),
+]
+
+SYSTEMS = [("reachability", tc_system, "tc"), ("well-foundedness", wf_system, "w")]
+
+
+def normal_program_for(system: GeneralProgram, structure: FiniteStructure) -> Program:
+    transformed = lloyd_topor_transform(system)
+    pieces = [transformed.program, structure.edb.as_program()]
+    if transformed.domain_predicate:
+        pieces.append(domain_facts(structure, transformed.domain_predicate))
+    return Program.union(*pieces)
+
+
+@pytest.mark.repro("E9")
+@pytest.mark.parametrize("graph_name,edges", GRAPHS)
+@pytest.mark.parametrize("system_name,system_factory,relation", SYSTEMS)
+def test_fp_least_fixpoint(benchmark, graph_name, edges, system_name, system_factory, relation):
+    structure = FiniteStructure.from_edges(edges, relation="e")
+    system = system_factory()
+    result = benchmark(lambda: fixpoint_logic_model(system, structure))
+    assert result.of_predicate(relation) == result.true_atoms
+
+
+@pytest.mark.repro("E9")
+@pytest.mark.parametrize("graph_name,edges", GRAPHS)
+@pytest.mark.parametrize("system_name,system_factory,relation", SYSTEMS)
+def test_afp_logic_agrees_with_fp(benchmark, graph_name, edges, system_name, system_factory, relation):
+    """Theorem 8.1: positive AFP part == FP least fixpoint."""
+    structure = FiniteStructure.from_edges(edges, relation="e")
+    system = system_factory()
+    fp = fixpoint_logic_model(system, structure)
+
+    afp = benchmark(lambda: general_alternating_fixpoint(system, structure))
+
+    assert afp.positive_fixpoint == fp.true_atoms
+
+
+@pytest.mark.repro("E9")
+@pytest.mark.parametrize("graph_name,edges", GRAPHS)
+@pytest.mark.parametrize("system_name,system_factory,relation", SYSTEMS)
+def test_lloyd_topor_normal_program_agrees_with_fp(
+    benchmark, graph_name, edges, system_name, system_factory, relation
+):
+    """Theorems 8.6/8.7: the normal program preserves the positive part on
+    the original relations."""
+    structure = FiniteStructure.from_edges(edges, relation="e")
+    system = system_factory()
+    fp = fixpoint_logic_model(system, structure)
+    program = normal_program_for(system, structure)
+
+    result = benchmark(lambda: alternating_fixpoint(program))
+
+    original = {a for a in result.true_atoms() if a.predicate == relation}
+    assert original == fp.true_atoms

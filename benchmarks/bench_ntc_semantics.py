@@ -1,0 +1,116 @@
+"""Experiment E4 — Example 2.2 / Section 8.5 (complement of transitive closure).
+
+The paper's recurring example: ``ntc(X, Y) :- not tc(X, Y)`` computes the
+complement of reachability under the stratified / well-founded / stable
+semantics, but the inflationary (IFP) semantics fires the negation in round
+one and floods ``ntc`` with every pair, and the Fitting semantics leaves
+pairs touching a cycle undefined.  The benchmarks compute ``ntc`` on chains,
+cycles and random graphs under each semantics and assert exactly that
+pattern of agreement and failure.
+"""
+
+import pytest
+
+from repro.core import alternating_fixpoint, build_context
+from repro.datalog.atoms import Atom
+from repro.datalog.terms import Constant
+from repro.games.graphs import chain_edges, cycle_edges, random_digraph_edges, nodes_of
+from repro.semantics import fitting_model, inflationary_model, stratified_model
+from repro.workloads import complement_of_transitive_closure_program
+
+
+def reachable_pairs(edges):
+    nodes = nodes_of(edges)
+    successors = {}
+    for source, target in edges:
+        successors.setdefault(source, set()).add(target)
+    closure = set()
+    for start in nodes:
+        frontier = list(successors.get(start, ()))
+        seen = set()
+        while frontier:
+            node = frontier.pop()
+            if (start, node) in closure:
+                continue
+            closure.add((start, node))
+            frontier.extend(successors.get(node, ()))
+        del seen
+    return {(s, t) for s in nodes for t in nodes} - closure, closure
+
+
+def ntc_atoms(interpretation_true_atoms):
+    return {
+        (a.args[0].value, a.args[1].value)
+        for a in interpretation_true_atoms
+        if a.predicate == "ntc"
+    }
+
+
+@pytest.mark.repro("E4")
+@pytest.mark.parametrize("edges_name,edges", [
+    ("chain-6", chain_edges(6)),
+    ("cycle-5", cycle_edges(5)),
+    ("random-8", random_digraph_edges(8, 0.25, seed=3)),
+])
+def test_ntc_well_founded_matches_true_complement(benchmark, edges_name, edges):
+    if not edges:
+        pytest.skip("empty random graph")
+    program = complement_of_transitive_closure_program(edges)
+    expected_complement, _ = reachable_pairs(edges)
+
+    result = benchmark(lambda: alternating_fixpoint(program))
+
+    assert result.is_total
+    assert ntc_atoms(result.true_atoms()) == expected_complement
+
+
+@pytest.mark.repro("E4")
+@pytest.mark.parametrize("edges_name,edges", [
+    ("chain-6", chain_edges(6)),
+    ("cycle-5", cycle_edges(5)),
+])
+def test_ntc_stratified_agrees_with_wfs(benchmark, edges_name, edges):
+    program = complement_of_transitive_closure_program(edges)
+    expected_complement, _ = reachable_pairs(edges)
+    result = benchmark(lambda: stratified_model(program))
+    assert ntc_atoms(result.true_atoms) == expected_complement
+
+
+@pytest.mark.repro("E4")
+@pytest.mark.parametrize("edges_name,edges", [
+    ("chain-5", chain_edges(5)),
+    ("cycle-4", cycle_edges(4)),
+])
+def test_ntc_inflationary_overshoots(benchmark, report, edges_name, edges):
+    """IFP puts every pair into ntc — including pairs that ARE reachable."""
+    program = complement_of_transitive_closure_program(edges)
+    expected_complement, closure = reachable_pairs(edges)
+
+    result = benchmark(lambda: inflationary_model(program))
+
+    ifp_ntc = ntc_atoms(result.true_atoms)
+    assert ifp_ntc >= expected_complement
+    assert ifp_ntc & closure, "IFP should wrongly include reachable pairs"
+    report(
+        f"Example 2.2 under IFP ({edges_name})",
+        [
+            ("true complement size", len(expected_complement)),
+            ("IFP ntc size", len(ifp_ntc)),
+            ("wrongly included pairs", len(ifp_ntc & closure)),
+        ],
+    )
+
+
+@pytest.mark.repro("E4")
+def test_ntc_fitting_undefined_on_cycles(benchmark):
+    """Fitting leaves ntc undefined for pairs whose tc proof search loops."""
+    edges = cycle_edges(3) + [("m", "m2")]  # a cycle plus a detached edge
+    program = complement_of_transitive_closure_program(edges)
+
+    result = benchmark(lambda: fitting_model(program))
+
+    probe = Atom("ntc", (Constant("n0"), Constant("m")))  # not reachable, via cycle
+    assert result.model.value_of_atom(probe).value == "undefined"
+    # The well-founded semantics decides the same pair.
+    afp = alternating_fixpoint(build_context(program))
+    assert afp.value_of(probe) == "true"

@@ -1,0 +1,59 @@
+"""Experiment E8 — stable models vs the well-founded model (Section 2.4).
+
+The paper contrasts the polynomial-time well-founded model with the
+NP-complete stable-model existence problem (Elkan; Marek–Truszczyński) and
+proves the structural relationships: every stable model extends the
+well-founded model, and a total well-founded model is the unique stable
+model.  The benchmarks measure both computations on the worst-case family
+for enumeration — ``k`` independent negative loops, which have ``2^k``
+stable models while the well-founded model stays flat — and on random
+programs, asserting the containment relations throughout.
+"""
+
+import pytest
+
+from repro.core import alternating_fixpoint, build_context, stable_models
+from repro.workloads import random_negative_loop_program, random_propositional_program
+
+LOOP_SIZES = [2, 4, 6, 8]
+
+
+@pytest.mark.repro("E8")
+@pytest.mark.parametrize("pairs", LOOP_SIZES)
+def test_wfs_cost_stays_flat_on_choice_programs(benchmark, pairs):
+    program = random_negative_loop_program(pairs, seed=pairs)
+    context = build_context(program)
+
+    result = benchmark(lambda: alternating_fixpoint(context))
+
+    # The well-founded model decides nothing here: all 2k atoms undefined.
+    assert len(result.undefined_atoms) == 2 * pairs
+    assert result.iterations <= 4
+
+
+@pytest.mark.repro("E8")
+@pytest.mark.parametrize("pairs", LOOP_SIZES)
+def test_stable_enumeration_cost_doubles_per_choice(benchmark, pairs):
+    program = random_negative_loop_program(pairs, seed=pairs)
+    context = build_context(program)
+    afp = alternating_fixpoint(context)
+
+    models = benchmark(lambda: stable_models(context, afp=afp))
+
+    assert len(models) == 2 ** pairs
+
+
+@pytest.mark.repro("E8")
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_stable_models_extend_wfs_on_random_programs(benchmark, seed):
+    program = random_propositional_program(atoms=10, rules=24, seed=seed)
+    context = build_context(program)
+    afp = alternating_fixpoint(context)
+
+    models = benchmark(lambda: stable_models(context, afp=afp))
+
+    for model in models:
+        assert afp.true_atoms() <= model.true_atoms
+        assert frozenset(afp.negative_fixpoint.atoms) <= model.false_atoms
+    if afp.is_total:
+        assert len(models) == 1

@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*.py`` module regenerates one table or figure of the paper
+(see DESIGN.md's experiment index and EXPERIMENTS.md for the recorded
+outcomes).  The benchmarks use ``pytest-benchmark`` for timing and also
+*assert* the qualitative shape the paper reports — who wins, what is true /
+false / undefined — so a benchmark run doubles as a reproduction check.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):  # pragma: no cover - benchmarking plumbing
+    config.addinivalue_line("markers", "repro(experiment): paper experiment id")
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a small labelled table from inside a benchmark without it being
+    swallowed by the capture plugin (shown with ``-s`` or on failure)."""
+
+    def _report(title: str, rows: list[tuple]) -> None:
+        print(f"\n[{title}]")
+        for row in rows:
+            print("   ", *row)
+
+    return _report

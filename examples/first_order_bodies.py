@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Alternating fixpoint logic with first-order rule bodies (Section 8).
+
+Example 8.2 of the paper defines the *well-founded nodes* of a graph — the
+nodes with no infinite descending chain of edges into them — with a single
+rule whose body is a negated universal/existential formula::
+
+    w(X) <- not exists Y ( e(Y, X) and not w(Y) )
+
+This example:
+
+1. evaluates that rule directly with the generalised alternating fixpoint
+   (alternating fixpoint logic);
+2. applies the Lloyd–Topor elementary simplification to obtain the normal
+   program ``w(X) :- not u(X).  u(X) :- e(Y, X), not w(Y).`` and re-evaluates
+   with the ordinary alternating fixpoint (Theorem 8.7: the positive parts
+   agree);
+3. runs a fixpoint-logic (FP) transitive closure and checks Theorem 8.1.
+
+Run with:  python examples/first_order_bodies.py
+"""
+
+from repro.core import alternating_fixpoint
+from repro.datalog import Program
+from repro.datalog.atoms import Atom
+from repro.datalog.terms import Variable
+from repro.fol import (
+    FiniteStructure,
+    GeneralProgram,
+    GeneralRule,
+    and_,
+    atom_formula,
+    exists,
+    fixpoint_logic_model,
+    general_alternating_fixpoint,
+    lloyd_topor_transform,
+    domain_facts,
+    not_,
+    or_,
+)
+
+
+def well_founded_rule() -> GeneralRule:
+    return GeneralRule(
+        Atom("w", (Variable("X"),)),
+        not_(exists(["Y"], and_(atom_formula("e", "Y", "X"), not_(atom_formula("w", "Y"))))),
+    )
+
+
+def tc_rule() -> GeneralRule:
+    return GeneralRule(
+        Atom("tc", (Variable("X"), Variable("Y"))),
+        or_(
+            atom_formula("e", "X", "Y"),
+            exists(["Z"], and_(atom_formula("e", "X", "Z"), atom_formula("tc", "Z", "Y"))),
+        ),
+    )
+
+
+def main() -> None:
+    # A graph with a well-founded chain (1 -> 2 -> 3), a self-loop (4) and a
+    # node fed by the loop (5).
+    structure = FiniteStructure.from_edges(
+        [(1, 2), (2, 3), (4, 4), (4, 5)], relation="e"
+    )
+    general = GeneralProgram([well_founded_rule()])
+
+    # -- 1. Alternating fixpoint logic on the first-order rule ------------- #
+    direct = general_alternating_fixpoint(general, structure)
+    print("== Example 8.2 evaluated directly (alternating fixpoint logic) ==")
+    print("  well-founded nodes :", sorted(a.args[0].value for a in direct.true_of_predicate("w")))
+    print("  unfounded nodes    :", sorted(a.args[0].value for a in direct.false_of_predicate("w")))
+    print("  total model?", direct.is_total)
+    print()
+
+    # -- 2. Lloyd–Topor transformation into a normal program --------------- #
+    transformed = lloyd_topor_transform(general)
+    print("== The normal program produced by elementary simplification ==")
+    for rule in transformed.program:
+        print("  ", rule)
+    print("  auxiliary relations:", dict(transformed.auxiliary_polarity))
+    print()
+
+    pieces = [transformed.program, structure.edb.as_program()]
+    if transformed.domain_predicate:
+        pieces.append(domain_facts(structure, transformed.domain_predicate))
+    normal_result = alternating_fixpoint(Program.union(*pieces))
+    w_true = sorted(
+        a.args[0].value for a in normal_result.true_atoms() if a.predicate == "w"
+    )
+    print("  positive w atoms of the normal program's AFP model:", w_true)
+    print("  (Theorem 8.7: matches the direct evaluation above)")
+    print()
+
+    # -- 3. Fixpoint logic and Theorem 8.1 --------------------------------- #
+    fp_structure = FiniteStructure.from_edges([(1, 2), (2, 3), (3, 1), (3, 4)], relation="e")
+    fp_program = GeneralProgram([tc_rule()])
+    fp = fixpoint_logic_model(fp_program, fp_structure)
+    afp = general_alternating_fixpoint(fp_program, fp_structure)
+    print("== Theorem 8.1 on a transitive-closure FP system ==")
+    print("  FP least fixpoint size      :", len(fp.true_atoms))
+    print("  positive part of AFP model  :", len(afp.positive_fixpoint))
+    print("  identical?", fp.true_atoms == afp.positive_fixpoint)
+
+
+if __name__ == "__main__":
+    main()

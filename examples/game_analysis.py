@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Game analysis with the well-founded semantics (Example 5.2 / Figure 4).
+
+The win–move game is the canonical program with *recursive* negation: it
+cannot be stratified, yet the well-founded semantics gives every position a
+natural status — won, lost, or drawn.  This example analyses the paper's
+three Figure 4 graphs and a larger random tournament, and shows how the
+stable models enumerate the ways draws could be broken.
+
+Run with:  python examples/game_analysis.py
+"""
+
+from repro.core import stable_models
+from repro.games import (
+    figure4a_edges,
+    figure4b_edges,
+    figure4c_edges,
+    random_game_edges,
+    solve_game,
+    win_move_program,
+)
+
+
+def describe(name: str, edges) -> None:
+    solution = solve_game(edges)
+    print(f"--- {name} ({len(edges)} moves) ---")
+    print("  won  :", sorted(map(str, solution.won)))
+    print("  lost :", sorted(map(str, solution.lost)))
+    print("  drawn:", sorted(map(str, solution.drawn)))
+    print("  total model:", solution.result.is_total,
+          "| alternating-fixpoint iterations:", solution.result.iterations)
+    print()
+
+
+def main() -> None:
+    print("=== The three graphs of Figure 4 ===\n")
+    describe("Figure 4(a): acyclic", figure4a_edges())
+    describe("Figure 4(b): cycle with a tail (partial model)", figure4b_edges())
+    describe("Figure 4(c): cycle but total model", figure4c_edges())
+
+    # ------------------------------------------------------------------ #
+    # Stable models break the draws of Figure 4(b) in both directions.
+    # ------------------------------------------------------------------ #
+    print("=== Stable models of Figure 4(b): the draw resolved both ways ===")
+    program = win_move_program(figure4b_edges())
+    for index, model in enumerate(stable_models(program), start=1):
+        wins = sorted(a.args[0].value for a in model.true_atoms if a.predicate == "wins")
+        print(f"  stable model {index}: wins = {wins}")
+    print()
+
+    # ------------------------------------------------------------------ #
+    # A bigger random tournament: the well-founded analysis scales
+    # polynomially (Section 5), unlike stable-model enumeration.
+    # ------------------------------------------------------------------ #
+    print("=== A random 40-position tournament ===")
+    edges = random_game_edges(nodes=40, out_degree=3, seed=11)
+    solution = solve_game(edges)
+    print(f"  positions: {len(solution.won) + len(solution.lost) + len(solution.drawn)}")
+    print(f"  won {len(solution.won)} / lost {len(solution.lost)} / drawn {len(solution.drawn)}")
+    print(f"  alternating-fixpoint iterations: {solution.result.iterations}")
+    sample = sorted(map(str, solution.drawn))[:6]
+    print(f"  a few drawn positions (locked in cycles): {sample}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Quickstart: compute the well-founded model of a program with negation.
+
+This walks through the core workflow of the library:
+
+1. write a logic program with negation (the win–move game of Example 5.2);
+2. compute its alternating fixpoint partial model — by Theorem 7.8 this is
+   the well-founded model;
+3. inspect the three-valued verdicts and the Table-I-style iteration trace;
+4. compare with the stable models of the same program.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import parse_program, alternating_fixpoint
+from repro.core import stable_models
+from repro.engine import solve, ask, answers
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ #
+    # 1. A program with recursive negation: the win-move game.
+    #    Position X is won when some move leads to a position the opponent
+    #    cannot win.  The graph has a draw cycle (a <-> b) and a decided
+    #    tail (b -> c -> d).
+    # ------------------------------------------------------------------ #
+    program = parse_program(
+        """
+        move(a, b).  move(b, a).  move(b, c).  move(c, d).
+        wins(X) :- move(X, Y), not wins(Y).
+        """
+    )
+
+    # ------------------------------------------------------------------ #
+    # 2. The alternating fixpoint = the well-founded partial model.
+    # ------------------------------------------------------------------ #
+    result = alternating_fixpoint(program)
+    print("== Alternating fixpoint partial model ==")
+    print("true      :", sorted(str(a) for a in result.true_atoms() if a.predicate == "wins"))
+    print("false     :", sorted(str(a) for a in result.false_atoms() if a.predicate == "wins"))
+    print("undefined :", sorted(str(a) for a in result.undefined_atoms if a.predicate == "wins"))
+    print("total model?", result.is_total)
+    print()
+
+    # ------------------------------------------------------------------ #
+    # 3. The iteration trace: underestimates and overestimates of the
+    #    negative conclusions alternate until the even stages converge.
+    # ------------------------------------------------------------------ #
+    print("== Iteration trace (Table I style) ==")
+    for stage in result.stages:
+        kind = "under" if stage.is_underestimate else "over "
+        negatives = sorted(f"~{a}" for a in stage.negative if a.predicate == "wins")
+        positives = sorted(str(a) for a in stage.positive if a.predicate == "wins")
+        print(f"  k={stage.index} ({kind})  false={negatives}  S_P={positives}")
+    print()
+
+    # ------------------------------------------------------------------ #
+    # 4. Stable models: the draw cycle is resolved both ways.
+    # ------------------------------------------------------------------ #
+    print("== Stable models ==")
+    for model in stable_models(program):
+        wins = sorted(str(a) for a in model.true_atoms if a.predicate == "wins")
+        print("  stable model with wins =", wins)
+    print()
+
+    # ------------------------------------------------------------------ #
+    # 5. The one-call engine API with queries.
+    # ------------------------------------------------------------------ #
+    solution = solve(program)  # picks the alternating fixpoint automatically
+    print("== Queries ==")
+    print("  wins(c)?           ", ask(solution, "wins(c)").value)
+    print("  wins(a)?           ", ask(solution, "wins(a)").value)
+    print("  who surely wins?   ", sorted(a["X"] for a in answers(solution, "wins(X)")))
+
+
+if __name__ == "__main__":
+    main()

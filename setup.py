@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The environment this reproduction targets has no ``wheel`` package
+available offline, so PEP 517 editable installs fail with
+``invalid command 'bdist_wheel'``.  Keeping a minimal ``setup.py`` lets
+``pip install -e . --no-build-isolation --no-use-pep517`` work everywhere;
+all real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,65 @@
+"""repro — a reproduction of Van Gelder's alternating fixpoint (PODS 1989).
+
+The package implements the alternating fixpoint characterisation of the
+well-founded semantics for logic programs with negation, together with the
+substrates it rests on (a Datalog engine with grounding and analysis) and
+the semantics it is compared against (stable models, stratified, Fitting,
+inflationary).
+
+Quickstart
+----------
+>>> from repro import parse_program, alternating_fixpoint
+>>> program = parse_program('''
+...     move(a, b).  move(b, a).  move(b, c).
+...     wins(X) :- move(X, Y), not wins(Y).
+... ''')
+>>> result = alternating_fixpoint(program)
+>>> sorted(str(a) for a in result.true_atoms() if a.predicate == "wins")
+['wins(b)']
+"""
+
+from .datalog import (
+    Atom,
+    Database,
+    Literal,
+    Program,
+    ProgramBuilder,
+    Rule,
+    atom,
+    neg,
+    parse_program,
+    parse_rule,
+    pos,
+)
+from .core import (
+    AlternatingFixpointResult,
+    afp_model,
+    alternating_fixpoint,
+    stable_models,
+    well_founded_model,
+)
+from .fixpoint import PartialInterpretation, TruthValue
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atom",
+    "Database",
+    "Literal",
+    "Program",
+    "ProgramBuilder",
+    "Rule",
+    "atom",
+    "neg",
+    "parse_program",
+    "parse_rule",
+    "pos",
+    "AlternatingFixpointResult",
+    "afp_model",
+    "alternating_fixpoint",
+    "stable_models",
+    "well_founded_model",
+    "PartialInterpretation",
+    "TruthValue",
+    "__version__",
+]

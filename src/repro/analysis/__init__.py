@@ -1,0 +1,26 @@
+"""Static analysis of logic programs: dependency graphs, stratification,
+local stratification, strictness (Definition 8.3), and classification."""
+
+from .classification import ProgramClassification, classify
+from .dependency import ArcPolarity, DependencyGraph, build_dependency_graph
+from .local_stratification import LocalStratification, is_locally_stratified, locally_stratify
+from .stratification import Stratification, is_stratified, stratify
+from .strictness import StrictnessAnalysis, analyse_strictness, is_strict, is_strict_in_idb
+
+__all__ = [
+    "ProgramClassification",
+    "classify",
+    "ArcPolarity",
+    "DependencyGraph",
+    "build_dependency_graph",
+    "LocalStratification",
+    "is_locally_stratified",
+    "locally_stratify",
+    "Stratification",
+    "is_stratified",
+    "stratify",
+    "StrictnessAnalysis",
+    "analyse_strictness",
+    "is_strict",
+    "is_strict_in_idb",
+]

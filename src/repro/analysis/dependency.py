@@ -1,0 +1,210 @@
+"""Predicate dependency graphs with polarity labels.
+
+Definition 8.3 of the paper: the dependency graph of a program has the
+relation symbols as nodes, with an arc from ``p`` to ``q`` whenever some
+rule for ``p`` uses ``q`` in its body.  The arc is labelled *positive*,
+*negative*, or *mixed* according to the polarities with which ``q`` occurs
+across those rules.
+
+This graph drives three analyses used elsewhere in the library:
+stratification (no negative arc inside a cycle), local stratification on
+ground programs, and the strictness / global-polarity partition of
+Section 8.2.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from ..datalog.rules import Program, Rule
+
+__all__ = ["ArcPolarity", "DependencyGraph", "build_dependency_graph"]
+
+
+class ArcPolarity(enum.Enum):
+    """Label of a dependency arc (Definition 8.3)."""
+
+    POSITIVE = "positive"
+    NEGATIVE = "negative"
+    MIXED = "mixed"
+
+    def merge(self, other: "ArcPolarity") -> "ArcPolarity":
+        """Combine evidence from two occurrences of the same dependency."""
+        if self is other:
+            return self
+        return ArcPolarity.MIXED
+
+
+@dataclass
+class DependencyGraph:
+    """Directed graph over predicate names with polarity-labelled arcs."""
+
+    nodes: set[str] = field(default_factory=set)
+    _arcs: dict[tuple[str, str], ArcPolarity] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_node(self, name: str) -> None:
+        self.nodes.add(name)
+
+    def add_arc(self, source: str, target: str, polarity: ArcPolarity) -> None:
+        """Add (or merge) an arc ``source -> target`` with the given polarity."""
+        self.nodes.add(source)
+        self.nodes.add(target)
+        key = (source, target)
+        existing = self._arcs.get(key)
+        self._arcs[key] = polarity if existing is None else existing.merge(polarity)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def arcs(self) -> Iterator[tuple[str, str, ArcPolarity]]:
+        for (source, target), polarity in self._arcs.items():
+            yield source, target, polarity
+
+    def polarity(self, source: str, target: str) -> ArcPolarity | None:
+        return self._arcs.get((source, target))
+
+    def successors(self, node: str) -> set[str]:
+        return {target for (source, target) in self._arcs if source == node}
+
+    def predecessors(self, node: str) -> set[str]:
+        return {source for (source, target) in self._arcs if target == node}
+
+    def has_negative_arc(self) -> bool:
+        return any(
+            polarity in (ArcPolarity.NEGATIVE, ArcPolarity.MIXED)
+            for polarity in self._arcs.values()
+        )
+
+    # ------------------------------------------------------------------ #
+    # Strongly connected components (Tarjan, iterative)
+    # ------------------------------------------------------------------ #
+    def strongly_connected_components(self) -> list[set[str]]:
+        """SCCs in reverse topological order (callees before callers)."""
+        index_counter = 0
+        stack: list[str] = []
+        lowlink: dict[str, int] = {}
+        index: dict[str, int] = {}
+        on_stack: set[str] = set()
+        components: list[set[str]] = []
+        adjacency: dict[str, list[str]] = defaultdict(list)
+        for source, target, _ in self.arcs():
+            adjacency[source].append(target)
+
+        for root in sorted(self.nodes):
+            if root in index:
+                continue
+            # Iterative Tarjan to avoid recursion limits on deep graphs.
+            work: list[tuple[str, int]] = [(root, 0)]
+            while work:
+                node, child_index = work.pop()
+                if child_index == 0:
+                    index[node] = index_counter
+                    lowlink[node] = index_counter
+                    index_counter += 1
+                    stack.append(node)
+                    on_stack.add(node)
+                recurse = False
+                children = adjacency.get(node, [])
+                while child_index < len(children):
+                    child = children[child_index]
+                    child_index += 1
+                    if child not in index:
+                        work.append((node, child_index))
+                        work.append((child, 0))
+                        recurse = True
+                        break
+                    if child in on_stack:
+                        lowlink[node] = min(lowlink[node], index[child])
+                if recurse:
+                    continue
+                if lowlink[node] == index[node]:
+                    component: set[str] = set()
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.add(member)
+                        if member == node:
+                            break
+                    components.append(component)
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+        return components
+
+    def condensation_order(self) -> list[set[str]]:
+        """SCCs ordered so that dependencies come before dependents."""
+        return self.strongly_connected_components()
+
+    # ------------------------------------------------------------------ #
+    # Cycle analysis
+    # ------------------------------------------------------------------ #
+    def negative_cycle_predicates(self) -> set[str]:
+        """Predicates lying on a cycle through a negative or mixed arc.
+
+        A program is stratified exactly when this set is empty.
+        """
+        offenders: set[str] = set()
+        for component in self.strongly_connected_components():
+            if len(component) == 1:
+                only = next(iter(component))
+                polarity = self.polarity(only, only)
+                if polarity in (ArcPolarity.NEGATIVE, ArcPolarity.MIXED):
+                    offenders.add(only)
+                continue
+            for source, target, polarity in self.arcs():
+                if (
+                    source in component
+                    and target in component
+                    and polarity in (ArcPolarity.NEGATIVE, ArcPolarity.MIXED)
+                ):
+                    offenders.update(component)
+                    break
+        return offenders
+
+    def reachable_from(self, node: str) -> set[str]:
+        """All predicates reachable by directed paths from *node* (including
+        itself via the null path, as in Definition 8.3)."""
+        seen = {node}
+        frontier = [node]
+        while frontier:
+            current = frontier.pop()
+            for successor in self.successors(current):
+                if successor not in seen:
+                    seen.add(successor)
+                    frontier.append(successor)
+        return seen
+
+
+def build_dependency_graph(program: Program, idb_only: bool = False) -> DependencyGraph:
+    """Build the dependency graph of *program*.
+
+    With ``idb_only`` set, arcs into EDB predicates are skipped; this is the
+    graph used for the "strict in the IDB" notion of Section 8.2.
+    """
+    graph = DependencyGraph()
+    edb = program.edb_predicates() if idb_only else set()
+    for rule in program:
+        head = rule.head.predicate
+        graph.add_node(head)
+        occurrences: dict[str, ArcPolarity] = {}
+        for literal in rule.body:
+            target = literal.predicate
+            if idb_only and target in edb:
+                continue
+            polarity = ArcPolarity.POSITIVE if literal.positive else ArcPolarity.NEGATIVE
+            existing = occurrences.get(target)
+            occurrences[target] = polarity if existing is None else existing.merge(polarity)
+        for target, polarity in occurrences.items():
+            graph.add_arc(head, target, polarity)
+    # Ensure isolated body-only predicates appear as nodes too.
+    for rule in program:
+        for literal in rule.body:
+            if not idb_only or literal.predicate not in edb:
+                graph.add_node(literal.predicate)
+    return graph

@@ -1,0 +1,101 @@
+"""Stratification analysis (Section 2.3 of the paper).
+
+A program is *stratified* when its predicates can be assigned to numbered
+strata so that a predicate only depends positively on predicates of the same
+or lower strata and only negatively on strictly lower strata.  Equivalently,
+no cycle of the dependency graph contains a negative (or mixed) arc.
+
+:func:`stratify` returns a :class:`Stratification` with the stratum of each
+predicate and the predicates grouped per stratum; it raises
+:class:`~repro.exceptions.NotStratifiedError` on unstratifiable programs
+(e.g. the win–move program of Example 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..datalog.rules import Program
+from ..exceptions import NotStratifiedError
+from .dependency import ArcPolarity, DependencyGraph, build_dependency_graph
+
+__all__ = ["Stratification", "stratify", "is_stratified"]
+
+
+@dataclass(frozen=True)
+class Stratification:
+    """An assignment of predicates to strata ``0, 1, 2, ...``.
+
+    ``strata[i]`` is the set of predicates in stratum ``i``; evaluation
+    proceeds stratum by stratum, treating lower strata as completed EDB.
+    """
+
+    levels: Mapping[str, int]
+    strata: tuple[frozenset[str], ...]
+
+    @property
+    def depth(self) -> int:
+        """Number of strata."""
+        return len(self.strata)
+
+    def stratum_of(self, predicate: str) -> int:
+        return self.levels.get(predicate, 0)
+
+    def predicates_at(self, level: int) -> frozenset[str]:
+        return self.strata[level]
+
+    def __iter__(self):
+        return iter(self.strata)
+
+
+def is_stratified(program: Program) -> bool:
+    """True when the program admits a stratification."""
+    graph = build_dependency_graph(program)
+    return not graph.negative_cycle_predicates()
+
+
+def stratify(program: Program) -> Stratification:
+    """Compute a stratification, or raise :class:`NotStratifiedError`.
+
+    The stratum of a predicate is computed as the longest "negation count"
+    over dependency paths within the condensation of the dependency graph:
+    predicates in the same strongly connected component share a stratum, a
+    positive dependency requires ``level(p) >= level(q)``, and a negative or
+    mixed dependency requires ``level(p) >= level(q) + 1``.
+    """
+    graph: DependencyGraph = build_dependency_graph(program)
+    offenders = graph.negative_cycle_predicates()
+    if offenders:
+        names = ", ".join(sorted(offenders))
+        raise NotStratifiedError(
+            f"program is not stratified: negation occurs in a cycle through {names}"
+        )
+
+    components = graph.strongly_connected_components()  # callees first
+    component_of: dict[str, int] = {}
+    for index, component in enumerate(components):
+        for predicate in component:
+            component_of[predicate] = index
+
+    levels: dict[str, int] = {}
+    # Components are in reverse topological order, so dependencies of a
+    # component have already been assigned when we reach it.
+    for component in components:
+        level = 0
+        for predicate in component:
+            for source, target, polarity in graph.arcs():
+                if source != predicate or target in component:
+                    continue
+                required = levels.get(target, 0)
+                if polarity in (ArcPolarity.NEGATIVE, ArcPolarity.MIXED):
+                    required += 1
+                level = max(level, required)
+        for predicate in component:
+            levels[predicate] = level
+
+    depth = max(levels.values(), default=0) + 1
+    strata = [set() for _ in range(depth)]
+    for predicate, level in levels.items():
+        strata[level].add(predicate)
+    return Stratification(dict(levels), tuple(frozenset(s) for s in strata))

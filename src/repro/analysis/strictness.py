@@ -1,0 +1,181 @@
+"""Strictness and the globally-positive / globally-negative partition.
+
+Definition 8.3 of the paper: a pair of relations ``(p, q)`` is *strict* when
+every dependency path from ``p`` to ``q`` traverses an even number of
+negative arcs and no mixed arcs (strictly positive), or every path traverses
+an odd number (strictly negative), or there is no path at all.  A program is
+*strict* when every ordered pair is strict, and *strict in the IDB* when
+every pair of IDB relations is.
+
+For programs strict in the IDB, the IDB relations split into two sets — the
+*globally positive* and *globally negative* relations — such that relations
+in the same set are pairwise strictly positive (or unrelated) and relations
+in different sets strictly negative (or unrelated).  That partition is what
+the Section 8 simulation theorems (8.5–8.7) are stated in terms of, and the
+FOL subpackage consumes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from ..datalog.rules import Program
+from .dependency import ArcPolarity, DependencyGraph, build_dependency_graph
+
+__all__ = ["StrictnessAnalysis", "analyse_strictness", "is_strict", "is_strict_in_idb"]
+
+
+@dataclass(frozen=True)
+class StrictnessAnalysis:
+    """Result of the strictness analysis of a program.
+
+    ``parities[(p, q)]`` is a frozenset of path parities (0 = even number of
+    negative arcs, 1 = odd) over all dependency paths from ``p`` to ``q``
+    that avoid mixed arcs; ``mixed_reachable`` contains pairs connected by a
+    path through a mixed arc.  A pair is strict when it is not mixed-reachable
+    and has at most one parity.
+    """
+
+    parities: Mapping[tuple[str, str], frozenset[int]]
+    mixed_reachable: frozenset[tuple[str, str]]
+    idb_predicates: frozenset[str]
+
+    # ------------------------------------------------------------------ #
+    def pair_is_strict(self, source: str, target: str) -> bool:
+        if (source, target) in self.mixed_reachable:
+            return False
+        return len(self.parities.get((source, target), frozenset())) <= 1
+
+    def strictly_positive(self, source: str, target: str) -> bool:
+        """Every path from *source* to *target* has an even negation count."""
+        return (
+            (source, target) not in self.mixed_reachable
+            and self.parities.get((source, target)) == frozenset({0})
+        )
+
+    def strictly_negative(self, source: str, target: str) -> bool:
+        return (
+            (source, target) not in self.mixed_reachable
+            and self.parities.get((source, target)) == frozenset({1})
+        )
+
+    @property
+    def is_strict(self) -> bool:
+        """Every ordered pair of relations is strict."""
+        pairs = set(self.parities) | set(self.mixed_reachable)
+        return all(self.pair_is_strict(s, t) for s, t in pairs)
+
+    @property
+    def is_strict_in_idb(self) -> bool:
+        """Every ordered pair of IDB relations is strict."""
+        pairs = set(self.parities) | set(self.mixed_reachable)
+        return all(
+            self.pair_is_strict(s, t)
+            for s, t in pairs
+            if s in self.idb_predicates and t in self.idb_predicates
+        )
+
+    def global_partition(self) -> Optional[tuple[frozenset[str], frozenset[str]]]:
+        """Split the IDB into (globally positive, globally negative) sets.
+
+        Returns ``None`` when the program is not strict in the IDB.  The
+        partition is computed by two-colouring: relations connected by a
+        strictly-negative pair get opposite colours, relations connected by
+        a strictly-positive pair the same colour.  Predicates unrelated to
+        everything default to the globally positive side.
+        """
+        if not self.is_strict_in_idb:
+            return None
+        colour: dict[str, int] = {}
+        predicates = sorted(self.idb_predicates)
+
+        def paint(start: str) -> bool:
+            colour[start] = 0
+            frontier = [start]
+            while frontier:
+                current = frontier.pop()
+                for other in predicates:
+                    for source, target in ((current, other), (other, current)):
+                        parity_set = self.parities.get((source, target))
+                        if not parity_set or len(parity_set) != 1:
+                            continue
+                        parity = next(iter(parity_set))
+                        wanted = colour[current] ^ parity
+                        if other not in colour:
+                            colour[other] = wanted
+                            frontier.append(other)
+                        elif colour[other] != wanted:
+                            return False
+            return True
+
+        for predicate in predicates:
+            if predicate not in colour:
+                if not paint(predicate):
+                    return None
+        positive = frozenset(p for p in predicates if colour.get(p, 0) == 0)
+        negative = frozenset(p for p in predicates if colour.get(p, 0) == 1)
+        return positive, negative
+
+
+def analyse_strictness(program: Program, idb_only: bool = True) -> StrictnessAnalysis:
+    """Compute path parities between all predicate pairs of *program*.
+
+    ``idb_only`` restricts the underlying dependency graph to IDB
+    predicates, matching the "strict in the IDB" notion used by Section 8.
+    """
+    graph: DependencyGraph = build_dependency_graph(program, idb_only=idb_only)
+    idb = frozenset(program.idb_predicates())
+
+    # parity_reachable[(p, q)] ⊆ {0, 1}: parities of negation counts along
+    # mixed-free paths from p to q.  The null path gives parity 0 from every
+    # node to itself (Definition 8.3).
+    parities: dict[tuple[str, str], set[int]] = {}
+    mixed: set[tuple[str, str]] = set()
+    for node in graph.nodes:
+        parities[(node, node)] = {0}
+
+    changed = True
+    while changed:
+        changed = False
+        for source, target, polarity in graph.arcs():
+            if polarity is ArcPolarity.MIXED:
+                # Any pair (x, y) with a mixed-free path x→source is spoiled
+                # for every y reachable from target (and target itself).
+                reach = graph.reachable_from(target)
+                for (origin, end), _ in list(parities.items()):
+                    if end == source:
+                        for destination in reach:
+                            if (origin, destination) not in mixed:
+                                mixed.add((origin, destination))
+                                changed = True
+                for destination in reach:
+                    for origin in graph.nodes:
+                        has_path_to_source = (origin, source) in parities or origin == source
+                        if has_path_to_source and (origin, destination) not in mixed:
+                            mixed.add((origin, destination))
+                            changed = True
+                continue
+            arc_parity = 0 if polarity is ArcPolarity.POSITIVE else 1
+            for (origin, end), parity_set in list(parities.items()):
+                if end != source:
+                    continue
+                bucket = parities.setdefault((origin, target), set())
+                for parity in list(parity_set):
+                    combined = parity ^ arc_parity
+                    if combined not in bucket:
+                        bucket.add(combined)
+                        changed = True
+
+    frozen = {pair: frozenset(values) for pair, values in parities.items()}
+    return StrictnessAnalysis(frozen, frozenset(mixed), idb)
+
+
+def is_strict(program: Program) -> bool:
+    """True when every ordered pair of relations of *program* is strict."""
+    return analyse_strictness(program, idb_only=False).is_strict
+
+
+def is_strict_in_idb(program: Program) -> bool:
+    """True when every ordered pair of IDB relations of *program* is strict."""
+    return analyse_strictness(program, idb_only=True).is_strict_in_idb

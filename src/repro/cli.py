@@ -1,0 +1,244 @@
+"""Command-line interface.
+
+``python -m repro <command> ...`` exposes the library to shell users:
+
+* ``solve FILE``      — compute a model under a chosen semantics and print
+  it (or write JSON with ``--json OUT``);
+* ``trace FILE``      — print the alternating-fixpoint iteration table
+  (the Table I view) for the program;
+* ``query FILE Q``    — answer a conjunctive query against the computed
+  model;
+* ``stable FILE``     — enumerate stable models;
+* ``classify FILE``   — report the program's syntactic class (stratified,
+  locally stratified, strict, ...);
+* ``explain FILE A``  — justify why atom ``A`` is true / false / undefined
+  in the well-founded model;
+* ``compare FILE``    — show per-atom verdicts under every semantics.
+
+Programs are rule files in the textual syntax (see README); EDB relations
+can be loaded from CSV with repeated ``--facts relation=path.csv`` options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .analysis import classify
+from .core import alternating_fixpoint, stable_models
+from .core.explain import Explainer
+from .datalog import Database, parse_atom
+from .datalog.io import load_facts_csv, load_program, save_interpretation_json
+from .datalog.rules import Program
+from .engine import answers, ask, solve
+from .engine.solver import SUPPORTED_SEMANTICS
+from .exceptions import ReproError
+from .fixpoint.interpretations import TruthValue
+from .reporting import render_comparison, render_model, render_trace
+from .semantics import compare_semantics
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Well-founded / alternating-fixpoint reasoning for logic programs with negation.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_program_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("program", help="path to a rule file")
+        sub.add_argument(
+            "--facts",
+            action="append",
+            default=[],
+            metavar="RELATION=CSV",
+            help="load an EDB relation from a CSV file (repeatable)",
+        )
+
+    solve_parser = subparsers.add_parser("solve", help="compute a model and print it")
+    add_program_arguments(solve_parser)
+    solve_parser.add_argument(
+        "--semantics", choices=SUPPORTED_SEMANTICS, default="auto", help="semantics to use"
+    )
+    solve_parser.add_argument("--predicate", help="restrict the printed model to one relation")
+    solve_parser.add_argument("--json", metavar="OUT", help="also write the model as JSON")
+
+    trace_parser = subparsers.add_parser("trace", help="print the alternating-fixpoint iteration table")
+    add_program_arguments(trace_parser)
+    trace_parser.add_argument("--predicate", help="restrict the table to one relation")
+
+    query_parser = subparsers.add_parser("query", help="answer a conjunctive query")
+    add_program_arguments(query_parser)
+    query_parser.add_argument("query", help='e.g. "wins(X), not wins(Y)" or a ground query')
+    query_parser.add_argument(
+        "--semantics", choices=SUPPORTED_SEMANTICS, default="auto", help="semantics to use"
+    )
+
+    stable_parser = subparsers.add_parser("stable", help="enumerate stable models")
+    add_program_arguments(stable_parser)
+    stable_parser.add_argument("--limit", type=int, default=None, help="stop after N models")
+
+    classify_parser = subparsers.add_parser("classify", help="report the program's syntactic class")
+    add_program_arguments(classify_parser)
+
+    explain_parser = subparsers.add_parser("explain", help="justify an atom's well-founded verdict")
+    add_program_arguments(explain_parser)
+    explain_parser.add_argument("atom", help="ground atom, e.g. wins(c)")
+
+    compare_parser = subparsers.add_parser("compare", help="verdicts under every semantics")
+    add_program_arguments(compare_parser)
+    compare_parser.add_argument(
+        "--atoms", nargs="*", default=None, help="atoms to report (default: all IDB atoms)"
+    )
+    compare_parser.add_argument(
+        "--no-stable", action="store_true", help="skip stable-model enumeration"
+    )
+
+    return parser
+
+
+def _load(arguments) -> Program:
+    program = load_program(arguments.program)
+    if arguments.facts:
+        database = Database()
+        for entry in arguments.facts:
+            if "=" not in entry:
+                raise ReproError(f"--facts expects RELATION=CSV, got {entry!r}")
+            relation, path = entry.split("=", 1)
+            load_facts_csv(path, relation.strip(), database)
+        program = database.attach(program)
+    return program
+
+
+# --------------------------------------------------------------------- #
+# Subcommand implementations
+# --------------------------------------------------------------------- #
+def _cmd_solve(arguments, out) -> int:
+    program = _load(arguments)
+    solution = solve(program, semantics=arguments.semantics)
+    print(f"semantics: {solution.semantics}", file=out)
+    print(render_model(solution.interpretation, solution.base, arguments.predicate), file=out)
+    if arguments.json:
+        save_interpretation_json(
+            solution.interpretation,
+            arguments.json,
+            base=solution.base,
+            metadata={"semantics": solution.semantics},
+        )
+        print(f"model written to {arguments.json}", file=out)
+    return 0
+
+
+def _cmd_trace(arguments, out) -> int:
+    program = _load(arguments)
+    result = alternating_fixpoint(program)
+    print(render_trace(result, arguments.predicate), file=out)
+    print(f"\nconverged after {result.iterations} applications of the stability transform", file=out)
+    print(f"total model: {'yes' if result.is_total else 'no'}", file=out)
+    return 0
+
+
+def _cmd_query(arguments, out) -> int:
+    program = _load(arguments)
+    solution = solve(program, semantics=arguments.semantics)
+    text = arguments.query
+    has_variables = any(piece and piece[0].isupper() for piece in _argument_tokens(text))
+    if has_variables:
+        results = list(answers(solution, text))
+        if not results:
+            print("no answers", file=out)
+        for answer in results:
+            bindings = ", ".join(f"{k} = {v}" for k, v in sorted(answer.as_dict().items()))
+            print(bindings, file=out)
+        return 0
+    verdict = ask(solution, text)
+    print(verdict.value, file=out)
+    return 0 if verdict is TruthValue.TRUE else 0
+
+
+def _argument_tokens(query: str):
+    token = ""
+    for char in query:
+        if char.isalnum() or char == "_":
+            token += char
+        else:
+            if token:
+                yield token
+            token = ""
+    if token:
+        yield token
+
+
+def _cmd_stable(arguments, out) -> int:
+    program = _load(arguments)
+    models = stable_models(program, limit=arguments.limit)
+    if not models:
+        print("no stable model", file=out)
+        return 1
+    for index, model in enumerate(models, start=1):
+        atoms = ", ".join(sorted(str(a) for a in model.true_atoms))
+        print(f"stable model {index}: {{{atoms}}}", file=out)
+    return 0
+
+
+def _cmd_classify(arguments, out) -> int:
+    program = _load(arguments)
+    classification = classify(program)
+    for key, value in classification.summary().items():
+        print(f"{key:24s} {value}", file=out)
+    return 0
+
+
+def _cmd_explain(arguments, out) -> int:
+    program = _load(arguments)
+    explainer = Explainer.for_program(program)
+    atom = parse_atom(arguments.atom)
+    print(explainer.explain(atom).render(), file=out)
+    return 0
+
+
+def _cmd_compare(arguments, out) -> int:
+    program = _load(arguments)
+    comparison = compare_semantics(program, enumerate_stable=not arguments.no_stable)
+    if arguments.atoms:
+        atoms = [parse_atom(text) for text in arguments.atoms]
+    else:
+        idb = program.idb_predicates()
+        context_base = alternating_fixpoint(program).context.base
+        atoms = sorted((a for a in context_base if a.predicate in idb), key=str)
+    print(render_comparison(comparison, atoms), file=out)
+    print(
+        f"\nTheorem 7.8 (AFP == WFS) holds: {'yes' if comparison.agreement_afp_wfs() else 'NO'}",
+        file=out,
+    )
+    return 0
+
+
+_COMMANDS = {
+    "solve": _cmd_solve,
+    "trace": _cmd_trace,
+    "query": _cmd_query,
+    "stable": _cmd_stable,
+    "classify": _cmd_classify,
+    "explain": _cmd_explain,
+    "compare": _cmd_compare,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """Entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    try:
+        return _COMMANDS[arguments.command](arguments, out)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

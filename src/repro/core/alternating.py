@@ -1,0 +1,198 @@
+"""The alternating fixpoint (Section 5 of the paper) — the core contribution.
+
+The *alternating transformation* is the composition of the antimonotonic
+stability transformation with itself::
+
+    A_P(Ĩ) = S̃_P(S̃_P(Ĩ))            (Definition 5.1)
+
+``A_P`` is monotonic, so its least fixpoint ``Ã = A_P↑∞(∅)`` exists.  With
+``A⁺ = S_P(Ã)``, the *alternating fixpoint partial model* is ``A⁺ + Ã``
+(Definition 5.2) — and by Theorem 7.8 it equals the well-founded partial
+model.
+
+The computation runs the single-step sequence ``Ĩ_{k+1} = S̃_P(Ĩ_k)`` from
+``Ĩ_0 = ∅``: even stages form an ascending chain of *underestimates* of the
+negative conclusions, odd stages a descending chain of *overestimates*
+(Figure 2); the iteration stops when two consecutive even stages coincide.
+The full trace — the rows of Table I — is retained on the result object so
+the benchmark harness can print the paper's table verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from ..datalog.atoms import Atom
+from ..datalog.grounding import GroundingLimits
+from ..datalog.rules import Program
+from ..exceptions import EvaluationError
+from ..fixpoint.interpretations import PartialInterpretation
+from ..fixpoint.lattice import NegativeSet
+from .context import GroundContext, build_context
+from .eventual import eventual_consequence
+from .stability import stability_transform
+
+__all__ = [
+    "AlternatingStage",
+    "AlternatingFixpointResult",
+    "alternating_transform",
+    "alternating_fixpoint",
+    "afp_model",
+]
+
+_MAX_STAGES = 10_000_000
+
+
+@dataclass(frozen=True)
+class AlternatingStage:
+    """One row of the Table I trace.
+
+    ``index`` is ``k``; ``negative`` is ``Ĩ_k`` and ``positive`` is
+    ``S_P(Ĩ_k)``.  Even ``k`` are underestimates of the false atoms, odd
+    ``k`` overestimates.
+    """
+
+    index: int
+    negative: NegativeSet
+    positive: frozenset[Atom]
+
+    @property
+    def is_underestimate(self) -> bool:
+        return self.index % 2 == 0
+
+    def describe(self) -> str:
+        falses = ", ".join(sorted(f"not {a}" for a in self.negative))
+        trues = ", ".join(sorted(str(a) for a in self.positive))
+        return f"k={self.index}: Ĩ_k = {{{falses}}}  S_P(Ĩ_k) = {{{trues}}}"
+
+
+@dataclass(frozen=True)
+class AlternatingFixpointResult:
+    """The outcome of an alternating fixpoint computation.
+
+    Attributes
+    ----------
+    context:
+        The ground evaluation context the fixpoint was computed over.
+    negative_fixpoint:
+        ``Ã`` — the least fixpoint of ``A_P`` (the well-founded false atoms).
+    positive_fixpoint:
+        ``A⁺ = S_P(Ã)`` (the well-founded true atoms).
+    stages:
+        The ``Ĩ_k`` / ``S_P(Ĩ_k)`` trace, i.e. the rows of Table I.
+    """
+
+    context: GroundContext
+    negative_fixpoint: NegativeSet
+    positive_fixpoint: frozenset[Atom]
+    stages: tuple[AlternatingStage, ...]
+
+    # ------------------------------------------------------------------ #
+    # Model views
+    # ------------------------------------------------------------------ #
+    @property
+    def model(self) -> PartialInterpretation:
+        """The AFP partial model ``A⁺ + Ã`` as a partial interpretation."""
+        return PartialInterpretation(self.positive_fixpoint, set(self.negative_fixpoint))
+
+    @property
+    def undefined_atoms(self) -> frozenset[Atom]:
+        """Atoms of the base left undefined (``W?`` in the paper's notation)."""
+        return (
+            frozenset(self.context.base)
+            - self.positive_fixpoint
+            - frozenset(self.negative_fixpoint.atoms)
+        )
+
+    @property
+    def is_total(self) -> bool:
+        """True when the AFP model is a total model of the ground program —
+        in which case it is also the unique stable model (Section 5)."""
+        return not self.undefined_atoms
+
+    @property
+    def iterations(self) -> int:
+        """Number of ``S̃_P`` applications performed."""
+        return len(self.stages) - 1
+
+    def true_atoms(self) -> frozenset[Atom]:
+        return self.positive_fixpoint
+
+    def false_atoms(self) -> frozenset[Atom]:
+        return frozenset(self.negative_fixpoint.atoms)
+
+    def value_of(self, atom: Atom) -> str:
+        """Three-valued verdict for a single atom (``"true"``, ``"false"``,
+        or ``"undefined"``); atoms outside the base are false by the closed
+        world assumption."""
+        if atom in self.positive_fixpoint:
+            return "true"
+        if atom in self.negative_fixpoint or atom not in self.context.base:
+            return "false"
+        return "undefined"
+
+    def table(self) -> list[tuple[int, frozenset[Atom], frozenset[Atom]]]:
+        """The Table I rows as ``(k, atoms false in Ĩ_k, atoms in S_P(Ĩ_k))``."""
+        return [
+            (stage.index, frozenset(stage.negative.atoms), stage.positive)
+            for stage in self.stages
+        ]
+
+
+def alternating_transform(context: GroundContext, negative: NegativeSet) -> NegativeSet:
+    """``A_P(Ĩ) = S̃_P(S̃_P(Ĩ))`` — Definition 5.1 (monotonic)."""
+    return stability_transform(context, stability_transform(context, negative))
+
+
+def alternating_fixpoint(
+    program: Program | GroundContext,
+    limits: GroundingLimits | None = None,
+    full_base: bool = False,
+    extra_atoms: Iterable[Atom] = (),
+) -> AlternatingFixpointResult:
+    """Compute the alternating fixpoint partial model of *program*.
+
+    Accepts either a :class:`~repro.datalog.rules.Program` (which is
+    grounded first) or a pre-built :class:`GroundContext`.  The result
+    carries the full iteration trace; ``result.model`` is the AFP partial
+    model, equal to the well-founded partial model (Theorem 7.8, verified
+    extensively by the test suite).
+    """
+    if isinstance(program, GroundContext):
+        context = program
+    else:
+        context = build_context(program, limits=limits, full_base=full_base, extra_atoms=extra_atoms)
+
+    stages: list[AlternatingStage] = []
+    current = NegativeSet.empty()
+    positive = eventual_consequence(context, current)
+    stages.append(AlternatingStage(0, current, positive))
+
+    previous_even: Optional[NegativeSet] = current
+    index = 0
+    while True:
+        index += 1
+        if index > _MAX_STAGES:
+            raise EvaluationError("alternating fixpoint did not converge")
+        current = stability_transform(context, current)
+        positive = eventual_consequence(context, current)
+        stages.append(AlternatingStage(index, current, positive))
+        if index % 2 == 0:
+            if previous_even is not None and current == previous_even:
+                break
+            previous_even = current
+
+    negative_fixpoint = current
+    positive_fixpoint = eventual_consequence(context, negative_fixpoint)
+    return AlternatingFixpointResult(
+        context=context,
+        negative_fixpoint=negative_fixpoint,
+        positive_fixpoint=positive_fixpoint,
+        stages=tuple(stages),
+    )
+
+
+def afp_model(program: Program, **kwargs) -> PartialInterpretation:
+    """Convenience wrapper returning just the AFP partial model."""
+    return alternating_fixpoint(program, **kwargs).model

@@ -1,0 +1,243 @@
+"""Explanations for well-founded verdicts.
+
+A deductive-database user who asks "why is this atom true / false /
+undefined?" deserves more than a truth value.  This module derives
+justifications from the alternating fixpoint result:
+
+* a **true** atom gets a derivation tree: a supporting rule instance whose
+  positive body atoms are recursively justified and whose negative body
+  atoms are all well-founded-false;
+* a **false** atom gets the witnesses of unusability (Definition 6.1) of
+  every rule for it — each rule is blocked by a body literal that is false
+  in the model or by a positive body atom that is itself in the greatest
+  unfounded set;
+* an **undefined** atom gets the set of rules that are neither usable nor
+  blocked, i.e. the loop through negation it participates in.
+
+The derivations are faithful to the semantics: a true atom's tree never
+relies on undefined atoms, and a false atom's explanation never cites an
+undefined literal as a blocker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..datalog.atoms import Atom, Literal
+from ..datalog.rules import Rule
+from ..exceptions import EvaluationError
+from .alternating import AlternatingFixpointResult, alternating_fixpoint
+from .context import GroundContext
+
+__all__ = [
+    "Derivation",
+    "BlockedRule",
+    "Explanation",
+    "Explainer",
+    "explain",
+]
+
+
+@dataclass(frozen=True)
+class Derivation:
+    """A proof tree for a well-founded-true atom.
+
+    ``rule`` is the ground rule instance used (``None`` for EDB facts);
+    ``subderivations`` justify its positive body atoms; ``assumed_false``
+    are its negative body atoms, each of which is false in the model.
+    """
+
+    atom: Atom
+    rule: Optional[Rule]
+    subderivations: tuple["Derivation", ...] = ()
+    assumed_false: tuple[Atom, ...] = ()
+
+    @property
+    def is_fact(self) -> bool:
+        return self.rule is None
+
+    def depth(self) -> int:
+        if not self.subderivations:
+            return 1
+        return 1 + max(sub.depth() for sub in self.subderivations)
+
+    def atoms_used(self) -> set[Atom]:
+        used = {self.atom}
+        for sub in self.subderivations:
+            used |= sub.atoms_used()
+        return used
+
+    def render(self, indent: int = 0) -> str:
+        """Human-readable indented proof tree."""
+        pad = "  " * indent
+        if self.is_fact:
+            lines = [f"{pad}{self.atom}  [fact]"]
+        else:
+            lines = [f"{pad}{self.atom}  [by rule: {self.rule}]"]
+        for negative in self.assumed_false:
+            lines.append(f"{pad}  not {negative}  [false in the well-founded model]")
+        for sub in self.subderivations:
+            lines.append(sub.render(indent + 1))
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class BlockedRule:
+    """Why one rule for a false/undefined atom cannot fire.
+
+    ``witnesses`` are the body literals falsified by the model
+    (Definition 6.1's witnesses of unusability, condition 1);
+    ``unfounded_support`` are positive body atoms that are false because
+    they are themselves unfounded (condition 2 of the definition).
+    """
+
+    rule: Rule
+    witnesses: tuple[Literal, ...]
+    unfounded_support: tuple[Atom, ...]
+
+    def render(self) -> str:
+        reasons = [f"{w} fails ({w.atom} is {'true' if w.negative else 'false'})" for w in self.witnesses]
+        reasons.extend(f"subgoal {a} is itself false/unfounded" for a in self.unfounded_support)
+        reason_text = "; ".join(reasons) if reasons else "no usable justification"
+        return f"{self.rule}   [blocked: {reason_text}]"
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """The full justification for one atom's well-founded verdict."""
+
+    atom: Atom
+    verdict: str
+    derivation: Optional[Derivation] = None
+    blocked_rules: tuple[BlockedRule, ...] = ()
+    undefined_rules: tuple[Rule, ...] = ()
+
+    def render(self) -> str:
+        lines = [f"{self.atom}: {self.verdict}"]
+        if self.derivation is not None:
+            lines.append(self.derivation.render(indent=1))
+        if self.blocked_rules:
+            lines.append("  every rule for it is unusable:")
+            lines.extend("    " + blocked.render() for blocked in self.blocked_rules)
+        if self.verdict == "false" and not self.blocked_rules and self.derivation is None:
+            lines.append("  no rule has this atom in its head (closed world)")
+        if self.undefined_rules:
+            lines.append("  rules caught in a loop through negation:")
+            lines.extend(f"    {rule}" for rule in self.undefined_rules)
+        return "\n".join(lines)
+
+
+class Explainer:
+    """Builds explanations against one alternating-fixpoint result.
+
+    The explainer is cheap to construct from an existing result; building it
+    from a program computes the alternating fixpoint first.
+    """
+
+    def __init__(self, result: AlternatingFixpointResult):
+        self._result = result
+        self._context: GroundContext = result.context
+        self._derivation_cache: dict[Atom, Derivation] = {}
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def for_program(cls, program) -> "Explainer":
+        return cls(alternating_fixpoint(program))
+
+    @property
+    def result(self) -> AlternatingFixpointResult:
+        return self._result
+
+    # ------------------------------------------------------------------ #
+    def explain(self, atom: Atom) -> Explanation:
+        """Explain the verdict of a single ground atom."""
+        verdict = self._result.value_of(atom)
+        if verdict == "true":
+            return Explanation(atom, "true", derivation=self.derive(atom))
+        if verdict == "false":
+            return Explanation(atom, "false", blocked_rules=tuple(self._blockers(atom)))
+        return Explanation(atom, "undefined", undefined_rules=tuple(self._undefined_rules(atom)))
+
+    # ------------------------------------------------------------------ #
+    # True atoms: derivation trees
+    # ------------------------------------------------------------------ #
+    def derive(self, atom: Atom) -> Derivation:
+        """A derivation tree for a well-founded-true atom.
+
+        The tree is built by replaying the ``S_P(W̃)`` computation in
+        derivation order, so subgoals always have strictly earlier
+        derivations and the tree is well founded (no circular support).
+        """
+        if atom not in self._result.positive_fixpoint:
+            raise EvaluationError(f"{atom} is not true in the well-founded model")
+        self._ensure_derivations()
+        return self._derivation_cache[atom]
+
+    def _ensure_derivations(self) -> None:
+        if self._derivation_cache:
+            return
+        negative = self._result.negative_fixpoint
+        derived: dict[Atom, Derivation] = {}
+        for fact in self._context.facts:
+            derived[fact] = Derivation(fact, None)
+        changed = True
+        while changed:
+            changed = False
+            for rule in self._context.rules:
+                if rule.head in derived:
+                    continue
+                if not all(a in negative for a in rule.negative_body):
+                    continue
+                if not all(a in derived for a in rule.positive_body):
+                    continue
+                derived[rule.head] = Derivation(
+                    rule.head,
+                    rule.source,
+                    tuple(derived[a] for a in rule.positive_body),
+                    tuple(rule.negative_body),
+                )
+                changed = True
+        self._derivation_cache = derived
+
+    # ------------------------------------------------------------------ #
+    # False atoms: witnesses of unusability
+    # ------------------------------------------------------------------ #
+    def _blockers(self, atom: Atom) -> Iterable[BlockedRule]:
+        model = self._result.model
+        for index in self._context.rules_by_head.get(atom, ()):
+            rule = self._context.rules[index]
+            witnesses: list[Literal] = []
+            unfounded: list[Atom] = []
+            for body_atom in rule.negative_body:
+                if model.is_true(body_atom):
+                    witnesses.append(Literal(body_atom, False))
+            for body_atom in rule.positive_body:
+                if model.is_false(body_atom) or body_atom not in self._context.base:
+                    unfounded.append(body_atom)
+            yield BlockedRule(rule.source, tuple(witnesses), tuple(unfounded))
+
+    # ------------------------------------------------------------------ #
+    # Undefined atoms: the rules left in limbo
+    # ------------------------------------------------------------------ #
+    def _undefined_rules(self, atom: Atom) -> Iterable[Rule]:
+        model = self._result.model
+        for index in self._context.rules_by_head.get(atom, ()):
+            rule = self._context.rules[index]
+            body_literals = [Literal(a, True) for a in rule.positive_body] + [
+                Literal(a, False) for a in rule.negative_body
+            ]
+            values = [model.value_of_literal(lit) for lit in body_literals]
+            if any(value.value == "false" for value in values):
+                continue  # definitively blocked, not part of the limbo
+            yield rule.source
+
+
+def explain(program_or_result, atom: Atom) -> Explanation:
+    """One-shot helper: explain *atom* under the well-founded model of the
+    program (or of an already computed :class:`AlternatingFixpointResult`)."""
+    if isinstance(program_or_result, AlternatingFixpointResult):
+        explainer = Explainer(program_or_result)
+    else:
+        explainer = Explainer.for_program(program_or_result)
+    return explainer.explain(atom)

@@ -1,0 +1,222 @@
+"""Stable models (Gelfond–Lifschitz) on top of the stability transformation.
+
+The paper (Sections 2.4 and 4) relates stable models to the alternating
+fixpoint: a total interpretation, represented by its negative literals, is
+stable exactly when it is a fixpoint of ``S̃_P``; every stable model extends
+the well-founded partial model, and a total AFP model is the unique stable
+model.  Deciding stable-model *existence* is NP-complete (Elkan;
+Marek–Truszczyński), which is why the enumerators here are exponential in
+the number of atoms left undefined by the well-founded model — the
+well-founded pruning is what makes them usable in practice.
+
+Three enumeration strategies are provided:
+
+* :func:`stable_models_brute_force` — test every subset of the base;
+  only for very small programs and for differential testing;
+* :func:`stable_models` — backtracking over the atoms undefined in the
+  well-founded model, with over/under-estimate pruning (in the spirit of
+  the Saccà–Zaniolo backtracking fixpoint the paper cites);
+* :func:`has_stable_model`, :func:`unique_stable_model` — convenience
+  wrappers.
+
+The *stable model semantics* (true = in every stable model, false = in no
+stable model) is exposed by :func:`stable_consequences`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import AbstractSet, Iterable, Iterator, Optional, Sequence
+
+from ..datalog.atoms import Atom
+from ..datalog.grounding import GroundingLimits
+from ..datalog.rules import Program
+from ..exceptions import EvaluationError
+from ..fixpoint.interpretations import PartialInterpretation
+from ..fixpoint.lattice import NegativeSet, conjugate_of_positive
+from .alternating import AlternatingFixpointResult, alternating_fixpoint
+from .context import GroundContext, build_context
+from .eventual import eventual_consequence
+from .stability import is_stable_set, stability_transform
+
+__all__ = [
+    "StableModel",
+    "is_stable_model",
+    "stable_models",
+    "stable_models_brute_force",
+    "has_stable_model",
+    "unique_stable_model",
+    "stable_consequences",
+]
+
+
+@dataclass(frozen=True)
+class StableModel:
+    """A stable model, carried as its set of true atoms over the context base.
+
+    ``interpretation`` views it as a total partial-interpretation (every
+    base atom not true is false).
+    """
+
+    context: GroundContext
+    true_atoms: frozenset[Atom]
+
+    @property
+    def false_atoms(self) -> frozenset[Atom]:
+        return frozenset(self.context.base) - self.true_atoms
+
+    @property
+    def interpretation(self) -> PartialInterpretation:
+        return PartialInterpretation(self.true_atoms, self.false_atoms)
+
+    def __contains__(self, atom: Atom) -> bool:
+        return atom in self.true_atoms
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(sorted(str(a) for a in self.true_atoms)) + "}"
+
+
+def _as_context(program: Program | GroundContext, limits: GroundingLimits | None) -> GroundContext:
+    if isinstance(program, GroundContext):
+        return program
+    return build_context(program, limits=limits)
+
+
+def is_stable_model(
+    program: Program | GroundContext,
+    true_atoms: AbstractSet[Atom],
+    limits: GroundingLimits | None = None,
+) -> bool:
+    """Check whether the total interpretation given by *true_atoms* is a
+    stable model of *program*."""
+    context = _as_context(program, limits)
+    return is_stable_set(context, true_atoms)
+
+
+def stable_models_brute_force(
+    program: Program | GroundContext,
+    limits: GroundingLimits | None = None,
+) -> list[StableModel]:
+    """Enumerate stable models by testing every subset of the base.
+
+    Exponential in ``|base|``; used by the tests to validate the pruned
+    enumerator on small programs.
+    """
+    context = _as_context(program, limits)
+    atoms = sorted(context.base, key=str)
+    models: list[StableModel] = []
+    for size in range(len(atoms) + 1):
+        for subset in itertools.combinations(atoms, size):
+            candidate = frozenset(subset)
+            if is_stable_set(context, candidate):
+                models.append(StableModel(context, candidate))
+    return models
+
+
+def stable_models(
+    program: Program | GroundContext,
+    limits: GroundingLimits | None = None,
+    afp: Optional[AlternatingFixpointResult] = None,
+    limit: Optional[int] = None,
+) -> list[StableModel]:
+    """Enumerate the stable models of *program*.
+
+    The search space is the set of atoms left undefined by the well-founded
+    (= alternating fixpoint) model: the well-founded true atoms are true and
+    the well-founded false atoms false in *every* stable model, so only the
+    undefined atoms are branched on.  Each branch is pruned with the
+    over-/under-estimate argument of Section 4: with ``F`` the atoms decided
+    false and ``T`` decided true so far,
+
+    * an atom decided false that is derivable even from the *smallest*
+      candidate negative set can never be false — prune;
+    * an atom decided true that is not derivable even from the *largest*
+      candidate negative set can never be true — prune.
+
+    ``limit`` stops the enumeration after that many models (useful when only
+    existence or a sample is needed).
+    """
+    context = _as_context(program, limits)
+    afp_result = afp if afp is not None else alternating_fixpoint(context)
+    wf_true = afp_result.positive_fixpoint
+    wf_false = frozenset(afp_result.negative_fixpoint.atoms)
+    undefined = sorted(afp_result.undefined_atoms, key=str)
+
+    models: list[StableModel] = []
+
+    def candidate_is_new(candidate: frozenset[Atom]) -> bool:
+        return all(model.true_atoms != candidate for model in models)
+
+    def search(position: int, decided_true: set[Atom], decided_false: set[Atom]) -> None:
+        if limit is not None and len(models) >= limit:
+            return
+        neg_lower = NegativeSet(wf_false | decided_false)
+        neg_upper = NegativeSet(
+            frozenset(context.base) - wf_true - decided_true
+        )
+        derivable_floor = eventual_consequence(context, neg_lower)
+        derivable_ceiling = eventual_consequence(context, neg_upper)
+        # Pruning: a decided-false atom already derivable from the floor can
+        # only become "more derivable" as further atoms are decided false.
+        if decided_false & derivable_floor:
+            return
+        if not set(decided_true) <= derivable_ceiling:
+            return
+        if position == len(undefined):
+            candidate = frozenset(wf_true | decided_true)
+            if is_stable_set(context, candidate) and candidate_is_new(candidate):
+                models.append(StableModel(context, candidate))
+            return
+        atom = undefined[position]
+        search(position + 1, decided_true, decided_false | {atom})
+        search(position + 1, decided_true | {atom}, decided_false)
+
+    search(0, set(), set())
+    return models
+
+
+def has_stable_model(
+    program: Program | GroundContext,
+    limits: GroundingLimits | None = None,
+) -> bool:
+    """True when the program has at least one stable model."""
+    return bool(stable_models(program, limits=limits, limit=1))
+
+
+def unique_stable_model(
+    program: Program | GroundContext,
+    limits: GroundingLimits | None = None,
+) -> StableModel:
+    """Return the unique stable model, raising when there are zero or many.
+
+    Programs whose AFP model is total always satisfy this (Section 5); the
+    error message distinguishes the two failure cases for callers.
+    """
+    found = stable_models(program, limits=limits, limit=2)
+    if not found:
+        raise EvaluationError("the program has no stable model")
+    if len(found) > 1:
+        raise EvaluationError("the program has more than one stable model")
+    return found[0]
+
+
+def stable_consequences(
+    program: Program | GroundContext,
+    limits: GroundingLimits | None = None,
+) -> PartialInterpretation:
+    """The stable model semantics of Gelfond–Lifschitz (Section 2.4).
+
+    An atom is true when it belongs to every stable model and false when it
+    belongs to none.  Raises :class:`EvaluationError` when the program has
+    no stable model, where this semantics is undefined.
+    """
+    context = _as_context(program, limits)
+    models = stable_models(context)
+    if not models:
+        raise EvaluationError(
+            "the stable model semantics is undefined: the program has no stable model"
+        )
+    true_everywhere = frozenset.intersection(*(model.true_atoms for model in models))
+    false_everywhere = frozenset.intersection(*(model.false_atoms for model in models))
+    return PartialInterpretation(true_everywhere, false_everywhere)

@@ -1,0 +1,190 @@
+"""Well-founded partial models via unfounded sets (Section 6 of the paper).
+
+This is the *original* (Van Gelder–Ross–Schlipf) characterisation that the
+alternating fixpoint is proved equivalent to (Theorem 7.8).  The library
+implements it independently so the equivalence can be checked empirically —
+the property-based tests and benchmark E6 do exactly that.
+
+Definitions implemented here:
+
+* :func:`greatest_unfounded_set` — ``U_P(I)``, the union of all unfounded
+  sets of ``P`` with respect to a partial interpretation ``I``
+  (Definition 6.1);
+* :func:`well_founded_transform` — ``W_P(I) = T_P(I) ∪ ¬·U_P(I)``
+  (Definition 6.2);
+* :func:`well_founded_model` — the least fixpoint of ``W_P`` (the
+  well-founded partial model), with its stage trace.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import AbstractSet, Iterable
+
+from ..datalog.atoms import Atom
+from ..datalog.grounding import GroundingLimits
+from ..datalog.rules import Program
+from ..fixpoint.interpretations import PartialInterpretation
+from ..fixpoint.lattice import NegativeSet
+from .consequence import tp_step
+from .context import GroundContext, build_context
+
+__all__ = [
+    "WellFoundedResult",
+    "greatest_unfounded_set",
+    "well_founded_transform",
+    "well_founded_model",
+    "is_unfounded_set",
+]
+
+
+@dataclass(frozen=True)
+class WellFoundedResult:
+    """Outcome of the ``W_P`` iteration.
+
+    ``stages`` records each intermediate partial interpretation, starting
+    from the empty one; the last stage is the well-founded partial model.
+    """
+
+    context: GroundContext
+    model: PartialInterpretation
+    stages: tuple[PartialInterpretation, ...]
+
+    @property
+    def iterations(self) -> int:
+        return len(self.stages) - 1
+
+    @property
+    def is_total(self) -> bool:
+        return self.model.is_total_over(self.context.base)
+
+    @property
+    def undefined_atoms(self) -> frozenset[Atom]:
+        return self.model.undefined_atoms(self.context.base)
+
+
+def is_unfounded_set(
+    context: GroundContext,
+    candidate: AbstractSet[Atom],
+    interpretation: PartialInterpretation,
+) -> bool:
+    """Check Definition 6.1 directly: is *candidate* an unfounded set of the
+    program with respect to *interpretation*?
+
+    Every atom of the candidate must have, for each of its rules, a witness
+    of unusability: a body literal false in the interpretation, or a
+    positive body atom inside the candidate.  Atoms with no rules at all
+    satisfy the condition vacuously.
+    """
+    candidate = frozenset(candidate)
+    for atom in candidate:
+        for index in context.rules_by_head.get(atom, ()):
+            rule = context.rules[index]
+            witness = any(
+                interpretation.is_false(body_atom) for body_atom in rule.positive_body
+            ) or any(
+                interpretation.is_true(body_atom) for body_atom in rule.negative_body
+            ) or any(body_atom in candidate for body_atom in rule.positive_body)
+            if not witness:
+                return False
+        # A fact rule for the atom means it can never be unfounded.
+        if atom in context.facts:
+            return False
+    return True
+
+
+def greatest_unfounded_set(
+    context: GroundContext,
+    interpretation: PartialInterpretation,
+    universe: AbstractSet[Atom] | None = None,
+) -> frozenset[Atom]:
+    """``U_P(I)`` — the greatest unfounded set with respect to *I*.
+
+    Computed as the complement (within the base) of the least set ``X`` of
+    atoms that are *externally supported*: ``p ∈ X`` when some rule for
+    ``p`` has no body literal false in ``I`` and all its positive body atoms
+    already in ``X``.  Everything not externally supported is unfounded;
+    this is the standard linear-time computation and is differentially
+    tested against :func:`is_unfounded_set`.
+    """
+    base = frozenset(universe) if universe is not None else context.base
+
+    # Rules not killed by a witness of type (1): no body literal false in I.
+    usable: list[int] = []
+    for index, rule in enumerate(context.rules):
+        killed = any(interpretation.is_false(atom) for atom in rule.positive_body) or any(
+            interpretation.is_true(atom) for atom in rule.negative_body
+        )
+        if not killed:
+            usable.append(index)
+
+    # Least fixpoint of "supported by a usable rule whose positive body is
+    # already supported", seeded by the facts.
+    supported: set[Atom] = set(context.facts)
+    remaining: dict[int, int] = {}
+    queue: deque[Atom] = deque(supported)
+    for index in usable:
+        rule = context.rules[index]
+        # Count distinct positive body atoms; atoms already supported are
+        # accounted for when they are dequeued (every supported atom passes
+        # through the queue exactly once).
+        remaining[index] = len(set(rule.positive_body))
+        if remaining[index] == 0 and rule.head not in supported:
+            supported.add(rule.head)
+            queue.append(rule.head)
+
+    while queue:
+        atom = queue.popleft()
+        for index in context.rules_by_positive_atom.get(atom, ()):
+            if index not in remaining:
+                continue
+            if remaining[index] > 0:
+                remaining[index] -= 1
+                if remaining[index] == 0:
+                    head = context.rules[index].head
+                    if head not in supported:
+                        supported.add(head)
+                        queue.append(head)
+    return frozenset(base - supported)
+
+
+def well_founded_transform(
+    context: GroundContext, interpretation: PartialInterpretation
+) -> PartialInterpretation:
+    """``W_P(I) = T_P(I) ∪ ¬·U_P(I)`` — Definition 6.2."""
+    negative_part = NegativeSet(interpretation.false_atoms)
+    positives = tp_step(context, interpretation.true_atoms, negative_part)
+    negatives = greatest_unfounded_set(context, interpretation)
+    return PartialInterpretation(positives, negatives)
+
+
+def well_founded_model(
+    program: Program | GroundContext,
+    limits: GroundingLimits | None = None,
+    full_base: bool = False,
+    extra_atoms: Iterable[Atom] = (),
+) -> WellFoundedResult:
+    """The well-founded partial model: the least fixpoint of ``W_P``.
+
+    ``W_P`` is monotone in the information ordering of partial
+    interpretations, so iterating from the empty interpretation converges;
+    the stages are recorded for inspection and for the Figure 2 benchmark.
+    """
+    if isinstance(program, GroundContext):
+        context = program
+    else:
+        context = build_context(program, limits=limits, full_base=full_base, extra_atoms=extra_atoms)
+
+    stages: list[PartialInterpretation] = [PartialInterpretation.empty()]
+    current = stages[0]
+    while True:
+        following = well_founded_transform(context, current)
+        stages.append(following)
+        if (
+            following.true_atoms == current.true_atoms
+            and following.false_atoms == current.false_atoms
+        ):
+            break
+        current = following
+    return WellFoundedResult(context=context, model=stages[-1], stages=tuple(stages))

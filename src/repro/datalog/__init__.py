@@ -1,0 +1,68 @@
+"""Datalog substrate: terms, atoms, rules, parsing, grounding, databases.
+
+This subpackage is the language layer everything else builds on.  It knows
+nothing about any particular semantics; it only provides the syntactic
+objects (Section 3 of the paper) and the Herbrand instantiation machinery.
+"""
+
+from .atoms import Atom, Literal, Predicate, atom, neg, pos
+from .builder import ProgramBuilder, build_program
+from .database import Database
+from .grounding import (
+    GroundingLimits,
+    ground_program,
+    herbrand_base,
+    herbrand_universe,
+    naive_ground,
+    relevant_ground,
+)
+from .io import (
+    load_facts_csv,
+    load_interpretation_json,
+    load_program,
+    save_facts_csv,
+    save_interpretation_json,
+    save_program,
+)
+from .parser import parse_atom, parse_literal, parse_program, parse_rule
+from .rules import Program, Rule
+from .terms import Compound, Constant, Term, Variable, make_term
+from .unification import match_atom, unify_atoms, unify_terms
+
+__all__ = [
+    "Atom",
+    "Literal",
+    "Predicate",
+    "atom",
+    "pos",
+    "neg",
+    "ProgramBuilder",
+    "build_program",
+    "Database",
+    "GroundingLimits",
+    "ground_program",
+    "herbrand_base",
+    "herbrand_universe",
+    "naive_ground",
+    "relevant_ground",
+    "load_facts_csv",
+    "load_interpretation_json",
+    "load_program",
+    "save_facts_csv",
+    "save_interpretation_json",
+    "save_program",
+    "parse_atom",
+    "parse_literal",
+    "parse_program",
+    "parse_rule",
+    "Program",
+    "Rule",
+    "Compound",
+    "Constant",
+    "Term",
+    "Variable",
+    "make_term",
+    "match_atom",
+    "unify_atoms",
+    "unify_terms",
+]

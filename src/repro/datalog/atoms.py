@@ -1,0 +1,168 @@
+"""Atoms and literals.
+
+An *atom* (atomic formula) is a predicate symbol applied to a tuple of
+terms, e.g. ``edge(X, 2)``.  A *literal* is an atom or its negation; the
+paper writes negation as ``¬`` and the concrete syntax of this library uses
+``not`` (``not edge(X, 2)``).
+
+Sets of ground atoms represent the positive part of an interpretation; sets
+of negative literals (the ``Ĩ`` of the paper, Section 3.1) represent sets of
+negative conclusions.  Helper functions on such sets — complementation and
+conjugation (Definition 3.2) — live in :mod:`repro.fixpoint.lattice`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+from .terms import Constant, Term, Variable, make_term, substitute_term, term_variables
+
+__all__ = ["Predicate", "Atom", "Literal", "atom", "pos", "neg"]
+
+
+@dataclass(frozen=True, slots=True)
+class Predicate:
+    """A predicate symbol together with its arity, e.g. ``edge/2``."""
+
+    name: str
+    arity: int
+
+    def __str__(self) -> str:
+        return f"{self.name}/{self.arity}"
+
+    def __call__(self, *args: object) -> "Atom":
+        """Build an atom of this predicate: ``edge(1, 2)``."""
+        if len(args) != self.arity:
+            raise ValueError(
+                f"predicate {self} applied to {len(args)} arguments"
+            )
+        return Atom(self.name, tuple(make_term(a) for a in args))
+
+
+@dataclass(frozen=True, slots=True)
+class Atom:
+    """An atomic formula ``predicate(t1, ..., tN)``.
+
+    Propositional atoms are modelled as atoms of arity zero, e.g. ``p()``;
+    their textual form omits the parentheses.
+    """
+
+    predicate: str
+    args: tuple[Term, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "args", tuple(self.args))
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.predicate
+        return f"{self.predicate}({', '.join(str(a) for a in self.args)})"
+
+    def __repr__(self) -> str:
+        return f"Atom({self.predicate!r}, {self.args!r})"
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    @property
+    def signature(self) -> Predicate:
+        """The ``name/arity`` predicate signature of this atom."""
+        return Predicate(self.predicate, self.arity)
+
+    @property
+    def is_ground(self) -> bool:
+        return all(arg.is_ground for arg in self.args)
+
+    def variables(self) -> Iterator[Variable]:
+        """Yield the variables of the atom, with repetition."""
+        for arg in self.args:
+            yield from term_variables(arg)
+
+    def substitute(self, binding: Mapping[Variable, Term]) -> "Atom":
+        """Apply a variable binding and return the instantiated atom."""
+        if not self.args:
+            return self
+        return Atom(self.predicate, tuple(substitute_term(a, binding) for a in self.args))
+
+    def negate(self) -> "Literal":
+        return Literal(self, positive=False)
+
+    def as_literal(self) -> "Literal":
+        return Literal(self, positive=True)
+
+
+@dataclass(frozen=True, slots=True)
+class Literal:
+    """An atom or a negated atom.
+
+    ``Literal(a, positive=True)`` is the atom itself; ``positive=False`` is
+    its negation-as-failure literal ``not a``.
+    """
+
+    atom: Atom
+    positive: bool = True
+
+    def __str__(self) -> str:
+        return str(self.atom) if self.positive else f"not {self.atom}"
+
+    def __repr__(self) -> str:
+        sign = "+" if self.positive else "-"
+        return f"Literal({sign}{self.atom})"
+
+    @property
+    def negative(self) -> bool:
+        return not self.positive
+
+    @property
+    def predicate(self) -> str:
+        return self.atom.predicate
+
+    @property
+    def signature(self) -> Predicate:
+        return self.atom.signature
+
+    @property
+    def is_ground(self) -> bool:
+        return self.atom.is_ground
+
+    def variables(self) -> Iterator[Variable]:
+        yield from self.atom.variables()
+
+    def substitute(self, binding: Mapping[Variable, Term]) -> "Literal":
+        return Literal(self.atom.substitute(binding), self.positive)
+
+    def complement(self) -> "Literal":
+        """The literal with opposite polarity on the same atom."""
+        return Literal(self.atom, not self.positive)
+
+
+def atom(predicate: str, *args: object) -> Atom:
+    """Convenience constructor: ``atom("edge", 1, "X")`` -> ``edge(1, X)``.
+
+    Plain Python values are coerced with :func:`repro.datalog.terms.make_term`
+    (capitalised strings become variables).
+    """
+    return Atom(predicate, tuple(make_term(a) for a in args))
+
+
+def pos(predicate: str, *args: object) -> Literal:
+    """Build a positive literal."""
+    return Literal(atom(predicate, *args), positive=True)
+
+
+def neg(predicate: str, *args: object) -> Literal:
+    """Build a negative literal (``not predicate(args)``)."""
+    return Literal(atom(predicate, *args), positive=False)
+
+
+def ground_atom(predicate: str, *values: object) -> Atom:
+    """Build a ground atom; every argument is treated as a constant even if
+    it is a capitalised string."""
+    return Atom(predicate, tuple(Constant(v) for v in values))
+
+
+def atoms_of_predicate(atoms: Sequence[Atom], predicate: str) -> list[Atom]:
+    """Filter *atoms* down to those of the given predicate name."""
+    return [a for a in atoms if a.predicate == predicate]

@@ -1,0 +1,126 @@
+"""Programmatic builder DSL for constructing programs in Python code.
+
+The parser covers the textual syntax; this module offers an ergonomic
+Python-level alternative used heavily by the test suite and workload
+generators::
+
+    from repro.datalog.builder import ProgramBuilder
+
+    builder = ProgramBuilder()
+    builder.fact("edge", 1, 2)
+    builder.rule(("tc", "X", "Y"), [("edge", "X", "Y")])
+    builder.rule(("tc", "X", "Y"), [("edge", "X", "Z"), ("tc", "Z", "Y")])
+    builder.rule(("ntc", "X", "Y"), [("node", "X"), ("node", "Y"), ("not", "tc", "X", "Y")])
+    program = builder.build()
+
+Literal specifications are tuples whose first element is the predicate name
+(or the marker string ``"not"`` followed by the predicate name for negative
+literals); remaining elements are arguments, coerced with the usual
+capitalised-string-is-a-variable convention.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .atoms import Atom, Literal
+from .rules import Program, Rule
+from .terms import Constant, make_term
+
+__all__ = ["ProgramBuilder", "build_program", "lit", "head"]
+
+
+def head(spec: Sequence[object]) -> Atom:
+    """Turn ``("pred", arg1, ...)`` into an atom."""
+    name, *args = spec
+    if not isinstance(name, str):
+        raise TypeError(f"predicate name must be a string, got {name!r}")
+    return Atom(name, tuple(make_term(a) for a in args))
+
+
+def lit(spec: Sequence[object]) -> Literal:
+    """Turn a literal specification tuple into a :class:`Literal`.
+
+    ``("edge", "X", 2)`` is a positive literal; ``("not", "edge", "X", 2)``
+    is a negative one.
+    """
+    items = list(spec)
+    positive = True
+    if items and items[0] == "not":
+        positive = False
+        items = items[1:]
+    if not items:
+        raise ValueError(f"empty literal specification {spec!r}")
+    return Literal(head(items), positive=positive)
+
+
+class ProgramBuilder:
+    """Accumulates rules and facts, then builds an immutable :class:`Program`."""
+
+    def __init__(self) -> None:
+        self._rules: list[Rule] = []
+
+    def fact(self, predicate: str, *values: object) -> "ProgramBuilder":
+        """Add a ground fact; all arguments are treated as constants."""
+        self._rules.append(Rule(Atom(predicate, tuple(Constant(v) for v in values))))
+        return self
+
+    def facts(self, predicate: str, rows: Iterable[Sequence[object]]) -> "ProgramBuilder":
+        """Add many facts of one relation at once."""
+        for row in rows:
+            self.fact(predicate, *row)
+        return self
+
+    def rule(self, head_spec: Sequence[object], body_specs: Iterable[Sequence[object]] = ()) -> "ProgramBuilder":
+        """Add a rule given head and body literal specifications."""
+        self._rules.append(Rule(head(head_spec), tuple(lit(spec) for spec in body_specs)))
+        return self
+
+    def raw_rule(self, rule: Rule) -> "ProgramBuilder":
+        """Add an already-constructed :class:`Rule`."""
+        self._rules.append(rule)
+        return self
+
+    def proposition(self, name: str, *body: str) -> "ProgramBuilder":
+        """Add a propositional rule; prefix a body proposition with ``-`` or
+        ``not `` for negation, e.g. ``builder.proposition("p", "q", "-r")``."""
+        literals = []
+        for entry in body:
+            text = entry.strip()
+            if text.startswith("-"):
+                literals.append(Literal(Atom(text[1:].strip(), ()), positive=False))
+            elif text.startswith("not "):
+                literals.append(Literal(Atom(text[4:].strip(), ()), positive=False))
+            else:
+                literals.append(Literal(Atom(text, ()), positive=True))
+        self._rules.append(Rule(Atom(name, ()), tuple(literals)))
+        return self
+
+    def extend(self, program: Program) -> "ProgramBuilder":
+        """Append all rules of an existing program."""
+        self._rules.extend(program.rules)
+        return self
+
+    def build(self) -> Program:
+        """Freeze the accumulated rules into a :class:`Program`."""
+        return Program(self._rules)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+
+def build_program(
+    rules: Iterable[tuple[Sequence[object], Iterable[Sequence[object]]]] = (),
+    facts: Iterable[tuple[str, Sequence[object]]] = (),
+) -> Program:
+    """One-shot helper: build a program from rule and fact specifications.
+
+    ``rules`` is an iterable of ``(head_spec, body_specs)`` pairs and
+    ``facts`` an iterable of ``(predicate, row)`` pairs.
+    """
+    builder = ProgramBuilder()
+    for predicate, row in facts:
+        builder.fact(predicate, *row)
+    for head_spec, body_specs in rules:
+        builder.rule(head_spec, body_specs)
+    return builder.build()

@@ -1,0 +1,130 @@
+"""Extensional databases (EDB).
+
+From the deductive-database point of view (Section 2.5 of the paper) a
+logic program defines a mapping from EDB instances to IDB instances.  This
+module provides the :class:`Database` container for EDB relations, so that
+the same rule set can be evaluated against different fact bases — which is
+exactly how the benchmark harness sweeps over workloads.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from ..exceptions import NotGroundError
+from .atoms import Atom
+from .rules import Program, Rule
+from .terms import Constant, Term
+
+__all__ = ["Database"]
+
+
+@dataclass
+class Database:
+    """A set of EDB facts, organised per relation.
+
+    Tuples are stored as tuples of ground :class:`Term`.  Plain Python
+    values are coerced to constants on insertion, so ``db.add("edge", 1, 2)``
+    works directly.
+    """
+
+    _relations: dict[str, set[tuple[Term, ...]]] = field(default_factory=lambda: defaultdict(set))
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_facts(cls, facts: Iterable[Atom]) -> "Database":
+        """Build a database from ground atoms."""
+        database = cls()
+        for fact in facts:
+            database.add_atom(fact)
+        return database
+
+    @classmethod
+    def from_tuples(cls, relations: Mapping[str, Iterable[Sequence[object]]]) -> "Database":
+        """Build a database from ``{"edge": [(1, 2), (2, 3)], ...}``."""
+        database = cls()
+        for name, tuples in relations.items():
+            for row in tuples:
+                database.add(name, *row)
+        return database
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def add(self, relation: str, *values: object) -> None:
+        """Insert a tuple into a relation, coercing values to constants."""
+        row = tuple(value if isinstance(value, (Constant,)) else Constant(value) for value in values)
+        self._relations[relation].add(row)
+
+    def add_atom(self, fact: Atom) -> None:
+        """Insert a ground atom as a fact."""
+        if not fact.is_ground:
+            raise NotGroundError(f"EDB fact {fact} is not ground")
+        self._relations[fact.predicate].add(fact.args)
+
+    def remove(self, relation: str, *values: object) -> None:
+        """Remove a tuple if present (no error if absent)."""
+        row = tuple(value if isinstance(value, (Constant,)) else Constant(value) for value in values)
+        self._relations.get(relation, set()).discard(row)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def relations(self) -> set[str]:
+        return {name for name, rows in self._relations.items() if rows}
+
+    def tuples(self, relation: str) -> set[tuple[Term, ...]]:
+        return set(self._relations.get(relation, set()))
+
+    def values(self, relation: str) -> set[tuple[object, ...]]:
+        """Tuples of a relation with constants unwrapped to Python values."""
+        return {
+            tuple(term.value if isinstance(term, Constant) else term for term in row)
+            for row in self._relations.get(relation, set())
+        }
+
+    def contains(self, relation: str, *values: object) -> bool:
+        row = tuple(value if isinstance(value, (Constant,)) else Constant(value) for value in values)
+        return row in self._relations.get(relation, set())
+
+    def facts(self) -> Iterator[Atom]:
+        """Yield every fact as a ground atom."""
+        for name, rows in self._relations.items():
+            for row in rows:
+                yield Atom(name, row)
+
+    def __len__(self) -> int:
+        return sum(len(rows) for rows in self._relations.values())
+
+    def __iter__(self) -> Iterator[Atom]:
+        return self.facts()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Database):
+            return NotImplemented
+        return {k: v for k, v in self._relations.items() if v} == {
+            k: v for k, v in other._relations.items() if v
+        }
+
+    # ------------------------------------------------------------------ #
+    # Program integration
+    # ------------------------------------------------------------------ #
+    def as_program(self) -> Program:
+        """Return the facts as a program of fact rules."""
+        return Program(Rule(fact) for fact in self.facts())
+
+    def attach(self, rules: Program) -> Program:
+        """Combine these facts with an IDB rule set into one program."""
+        return Program.union(self.as_program(), rules)
+
+    def constants(self) -> set[Term]:
+        """Every constant appearing in some stored tuple."""
+        result: set[Term] = set()
+        for rows in self._relations.values():
+            for row in rows:
+                result.update(row)
+        return result

@@ -1,0 +1,276 @@
+"""Herbrand universes, Herbrand bases, and grounding.
+
+Section 3 of the paper defines the Herbrand instantiation ``P_H`` of a
+program: every rule is instantiated with ground terms in all possible ways.
+The alternating fixpoint, well-founded, and stable semantics are all defined
+on this (possibly huge) ground program, so a grounder is the first substrate
+the library needs.
+
+Two grounding strategies are provided:
+
+* :func:`naive_ground` — the literal Definition: substitute every tuple of
+  universe elements for the rule variables.  Exponential, but exactly the
+  ``P_H`` of the paper; useful for small programs and for differential
+  testing of the smarter grounder.
+* :func:`relevant_ground` — instantiates rules only with substitutions whose
+  positive body literals are supported by an over-approximation of the
+  derivable atoms (the minimum model of the program with negative literals
+  erased).  Negative literals over atoms outside that over-approximation are
+  vacuously true and are dropped.  This produces an equivalent ground
+  program for every semantics implemented here (atoms outside the
+  over-approximation are false in every partial model considered), and it is
+  the default used by :func:`ground_program`.
+
+Programs with function symbols have infinite Herbrand universes; the
+``max_depth`` parameter bounds the term nesting considered, which is the
+substitution documented in DESIGN.md (all paper experiments are
+function-free).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from ..exceptions import GroundingError
+from .atoms import Atom, Literal
+from .rules import Program, Rule
+from .terms import Constant, Term, Variable, enumerate_ground_terms, term_constants, term_functions
+
+__all__ = [
+    "GroundingLimits",
+    "herbrand_universe",
+    "herbrand_base",
+    "naive_ground",
+    "relevant_ground",
+    "ground_program",
+]
+
+DEFAULT_MAX_GROUND_RULES = 2_000_000
+
+
+@dataclass(frozen=True)
+class GroundingLimits:
+    """Resource limits applied during grounding.
+
+    ``max_depth`` bounds compound-term nesting in the Herbrand universe;
+    ``max_rules`` aborts the grounding when the instantiated program would
+    exceed the given number of rules (protecting against accidental
+    combinatorial blow-ups in user programs).
+    """
+
+    max_depth: int = 0
+    max_rules: int = DEFAULT_MAX_GROUND_RULES
+
+
+def herbrand_universe(program: Program, max_depth: int = 0) -> list[Term]:
+    """The ground terms constructible from the program's constants and
+    function symbols, up to *max_depth* nesting.
+
+    If the program mentions no constants at all, a single fresh constant
+    ``u0`` is invented so that rules with variables still have a non-empty
+    instantiation (the standard convention).
+    """
+    constants: list[Constant] = []
+    functions: list[tuple[str, int]] = []
+    seen_constants: set[Constant] = set()
+    seen_functions: set[tuple[str, int]] = set()
+
+    def collect_from_atom(atom: Atom) -> None:
+        for arg in atom.args:
+            for constant in term_constants(arg):
+                if constant not in seen_constants:
+                    seen_constants.add(constant)
+                    constants.append(constant)
+            for signature in term_functions(arg):
+                if signature not in seen_functions:
+                    seen_functions.add(signature)
+                    functions.append(signature)
+
+    for rule in program:
+        collect_from_atom(rule.head)
+        for literal in rule.body:
+            collect_from_atom(literal.atom)
+
+    if not constants:
+        constants.append(Constant("u0"))
+    return enumerate_ground_terms(constants, functions, max_depth)
+
+
+def herbrand_base(
+    program: Program,
+    universe: Optional[Sequence[Term]] = None,
+    predicates: Optional[Iterable[str]] = None,
+    max_depth: int = 0,
+) -> set[Atom]:
+    """The Herbrand base: all ground atoms over the given predicates.
+
+    By default the base is restricted to the IDB predicates, following the
+    paper's convention that EDB relations are not mentioned in
+    interpretations (Section 3.3).  Pass ``predicates`` explicitly to widen
+    or narrow the base.
+    """
+    if universe is None:
+        universe = herbrand_universe(program, max_depth)
+    signatures = program.predicate_signatures()
+    if predicates is None:
+        wanted = program.idb_predicates()
+    else:
+        wanted = set(predicates)
+    base: set[Atom] = set()
+    for signature in signatures:
+        if signature.name not in wanted:
+            continue
+        if signature.arity == 0:
+            base.add(Atom(signature.name, ()))
+            continue
+        for combination in itertools.product(universe, repeat=signature.arity):
+            base.add(Atom(signature.name, tuple(combination)))
+    return base
+
+
+def naive_ground(program: Program, limits: GroundingLimits | None = None) -> Program:
+    """The literal Herbrand instantiation ``P_H`` of the program.
+
+    Each rule is instantiated with every assignment of universe elements to
+    its variables.  Raises :class:`GroundingError` when the result would
+    exceed ``limits.max_rules``.
+    """
+    limits = limits or GroundingLimits()
+    universe = herbrand_universe(program, limits.max_depth)
+    ground_rules: list[Rule] = []
+    for rule in program:
+        variables = sorted(rule.variables(), key=lambda v: v.name)
+        if not variables:
+            ground_rules.append(rule)
+            continue
+        count_estimate = len(universe) ** len(variables)
+        if len(ground_rules) + count_estimate > limits.max_rules:
+            raise GroundingError(
+                f"naive grounding of rule '{rule}' would produce {count_estimate} "
+                f"instances, exceeding the limit of {limits.max_rules}"
+            )
+        for combination in itertools.product(universe, repeat=len(variables)):
+            binding = dict(zip(variables, combination))
+            ground_rules.append(rule.substitute(binding))
+    return Program(ground_rules)
+
+
+def relevant_ground(program: Program, limits: GroundingLimits | None = None) -> Program:
+    """Instantiate rules only where their positive body is supportable.
+
+    The over-approximation of derivable atoms is the minimum model of the
+    *positive envelope* of the program (the Horn program obtained by erasing
+    negative body literals), computed bottom-up to a fixpoint.  Rules are
+    instantiated by matching their positive body literals against that set,
+    in the given order, threading the variable binding; safety guarantees
+    that all variables end up bound.
+
+    Ground negative literals are kept verbatim (even when their atom is
+    outside the over-approximation and therefore underivable) so that the
+    atoms the paper's examples mention as *false* still occur in the ground
+    program and are reported in the computed models.  The resulting ground
+    program has the same well-founded, stable, stratified, Horn and
+    inflationary models (restricted to the occurring atoms) as the full
+    Herbrand instantiation.  The Fitting semantics is the exception: it can
+    leave *underivable* atoms undefined (their proof search never finitely
+    fails), so :func:`repro.semantics.fitting.fitting_model` grounds naively
+    by default.
+    """
+    from .unification import match_atom  # local import to avoid a cycle at import time
+
+    limits = limits or GroundingLimits()
+    program.check_safety()
+
+    facts = set(program.fact_atoms())
+    non_facts = program.non_fact_rules()
+
+    # ------------------------------------------------------------------ #
+    # 1. Over-approximate the derivable atoms with the positive envelope.
+    # ------------------------------------------------------------------ #
+    derivable: set[Atom] = set(facts)
+    changed = True
+    while changed:
+        changed = False
+        for rule in non_facts:
+            positive = [lit.atom for lit in rule.body if lit.positive]
+            for binding in _match_body(positive, derivable, match_atom):
+                head = rule.head.substitute(binding)
+                if not head.is_ground:
+                    raise GroundingError(
+                        f"rule '{rule}' produced a non-ground head {head}; "
+                        "the rule is unsafe"
+                    )
+                if head not in derivable:
+                    derivable.add(head)
+                    changed = True
+
+    # ------------------------------------------------------------------ #
+    # 2. Instantiate rules against the over-approximation.
+    # ------------------------------------------------------------------ #
+    ground_rules: list[Rule] = [Rule(fact) for fact in sorted(facts, key=str)]
+    seen: set[Rule] = set(ground_rules)
+    for rule in non_facts:
+        positive = [lit.atom for lit in rule.body if lit.positive]
+        negative = [lit for lit in rule.body if lit.negative]
+        for binding in _match_body(positive, derivable, match_atom):
+            head = rule.head.substitute(binding)
+            body: list[Literal] = []
+            for lit in rule.body:
+                if lit.positive:
+                    body.append(lit.substitute(binding))
+                    continue
+                ground_negative = lit.substitute(binding)
+                if not ground_negative.is_ground:
+                    raise GroundingError(
+                        f"negative literal {lit} in rule '{rule}' is not ground "
+                        "after binding positive body variables; the rule is unsafe"
+                    )
+                body.append(ground_negative)
+            new_rule = Rule(head, tuple(body))
+            if new_rule not in seen:
+                seen.add(new_rule)
+                ground_rules.append(new_rule)
+            if len(ground_rules) > limits.max_rules:
+                raise GroundingError(
+                    f"grounding exceeded the limit of {limits.max_rules} rules"
+                )
+        # `negative` is unused beyond documentation of the split; keep linters quiet.
+        del negative
+    return Program(ground_rules)
+
+
+def ground_program(program: Program, limits: GroundingLimits | None = None) -> Program:
+    """Ground *program*, returning it unchanged when it is already ground.
+
+    This is the entry point the semantics modules use; it currently
+    delegates to :func:`relevant_ground`.
+    """
+    if program.is_ground:
+        return program
+    return relevant_ground(program, limits)
+
+
+def _match_body(atoms: Sequence[Atom], facts: set[Atom], match_atom) -> Iterable[dict]:
+    """Yield every binding of the variables of *atoms* such that all atoms
+    match some fact in *facts* (conjunctive matching, left to right)."""
+    if not atoms:
+        yield {}
+        return
+    # Index facts by predicate once; bodies repeatedly probe the same relations.
+    by_predicate: dict[str, list[Atom]] = {}
+    for fact in facts:
+        by_predicate.setdefault(fact.predicate, []).append(fact)
+
+    def extend(index: int, binding: dict) -> Iterable[dict]:
+        if index == len(atoms):
+            yield binding
+            return
+        pattern = atoms[index]
+        for fact in by_predicate.get(pattern.predicate, ()):  # pragma: no branch
+            extended = match_atom(pattern, fact, binding)
+            if extended is not None:
+                yield from extend(index + 1, extended)
+
+    yield from extend(0, {})

@@ -1,0 +1,292 @@
+"""Parser for the concrete rule syntax.
+
+The textual syntax follows the paper's examples, adapted to ASCII:
+
+* a rule is ``head :- lit1, lit2, ..., litN.`` (``<-`` is accepted as a
+  synonym for ``:-``);
+* a fact is ``head.``;
+* negation is written ``not p(X)`` (``\\+`` and ``~`` are accepted);
+* variables start with an uppercase letter or ``_``; constants are
+  lowercase identifiers, integers, or quoted strings;
+* compound terms ``f(a, X)`` are allowed inside atom arguments;
+* ``%`` and ``#`` start comments that run to the end of the line.
+
+The parser is a small hand-written recursive-descent parser with a
+tokeniser; it reports 1-based line/column positions in error messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..exceptions import ParseError
+from .atoms import Atom, Literal
+from .rules import Program, Rule
+from .terms import Compound, Constant, Term, Variable
+
+__all__ = ["parse_program", "parse_rule", "parse_atom", "parse_literal", "tokenize"]
+
+
+# --------------------------------------------------------------------- #
+# Tokeniser
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Token:
+    """A lexical token with its source position (1-based)."""
+
+    kind: str
+    value: str
+    line: int
+    column: int
+
+
+_PUNCTUATION = {
+    "(": "lparen",
+    ")": "rparen",
+    ",": "comma",
+    ".": "dot",
+}
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split *text* into tokens, skipping whitespace and comments."""
+    tokens: list[Token] = []
+    line = 1
+    column = 1
+    index = 0
+    length = len(text)
+
+    def error(message: str) -> ParseError:
+        return ParseError(message, line=line, column=column)
+
+    while index < length:
+        char = text[index]
+        if char == "\n":
+            line += 1
+            column = 1
+            index += 1
+            continue
+        if char in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if char in "%#":
+            while index < length and text[index] != "\n":
+                index += 1
+            continue
+        start_line, start_column = line, column
+        if text.startswith(":-", index) or text.startswith("<-", index):
+            tokens.append(Token("implies", text[index : index + 2], start_line, start_column))
+            index += 2
+            column += 2
+            continue
+        if char in _PUNCTUATION:
+            tokens.append(Token(_PUNCTUATION[char], char, start_line, start_column))
+            index += 1
+            column += 1
+            continue
+        if char in "~" or text.startswith("\\+", index):
+            width = 2 if text.startswith("\\+", index) else 1
+            tokens.append(Token("not", text[index : index + width], start_line, start_column))
+            index += width
+            column += width
+            continue
+        if char == '"' or char == "'":
+            quote = char
+            end = index + 1
+            while end < length and text[end] != quote:
+                end += 1
+            if end >= length:
+                raise error("unterminated string literal")
+            tokens.append(Token("string", text[index + 1 : end], start_line, start_column))
+            column += end - index + 1
+            index = end + 1
+            continue
+        if char.isdigit() or (char == "-" and index + 1 < length and text[index + 1].isdigit()):
+            end = index + 1
+            while end < length and text[end].isdigit():
+                end += 1
+            tokens.append(Token("number", text[index:end], start_line, start_column))
+            column += end - index
+            index = end
+            continue
+        if char.isalpha() or char == "_":
+            end = index
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            word = text[index:end]
+            kind = "not" if word == "not" else "name"
+            tokens.append(Token(kind, word, start_line, start_column))
+            column += end - index
+            index = end
+            continue
+        raise error(f"unexpected character {char!r}")
+    return tokens
+
+
+# --------------------------------------------------------------------- #
+# Recursive-descent parser
+# --------------------------------------------------------------------- #
+class _Parser:
+    """Stateful cursor over a token list."""
+
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._position = 0
+
+    def _peek(self) -> Token | None:
+        if self._position < len(self._tokens):
+            return self._tokens[self._position]
+        return None
+
+    def _advance(self) -> Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        self._position += 1
+        return token
+
+    def _expect(self, kind: str) -> Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError(f"expected {kind}, found end of input")
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind}, found {token.value!r}", token.line, token.column
+            )
+        return self._advance()
+
+    @property
+    def exhausted(self) -> bool:
+        return self._position >= len(self._tokens)
+
+    # ------------------------------------------------------------------ #
+    def parse_program(self) -> Program:
+        rules: list[Rule] = []
+        while not self.exhausted:
+            rules.append(self.parse_rule())
+        return Program(rules)
+
+    def parse_rule(self) -> Rule:
+        head = self.parse_atom()
+        token = self._peek()
+        if token is not None and token.kind == "implies":
+            self._advance()
+            body = self._parse_body()
+        else:
+            body = ()
+        self._expect("dot")
+        return Rule(head, tuple(body))
+
+    def _parse_body(self) -> list[Literal]:
+        literals = [self.parse_literal()]
+        while True:
+            token = self._peek()
+            if token is not None and token.kind == "comma":
+                self._advance()
+                literals.append(self.parse_literal())
+            else:
+                return literals
+
+    def parse_literal(self) -> Literal:
+        token = self._peek()
+        if token is not None and token.kind == "not":
+            self._advance()
+            return Literal(self.parse_atom(), positive=False)
+        return Literal(self.parse_atom(), positive=True)
+
+    def parse_atom(self) -> Atom:
+        token = self._expect("name")
+        if token.value[0].isupper() or token.value[0] == "_":
+            raise ParseError(
+                f"atom predicate {token.value!r} must not start with an uppercase letter",
+                token.line,
+                token.column,
+            )
+        next_token = self._peek()
+        if next_token is None or next_token.kind != "lparen":
+            return Atom(token.value, ())
+        self._advance()
+        args = [self.parse_term()]
+        while True:
+            punct = self._advance()
+            if punct.kind == "rparen":
+                break
+            if punct.kind != "comma":
+                raise ParseError(
+                    f"expected ',' or ')', found {punct.value!r}", punct.line, punct.column
+                )
+            args.append(self.parse_term())
+        return Atom(token.value, tuple(args))
+
+    def parse_term(self) -> Term:
+        token = self._advance()
+        if token.kind == "number":
+            return Constant(int(token.value))
+        if token.kind == "string":
+            return Constant(token.value)
+        if token.kind != "name":
+            raise ParseError(
+                f"expected a term, found {token.value!r}", token.line, token.column
+            )
+        if token.value[0].isupper() or token.value[0] == "_":
+            return Variable(token.value)
+        next_token = self._peek()
+        if next_token is not None and next_token.kind == "lparen":
+            self._advance()
+            args = [self.parse_term()]
+            while True:
+                punct = self._advance()
+                if punct.kind == "rparen":
+                    break
+                if punct.kind != "comma":
+                    raise ParseError(
+                        f"expected ',' or ')', found {punct.value!r}",
+                        punct.line,
+                        punct.column,
+                    )
+                args.append(self.parse_term())
+            return Compound(token.value, tuple(args))
+        return Constant(token.value)
+
+
+# --------------------------------------------------------------------- #
+# Public entry points
+# --------------------------------------------------------------------- #
+def parse_program(text: str) -> Program:
+    """Parse a complete program (zero or more rules)."""
+    return _Parser(tokenize(text)).parse_program()
+
+
+def parse_rule(text: str) -> Rule:
+    """Parse a single rule or fact, requiring the whole input to be consumed."""
+    parser = _Parser(tokenize(text))
+    rule = parser.parse_rule()
+    if not parser.exhausted:
+        raise ParseError("trailing input after rule")
+    return rule
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse a single atom (no trailing period)."""
+    parser = _Parser(tokenize(text))
+    result = parser.parse_atom()
+    if not parser.exhausted:
+        raise ParseError("trailing input after atom")
+    return result
+
+
+def parse_literal(text: str) -> Literal:
+    """Parse a single literal (possibly negated, no trailing period)."""
+    parser = _Parser(tokenize(text))
+    result = parser.parse_literal()
+    if not parser.exhausted:
+        raise ParseError("trailing input after literal")
+    return result
+
+
+def parse_rules(texts: Iterator[str] | list[str]) -> Program:
+    """Parse an iterable of rule strings into a single program."""
+    rules = [parse_rule(text) for text in texts]
+    return Program(rules)

@@ -1,0 +1,6 @@
+"""High-level deductive-database engine: one-call solving and querying."""
+
+from .query import QueryAnswer, answers, ask
+from .solver import SUPPORTED_SEMANTICS, Solution, solve
+
+__all__ = ["QueryAnswer", "answers", "ask", "SUPPORTED_SEMANTICS", "Solution", "solve"]

@@ -1,0 +1,139 @@
+"""Query answering against a computed model.
+
+The paper frames a logic program as a mapping from EDB instances to IDB
+instances and a *query* as a question about that mapping (Section 2.5,
+Example 2.1: "is there a path from a to b?", "what nodes have paths to a
+but not to b?").  This module answers such queries against a
+:class:`~repro.engine.solver.Solution`:
+
+* ground queries get a three-valued verdict;
+* queries with variables are answered by enumerating the substitutions that
+  make every conjunct true (negative conjuncts must be false, mirroring the
+  certain-answer reading of the well-founded model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+from ..datalog.atoms import Atom, Literal
+from ..datalog.parser import parse_literal, tokenize
+from ..datalog.terms import Constant, Term, Variable
+from ..datalog.unification import match_atom
+from ..exceptions import ParseError
+from ..fixpoint.interpretations import TruthValue
+from .solver import Solution
+
+__all__ = ["QueryAnswer", "ask", "answers"]
+
+
+@dataclass(frozen=True)
+class QueryAnswer:
+    """One satisfying substitution for a conjunctive query."""
+
+    binding: Mapping[Variable, Term]
+
+    def __getitem__(self, name: str) -> object:
+        for variable, term in self.binding.items():
+            if variable.name == name:
+                return term.value if isinstance(term, Constant) else term
+        raise KeyError(name)
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            variable.name: (term.value if isinstance(term, Constant) else term)
+            for variable, term in self.binding.items()
+        }
+
+
+def _parse_query(text: str) -> list[Literal]:
+    """Parse a comma-separated conjunction of literals."""
+    literals: list[Literal] = []
+    depth = 0
+    start = 0
+    pieces: list[str] = []
+    for index, char in enumerate(text):
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        elif char == "," and depth == 0:
+            pieces.append(text[start:index])
+            start = index + 1
+    pieces.append(text[start:])
+    for piece in pieces:
+        piece = piece.strip().rstrip(".")
+        if not piece:
+            continue
+        literals.append(parse_literal(piece))
+    if not literals:
+        raise ParseError("empty query")
+    return literals
+
+
+def ask(solution: Solution, query: str) -> TruthValue:
+    """Answer a *ground* conjunctive query three-valuedly.
+
+    The conjunction is evaluated with Kleene conjunction over the
+    solution's interpretation (negative conjuncts invert the atom's value).
+    """
+    literals = _parse_query(query)
+    result = TruthValue.TRUE
+    for literal in literals:
+        if not literal.is_ground:
+            raise ParseError(
+                f"query literal {literal} has variables; use answers() for "
+                "non-ground queries"
+            )
+        value = solution.value_of(literal.atom)
+        if literal.negative:
+            value = ~value
+        result = result.conjoin(value)
+    return result
+
+
+def answers(solution: Solution, query: str) -> Iterator[QueryAnswer]:
+    """Enumerate the substitutions making a conjunctive query *true*.
+
+    Positive conjuncts are matched against the true atoms of the solution;
+    negative conjuncts require the instantiated atom to be false (not
+    merely undefined), giving certain answers under partial models.
+    """
+    literals = _parse_query(query)
+    positive = [lit for lit in literals if lit.positive]
+    negative = [lit for lit in literals if lit.negative]
+    true_atoms = solution.true_atoms()
+
+    def extend(index: int, binding: dict[Variable, Term]) -> Iterator[dict[Variable, Term]]:
+        if index == len(positive):
+            yield binding
+            return
+        pattern = positive[index].atom
+        for atom in true_atoms:
+            if atom.predicate != pattern.predicate or atom.arity != pattern.arity:
+                continue
+            extended = match_atom(pattern, atom, binding)
+            if extended is not None:
+                yield from extend(index + 1, extended)
+
+    seen: set[tuple] = set()
+    for binding in extend(0, {}):
+        grounded_negatives_ok = True
+        for literal in negative:
+            instantiated = literal.atom.substitute(binding)
+            if not instantiated.is_ground:
+                raise ParseError(
+                    f"negative query literal {literal} is not ground after binding "
+                    "the positive conjuncts"
+                )
+            if solution.value_of(instantiated) is not TruthValue.FALSE:
+                grounded_negatives_ok = False
+                break
+        if not grounded_negatives_ok:
+            continue
+        key = tuple(sorted((v.name, str(t)) for v, t in binding.items()))
+        if key in seen:
+            continue
+        seen.add(key)
+        yield QueryAnswer(dict(binding))

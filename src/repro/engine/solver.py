@@ -1,0 +1,169 @@
+"""High-level solving API.
+
+:func:`solve` is the one-call entry point a deductive-database user needs:
+give it a program (text or :class:`~repro.datalog.rules.Program`), pick a
+semantics, and get back a :class:`Solution` that can be queried for atom
+truth values and relation contents.  ``semantics="auto"`` picks the
+cheapest semantics that agrees with the well-founded model for the
+program's syntactic class (Horn → minimum model, stratified → perfect
+model, otherwise the alternating fixpoint).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Union
+
+from ..analysis.classification import classify
+from ..datalog.atoms import Atom
+from ..datalog.database import Database
+from ..datalog.grounding import GroundingLimits
+from ..datalog.parser import parse_program
+from ..datalog.rules import Program
+from ..datalog.terms import Constant
+from ..exceptions import EvaluationError
+from ..fixpoint.interpretations import PartialInterpretation, TruthValue
+from ..core.alternating import alternating_fixpoint
+from ..core.context import build_context
+from ..core.stable import stable_consequences
+from ..core.wellfounded import well_founded_model
+from ..semantics.fitting import fitting_model
+from ..semantics.horn import horn_minimum_model
+from ..semantics.inflationary import inflationary_model
+from ..semantics.stratified import stratified_model
+
+__all__ = ["Solution", "solve", "SUPPORTED_SEMANTICS"]
+
+SUPPORTED_SEMANTICS = (
+    "auto",
+    "alternating-fixpoint",
+    "well-founded",
+    "stratified",
+    "horn",
+    "fitting",
+    "inflationary",
+    "stable",
+)
+
+
+@dataclass(frozen=True)
+class Solution:
+    """The result of solving a program under one semantics."""
+
+    program: Program
+    semantics: str
+    interpretation: PartialInterpretation
+    base: frozenset[Atom]
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def value_of(self, atom: Atom) -> TruthValue:
+        """Truth value of a ground atom; atoms outside the base that are not
+        EDB facts are false by the closed-world reading."""
+        value = self.interpretation.value_of_atom(atom)
+        if value is TruthValue.UNDEFINED and atom not in self.base:
+            return TruthValue.FALSE
+        return value
+
+    def is_true(self, predicate: str, *values: object) -> bool:
+        return self.value_of(_ground_atom(predicate, values)) is TruthValue.TRUE
+
+    def is_false(self, predicate: str, *values: object) -> bool:
+        return self.value_of(_ground_atom(predicate, values)) is TruthValue.FALSE
+
+    def is_undefined(self, predicate: str, *values: object) -> bool:
+        return self.value_of(_ground_atom(predicate, values)) is TruthValue.UNDEFINED
+
+    def relation(self, predicate: str) -> set[tuple[object, ...]]:
+        """The tuples for which *predicate* is true, with constants unwrapped."""
+        rows: set[tuple[object, ...]] = set()
+        for atom in self.interpretation.true_atoms:
+            if atom.predicate == predicate:
+                rows.add(tuple(_unwrap(term) for term in atom.args))
+        return rows
+
+    def undefined_relation(self, predicate: str) -> set[tuple[object, ...]]:
+        """Tuples of *predicate* left undefined by a partial semantics."""
+        rows: set[tuple[object, ...]] = set()
+        for atom in self.base:
+            if atom.predicate != predicate:
+                continue
+            if self.interpretation.value_of_atom(atom) is TruthValue.UNDEFINED:
+                rows.add(tuple(_unwrap(term) for term in atom.args))
+        return rows
+
+    def true_atoms(self) -> frozenset[Atom]:
+        return self.interpretation.true_atoms
+
+    def false_atoms(self) -> frozenset[Atom]:
+        return self.interpretation.false_atoms
+
+    @property
+    def is_total(self) -> bool:
+        return self.interpretation.is_total_over(self.base)
+
+
+def _unwrap(term: object) -> object:
+    return term.value if isinstance(term, Constant) else term
+
+
+def _ground_atom(predicate: str, values: Iterable[object]) -> Atom:
+    return Atom(predicate, tuple(Constant(v) for v in values))
+
+
+def solve(
+    program: Union[str, Program],
+    semantics: str = "auto",
+    database: Optional[Database] = None,
+    limits: GroundingLimits | None = None,
+) -> Solution:
+    """Solve *program* under the requested semantics.
+
+    Parameters
+    ----------
+    program:
+        Program text (parsed with the standard syntax) or a ready
+        :class:`Program`.
+    semantics:
+        One of :data:`SUPPORTED_SEMANTICS`.  ``"stable"`` computes the
+        *intersection* semantics (true in every stable model / false in
+        every stable model) and raises when there is no stable model.
+    database:
+        Optional EDB facts to attach to the rules before solving.
+    """
+    if isinstance(program, str):
+        program = parse_program(program)
+    if database is not None:
+        program = database.attach(program)
+    if semantics not in SUPPORTED_SEMANTICS:
+        raise EvaluationError(
+            f"unknown semantics {semantics!r}; expected one of {', '.join(SUPPORTED_SEMANTICS)}"
+        )
+
+    if semantics == "auto":
+        classification = classify(program, check_local=False)
+        semantics = classification.recommended_semantics
+
+    context = build_context(program, limits=limits)
+    base = frozenset(context.base)
+
+    if semantics in ("alternating-fixpoint", "well-founded"):
+        if semantics == "alternating-fixpoint":
+            interpretation = alternating_fixpoint(context).model
+        else:
+            interpretation = well_founded_model(context).model
+    elif semantics == "stratified":
+        interpretation = stratified_model(program, limits=limits).interpretation
+    elif semantics == "horn":
+        interpretation = horn_minimum_model(context).interpretation
+    elif semantics == "fitting":
+        interpretation = fitting_model(context).model
+    elif semantics == "inflationary":
+        interpretation = inflationary_model(context).interpretation
+    elif semantics == "stable":
+        interpretation = stable_consequences(context, limits=limits)
+    else:  # pragma: no cover - guarded above
+        raise EvaluationError(f"unhandled semantics {semantics!r}")
+
+    return Solution(program=program, semantics=semantics, interpretation=interpretation, base=base)

@@ -1,0 +1,76 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ParseError(ReproError):
+    """Raised when a program or query text cannot be parsed.
+
+    Attributes
+    ----------
+    line, column:
+        1-based position of the offending token, when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" (line {line}"
+            if column is not None:
+                location += f", column {column}"
+            location += ")"
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class SafetyError(ReproError):
+    """Raised when a rule violates the range-restriction (safety) condition.
+
+    A rule is *safe* when every variable occurring in the head or in a
+    negative body literal also occurs in some positive body literal.
+    Unsafe rules do not have a well-defined finite grounding.
+    """
+
+
+class GroundingError(ReproError):
+    """Raised when a program cannot be grounded.
+
+    Typical causes are an empty Herbrand universe for a rule that requires
+    one, or an instantiation that would exceed the configured limits
+    (maximum term depth or maximum number of ground rules).
+    """
+
+
+class NotStratifiedError(ReproError):
+    """Raised when a stratification-based evaluator receives a program that
+    has no stratification (i.e. negation occurs inside a recursive cycle)."""
+
+
+class NotGroundError(ReproError):
+    """Raised when an operation that requires a ground (variable-free)
+    program or atom receives a non-ground one."""
+
+
+class UnknownPredicateError(ReproError):
+    """Raised when a query mentions a predicate that the program does not
+    define and that is not part of the extensional database."""
+
+
+class EvaluationError(ReproError):
+    """Raised when model computation fails for reasons other than the ones
+    covered by the more specific exception classes."""
+
+
+class FormulaError(ReproError):
+    """Raised when a first-order formula (Section 8 of the paper) is
+    malformed or used in a context where it is not supported."""

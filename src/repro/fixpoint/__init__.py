@@ -1,0 +1,50 @@
+"""Fixpoint machinery: lattices of literal sets, operators, interpretations.
+
+Implements the preliminaries of Section 3 of the paper — Definition 3.2's
+set operations, Theorem 3.1's ordinal-power iteration, and Definitions
+3.4–3.5's partial interpretations and rule satisfaction.
+"""
+
+from .interpretations import (
+    PartialInterpretation,
+    TruthValue,
+    is_partial_model,
+    is_total_model,
+    satisfies_rule,
+)
+from .lattice import (
+    NegativeSet,
+    conjugate_of_negative,
+    conjugate_of_positive,
+    literals_to_sets,
+    negative_set,
+    sets_to_literals,
+)
+from .operators import (
+    FixpointTrace,
+    check_antimonotone_on_pair,
+    check_monotone_on_chain,
+    is_fixpoint,
+    iterate_to_fixpoint,
+    least_fixpoint,
+)
+
+__all__ = [
+    "PartialInterpretation",
+    "TruthValue",
+    "is_partial_model",
+    "is_total_model",
+    "satisfies_rule",
+    "NegativeSet",
+    "conjugate_of_negative",
+    "conjugate_of_positive",
+    "literals_to_sets",
+    "negative_set",
+    "sets_to_literals",
+    "FixpointTrace",
+    "check_antimonotone_on_pair",
+    "check_monotone_on_chain",
+    "is_fixpoint",
+    "iterate_to_fixpoint",
+    "least_fixpoint",
+]

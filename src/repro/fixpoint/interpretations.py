@@ -1,0 +1,232 @@
+"""Partial and total interpretations, three-valued truth, rule satisfaction.
+
+Definitions 3.4 and 3.5 of the paper: a *partial interpretation* is a
+partial function from the Herbrand base into ``{true, false}``, represented
+as a consistent set of literals; it extends to conjunctions three-valuedly,
+and a rule ``p ← φ`` is *satisfied* when (1) its head is true, or (2) its
+body is false, or (3) both head and body are undefined.
+
+The paper is explicit that satisfaction is *not* simply truth of
+``p ∨ ¬φ`` — Example 3.1 motivates clause (3) — and the tests reproduce
+that example against this module.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import AbstractSet, Iterable, Iterator, Optional
+
+from ..datalog.atoms import Atom, Literal
+from ..datalog.rules import Program, Rule
+from ..exceptions import EvaluationError
+from .lattice import NegativeSet
+
+__all__ = ["TruthValue", "PartialInterpretation", "satisfies_rule", "is_partial_model", "is_total_model"]
+
+
+class TruthValue(enum.Enum):
+    """The three truth values of the partial-interpretation semantics."""
+
+    TRUE = "true"
+    FALSE = "false"
+    UNDEFINED = "undefined"
+
+    def __invert__(self) -> "TruthValue":
+        if self is TruthValue.TRUE:
+            return TruthValue.FALSE
+        if self is TruthValue.FALSE:
+            return TruthValue.TRUE
+        return TruthValue.UNDEFINED
+
+    def conjoin(self, other: "TruthValue") -> "TruthValue":
+        """Kleene conjunction (Definition 3.4)."""
+        if self is TruthValue.FALSE or other is TruthValue.FALSE:
+            return TruthValue.FALSE
+        if self is TruthValue.TRUE and other is TruthValue.TRUE:
+            return TruthValue.TRUE
+        return TruthValue.UNDEFINED
+
+    def disjoin(self, other: "TruthValue") -> "TruthValue":
+        """Kleene disjunction (used by the Fitting semantics and Section 8)."""
+        if self is TruthValue.TRUE or other is TruthValue.TRUE:
+            return TruthValue.TRUE
+        if self is TruthValue.FALSE and other is TruthValue.FALSE:
+            return TruthValue.FALSE
+        return TruthValue.UNDEFINED
+
+
+@dataclass(frozen=True)
+class PartialInterpretation:
+    """A consistent assignment of ``true`` / ``false`` to some ground atoms.
+
+    ``true_atoms`` and ``false_atoms`` must be disjoint; atoms in neither are
+    *undefined*.  The class is the common currency of all semantics modules:
+    the well-founded partial model, AFP partial model, Fitting model and
+    stable models are all returned as (possibly total) partial
+    interpretations.
+    """
+
+    true_atoms: frozenset[Atom]
+    false_atoms: frozenset[Atom]
+
+    def __init__(self, true_atoms: Iterable[Atom] = (), false_atoms: Iterable[Atom] = ()):
+        trues = frozenset(true_atoms)
+        falses = frozenset(false_atoms)
+        overlap = trues & falses
+        if overlap:
+            sample = ", ".join(sorted(str(a) for a in list(overlap)[:3]))
+            raise EvaluationError(
+                f"inconsistent interpretation: atoms both true and false ({sample})"
+            )
+        object.__setattr__(self, "true_atoms", trues)
+        object.__setattr__(self, "false_atoms", falses)
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_literals(cls, literals: Iterable[Literal]) -> "PartialInterpretation":
+        trues: set[Atom] = set()
+        falses: set[Atom] = set()
+        for literal in literals:
+            (trues if literal.positive else falses).add(literal.atom)
+        return cls(trues, falses)
+
+    @classmethod
+    def from_sets(cls, positive: AbstractSet[Atom], negative: NegativeSet) -> "PartialInterpretation":
+        return cls(positive, set(negative))
+
+    @classmethod
+    def empty(cls) -> "PartialInterpretation":
+        return cls((), ())
+
+    @classmethod
+    def total_from_true(cls, true_atoms: Iterable[Atom], base: AbstractSet[Atom]) -> "PartialInterpretation":
+        """A total interpretation over *base*: everything not true is false."""
+        trues = frozenset(true_atoms)
+        return cls(trues, frozenset(base) - trues)
+
+    # ------------------------------------------------------------------ #
+    # Truth valuation
+    # ------------------------------------------------------------------ #
+    def value_of_atom(self, atom: Atom) -> TruthValue:
+        if atom in self.true_atoms:
+            return TruthValue.TRUE
+        if atom in self.false_atoms:
+            return TruthValue.FALSE
+        return TruthValue.UNDEFINED
+
+    def value_of_literal(self, literal: Literal) -> TruthValue:
+        value = self.value_of_atom(literal.atom)
+        return value if literal.positive else ~value
+
+    def value_of_body(self, body: Iterable[Literal]) -> TruthValue:
+        """Three-valued conjunction of the body literals (empty body = true)."""
+        result = TruthValue.TRUE
+        for literal in body:
+            result = result.conjoin(self.value_of_literal(literal))
+            if result is TruthValue.FALSE:
+                return TruthValue.FALSE
+        return result
+
+    def is_true(self, atom: Atom) -> bool:
+        return atom in self.true_atoms
+
+    def is_false(self, atom: Atom) -> bool:
+        return atom in self.false_atoms
+
+    def is_undefined(self, atom: Atom) -> bool:
+        return atom not in self.true_atoms and atom not in self.false_atoms
+
+    # ------------------------------------------------------------------ #
+    # Structure
+    # ------------------------------------------------------------------ #
+    def literals(self) -> frozenset[Literal]:
+        result = {Literal(a, True) for a in self.true_atoms}
+        result.update(Literal(a, False) for a in self.false_atoms)
+        return frozenset(result)
+
+    def undefined_atoms(self, base: AbstractSet[Atom]) -> frozenset[Atom]:
+        return frozenset(base) - self.true_atoms - self.false_atoms
+
+    def defined_atoms(self) -> frozenset[Atom]:
+        return self.true_atoms | self.false_atoms
+
+    def is_total_over(self, base: AbstractSet[Atom]) -> bool:
+        return not self.undefined_atoms(base)
+
+    def restrict_to_predicates(self, predicates: AbstractSet[str]) -> "PartialInterpretation":
+        """Keep only literals of the given predicates (used when comparing
+        against models of transformed programs, Section 8)."""
+        return PartialInterpretation(
+            (a for a in self.true_atoms if a.predicate in predicates),
+            (a for a in self.false_atoms if a.predicate in predicates),
+        )
+
+    def true_of_predicate(self, predicate: str) -> set[Atom]:
+        return {a for a in self.true_atoms if a.predicate == predicate}
+
+    def false_of_predicate(self, predicate: str) -> set[Atom]:
+        return {a for a in self.false_atoms if a.predicate == predicate}
+
+    # ------------------------------------------------------------------ #
+    # Order
+    # ------------------------------------------------------------------ #
+    def extends(self, other: "PartialInterpretation") -> bool:
+        """Information order: self defines at least everything *other* does,
+        with the same polarity."""
+        return other.true_atoms <= self.true_atoms and other.false_atoms <= self.false_atoms
+
+    def __le__(self, other: "PartialInterpretation") -> bool:
+        return other.extends(self)
+
+    def __len__(self) -> int:
+        return len(self.true_atoms) + len(self.false_atoms)
+
+    def __iter__(self) -> Iterator[Literal]:
+        return iter(sorted(self.literals(), key=str))
+
+    def __str__(self) -> str:
+        parts = sorted(str(a) for a in self.true_atoms)
+        parts.extend(sorted(f"not {a}" for a in self.false_atoms))
+        return "{" + ", ".join(parts) + "}"
+
+
+# --------------------------------------------------------------------- #
+# Rule satisfaction (Definition 3.5)
+# --------------------------------------------------------------------- #
+def satisfies_rule(interpretation: PartialInterpretation, rule: Rule) -> bool:
+    """Definition 3.5: a partial interpretation satisfies ``p ← φ`` when the
+    head is true, or the body is false, or both are undefined."""
+    head_value = interpretation.value_of_atom(rule.head)
+    if head_value is TruthValue.TRUE:
+        return True
+    body_value = interpretation.value_of_body(rule.body)
+    if body_value is TruthValue.FALSE:
+        return True
+    return head_value is TruthValue.UNDEFINED and body_value is TruthValue.UNDEFINED
+
+
+def is_partial_model(interpretation: PartialInterpretation, program: Program) -> bool:
+    """Check whether *interpretation* satisfies every rule of the (ground)
+    program."""
+    return all(satisfies_rule(interpretation, rule) for rule in program)
+
+
+def is_total_model(
+    interpretation: PartialInterpretation,
+    program: Program,
+    base: Optional[AbstractSet[Atom]] = None,
+) -> bool:
+    """A total model is a partial model defined on the whole base.
+
+    When *base* is omitted, the atoms occurring in the ground program are
+    used.
+    """
+    if base is None:
+        base = set()
+        for rule in program:
+            base.add(rule.head)
+            base.update(lit.atom for lit in rule.body)
+    return interpretation.is_total_over(base) and is_partial_model(interpretation, program)

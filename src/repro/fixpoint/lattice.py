@@ -1,0 +1,145 @@
+"""Operations on sets of literals (Definition 3.2 of the paper).
+
+The paper works with two kinds of sets over the Herbrand base ``H``:
+
+* sets of *positive* literals, written with a ``+`` superscript (``I⁺``);
+* sets of *negative* literals, written with a tilde (``Ĩ``).
+
+Definition 3.2 introduces three operations used throughout:
+
+* ``¬·I`` — complement each literal's polarity;
+* disjoint union ``I⁺ + Ĩ`` — here simply set union of a positive and a
+  negative set;
+* the *conjugate*: the complement in ``H`` with polarity flipped.
+
+This module represents a positive set as ``frozenset[Atom]`` and a negative
+set as :class:`NegativeSet`, a thin immutable wrapper that keeps the two
+kinds from being mixed up accidentally and gives the conjugate operations a
+natural home.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet, Iterable, Iterator
+
+from ..datalog.atoms import Atom, Literal
+
+__all__ = [
+    "NegativeSet",
+    "negative_set",
+    "conjugate_of_positive",
+    "conjugate_of_negative",
+    "literals_to_sets",
+    "sets_to_literals",
+]
+
+
+@dataclass(frozen=True)
+class NegativeSet:
+    """An immutable set of negative conclusions ``Ĩ`` (atoms believed false).
+
+    Internally the *atoms* of the negative literals are stored; ``p(a) in
+    negset`` asks whether ``¬p(a)`` belongs to the set.  The class supports
+    the subset/superset comparisons used by the monotonicity arguments of
+    the paper and by the property-based tests.
+    """
+
+    atoms: frozenset[Atom]
+
+    def __init__(self, atoms: Iterable[Atom] = ()):
+        object.__setattr__(self, "atoms", frozenset(atoms))
+
+    # -- container protocol -------------------------------------------- #
+    def __contains__(self, atom: Atom) -> bool:
+        return atom in self.atoms
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self.atoms)
+
+    def __len__(self) -> int:
+        return len(self.atoms)
+
+    def __le__(self, other: "NegativeSet") -> bool:
+        return self.atoms <= other.atoms
+
+    def __lt__(self, other: "NegativeSet") -> bool:
+        return self.atoms < other.atoms
+
+    def __ge__(self, other: "NegativeSet") -> bool:
+        return self.atoms >= other.atoms
+
+    def __gt__(self, other: "NegativeSet") -> bool:
+        return self.atoms > other.atoms
+
+    def __or__(self, other: "NegativeSet") -> "NegativeSet":
+        return NegativeSet(self.atoms | other.atoms)
+
+    def __and__(self, other: "NegativeSet") -> "NegativeSet":
+        return NegativeSet(self.atoms & other.atoms)
+
+    def __sub__(self, other: "NegativeSet") -> "NegativeSet":
+        return NegativeSet(self.atoms - other.atoms)
+
+    def __str__(self) -> str:
+        inner = ", ".join(sorted(f"not {atom}" for atom in self.atoms))
+        return "{" + inner + "}"
+
+    # -- conversions ---------------------------------------------------- #
+    def literals(self) -> frozenset[Literal]:
+        """The set as explicit negative :class:`Literal` objects."""
+        return frozenset(Literal(atom, positive=False) for atom in self.atoms)
+
+    def conjugate(self, base: AbstractSet[Atom]) -> frozenset[Atom]:
+        """Definition 3.2(3b): the positive set ``H − (¬·Ĩ)``.
+
+        Given the Herbrand base *base*, returns the atoms *not* declared
+        false by this negative set.
+        """
+        return frozenset(base) - self.atoms
+
+    @classmethod
+    def empty(cls) -> "NegativeSet":
+        return cls(frozenset())
+
+    @classmethod
+    def everything(cls, base: AbstractSet[Atom]) -> "NegativeSet":
+        """``¬·H`` — every atom of the base declared false."""
+        return cls(frozenset(base))
+
+
+def negative_set(atoms: Iterable[Atom]) -> NegativeSet:
+    """Build a :class:`NegativeSet` from atoms (the atoms to be negated)."""
+    return NegativeSet(atoms)
+
+
+def conjugate_of_positive(positive: AbstractSet[Atom], base: AbstractSet[Atom]) -> NegativeSet:
+    """Definition 3.2(3a): the negative set ``¬·(H − I⁺)``.
+
+    Atoms of the base not in the positive set become negative conclusions.
+    """
+    return NegativeSet(frozenset(base) - frozenset(positive))
+
+
+def conjugate_of_negative(negative: NegativeSet, base: AbstractSet[Atom]) -> frozenset[Atom]:
+    """Definition 3.2(3b): the positive set ``H − (¬·Ĩ)``."""
+    return negative.conjugate(base)
+
+
+def literals_to_sets(literals: Iterable[Literal]) -> tuple[frozenset[Atom], NegativeSet]:
+    """Split a mixed literal set into ``(I⁺, Ĩ)``."""
+    positive: set[Atom] = set()
+    negative: set[Atom] = set()
+    for literal in literals:
+        if literal.positive:
+            positive.add(literal.atom)
+        else:
+            negative.add(literal.atom)
+    return frozenset(positive), NegativeSet(negative)
+
+
+def sets_to_literals(positive: AbstractSet[Atom], negative: NegativeSet) -> frozenset[Literal]:
+    """Merge ``(I⁺, Ĩ)`` back into one set of literals."""
+    result: set[Literal] = {Literal(atom, positive=True) for atom in positive}
+    result.update(Literal(atom, positive=False) for atom in negative)
+    return frozenset(result)

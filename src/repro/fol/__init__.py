@@ -1,0 +1,84 @@
+"""First-order rule bodies and alternating fixpoint logic (Section 8).
+
+Formula ASTs, polarity analysis, truth under literal sets (Definition 8.2),
+general programs and their AFP semantics, fixpoint-logic (FP) systems, and
+the Lloyd–Topor transformation into normal programs (Theorems 8.6–8.7).
+"""
+
+from .fixpoint_logic import FixpointLogicResult, fixpoint_logic_model
+from .formulas import (
+    And,
+    AtomFormula,
+    Exists,
+    FalseFormula,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    TrueFormula,
+    and_,
+    atom_formula,
+    exists,
+    forall,
+    free_variables,
+    not_,
+    or_,
+    substitute_formula,
+    to_negation_normal_form,
+)
+from .general_programs import (
+    GeneralAFPResult,
+    GeneralProgram,
+    GeneralRule,
+    general_alternating_fixpoint,
+    general_eventual_consequence,
+    general_stability_transform,
+)
+from .lloyd_topor import LloydToporResult, domain_facts, lloyd_topor_transform
+from .polarity import (
+    PredicateOccurrence,
+    occurs_only_positively,
+    predicate_occurrences,
+    predicate_polarities,
+)
+from .structures import FiniteStructure
+from .truth import LiteralContext, formula_is_true
+
+__all__ = [
+    "FixpointLogicResult",
+    "fixpoint_logic_model",
+    "And",
+    "AtomFormula",
+    "Exists",
+    "FalseFormula",
+    "Forall",
+    "Formula",
+    "Not",
+    "Or",
+    "TrueFormula",
+    "and_",
+    "atom_formula",
+    "exists",
+    "forall",
+    "free_variables",
+    "not_",
+    "or_",
+    "substitute_formula",
+    "to_negation_normal_form",
+    "GeneralAFPResult",
+    "GeneralProgram",
+    "GeneralRule",
+    "general_alternating_fixpoint",
+    "general_eventual_consequence",
+    "general_stability_transform",
+    "LloydToporResult",
+    "domain_facts",
+    "lloyd_topor_transform",
+    "PredicateOccurrence",
+    "occurs_only_positively",
+    "predicate_occurrences",
+    "predicate_polarities",
+    "FiniteStructure",
+    "LiteralContext",
+    "formula_is_true",
+]

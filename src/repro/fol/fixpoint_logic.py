@@ -1,0 +1,62 @@
+"""Fixpoint logic (FP) systems and their least fixpoints (Section 8).
+
+A fixpoint-logic system is a general logic program whose inductively
+defined (IDB) relations occur only *positively* in the rule bodies; EDB
+relations may occur with either polarity.  On a finite structure the
+semantics is the simultaneous least fixpoint of the rules.
+
+Theorem 8.1 of the paper: for such a system the positive part of the AFP
+model equals the FP least fixpoint — because with no negative IDB literals
+``S_P`` ignores its negative argument entirely.  The tests verify both that
+theorem and Theorem 8.7 (the Lloyd–Topor normal form preserves the positive
+part on the original relations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..datalog.atoms import Atom
+from ..exceptions import FormulaError
+from ..fixpoint.interpretations import PartialInterpretation
+from ..fixpoint.lattice import NegativeSet
+from .general_programs import GeneralProgram, general_eventual_consequence
+from .structures import FiniteStructure
+
+__all__ = ["FixpointLogicResult", "fixpoint_logic_model"]
+
+
+@dataclass(frozen=True)
+class FixpointLogicResult:
+    """The least fixpoint of an FP system over a finite structure."""
+
+    program: GeneralProgram
+    structure: FiniteStructure
+    true_atoms: frozenset[Atom]
+
+    def of_predicate(self, predicate: str) -> set[Atom]:
+        return {atom for atom in self.true_atoms if atom.predicate == predicate}
+
+    @property
+    def interpretation(self) -> PartialInterpretation:
+        """FP is two-valued: IDB atoms not in the fixpoint are false."""
+        base = self.program.herbrand_base(self.structure)
+        return PartialInterpretation.total_from_true(self.true_atoms, base)
+
+
+def fixpoint_logic_model(
+    program: GeneralProgram,
+    structure: FiniteStructure,
+) -> FixpointLogicResult:
+    """Evaluate an FP system: raise unless the IDB occurs only positively.
+
+    The least fixpoint is computed as ``S_P(∅)``, which for FP systems is
+    independent of the negative argument (the proof of Theorem 8.1).
+    """
+    if not program.is_fixpoint_logic():
+        raise FormulaError(
+            "the program is not a fixpoint-logic system: some IDB relation occurs "
+            "negatively in a rule body"
+        )
+    true_atoms = general_eventual_consequence(program, structure, NegativeSet.empty())
+    return FixpointLogicResult(program, structure, true_atoms)

@@ -1,0 +1,283 @@
+"""First-order formula AST (Section 8 of the paper).
+
+A *general logic program* permits arbitrary first-order formulas (with
+equality handled syntactically, per Clark's equality theory) as rule
+bodies.  This module defines the formula tree — atoms, negation,
+conjunction, disjunction, existential and universal quantification, and the
+two truth constants — along with the structural helpers (free variables,
+substitution, negation normal form) the rest of the subpackage builds on.
+
+Formulas are immutable value objects; convenience constructors keep the
+call sites readable::
+
+    from repro.fol.formulas import atom_formula, not_, exists, and_
+    # w(X) <- not exists Y (e(Y, X) and not w(Y))       (Example 8.2)
+    body = not_(exists(["Y"], and_(atom_formula("e", "Y", "X"),
+                                   not_(atom_formula("w", "Y")))))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence, Union
+
+from ..datalog.atoms import Atom
+from ..datalog.terms import Term, Variable, make_term, substitute_term
+from ..exceptions import FormulaError
+
+__all__ = [
+    "Formula",
+    "TrueFormula",
+    "FalseFormula",
+    "AtomFormula",
+    "Not",
+    "And",
+    "Or",
+    "Exists",
+    "Forall",
+    "atom_formula",
+    "not_",
+    "and_",
+    "or_",
+    "exists",
+    "forall",
+    "free_variables",
+    "substitute_formula",
+    "to_negation_normal_form",
+]
+
+
+@dataclass(frozen=True)
+class TrueFormula:
+    """The constant *true* (the body of a fact)."""
+
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class FalseFormula:
+    """The constant *false*."""
+
+    def __str__(self) -> str:
+        return "false"
+
+
+@dataclass(frozen=True)
+class AtomFormula:
+    """An atomic formula wrapping a :class:`~repro.datalog.atoms.Atom`."""
+
+    atom: Atom
+
+    def __str__(self) -> str:
+        return str(self.atom)
+
+
+@dataclass(frozen=True)
+class Not:
+    """Negation of a subformula."""
+
+    sub: "Formula"
+
+    def __str__(self) -> str:
+        return f"not ({self.sub})"
+
+
+@dataclass(frozen=True)
+class And:
+    """Conjunction of zero or more subformulas (empty = true)."""
+
+    parts: tuple["Formula", ...]
+
+    def __init__(self, parts: Iterable["Formula"]):
+        object.__setattr__(self, "parts", tuple(parts))
+
+    def __str__(self) -> str:
+        return "(" + " & ".join(str(p) for p in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class Or:
+    """Disjunction of zero or more subformulas (empty = false)."""
+
+    parts: tuple["Formula", ...]
+
+    def __init__(self, parts: Iterable["Formula"]):
+        object.__setattr__(self, "parts", tuple(parts))
+
+    def __str__(self) -> str:
+        return "(" + " | ".join(str(p) for p in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class Exists:
+    """Existential quantification over one or more variables."""
+
+    variables: tuple[Variable, ...]
+    sub: "Formula"
+
+    def __init__(self, variables: Iterable[Variable], sub: "Formula"):
+        object.__setattr__(self, "variables", tuple(variables))
+        object.__setattr__(self, "sub", sub)
+
+    def __str__(self) -> str:
+        names = ", ".join(v.name for v in self.variables)
+        return f"exists {names} ({self.sub})"
+
+
+@dataclass(frozen=True)
+class Forall:
+    """Universal quantification over one or more variables."""
+
+    variables: tuple[Variable, ...]
+    sub: "Formula"
+
+    def __init__(self, variables: Iterable[Variable], sub: "Formula"):
+        object.__setattr__(self, "variables", tuple(variables))
+        object.__setattr__(self, "sub", sub)
+
+    def __str__(self) -> str:
+        names = ", ".join(v.name for v in self.variables)
+        return f"forall {names} ({self.sub})"
+
+
+Formula = Union[TrueFormula, FalseFormula, AtomFormula, Not, And, Or, Exists, Forall]
+
+
+# --------------------------------------------------------------------- #
+# Convenience constructors
+# --------------------------------------------------------------------- #
+def atom_formula(predicate: str, *args: object) -> AtomFormula:
+    """Build an atomic formula; capitalised string arguments are variables."""
+    return AtomFormula(Atom(predicate, tuple(make_term(a) for a in args)))
+
+
+def not_(sub: Formula) -> Not:
+    return Not(sub)
+
+
+def and_(*parts: Formula) -> Formula:
+    if not parts:
+        return TrueFormula()
+    if len(parts) == 1:
+        return parts[0]
+    return And(parts)
+
+
+def or_(*parts: Formula) -> Formula:
+    if not parts:
+        return FalseFormula()
+    if len(parts) == 1:
+        return parts[0]
+    return Or(parts)
+
+
+def _as_variables(names: Sequence[object]) -> tuple[Variable, ...]:
+    result: list[Variable] = []
+    for name in names:
+        if isinstance(name, Variable):
+            result.append(name)
+        elif isinstance(name, str):
+            result.append(Variable(name))
+        else:
+            raise FormulaError(f"cannot quantify over {name!r}")
+    return tuple(result)
+
+
+def exists(variables: Sequence[object], sub: Formula) -> Exists:
+    return Exists(_as_variables(variables), sub)
+
+
+def forall(variables: Sequence[object], sub: Formula) -> Forall:
+    return Forall(_as_variables(variables), sub)
+
+
+# --------------------------------------------------------------------- #
+# Structural helpers
+# --------------------------------------------------------------------- #
+def free_variables(formula: Formula) -> set[Variable]:
+    """The free variables of *formula*."""
+    if isinstance(formula, (TrueFormula, FalseFormula)):
+        return set()
+    if isinstance(formula, AtomFormula):
+        return set(formula.atom.variables())
+    if isinstance(formula, Not):
+        return free_variables(formula.sub)
+    if isinstance(formula, (And, Or)):
+        result: set[Variable] = set()
+        for part in formula.parts:
+            result.update(free_variables(part))
+        return result
+    if isinstance(formula, (Exists, Forall)):
+        return free_variables(formula.sub) - set(formula.variables)
+    raise FormulaError(f"unknown formula node {formula!r}")
+
+
+def substitute_formula(formula: Formula, binding: Mapping[Variable, Term]) -> Formula:
+    """Apply a variable binding, respecting quantifier scopes."""
+    if isinstance(formula, (TrueFormula, FalseFormula)):
+        return formula
+    if isinstance(formula, AtomFormula):
+        return AtomFormula(formula.atom.substitute(binding))
+    if isinstance(formula, Not):
+        return Not(substitute_formula(formula.sub, binding))
+    if isinstance(formula, And):
+        return And(tuple(substitute_formula(p, binding) for p in formula.parts))
+    if isinstance(formula, Or):
+        return Or(tuple(substitute_formula(p, binding) for p in formula.parts))
+    if isinstance(formula, (Exists, Forall)):
+        inner_binding = {v: t for v, t in binding.items() if v not in formula.variables}
+        cls = Exists if isinstance(formula, Exists) else Forall
+        return cls(formula.variables, substitute_formula(formula.sub, inner_binding))
+    raise FormulaError(f"unknown formula node {formula!r}")
+
+
+def to_negation_normal_form(formula: Formula) -> Formula:
+    """Push negations down to atoms (negation normal form).
+
+    This is the "explicit literal form" of Definition 8.1 carried to its
+    natural conclusion: after the rewrite every negation sits immediately
+    above an atom, double negations are gone, and ``¬∀``/``¬∃`` have been
+    converted via the usual dualities.
+    """
+    if isinstance(formula, (TrueFormula, FalseFormula, AtomFormula)):
+        return formula
+    if isinstance(formula, And):
+        return And(tuple(to_negation_normal_form(p) for p in formula.parts))
+    if isinstance(formula, Or):
+        return Or(tuple(to_negation_normal_form(p) for p in formula.parts))
+    if isinstance(formula, Exists):
+        return Exists(formula.variables, to_negation_normal_form(formula.sub))
+    if isinstance(formula, Forall):
+        return Forall(formula.variables, to_negation_normal_form(formula.sub))
+    if isinstance(formula, Not):
+        inner = formula.sub
+        if isinstance(inner, TrueFormula):
+            return FalseFormula()
+        if isinstance(inner, FalseFormula):
+            return TrueFormula()
+        if isinstance(inner, AtomFormula):
+            return formula
+        if isinstance(inner, Not):
+            return to_negation_normal_form(inner.sub)
+        if isinstance(inner, And):
+            return Or(tuple(to_negation_normal_form(Not(p)) for p in inner.parts))
+        if isinstance(inner, Or):
+            return And(tuple(to_negation_normal_form(Not(p)) for p in inner.parts))
+        if isinstance(inner, Exists):
+            return Forall(inner.variables, to_negation_normal_form(Not(inner.sub)))
+        if isinstance(inner, Forall):
+            return Exists(inner.variables, to_negation_normal_form(Not(inner.sub)))
+    raise FormulaError(f"unknown formula node {formula!r}")
+
+
+def subformulas(formula: Formula) -> Iterator[Formula]:
+    """Yield every subformula (including the formula itself), preorder."""
+    yield formula
+    if isinstance(formula, Not):
+        yield from subformulas(formula.sub)
+    elif isinstance(formula, (And, Or)):
+        for part in formula.parts:
+            yield from subformulas(part)
+    elif isinstance(formula, (Exists, Forall)):
+        yield from subformulas(formula.sub)

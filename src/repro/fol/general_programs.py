@@ -1,0 +1,257 @@
+"""General logic programs and alternating fixpoint logic (Section 8).
+
+A *general logic program* has one rule per IDB relation whose body is an
+arbitrary first-order formula.  Given a finite structure, the operators of
+Sections 4 and 5 generalise directly once Definition 8.2 supplies the
+notion of a formula being true in a literal set:
+
+* ``S_P(Ĩ)`` — least fixpoint of the one-step operator that fires a rule
+  instance when its body is assigned true by ``S ∪ Ĩ``;
+* ``S̃_P(Ĩ)`` — conjugate of ``S_P(Ĩ)`` within the IDB Herbrand base of the
+  structure;
+* ``A_P = S̃_P ∘ S̃_P`` and its least fixpoint, the *alternating fixpoint
+  logic* semantics.
+
+This is the machinery behind Theorem 8.1 (AFP logic extends fixpoint
+logic) and Example 8.2 (well-founded nodes of a graph), and the reference
+point for checking the Lloyd–Topor translation of Theorems 8.6–8.7.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional, Sequence
+
+from ..datalog.atoms import Atom
+from ..datalog.terms import Constant, Term, Variable
+from ..exceptions import EvaluationError, FormulaError
+from ..fixpoint.interpretations import PartialInterpretation
+from ..fixpoint.lattice import NegativeSet, conjugate_of_positive
+from .formulas import Formula, free_variables, substitute_formula
+from .polarity import predicate_polarities
+from .structures import FiniteStructure
+from .truth import LiteralContext, formula_is_true
+
+__all__ = [
+    "GeneralRule",
+    "GeneralProgram",
+    "GeneralAFPResult",
+    "general_eventual_consequence",
+    "general_stability_transform",
+    "general_alternating_fixpoint",
+]
+
+_MAX_STAGES = 1_000_000
+
+
+@dataclass(frozen=True)
+class GeneralRule:
+    """A rule ``head(vars) ← body`` with a first-order body.
+
+    The head must be an atom whose arguments are distinct variables; the
+    body's free variables must be a subset of the head variables (variables
+    local to the body must be explicitly quantified).
+    """
+
+    head: Atom
+    body: Formula
+
+    def __post_init__(self) -> None:
+        head_variables = list(self.head.variables())
+        if len(set(head_variables)) != len(head_variables):
+            raise FormulaError(f"head {self.head} repeats a variable")
+        if any(not isinstance(term, Variable) for term in self.head.args):
+            raise FormulaError(f"head {self.head} must have only variable arguments")
+        extra = free_variables(self.body) - set(head_variables)
+        if extra:
+            names = ", ".join(sorted(v.name for v in extra))
+            raise FormulaError(
+                f"body of rule for {self.head} has unquantified variables not in "
+                f"the head: {names}"
+            )
+
+    def __str__(self) -> str:
+        return f"{self.head} <- {self.body}"
+
+
+class GeneralProgram:
+    """A finite set of general rules, at most one per IDB relation.
+
+    (Multiple rules for one relation can always be merged into a single
+    rule with a disjunctive body, which is how fixpoint logic formats are
+    usually presented; the constructor enforces the single-rule convention
+    so the Section 8 theorems apply verbatim.)
+    """
+
+    def __init__(self, rules: Iterable[GeneralRule]):
+        self._rules = tuple(rules)
+        seen: set[str] = set()
+        for rule in self._rules:
+            if rule.head.predicate in seen:
+                raise FormulaError(
+                    f"general programs allow one rule per relation; {rule.head.predicate} "
+                    "appears twice (merge the bodies with a disjunction)"
+                )
+            seen.add(rule.head.predicate)
+
+    def __iter__(self):
+        return iter(self._rules)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    @property
+    def rules(self) -> tuple[GeneralRule, ...]:
+        return self._rules
+
+    def idb_predicates(self) -> set[str]:
+        return {rule.head.predicate for rule in self._rules}
+
+    def body_predicates(self) -> set[str]:
+        result: set[str] = set()
+        for rule in self._rules:
+            result.update(predicate_polarities(rule.body))
+        return result
+
+    def edb_predicates(self) -> set[str]:
+        return self.body_predicates() - self.idb_predicates()
+
+    def is_fixpoint_logic(self) -> bool:
+        """True when every IDB occurrence in every body is positive — the
+        defining restriction of fixpoint logic (FP)."""
+        idb = self.idb_predicates()
+        for rule in self._rules:
+            polarities = predicate_polarities(rule.body)
+            for predicate, signs in polarities.items():
+                if predicate in idb and False in signs:
+                    return False
+        return True
+
+    def herbrand_base(self, structure: FiniteStructure) -> frozenset[Atom]:
+        """All IDB atoms instantiable over the structure's domain."""
+        base: set[Atom] = set()
+        for rule in self._rules:
+            arity = rule.head.arity
+            if arity == 0:
+                base.add(Atom(rule.head.predicate, ()))
+                continue
+            for combination in itertools.product(structure.domain, repeat=arity):
+                base.add(Atom(rule.head.predicate, tuple(combination)))
+        return frozenset(base)
+
+
+@dataclass(frozen=True)
+class GeneralAFPResult:
+    """The alternating fixpoint partial model of a general program."""
+
+    program: GeneralProgram
+    structure: FiniteStructure
+    base: frozenset[Atom]
+    negative_fixpoint: NegativeSet
+    positive_fixpoint: frozenset[Atom]
+    iterations: int
+
+    @property
+    def model(self) -> PartialInterpretation:
+        return PartialInterpretation(self.positive_fixpoint, set(self.negative_fixpoint))
+
+    @property
+    def undefined_atoms(self) -> frozenset[Atom]:
+        return self.base - self.positive_fixpoint - frozenset(self.negative_fixpoint.atoms)
+
+    @property
+    def is_total(self) -> bool:
+        return not self.undefined_atoms
+
+    def true_of_predicate(self, predicate: str) -> set[Atom]:
+        return {a for a in self.positive_fixpoint if a.predicate == predicate}
+
+    def false_of_predicate(self, predicate: str) -> set[Atom]:
+        return {a for a in self.negative_fixpoint.atoms if a.predicate == predicate}
+
+
+def _instantiations(rule: GeneralRule, structure: FiniteStructure) -> Iterable[tuple[Atom, Formula]]:
+    """Yield ``(ground head, ground-closed body)`` for every assignment of
+    domain elements to the head variables."""
+    variables = [term for term in rule.head.args if isinstance(term, Variable)]
+    if not variables:
+        yield rule.head, rule.body
+        return
+    for combination in itertools.product(structure.domain, repeat=len(variables)):
+        binding: dict[Variable, Term] = dict(zip(variables, combination))
+        yield rule.head.substitute(binding), substitute_formula(rule.body, binding)
+
+
+def general_eventual_consequence(
+    program: GeneralProgram,
+    structure: FiniteStructure,
+    negative: NegativeSet,
+) -> frozenset[Atom]:
+    """``S_P(Ĩ)`` for a general program over a finite structure.
+
+    The closure ordinal need not be ω in general (Section 8.1 notes rule
+    bodies are no longer existential), but over a finite structure the
+    iteration terminates; we simply iterate to a fixpoint.
+    """
+    edb = frozenset(structure.edb_predicates()) | (
+        program.body_predicates() - program.idb_predicates()
+    )
+    instantiated = [
+        (head, body)
+        for rule in program
+        for head, body in _instantiations(rule, structure)
+    ]
+
+    positive: frozenset[Atom] = frozenset()
+    for _ in range(_MAX_STAGES):
+        context = LiteralContext(structure, positive, negative, edb_predicates=edb)
+        derived = {head for head, body in instantiated if formula_is_true(body, context)}
+        following = frozenset(derived)
+        if following == positive:
+            return positive
+        positive = following
+    raise EvaluationError("general S_P iteration did not converge")
+
+
+def general_stability_transform(
+    program: GeneralProgram,
+    structure: FiniteStructure,
+    negative: NegativeSet,
+    base: Optional[frozenset[Atom]] = None,
+) -> NegativeSet:
+    """``S̃_P(Ĩ)`` for general programs: the conjugate of ``S_P(Ĩ)``."""
+    if base is None:
+        base = program.herbrand_base(structure)
+    derived = general_eventual_consequence(program, structure, negative)
+    return conjugate_of_positive(derived, base)
+
+
+def general_alternating_fixpoint(
+    program: GeneralProgram,
+    structure: FiniteStructure,
+) -> GeneralAFPResult:
+    """The alternating fixpoint partial model of a general program
+    (alternating fixpoint logic, Section 8.3)."""
+    base = program.herbrand_base(structure)
+    current = NegativeSet.empty()
+    previous_even = current
+    iterations = 0
+    while True:
+        iterations += 1
+        if iterations > _MAX_STAGES:
+            raise EvaluationError("general alternating fixpoint did not converge")
+        current = general_stability_transform(program, structure, current, base)
+        if iterations % 2 == 0:
+            if current == previous_even:
+                break
+            previous_even = current
+    positive = general_eventual_consequence(program, structure, current)
+    return GeneralAFPResult(
+        program=program,
+        structure=structure,
+        base=base,
+        negative_fixpoint=current,
+        positive_fixpoint=positive,
+        iterations=iterations,
+    )

@@ -1,0 +1,66 @@
+"""Polarity of subformulas and predicate occurrences (Definition 8.1).
+
+A subformula is *positive* when it lies under an even number of negations
+and *negative* otherwise.  The polarity of predicate occurrences is what
+distinguishes fixpoint-logic systems (IDB predicates occur only positively)
+from general programs, and what classifies the auxiliary relations created
+by the Lloyd–Topor transformation as globally positive or globally negative
+(Definition 8.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from .formulas import And, AtomFormula, Exists, FalseFormula, Forall, Formula, Not, Or, TrueFormula
+
+__all__ = ["PredicateOccurrence", "predicate_occurrences", "predicate_polarities", "occurs_only_positively"]
+
+
+@dataclass(frozen=True)
+class PredicateOccurrence:
+    """One occurrence of a predicate inside a formula.
+
+    ``positive`` reflects the number of enclosing negations (even = True).
+    """
+
+    predicate: str
+    positive: bool
+
+
+def predicate_occurrences(formula: Formula, positive: bool = True) -> Iterator[PredicateOccurrence]:
+    """Yield every predicate occurrence of *formula* with its polarity."""
+    if isinstance(formula, (TrueFormula, FalseFormula)):
+        return
+    if isinstance(formula, AtomFormula):
+        yield PredicateOccurrence(formula.atom.predicate, positive)
+        return
+    if isinstance(formula, Not):
+        yield from predicate_occurrences(formula.sub, not positive)
+        return
+    if isinstance(formula, (And, Or)):
+        for part in formula.parts:
+            yield from predicate_occurrences(part, positive)
+        return
+    if isinstance(formula, (Exists, Forall)):
+        yield from predicate_occurrences(formula.sub, positive)
+        return
+
+
+def predicate_polarities(formula: Formula) -> dict[str, set[bool]]:
+    """Map each predicate of the formula to the set of polarities it occurs
+    with (``{True}``, ``{False}`` or both)."""
+    result: dict[str, set[bool]] = {}
+    for occurrence in predicate_occurrences(formula):
+        result.setdefault(occurrence.predicate, set()).add(occurrence.positive)
+    return result
+
+
+def occurs_only_positively(formula: Formula, predicates: set[str]) -> bool:
+    """True when every occurrence of any of *predicates* in the formula is
+    positive — the defining restriction of fixpoint logic (Section 8)."""
+    for occurrence in predicate_occurrences(formula):
+        if occurrence.predicate in predicates and not occurrence.positive:
+            return False
+    return True

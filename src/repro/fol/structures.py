@@ -1,0 +1,79 @@
+"""Finite structures for evaluating first-order rule bodies.
+
+Quantifiers in general rule bodies range over a *domain*.  The
+:class:`FiniteStructure` couples a finite domain of constants with an EDB
+database; it is the "given structure" of the expressiveness discussion in
+Sections 2.5 and 8 (fixpoint logic on finite structures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..datalog.atoms import Atom
+from ..datalog.database import Database
+from ..datalog.terms import Constant, Term
+
+__all__ = ["FiniteStructure"]
+
+
+@dataclass
+class FiniteStructure:
+    """A finite domain plus extensional relations.
+
+    The domain elements are stored as constants; plain Python values are
+    coerced on construction.  ``edb`` holds the given relations (e.g. the
+    edge relation ``e`` of the paper's graph examples).
+    """
+
+    domain: tuple[Constant, ...]
+    edb: Database = field(default_factory=Database)
+
+    def __init__(self, domain: Iterable[object], edb: Database | None = None):
+        coerced = tuple(
+            element if isinstance(element, Constant) else Constant(element)
+            for element in domain
+        )
+        self.domain = coerced
+        self.edb = edb if edb is not None else Database()
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_relations(
+        cls,
+        domain: Iterable[object],
+        relations: dict[str, Iterable[Sequence[object]]],
+    ) -> "FiniteStructure":
+        """Build a structure from a domain and ``{relation: rows}``."""
+        return cls(domain, Database.from_tuples(relations))
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[tuple[object, object]], relation: str = "e") -> "FiniteStructure":
+        """Build a graph structure: domain = endpoints, one binary relation."""
+        edge_list = list(edges)
+        nodes: list[object] = []
+        seen: set[object] = set()
+        for source, target in edge_list:
+            for node in (source, target):
+                if node not in seen:
+                    seen.add(node)
+                    nodes.append(node)
+        return cls.from_relations(nodes, {relation: edge_list})
+
+    # ------------------------------------------------------------------ #
+    def size(self) -> int:
+        return len(self.domain)
+
+    def edb_atoms(self) -> set[Atom]:
+        return set(self.edb.facts())
+
+    def edb_holds(self, atom: Atom) -> bool:
+        """Is the ground atom a fact of the structure's EDB?"""
+        return self.edb.contains(atom.predicate, *atom.args)
+
+    def edb_predicates(self) -> set[str]:
+        return self.edb.relations()
+
+    def domain_values(self) -> tuple[object, ...]:
+        return tuple(constant.value for constant in self.domain)

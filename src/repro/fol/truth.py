@@ -1,0 +1,145 @@
+"""Truth of first-order rule bodies relative to a literal set (Definition 8.2).
+
+The alternating fixpoint generalises to first-order rule bodies by defining
+when an arbitrary set of literals ``I`` *assigns true* to a closed formula:
+
+1. put the formula into explicit literal form (negations pushed onto atoms);
+2. a ground literal is true exactly when it occurs in ``I`` (absence is
+   falsity — note the asymmetry discussed in Example 8.1);
+3. connectives and quantifiers are evaluated classically, quantifiers
+   ranging over the structure's finite domain.
+
+IDB literals are looked up in ``I``; EDB atoms are looked up directly in
+the structure, implementing the convention that interpretations always
+interpret the EDB correctly (Section 3.3).
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Mapping
+
+from ..datalog.atoms import Atom
+from ..datalog.terms import Term, Variable
+from ..exceptions import FormulaError
+from ..fixpoint.lattice import NegativeSet
+from .formulas import (
+    And,
+    AtomFormula,
+    Exists,
+    FalseFormula,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    TrueFormula,
+    free_variables,
+    substitute_formula,
+    to_negation_normal_form,
+)
+from .structures import FiniteStructure
+
+__all__ = ["LiteralContext", "formula_is_true"]
+
+
+class LiteralContext:
+    """The literal set ``I`` of Definition 8.2, split into positive and
+    negative parts, plus the structure supplying the EDB and the domain."""
+
+    def __init__(
+        self,
+        structure: FiniteStructure,
+        positive: AbstractSet[Atom] = frozenset(),
+        negative: NegativeSet | AbstractSet[Atom] = frozenset(),
+        edb_predicates: AbstractSet[str] | None = None,
+    ):
+        self.structure = structure
+        self.positive = frozenset(positive)
+        if isinstance(negative, NegativeSet):
+            self.negative = frozenset(negative.atoms)
+        else:
+            self.negative = frozenset(negative)
+        self.edb_predicates = (
+            frozenset(edb_predicates)
+            if edb_predicates is not None
+            else frozenset(structure.edb_predicates())
+        )
+
+    def positive_literal_true(self, atom: Atom) -> bool:
+        if atom.predicate in self.edb_predicates:
+            return self.structure.edb_holds(atom)
+        return atom in self.positive
+
+    def negative_literal_true(self, atom: Atom) -> bool:
+        if atom.predicate in self.edb_predicates:
+            return not self.structure.edb_holds(atom)
+        return atom in self.negative
+
+
+def formula_is_true(formula: Formula, context: LiteralContext) -> bool:
+    """Definition 8.2: does the literal set assign *true* to the closed
+    formula?
+
+    Raises :class:`FormulaError` when the formula has free variables (rule
+    bodies are closed by the head substitution before evaluation).
+    """
+    if free_variables(formula):
+        names = ", ".join(sorted(v.name for v in free_variables(formula)))
+        raise FormulaError(f"formula has free variables: {names}")
+    return _evaluate(to_negation_normal_form(formula), context, {})
+
+
+def _evaluate(
+    formula: Formula,
+    context: LiteralContext,
+    binding: Mapping[Variable, Term],
+) -> bool:
+    if isinstance(formula, TrueFormula):
+        return True
+    if isinstance(formula, FalseFormula):
+        return False
+    if isinstance(formula, AtomFormula):
+        atom = formula.atom.substitute(binding)
+        if not atom.is_ground:
+            raise FormulaError(f"atom {atom} is not ground under the current binding")
+        return context.positive_literal_true(atom)
+    if isinstance(formula, Not):
+        inner = formula.sub
+        if not isinstance(inner, AtomFormula):
+            raise FormulaError(
+                "negation above a non-atom after NNF conversion; this is a bug"
+            )
+        atom = inner.atom.substitute(binding)
+        if not atom.is_ground:
+            raise FormulaError(f"atom {atom} is not ground under the current binding")
+        return context.negative_literal_true(atom)
+    if isinstance(formula, And):
+        return all(_evaluate(part, context, binding) for part in formula.parts)
+    if isinstance(formula, Or):
+        return any(_evaluate(part, context, binding) for part in formula.parts)
+    if isinstance(formula, Exists):
+        return _quantify(formula.variables, formula.sub, context, binding, any_of=True)
+    if isinstance(formula, Forall):
+        return _quantify(formula.variables, formula.sub, context, binding, any_of=False)
+    raise FormulaError(f"unknown formula node {formula!r}")
+
+
+def _quantify(
+    variables: tuple[Variable, ...],
+    sub: Formula,
+    context: LiteralContext,
+    binding: Mapping[Variable, Term],
+    any_of: bool,
+) -> bool:
+    """Evaluate a block of quantifiers over the structure's domain."""
+    domain = context.structure.domain
+
+    def recurse(index: int, current: dict[Variable, Term]) -> bool:
+        if index == len(variables):
+            return _evaluate(sub, context, current)
+        results = (
+            recurse(index + 1, {**current, variables[index]: element})
+            for element in domain
+        )
+        return any(results) if any_of else all(results)
+
+    return recurse(0, dict(binding))

@@ -1,0 +1,41 @@
+"""Win–move games (Example 5.2) and graph workload generators."""
+
+from .graphs import (
+    binary_tree_edges,
+    chain_edges,
+    complete_dag_edges,
+    cycle_edges,
+    grid_edges,
+    lollipop_edges,
+    nodes_of,
+    random_digraph_edges,
+    random_game_edges,
+)
+from .winmove import (
+    WIN_RULE,
+    GameSolution,
+    figure4a_edges,
+    figure4b_edges,
+    figure4c_edges,
+    solve_game,
+    win_move_program,
+)
+
+__all__ = [
+    "binary_tree_edges",
+    "chain_edges",
+    "complete_dag_edges",
+    "cycle_edges",
+    "grid_edges",
+    "lollipop_edges",
+    "nodes_of",
+    "random_digraph_edges",
+    "random_game_edges",
+    "WIN_RULE",
+    "GameSolution",
+    "figure4a_edges",
+    "figure4b_edges",
+    "figure4c_edges",
+    "solve_game",
+    "win_move_program",
+]

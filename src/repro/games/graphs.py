@@ -1,0 +1,139 @@
+"""Deterministic graph generators used as benchmark workloads.
+
+The paper's examples are all graph-shaped (move graphs, edge relations for
+transitive closure, well-founded chains), so the benchmark harness sweeps
+over parametric graph families.  All generators take an explicit ``seed``
+where randomness is involved so benchmark runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+__all__ = [
+    "chain_edges",
+    "cycle_edges",
+    "complete_dag_edges",
+    "binary_tree_edges",
+    "grid_edges",
+    "random_digraph_edges",
+    "random_game_edges",
+    "lollipop_edges",
+]
+
+Edge = tuple[object, object]
+
+
+def chain_edges(length: int, prefix: str = "n") -> list[Edge]:
+    """A simple path ``n0 -> n1 -> ... -> n(length)``."""
+    return [(f"{prefix}{i}", f"{prefix}{i + 1}") for i in range(length)]
+
+
+def cycle_edges(length: int, prefix: str = "n") -> list[Edge]:
+    """A directed cycle of the given length (length >= 1)."""
+    if length < 1:
+        return []
+    return [
+        (f"{prefix}{i}", f"{prefix}{(i + 1) % length}") for i in range(length)
+    ]
+
+
+def lollipop_edges(cycle_length: int, tail_length: int, prefix: str = "n") -> list[Edge]:
+    """A cycle with a path hanging off it — the shape of Figure 4(b)."""
+    edges = cycle_edges(cycle_length, prefix)
+    if tail_length <= 0:
+        return edges
+    edges.append((f"{prefix}0", f"{prefix}t0"))
+    edges.extend(
+        (f"{prefix}t{i}", f"{prefix}t{i + 1}") for i in range(tail_length - 1)
+    )
+    return edges
+
+
+def complete_dag_edges(nodes: int, prefix: str = "n") -> list[Edge]:
+    """All edges ``i -> j`` with ``i < j`` (a transitively closed DAG)."""
+    return [
+        (f"{prefix}{i}", f"{prefix}{j}")
+        for i in range(nodes)
+        for j in range(i + 1, nodes)
+    ]
+
+
+def binary_tree_edges(depth: int, prefix: str = "n") -> list[Edge]:
+    """Edges of a complete binary tree of the given depth, parent -> child."""
+    edges: list[Edge] = []
+    total = 2 ** depth - 1
+    for index in range(total):
+        for child in (2 * index + 1, 2 * index + 2):
+            if child < 2 ** (depth + 1) - 1:
+                edges.append((f"{prefix}{index}", f"{prefix}{child}"))
+    return edges
+
+
+def grid_edges(rows: int, columns: int, prefix: str = "n") -> list[Edge]:
+    """Edges of a directed grid: right and down moves only."""
+    edges: list[Edge] = []
+    for row in range(rows):
+        for column in range(columns):
+            node = f"{prefix}{row}_{column}"
+            if column + 1 < columns:
+                edges.append((node, f"{prefix}{row}_{column + 1}"))
+            if row + 1 < rows:
+                edges.append((node, f"{prefix}{row + 1}_{column}"))
+    return edges
+
+
+def random_digraph_edges(
+    nodes: int,
+    edge_probability: float,
+    seed: int = 0,
+    prefix: str = "n",
+    allow_self_loops: bool = False,
+) -> list[Edge]:
+    """A G(n, p) random directed graph with a fixed seed."""
+    generator = random.Random(seed)
+    edges: list[Edge] = []
+    for source in range(nodes):
+        for target in range(nodes):
+            if source == target and not allow_self_loops:
+                continue
+            if generator.random() < edge_probability:
+                edges.append((f"{prefix}{source}", f"{prefix}{target}"))
+    return edges
+
+
+def random_game_edges(
+    nodes: int,
+    out_degree: int,
+    seed: int = 0,
+    prefix: str = "n",
+) -> list[Edge]:
+    """A random game graph: each non-sink node gets up to ``out_degree``
+    outgoing moves; roughly a quarter of the nodes are forced to be sinks so
+    the games have interesting won/lost/drawn mixtures."""
+    generator = random.Random(seed)
+    edges: list[Edge] = []
+    sink_count = max(1, nodes // 4)
+    sinks = set(generator.sample(range(nodes), sink_count))
+    for source in range(nodes):
+        if source in sinks:
+            continue
+        degree = generator.randint(1, max(1, out_degree))
+        targets = generator.sample(range(nodes), min(degree, nodes))
+        for target in targets:
+            if target != source:
+                edges.append((f"{prefix}{source}", f"{prefix}{target}"))
+    return edges
+
+
+def nodes_of(edges: Iterable[Edge]) -> list[object]:
+    """The distinct endpoints of an edge list, in first-seen order."""
+    result: list[object] = []
+    seen: set[object] = set()
+    for source, target in edges:
+        for node in (source, target):
+            if node not in seen:
+                seen.add(node)
+                result.append(node)
+    return result

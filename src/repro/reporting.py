@@ -1,0 +1,114 @@
+"""Plain-text report rendering.
+
+The examples, the CLI, and the benchmark harness all need to show the same
+few artefacts — a Table-I style iteration trace, a three-valued model, a
+game solution, a cross-semantics comparison — as readable fixed-width
+tables.  Centralising the formatting here keeps those front-ends small and
+the output consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from .core.alternating import AlternatingFixpointResult
+from .datalog.atoms import Atom
+from .fixpoint.interpretations import PartialInterpretation
+from .semantics.comparison import SemanticsComparison
+
+__all__ = [
+    "format_table",
+    "render_trace",
+    "render_model",
+    "render_comparison",
+    "render_game",
+]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a fixed-width text table with a header rule."""
+    materialised = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+            else:
+                widths.append(len(cell))
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    output = [line(list(headers)), line(["-" * w for w in widths])]
+    output.extend(line(row) for row in materialised)
+    return "\n".join(output)
+
+
+def _atoms_text(atoms: Iterable[Atom], predicate: Optional[str] = None, negate: bool = False) -> str:
+    wanted = sorted(
+        str(a) for a in atoms if predicate is None or a.predicate == predicate
+    )
+    if negate:
+        wanted = [f"not {text}" for text in wanted]
+    return "{" + ", ".join(wanted) + "}"
+
+
+def render_trace(result: AlternatingFixpointResult, predicate: Optional[str] = None) -> str:
+    """Render the alternating-fixpoint iteration as the paper's Table I.
+
+    ``predicate`` restricts the display to one relation (handy for win–move
+    games where the EDB atoms would drown the interesting part).
+    """
+    rows = []
+    for stage in result.stages:
+        rows.append(
+            (
+                stage.index,
+                "under" if stage.is_underestimate else "over",
+                _atoms_text(stage.negative.atoms, predicate, negate=True),
+                _atoms_text(stage.positive, predicate),
+            )
+        )
+    return format_table(("k", "kind", "Ĩ_k", "S_P(Ĩ_k)"), rows)
+
+
+def render_model(
+    interpretation: PartialInterpretation,
+    base: Optional[Iterable[Atom]] = None,
+    predicate: Optional[str] = None,
+) -> str:
+    """Render a partial interpretation as three labelled rows."""
+    rows = [
+        ("true", _atoms_text(interpretation.true_atoms, predicate)),
+        ("false", _atoms_text(interpretation.false_atoms, predicate)),
+    ]
+    if base is not None:
+        undefined = interpretation.undefined_atoms(frozenset(base))
+        rows.append(("undefined", _atoms_text(undefined, predicate)))
+    return format_table(("verdict", "atoms"), rows)
+
+
+def render_comparison(comparison: SemanticsComparison, atoms: Sequence[Atom]) -> str:
+    """Render a per-atom verdict table across all semantics."""
+    columns = [
+        ("well_founded", "WFS"),
+        ("alternating_fixpoint", "AFP"),
+        ("fitting", "Fitting"),
+        ("stratified", "Stratified"),
+        ("inflationary", "IFP"),
+        ("stable", "Stable"),
+    ]
+    rows = []
+    for atom in atoms:
+        verdicts = comparison.verdicts_for(atom)
+        rows.append([str(atom)] + [verdicts[key] for key, _ in columns])
+    return format_table(["atom"] + [label for _, label in columns], rows)
+
+
+def render_game(solution) -> str:
+    """Render a :class:`repro.games.winmove.GameSolution`."""
+    rows = [
+        ("won", ", ".join(sorted(map(str, solution.won)))),
+        ("lost", ", ".join(sorted(map(str, solution.lost)))),
+        ("drawn", ", ".join(sorted(map(str, solution.drawn)))),
+    ]
+    return format_table(("status", "positions"), rows)

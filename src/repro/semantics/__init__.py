@@ -1,0 +1,41 @@
+"""Baseline semantics the paper compares against.
+
+* Horn minimum models (van Emden–Kowalski);
+* stratified / perfect models;
+* the inflationary (IFP) semantics;
+* Fitting's Kripke–Kleene three-valued semantics;
+* the Clark completion;
+* a comparison harness evaluating one program under all of them.
+"""
+
+from .completion import ClarkCompletion, CompletionDefinition, clark_completion
+from .comparison import SemanticsComparison, compare_semantics
+from .fitting import FittingResult, fitting_model, fitting_transform
+from .horn import HornModelResult, horn_minimum_model, horn_model_trace
+from .inflationary import (
+    InflationaryResult,
+    inflationary_model,
+    inflationary_trace,
+    naive_negation_trace,
+)
+from .stratified import StratifiedModelResult, stratified_model
+
+__all__ = [
+    "ClarkCompletion",
+    "CompletionDefinition",
+    "clark_completion",
+    "SemanticsComparison",
+    "compare_semantics",
+    "FittingResult",
+    "fitting_model",
+    "fitting_transform",
+    "HornModelResult",
+    "horn_minimum_model",
+    "horn_model_trace",
+    "InflationaryResult",
+    "inflationary_model",
+    "inflationary_trace",
+    "naive_negation_trace",
+    "StratifiedModelResult",
+    "stratified_model",
+]

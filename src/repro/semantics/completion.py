@@ -1,0 +1,116 @@
+"""Clark completion (Section 2.1 of the paper).
+
+The *completion* of a program replaces the "if" rules by "if and only if"
+definitions: every atom of the base is equivalent to the disjunction of its
+rule bodies (an empty disjunction is falsity).  The paper recalls the
+classical anomaly that the completion of ``p ← ¬p`` is the inconsistent
+``p ↔ ¬p``; this module builds completions of *ground* programs explicitly
+so the tests can demonstrate exactly that, and relates two-valued models of
+the completion to the other semantics (every stable model is a model of the
+completion, but not conversely).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import AbstractSet, Iterator
+
+from ..datalog.atoms import Atom, Literal
+from ..datalog.grounding import GroundingLimits
+from ..datalog.rules import Program
+from ..core.context import GroundContext, build_context
+
+__all__ = ["CompletionDefinition", "ClarkCompletion", "clark_completion"]
+
+
+@dataclass(frozen=True)
+class CompletionDefinition:
+    """The completed definition of one atom: ``atom ↔ ∨ bodies``."""
+
+    atom: Atom
+    bodies: tuple[tuple[Literal, ...], ...]
+
+    def __str__(self) -> str:
+        if not self.bodies:
+            return f"{self.atom} <-> false"
+        disjuncts = [
+            " & ".join(str(literal) for literal in body) if body else "true"
+            for body in self.bodies
+        ]
+        return f"{self.atom} <-> " + " | ".join(disjuncts)
+
+    def holds_in(self, true_atoms: AbstractSet[Atom]) -> bool:
+        """Two-valued check of the equivalence under a total assignment."""
+        left = self.atom in true_atoms
+        right = any(
+            all(
+                (literal.atom in true_atoms) == literal.positive
+                for literal in body
+            )
+            for body in self.bodies
+        )
+        return left == right
+
+
+@dataclass(frozen=True)
+class ClarkCompletion:
+    """The completion of a ground program: one definition per base atom."""
+
+    context: GroundContext
+    definitions: tuple[CompletionDefinition, ...]
+
+    def definition_of(self, atom: Atom) -> CompletionDefinition:
+        for definition in self.definitions:
+            if definition.atom == atom:
+                return definition
+        return CompletionDefinition(atom, ())
+
+    def is_model(self, true_atoms: AbstractSet[Atom]) -> bool:
+        """Is the total assignment (true atoms listed, rest false) a
+        two-valued model of the completion?"""
+        return all(definition.holds_in(true_atoms) for definition in self.definitions)
+
+    def two_valued_models(self) -> Iterator[frozenset[Atom]]:
+        """Enumerate every two-valued model by brute force.
+
+        Exponential in the base size — intended for the small programs of
+        the paper's examples and for differential testing against stable
+        models (every stable model is a completion model).
+        """
+        atoms = sorted(self.context.base, key=str)
+        for size in range(len(atoms) + 1):
+            for subset in itertools.combinations(atoms, size):
+                candidate = frozenset(subset)
+                if self.is_model(candidate):
+                    yield candidate
+
+    def is_consistent(self) -> bool:
+        """True when the completion has at least one two-valued model."""
+        return next(iter(self.two_valued_models()), None) is not None
+
+
+def clark_completion(
+    program: Program | GroundContext,
+    limits: GroundingLimits | None = None,
+) -> ClarkCompletion:
+    """Build the Clark completion of the (grounded) program."""
+    if isinstance(program, GroundContext):
+        context = program
+    else:
+        context = build_context(program, limits=limits)
+
+    definitions: list[CompletionDefinition] = []
+    for atom in sorted(context.base, key=str):
+        bodies: list[tuple[Literal, ...]] = []
+        if atom in context.facts:
+            bodies.append(())
+        for index in context.rules_by_head.get(atom, ()):
+            rule = context.rules[index]
+            body = tuple(
+                [Literal(a, True) for a in rule.positive_body]
+                + [Literal(a, False) for a in rule.negative_body]
+            )
+            bodies.append(body)
+        definitions.append(CompletionDefinition(atom, tuple(bodies)))
+    return ClarkCompletion(context, tuple(definitions))

@@ -1,0 +1,91 @@
+"""Inflationary fixpoint (IFP) semantics (Sections 2.2 and 3.4 of the paper).
+
+The inflationary transformation draws conclusions in rounds: a negative
+literal counts as true when its atom has not been concluded in an *earlier*
+round, and once concluded a positive fact is kept forever.  Its fixpoint is
+the inflationary semantics that Kolaitis recommends for unstratified
+programs and that Example 2.2 contrasts with the stratified / well-founded
+reading of the complement-of-transitive-closure program: under IFP the
+``ntc`` rule fires for every pair in the very first round, so ``ntc`` ends
+up containing everything instead of the complement.
+
+Benchmark E4 regenerates exactly that comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..datalog.atoms import Atom
+from ..datalog.grounding import GroundingLimits
+from ..datalog.rules import Program
+from ..fixpoint.interpretations import PartialInterpretation
+from ..fixpoint.operators import FixpointTrace, iterate_to_fixpoint
+from ..core.consequence import inflationary_step, naive_negation_step
+from ..core.context import GroundContext, build_context
+
+__all__ = ["InflationaryResult", "inflationary_model", "inflationary_trace", "naive_negation_trace"]
+
+
+@dataclass(frozen=True)
+class InflationaryResult:
+    """The inflationary fixpoint and its round-by-round trace."""
+
+    context: GroundContext
+    true_atoms: frozenset[Atom]
+    trace: FixpointTrace[frozenset[Atom]]
+
+    @property
+    def interpretation(self) -> PartialInterpretation:
+        """IFP is a two-valued semantics: everything not concluded is false."""
+        return PartialInterpretation.total_from_true(self.true_atoms, self.context.base)
+
+    @property
+    def rounds(self) -> int:
+        return self.trace.iterations
+
+
+def inflationary_model(
+    program: Program | GroundContext,
+    limits: GroundingLimits | None = None,
+) -> InflationaryResult:
+    """Compute the inflationary (IFP) fixpoint of *program*."""
+    if isinstance(program, GroundContext):
+        context = program
+    else:
+        context = build_context(program, limits=limits)
+    trace = iterate_to_fixpoint(lambda current: inflationary_step(context, current), frozenset())
+    return InflationaryResult(context, trace.fixpoint, trace)
+
+
+def inflationary_trace(
+    program: Program | GroundContext,
+    limits: GroundingLimits | None = None,
+) -> FixpointTrace[frozenset[Atom]]:
+    """Just the round-by-round trace of the inflationary computation."""
+    return inflationary_model(program, limits=limits).trace
+
+
+def naive_negation_trace(
+    program: Program | GroundContext,
+    limits: GroundingLimits | None = None,
+    max_rounds: int = 64,
+) -> list[frozenset[Atom]]:
+    """Rounds of the *non*-inflationary extension ``C_P(I⁺, conj(I⁺))``.
+
+    This operator is generally not increasing (Section 3.4); the function
+    therefore runs a bounded number of rounds and returns them all — the
+    tests use it to exhibit the oscillation the paper mentions.  It stops
+    early if a fixpoint or a 2-cycle is detected.
+    """
+    if isinstance(program, GroundContext):
+        context = program
+    else:
+        context = build_context(program, limits=limits)
+    rounds: list[frozenset[Atom]] = [frozenset()]
+    for _ in range(max_rounds):
+        following = naive_negation_step(context, rounds[-1])
+        rounds.append(following)
+        if len(rounds) >= 3 and (following == rounds[-2] or following == rounds[-3]):
+            break
+    return rounds

@@ -1,0 +1,21 @@
+"""Program and graph workload generators for tests and benchmarks."""
+
+from .generators import (
+    complement_of_transitive_closure_program,
+    random_negative_loop_program,
+    random_propositional_program,
+    reachability_program,
+    transitive_closure_program,
+    two_player_choice_program,
+    well_founded_nodes_program,
+)
+
+__all__ = [
+    "complement_of_transitive_closure_program",
+    "random_negative_loop_program",
+    "random_propositional_program",
+    "reachability_program",
+    "transitive_closure_program",
+    "two_player_choice_program",
+    "well_founded_nodes_program",
+]

@@ -1,0 +1,167 @@
+"""Workload generators: programs for benchmarks and property-based tests.
+
+Three families matter for reproducing the paper:
+
+* *graph programs* — transitive closure, its complement, reachability,
+  sources/sinks, and the well-founded-nodes program of Example 8.2;
+* *win–move games* — provided by :mod:`repro.games`;
+* *random ground programs* — propositional programs with controlled rule
+  counts, body sizes and negation density, used by the property-based tests
+  (Theorem 7.8 equivalence, stable-model containment, monotonicity of
+  ``A_P``) and by the scaling benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+from ..datalog.atoms import Atom, Literal
+from ..datalog.builder import ProgramBuilder
+from ..datalog.rules import Program, Rule
+
+__all__ = [
+    "transitive_closure_program",
+    "complement_of_transitive_closure_program",
+    "reachability_program",
+    "well_founded_nodes_program",
+    "random_propositional_program",
+    "random_negative_loop_program",
+    "two_player_choice_program",
+]
+
+Edge = tuple[object, object]
+
+
+def _graph_facts(builder: ProgramBuilder, edges: Iterable[Edge], relation: str = "edge") -> list[object]:
+    nodes: list[object] = []
+    seen: set[object] = set()
+    for source, target in edges:
+        builder.fact(relation, source, target)
+        for node in (source, target):
+            if node not in seen:
+                seen.add(node)
+                nodes.append(node)
+    for node in nodes:
+        builder.fact("node", node)
+    return nodes
+
+
+def transitive_closure_program(edges: Iterable[Edge]) -> Program:
+    """The standard transitive-closure rules over the given edge facts."""
+    builder = ProgramBuilder()
+    _graph_facts(builder, edges)
+    builder.rule(("tc", "X", "Y"), [("edge", "X", "Y")])
+    builder.rule(("tc", "X", "Y"), [("edge", "X", "Z"), ("tc", "Z", "Y")])
+    return builder.build()
+
+
+def complement_of_transitive_closure_program(edges: Iterable[Edge]) -> Program:
+    """Example 2.2 / Section 8.5: ``ntc`` as the negation of ``tc``.
+
+    Stratified, so the stratified / well-founded / stable semantics all
+    compute the true complement; the inflationary semantics famously does
+    not (benchmark E4).
+    """
+    builder = ProgramBuilder()
+    _graph_facts(builder, edges)
+    builder.rule(("tc", "X", "Y"), [("edge", "X", "Y")])
+    builder.rule(("tc", "X", "Y"), [("edge", "X", "Z"), ("tc", "Z", "Y")])
+    builder.rule(("ntc", "X", "Y"), [("node", "X"), ("node", "Y"), ("not", "tc", "X", "Y")])
+    return builder.build()
+
+
+def reachability_program(edges: Iterable[Edge], sources: Sequence[object]) -> Program:
+    """Reachability from a set of source nodes."""
+    builder = ProgramBuilder()
+    _graph_facts(builder, edges)
+    for source in sources:
+        builder.fact("source", source)
+    builder.rule(("reach", "X"), [("source", "X")])
+    builder.rule(("reach", "Y"), [("reach", "X"), ("edge", "X", "Y")])
+    return builder.build()
+
+
+def well_founded_nodes_program(edges: Iterable[Edge]) -> Program:
+    """Example 8.2 in its normal-program form.
+
+    ``w(X)`` holds when node ``X`` has no infinite descending chain of
+    ``e``-edges *into* it; ``u`` is the auxiliary "unfounded" relation the
+    paper extracts from the negative existential subformula::
+
+        w(X) :- node(X), not u(X).
+        u(X) :- e(Y, X), not w(Y).
+    """
+    builder = ProgramBuilder()
+    _graph_facts(builder, edges, relation="e")
+    builder.rule(("w", "X"), [("node", "X"), ("not", "u", "X")])
+    builder.rule(("u", "X"), [("e", "Y", "X"), ("not", "w", "Y")])
+    return builder.build()
+
+
+def random_propositional_program(
+    atoms: int,
+    rules: int,
+    seed: int = 0,
+    max_body: int = 3,
+    negation_probability: float = 0.4,
+    fact_probability: float = 0.15,
+) -> Program:
+    """A random ground propositional program.
+
+    Atom names are ``p0 .. p{atoms-1}``.  Each rule picks a random head and
+    up to ``max_body`` random body atoms, each negated with the given
+    probability; a slice of the rules become facts.  Deterministic per seed.
+    """
+    generator = random.Random(seed)
+    names = [f"p{i}" for i in range(max(1, atoms))]
+    produced: list[Rule] = []
+    for _ in range(rules):
+        head = Atom(generator.choice(names), ())
+        if generator.random() < fact_probability:
+            produced.append(Rule(head))
+            continue
+        body_size = generator.randint(1, max(1, max_body))
+        body: list[Literal] = []
+        for _ in range(body_size):
+            atom = Atom(generator.choice(names), ())
+            positive = generator.random() >= negation_probability
+            body.append(Literal(atom, positive))
+        produced.append(Rule(head, tuple(body)))
+    return Program(produced)
+
+
+def random_negative_loop_program(pairs: int, seed: int = 0) -> Program:
+    """A program made of ``a_i :- not b_i.  b_i :- not a_i.`` choice pairs.
+
+    Every pair doubles the number of stable models (2^pairs total) while the
+    well-founded model leaves all of them undefined — the worst case for
+    stable-model enumeration and the flattest case for the alternating
+    fixpoint, used by benchmark E8.
+    """
+    generator = random.Random(seed)
+    builder = ProgramBuilder()
+    order = list(range(pairs))
+    generator.shuffle(order)
+    for index in order:
+        builder.proposition(f"a{index}", f"-b{index}")
+        builder.proposition(f"b{index}", f"-a{index}")
+    return builder.build()
+
+
+def two_player_choice_program(pairs: int, winners: int = 1) -> Program:
+    """Choice pairs plus a few atoms forced true through double negation.
+
+    Gives programs whose well-founded model is partial but not empty, with
+    a predictable split of true / false / undefined atoms — handy for
+    calibrating the figure-2 style convergence benchmark.
+    """
+    builder = ProgramBuilder()
+    for index in range(pairs):
+        builder.proposition(f"a{index}", f"-b{index}")
+        builder.proposition(f"b{index}", f"-a{index}")
+    for index in range(winners):
+        builder.proposition(f"win{index}", f"-lose{index}")
+        builder.proposition(f"lose{index}", f"-dead{index}")
+        builder.fact(f"dead{index}")
+    return builder.build()

@@ -1,0 +1,77 @@
+"""Unit tests for dependency graphs (Definition 8.3's graph)."""
+
+from repro.analysis.dependency import ArcPolarity, build_dependency_graph
+from repro.datalog.parser import parse_program
+
+
+class TestArcs:
+    def test_positive_and_negative_arcs(self):
+        graph = build_dependency_graph(parse_program("p :- q, not r."))
+        assert graph.polarity("p", "q") is ArcPolarity.POSITIVE
+        assert graph.polarity("p", "r") is ArcPolarity.NEGATIVE
+
+    def test_mixed_arc_in_one_rule(self):
+        graph = build_dependency_graph(parse_program("p :- q, not q."))
+        assert graph.polarity("p", "q") is ArcPolarity.MIXED
+
+    def test_mixed_arc_across_rules(self):
+        graph = build_dependency_graph(parse_program("p :- q. p :- not q."))
+        assert graph.polarity("p", "q") is ArcPolarity.MIXED
+
+    def test_polarity_merge(self):
+        assert ArcPolarity.POSITIVE.merge(ArcPolarity.POSITIVE) is ArcPolarity.POSITIVE
+        assert ArcPolarity.POSITIVE.merge(ArcPolarity.NEGATIVE) is ArcPolarity.MIXED
+
+    def test_nodes_include_body_only_predicates(self):
+        graph = build_dependency_graph(parse_program("p :- q."))
+        assert {"p", "q"} <= graph.nodes
+
+    def test_idb_only_skips_edb(self):
+        program = parse_program("e(1, 2). p(X) :- e(X, Y), not q(Y). q(X) :- e(X, X).")
+        graph = build_dependency_graph(program, idb_only=True)
+        assert graph.polarity("p", "e") is None
+        assert graph.polarity("p", "q") is ArcPolarity.NEGATIVE
+
+    def test_successors_and_predecessors(self):
+        graph = build_dependency_graph(parse_program("p :- q, not r. q :- s."))
+        assert graph.successors("p") == {"q", "r"}
+        assert graph.predecessors("q") == {"p"}
+
+    def test_has_negative_arc(self):
+        assert build_dependency_graph(parse_program("p :- not q.")).has_negative_arc()
+        assert not build_dependency_graph(parse_program("p :- q.")).has_negative_arc()
+
+
+class TestSccAndCycles:
+    def test_sccs_of_mutual_recursion(self):
+        graph = build_dependency_graph(parse_program("p :- q. q :- p. r :- p."))
+        components = graph.strongly_connected_components()
+        assert {"p", "q"} in components
+        assert {"r"} in components
+
+    def test_scc_order_is_callees_first(self):
+        graph = build_dependency_graph(parse_program("a :- b. b :- c. c :- d."))
+        components = graph.strongly_connected_components()
+        order = {next(iter(c)): i for i, c in enumerate(components)}
+        assert order["d"] < order["c"] < order["b"] < order["a"]
+
+    def test_negative_cycle_detection(self):
+        graph = build_dependency_graph(parse_program("wins(X) :- move(X, Y), not wins(Y)."))
+        assert graph.negative_cycle_predicates() == {"wins"}
+
+    def test_negative_self_loop(self):
+        graph = build_dependency_graph(parse_program("p :- not p."))
+        assert graph.negative_cycle_predicates() == {"p"}
+
+    def test_positive_cycle_is_not_flagged(self):
+        graph = build_dependency_graph(parse_program("p :- q. q :- p."))
+        assert graph.negative_cycle_predicates() == set()
+
+    def test_negative_arc_between_components_is_fine(self):
+        graph = build_dependency_graph(parse_program("p :- not q. q :- r."))
+        assert graph.negative_cycle_predicates() == set()
+
+    def test_reachable_from(self):
+        graph = build_dependency_graph(parse_program("a :- b. b :- c. d :- a."))
+        assert graph.reachable_from("a") == {"a", "b", "c"}
+        assert graph.reachable_from("c") == {"c"}

@@ -1,0 +1,53 @@
+"""Unit tests for local stratification of ground programs."""
+
+from repro.analysis.local_stratification import is_locally_stratified, locally_stratify
+from repro.datalog.atoms import atom
+from repro.datalog.parser import parse_program
+
+
+class TestLocallyStratified:
+    def test_stratified_program_is_locally_stratified(self):
+        assert is_locally_stratified(parse_program("p :- not q. q :- r."))
+
+    def test_negative_self_loop_is_not(self):
+        assert not is_locally_stratified(parse_program("p :- not p."))
+
+    def test_win_move_on_acyclic_graph_is_locally_stratified(self):
+        program = parse_program(
+            "move(a, b). move(b, c). wins(X) :- move(X, Y), not wins(Y)."
+        )
+        assert is_locally_stratified(program)
+
+    def test_win_move_on_cyclic_graph_is_not(self, win_move_4b):
+        assert not is_locally_stratified(win_move_4b)
+
+    def test_even_and_odd_ground_loop(self):
+        # The classic locally-stratified but not stratified program:
+        # even(0); even(s(X)) <- not even(X) over a finite chain, rendered
+        # here as ground rules.
+        program = parse_program(
+            """
+            even(0).
+            even(2) :- not even(1).
+            even(1) :- not even(0).
+            even(3) :- not even(2).
+            """
+        )
+        analysis = locally_stratify(program)
+        assert analysis.is_stratified
+        levels = analysis.levels
+        assert levels[atom("even", 1)] > levels[atom("even", 0)]
+        assert levels[atom("even", 2)] > levels[atom("even", 1)]
+
+    def test_offending_atoms_reported(self, win_move_4b):
+        analysis = locally_stratify(win_move_4b)
+        assert not analysis.is_stratified
+        offender_predicates = {a.predicate for a in analysis.offending_atoms}
+        assert offender_predicates == {"wins"}
+
+    def test_levels_none_when_not_stratified(self):
+        analysis = locally_stratify(parse_program("p :- not p."))
+        assert analysis.levels is None
+
+    def test_positive_ground_loop_is_fine(self):
+        assert is_locally_stratified(parse_program("p :- q. q :- p."))

@@ -1,0 +1,70 @@
+"""Unit tests for stratification."""
+
+import pytest
+
+from repro.analysis.stratification import is_stratified, stratify
+from repro.datalog.parser import parse_program
+from repro.exceptions import NotStratifiedError
+
+NTC = """
+edge(1, 2).
+tc(X, Y) :- edge(X, Y).
+tc(X, Y) :- edge(X, Z), tc(Z, Y).
+ntc(X, Y) :- node(X), node(Y), not tc(X, Y).
+node(1). node(2).
+"""
+
+
+class TestIsStratified:
+    def test_horn_program_is_stratified(self):
+        assert is_stratified(parse_program("p :- q. q :- r."))
+
+    def test_ntc_program_is_stratified(self):
+        assert is_stratified(parse_program(NTC))
+
+    def test_win_move_is_not_stratified(self, win_move_4b):
+        assert not is_stratified(win_move_4b)
+
+    def test_negative_self_loop_not_stratified(self):
+        assert not is_stratified(parse_program("p :- not p."))
+
+    def test_even_negative_cycle_not_stratified(self):
+        # Two negations around a cycle still make it unstratifiable.
+        assert not is_stratified(parse_program("p :- not q. q :- not p."))
+
+
+class TestStratify:
+    def test_levels_of_ntc(self):
+        stratification = stratify(parse_program(NTC))
+        assert stratification.stratum_of("ntc") == stratification.stratum_of("tc") + 1
+        assert stratification.stratum_of("edge") <= stratification.stratum_of("tc")
+
+    def test_depth_counts_negation_layers(self):
+        program = parse_program("a :- not b. b :- not c. c :- d. d.")
+        stratification = stratify(program)
+        assert stratification.stratum_of("a") == 2
+        assert stratification.stratum_of("b") == 1
+        assert stratification.stratum_of("c") == 0
+        assert stratification.depth == 3
+
+    def test_positive_recursion_shares_stratum(self):
+        program = parse_program("p :- q. q :- p. r :- not p.")
+        stratification = stratify(program)
+        assert stratification.stratum_of("p") == stratification.stratum_of("q")
+        assert stratification.stratum_of("r") == stratification.stratum_of("p") + 1
+
+    def test_strata_partition_predicates(self):
+        stratification = stratify(parse_program(NTC))
+        assigned = set()
+        for stratum in stratification:
+            assigned |= set(stratum)
+        assert assigned == {"edge", "node", "tc", "ntc"}
+
+    def test_unstratified_raises_with_offenders(self, win_move_4b):
+        with pytest.raises(NotStratifiedError) as excinfo:
+            stratify(win_move_4b)
+        assert "wins" in str(excinfo.value)
+
+    def test_facts_only_program(self):
+        stratification = stratify(parse_program("p(1). q(2)."))
+        assert stratification.depth == 1

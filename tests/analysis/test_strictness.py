@@ -1,0 +1,68 @@
+"""Unit tests for strictness analysis (Definition 8.3)."""
+
+from repro.analysis.strictness import analyse_strictness, is_strict, is_strict_in_idb
+from repro.datalog.parser import parse_program
+
+
+class TestPairwiseStrictness:
+    def test_null_path_makes_pair_strictly_positive(self):
+        analysis = analyse_strictness(parse_program("p :- q."), idb_only=False)
+        assert analysis.strictly_positive("p", "p")
+
+    def test_single_negative_arc_is_strictly_negative(self):
+        analysis = analyse_strictness(parse_program("p :- not q."), idb_only=False)
+        assert analysis.strictly_negative("p", "q")
+        assert analysis.pair_is_strict("p", "q")
+
+    def test_two_negations_compose_to_positive(self):
+        analysis = analyse_strictness(parse_program("p :- not q. q :- not r."), idb_only=False)
+        assert analysis.strictly_positive("p", "r")
+
+    def test_even_and_odd_paths_make_pair_mixed(self):
+        # p reaches r through one negation and through two.
+        program = parse_program("p :- not q. p :- not s. q :- not r. s :- r.")
+        analysis = analyse_strictness(program, idb_only=False)
+        assert not analysis.pair_is_strict("p", "r")
+        assert not analysis.is_strict
+
+    def test_mixed_arc_spoils_reachable_pairs(self):
+        program = parse_program("p :- q, not q. q :- r.")
+        analysis = analyse_strictness(program, idb_only=False)
+        assert not analysis.pair_is_strict("p", "q")
+        assert not analysis.pair_is_strict("p", "r")
+
+    def test_unrelated_pair_is_strict(self):
+        analysis = analyse_strictness(parse_program("p :- q. a :- b."), idb_only=False)
+        assert analysis.pair_is_strict("p", "a")
+
+
+class TestProgramLevel:
+    def test_example_8_2_program_is_strict_in_idb(self):
+        program = parse_program("w(X) :- not u(X). u(X) :- e(Y, X), not w(Y).")
+        assert is_strict_in_idb(program)
+
+    def test_example_8_2_partition(self):
+        program = parse_program("w(X) :- not u(X). u(X) :- e(Y, X), not w(Y).")
+        analysis = analyse_strictness(program, idb_only=True)
+        partition = analysis.global_partition()
+        assert partition is not None
+        positive, negative = partition
+        # w and u must land on opposite sides of the partition.
+        assert ("w" in positive) != ("w" in negative)
+        assert ("u" in positive) != ("u" in negative)
+        assert ("w" in positive) == ("u" in negative)
+
+    def test_win_move_is_not_strict(self, win_move_4b):
+        # wins reaches itself through exactly one negation: odd parity on a
+        # cycle means both parities arise on longer paths.
+        assert not is_strict_in_idb(win_move_4b)
+
+    def test_horn_program_is_strict(self):
+        assert is_strict(parse_program("p :- q. q :- r. r."))
+
+    def test_partition_none_for_non_strict_program(self, win_move_4b):
+        analysis = analyse_strictness(win_move_4b, idb_only=True)
+        assert analysis.global_partition() is None
+
+    def test_stratified_ntc_program_is_strict(self, ntc_program):
+        assert is_strict_in_idb(ntc_program)

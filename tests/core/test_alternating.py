@@ -1,0 +1,116 @@
+"""Unit tests for the alternating fixpoint (Section 5)."""
+
+from repro.core.alternating import alternating_fixpoint, alternating_transform, afp_model
+from repro.core.context import build_context
+from repro.datalog.atoms import atom
+from repro.datalog.parser import parse_program
+from repro.fixpoint.interpretations import is_partial_model
+from repro.fixpoint.lattice import NegativeSet
+from repro.workloads import random_propositional_program
+
+
+def context_of(text: str):
+    return build_context(parse_program(text))
+
+
+class TestAlternatingTransform:
+    def test_is_composition_of_stability(self):
+        from repro.core.stability import stability_transform
+
+        context = context_of("p :- not q. q :- not r. r.")
+        negatives = NegativeSet([atom("p")])
+        assert alternating_transform(context, negatives) == stability_transform(
+            context, stability_transform(context, negatives)
+        )
+
+    def test_monotonic_on_chain(self):
+        context = context_of("p :- not q. q :- not r. r :- not s. s.")
+        chain = [NegativeSet.empty(), NegativeSet([atom("p")]), NegativeSet([atom("p"), atom("q")])]
+        images = [alternating_transform(context, negatives) for negatives in chain]
+        assert images[0] <= images[1] <= images[2]
+
+
+class TestAlternatingFixpoint:
+    def test_horn_program_gives_minimum_model(self):
+        result = alternating_fixpoint(parse_program("a. b :- a. c :- d."))
+        assert result.true_atoms() == frozenset({atom("a"), atom("b")})
+        assert result.false_atoms() == frozenset({atom("c"), atom("d")})
+        assert result.is_total
+
+    def test_choice_program_is_all_undefined(self):
+        result = alternating_fixpoint(parse_program("p :- not q. q :- not p."))
+        assert result.true_atoms() == frozenset()
+        assert result.false_atoms() == frozenset()
+        assert result.undefined_atoms == frozenset({atom("p"), atom("q")})
+        assert not result.is_total
+
+    def test_odd_loop_is_undefined_not_false(self):
+        result = alternating_fixpoint(parse_program("p :- not p."))
+        assert result.undefined_atoms == frozenset({atom("p")})
+
+    def test_double_negation_forces_truth(self):
+        # p :- not q. q :- not r. r.  ==>  r true, q false, p true.
+        result = alternating_fixpoint(parse_program("p :- not q. q :- not r. r."))
+        assert result.true_atoms() == frozenset({atom("p"), atom("r")})
+        assert result.false_atoms() == frozenset({atom("q")})
+
+    def test_stratified_ntc(self, ntc_program):
+        result = alternating_fixpoint(ntc_program)
+        assert result.is_total
+        assert atom("ntc", 1, 3) in result.true_atoms()
+        assert atom("ntc", 3, 3) in result.true_atoms()
+        assert atom("ntc", 1, 2) in result.false_atoms()
+
+    def test_model_is_partial_model_of_ground_program(self, example_5_1, win_move_4b):
+        for program in (example_5_1, win_move_4b):
+            result = alternating_fixpoint(program)
+            assert is_partial_model(result.model, result.context.program)
+
+    def test_model_view_consistency(self, example_5_1):
+        result = alternating_fixpoint(example_5_1)
+        model = result.model
+        assert model.true_atoms == result.true_atoms()
+        assert model.false_atoms == result.false_atoms()
+        assert result.value_of(atom("p_c")) == "true"
+        assert result.value_of(atom("p_d")) == "false"
+        assert result.value_of(atom("p_a")) == "undefined"
+        assert result.value_of(atom("nonexistent")) == "false"
+
+    def test_trace_alternates_under_and_over_estimates(self, example_5_1):
+        result = alternating_fixpoint(example_5_1)
+        final = frozenset(result.negative_fixpoint.atoms)
+        for stage in result.stages:
+            if stage.is_underestimate:
+                assert frozenset(stage.negative.atoms) <= final
+            else:
+                assert frozenset(stage.negative.atoms) >= final
+
+    def test_even_stages_ascend(self, example_5_1):
+        result = alternating_fixpoint(example_5_1)
+        evens = [frozenset(s.negative.atoms) for s in result.stages if s.is_underestimate]
+        for smaller, larger in zip(evens, evens[1:]):
+            assert smaller <= larger
+
+    def test_accepts_prebuilt_context(self, example_5_1):
+        context = build_context(example_5_1)
+        assert alternating_fixpoint(context).model == alternating_fixpoint(example_5_1).model
+
+    def test_afp_model_helper(self):
+        model = afp_model(parse_program("a. b :- not a."))
+        assert model.is_true(atom("a"))
+        assert model.is_false(atom("b"))
+
+    def test_every_stable_model_extends_afp_on_random_programs(self):
+        from repro.core.stable import stable_models
+
+        for seed in range(6):
+            program = random_propositional_program(atoms=6, rules=12, seed=seed)
+            result = alternating_fixpoint(program)
+            for model in stable_models(program):
+                assert result.true_atoms() <= model.true_atoms
+                assert frozenset(result.negative_fixpoint.atoms) <= model.false_atoms
+
+    def test_iterations_reported(self, example_5_1):
+        result = alternating_fixpoint(example_5_1)
+        assert result.iterations == len(result.stages) - 1
+        assert result.iterations >= 2

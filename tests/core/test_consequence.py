@@ -1,0 +1,87 @@
+"""Unit tests for the immediate consequence mappings (Definitions 3.6–3.7)."""
+
+from repro.core.consequence import (
+    horn_step,
+    immediate_consequence,
+    inflationary_step,
+    naive_negation_step,
+    tp_step,
+)
+from repro.core.context import build_context
+from repro.datalog.atoms import atom
+from repro.datalog.parser import parse_program
+from repro.fixpoint.lattice import NegativeSet
+
+
+def context_of(text: str):
+    return build_context(parse_program(text))
+
+
+class TestImmediateConsequence:
+    def test_facts_always_derived(self):
+        context = context_of("p. q :- r.")
+        assert atom("p") in immediate_consequence(context, frozenset(), NegativeSet.empty())
+
+    def test_positive_body_must_be_present(self):
+        context = context_of("p :- q.")
+        assert immediate_consequence(context, frozenset(), NegativeSet.empty()) == frozenset()
+        assert immediate_consequence(
+            context, frozenset({atom("q")}), NegativeSet.empty()
+        ) == frozenset({atom("p")})
+
+    def test_negative_body_must_be_in_negative_set(self):
+        context = context_of("p :- not q.")
+        assert immediate_consequence(context, frozenset(), NegativeSet.empty()) == frozenset()
+        derived = immediate_consequence(context, frozenset(), NegativeSet([atom("q")]))
+        assert derived == frozenset({atom("p")})
+
+    def test_contradictory_combination_is_allowed(self):
+        # The paper stresses that I+ and Ĩ need not be consistent.
+        context = context_of("p :- q, not q.")
+        derived = immediate_consequence(
+            context, frozenset({atom("q")}), NegativeSet([atom("q")])
+        )
+        assert atom("p") in derived
+
+    def test_tp_step_is_alias(self):
+        context = context_of("p :- q, not r. q.")
+        positive = frozenset({atom("q")})
+        negatives = NegativeSet([atom("r")])
+        assert tp_step(context, positive, negatives) == immediate_consequence(
+            context, positive, negatives
+        )
+
+
+class TestHornStep:
+    def test_ignores_rules_with_negation(self):
+        context = context_of("p :- not q. r :- s. s.")
+        derived = horn_step(context, frozenset({atom("s")}))
+        assert atom("r") in derived
+        assert atom("p") not in derived
+
+    def test_monotone_in_positive_argument(self):
+        context = context_of("p :- q. q :- r. r.")
+        small = horn_step(context, frozenset())
+        large = horn_step(context, frozenset({atom("r"), atom("q")}))
+        assert small <= large
+
+
+class TestInflationaryStep:
+    def test_keeps_previous_conclusions(self):
+        context = context_of("p :- not q. q :- p.")
+        first = inflationary_step(context, frozenset())
+        second = inflationary_step(context, first)
+        assert first <= second
+
+    def test_first_round_fires_all_negations(self):
+        # With nothing concluded yet, every negative literal is "true".
+        context = context_of("p :- not q. q :- not p.")
+        assert inflationary_step(context, frozenset()) == frozenset({atom("p"), atom("q")})
+
+    def test_naive_step_can_shrink(self):
+        # The non-inflationary variant oscillates on p :- not p.
+        context = context_of("p :- not p.")
+        first = naive_negation_step(context, frozenset())
+        second = naive_negation_step(context, first)
+        assert first == frozenset({atom("p")})
+        assert second == frozenset()

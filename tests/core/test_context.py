@@ -1,0 +1,54 @@
+"""Unit tests for ground evaluation contexts."""
+
+from repro.core.context import build_context
+from repro.datalog.atoms import atom
+from repro.datalog.parser import parse_program
+
+
+class TestBuildContext:
+    def test_splits_facts_and_rules(self):
+        context = build_context(parse_program("a. p :- a, not q."))
+        assert context.facts == frozenset({atom("a")})
+        assert len(context.rules) == 1
+        assert context.rules[0].head == atom("p")
+        assert context.rules[0].positive_body == (atom("a"),)
+        assert context.rules[0].negative_body == (atom("q"),)
+
+    def test_base_contains_occurring_atoms(self):
+        context = build_context(parse_program("a. p :- a, not q."))
+        assert context.base == frozenset({atom("a"), atom("p"), atom("q")})
+
+    def test_extra_atoms_widen_base(self):
+        context = build_context(parse_program("p :- not q."), extra_atoms=[atom("r")])
+        assert atom("r") in context.base
+
+    def test_full_base_covers_all_idb_instantiations(self):
+        program = parse_program("e(1, 2). t(X, Y) :- e(X, Y), not s(Y, X). s(2, 1).")
+        small = build_context(program)
+        wide = build_context(program, full_base=True)
+        assert small.base <= wide.base
+        assert atom("t", 2, 1) in wide.base  # never occurs in the ground program
+
+    def test_indexes_are_consistent(self):
+        context = build_context(parse_program("a. b. p :- a, b. q :- a, not p."))
+        for atom_, indices in context.rules_by_positive_atom.items():
+            for index in indices:
+                assert atom_ in context.rules[index].positive_body
+        for atom_, indices in context.rules_by_head.items():
+            for index in indices:
+                assert context.rules[index].head == atom_
+
+    def test_duplicate_body_atom_indexed_once(self):
+        context = build_context(parse_program("p :- q, q."))
+        assert context.rules_by_positive_atom[atom("q")].count(0) == 1
+
+    def test_statistics_and_counts(self):
+        context = build_context(parse_program("a. p :- a. q :- not p."))
+        stats = context.statistics()
+        assert stats == {"ground_rules": 2, "facts": 1, "atoms": 3}
+        assert context.atom_count == 3
+        assert context.rule_count == 3
+
+    def test_atoms_of_predicate(self):
+        context = build_context(parse_program("e(1, 2). p(X) :- e(X, Y), not p(Y)."))
+        assert context.atoms_of_predicate("p") == {atom("p", 1), atom("p", 2)}

@@ -1,0 +1,79 @@
+"""Unit tests for the eventual consequence mapping S_P (Definition 4.2)."""
+
+from repro.core.context import build_context
+from repro.core.eventual import (
+    eventual_consequence,
+    eventual_consequence_naive,
+    eventual_consequence_trace,
+    minimum_model,
+)
+from repro.datalog.atoms import atom
+from repro.datalog.parser import parse_program
+from repro.fixpoint.lattice import NegativeSet
+from repro.workloads import random_propositional_program
+
+
+def context_of(text: str):
+    return build_context(parse_program(text))
+
+
+class TestEventualConsequence:
+    def test_horn_chain(self):
+        context = context_of("a. b :- a. c :- b. d :- c.")
+        derived = eventual_consequence(context, NegativeSet.empty())
+        assert derived == frozenset({atom("a"), atom("b"), atom("c"), atom("d")})
+
+    def test_negative_literals_treated_as_edb(self):
+        # Figure 3: Ĩ plays the role of extra EDB facts.
+        context = context_of("p :- not q. r :- p, not s.")
+        nothing = eventual_consequence(context, NegativeSet.empty())
+        assert nothing == frozenset()
+        some = eventual_consequence(context, NegativeSet([atom("q")]))
+        assert some == frozenset({atom("p")})
+        everything = eventual_consequence(context, NegativeSet([atom("q"), atom("s")]))
+        assert everything == frozenset({atom("p"), atom("r")})
+
+    def test_monotone_in_negative_argument(self):
+        context = context_of("p :- not q. r :- not s. t :- p, r.")
+        small = eventual_consequence(context, NegativeSet([atom("q")]))
+        large = eventual_consequence(context, NegativeSet([atom("q"), atom("s")]))
+        assert small <= large
+
+    def test_duplicate_body_atoms_do_not_fire_early(self):
+        context = context_of("p :- q, q, r. q.")
+        derived = eventual_consequence(context, NegativeSet.empty())
+        assert atom("p") not in derived
+
+    def test_positive_recursion_is_not_self_supporting(self):
+        context = context_of("p :- q. q :- p.")
+        assert eventual_consequence(context, NegativeSet.empty()) == frozenset()
+
+    def test_facts_always_present(self):
+        context = context_of("a. p :- not q.")
+        assert atom("a") in eventual_consequence(context, NegativeSet.empty())
+
+    def test_matches_naive_reference_on_random_programs(self):
+        for seed in range(8):
+            program = random_propositional_program(atoms=8, rules=20, seed=seed)
+            context = build_context(program)
+            for negative_seed in range(3):
+                sample = random_propositional_program(atoms=8, rules=5, seed=negative_seed)
+                negatives = NegativeSet(
+                    {rule.head for rule in sample if rule.head in context.base}
+                )
+                fast = eventual_consequence(context, negatives)
+                slow = eventual_consequence_naive(context, negatives)
+                assert fast == slow
+
+    def test_trace_stages_grow(self):
+        context = context_of("a. b :- a. c :- b.")
+        trace = eventual_consequence_trace(context, NegativeSet.empty())
+        for smaller, larger in zip(trace.stages, trace.stages[1:]):
+            assert smaller <= larger
+        assert trace.fixpoint == frozenset({atom("a"), atom("b"), atom("c")})
+
+
+class TestMinimumModel:
+    def test_minimum_model_of_horn_context(self):
+        context = context_of("a. b :- a. c :- missing.")
+        assert minimum_model(context) == frozenset({atom("a"), atom("b")})

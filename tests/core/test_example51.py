@@ -1,0 +1,87 @@
+"""Reproduction of Example 5.1 and Table I of the paper (experiment E1)."""
+
+from repro.core.alternating import alternating_fixpoint
+from repro.core.eventual import eventual_consequence
+from repro.core.stability import stability_transform
+from repro.core.wellfounded import well_founded_model
+from repro.datalog.atoms import atom
+from repro.fixpoint.lattice import NegativeSet
+
+
+def p(*names: str) -> frozenset:
+    return frozenset(atom(f"p_{name}") for name in names)
+
+
+class TestTableI:
+    """Row-by-row check of Table I: Ĩ_k and S_P(Ĩ_k) for k = 0..4."""
+
+    def test_row_0(self, example_5_1):
+        result = alternating_fixpoint(example_5_1)
+        stage = result.stages[0]
+        assert frozenset(stage.negative.atoms) == frozenset()
+        assert stage.positive == p("c")
+
+    def test_row_1(self, example_5_1):
+        result = alternating_fixpoint(example_5_1)
+        stage = result.stages[1]
+        assert frozenset(stage.negative.atoms) == p("a", "b", "d", "e", "f", "g", "h", "i")
+        assert stage.positive == p("a", "b", "c", "i")
+
+    def test_row_2(self, example_5_1):
+        result = alternating_fixpoint(example_5_1)
+        stage = result.stages[2]
+        assert frozenset(stage.negative.atoms) == p("d", "e", "f", "g", "h")
+        assert stage.positive == p("c", "i")
+
+    def test_row_3(self, example_5_1):
+        result = alternating_fixpoint(example_5_1)
+        stage = result.stages[3]
+        assert frozenset(stage.negative.atoms) == p("a", "b", "d", "e", "f", "g", "h")
+        assert stage.positive == p("a", "b", "c", "i")
+
+    def test_row_4_reaches_fixpoint(self, example_5_1):
+        result = alternating_fixpoint(example_5_1)
+        stage = result.stages[4]
+        assert frozenset(stage.negative.atoms) == p("d", "e", "f", "g", "h")
+        assert stage.positive == p("c", "i")
+        # Ĩ_4 == Ĩ_2, so the iteration stops exactly here.
+        assert len(result.stages) == 5
+
+    def test_manual_first_steps_match(self, example_5_1):
+        # Recompute the first two rows directly from the operators.
+        result = alternating_fixpoint(example_5_1)
+        context = result.context
+        assert eventual_consequence(context, NegativeSet.empty()) == p("c")
+        i1 = stability_transform(context, NegativeSet.empty())
+        assert frozenset(i1.atoms) == p("a", "b", "d", "e", "f", "g", "h", "i")
+        assert eventual_consequence(context, i1) == p("a", "b", "c", "i")
+
+
+class TestExample51Model:
+    def test_afp_partial_model(self, example_5_1):
+        # {p(c), p(i), not p(d), not p(e), not p(f), not p(g), not p(h)}.
+        result = alternating_fixpoint(example_5_1)
+        assert result.true_atoms() == p("c", "i")
+        assert result.false_atoms() == p("d", "e", "f", "g", "h")
+        assert result.undefined_atoms == p("a", "b")
+        assert not result.is_total
+
+    def test_oscillation_of_odd_stages(self, example_5_1):
+        # The paper notes that Ĩ_k oscillates without converging while the
+        # even subsequence converges.
+        result = alternating_fixpoint(example_5_1)
+        odd_stages = [frozenset(s.negative.atoms) for s in result.stages if s.index % 2 == 1]
+        even_stages = [frozenset(s.negative.atoms) for s in result.stages if s.index % 2 == 0]
+        assert odd_stages[-1] != even_stages[-1]
+
+    def test_equals_well_founded_model(self, example_5_1):
+        afp = alternating_fixpoint(example_5_1)
+        wfs = well_founded_model(example_5_1)
+        assert afp.model.true_atoms == wfs.model.true_atoms
+        assert afp.model.false_atoms == wfs.model.false_atoms
+
+    def test_table_accessor(self, example_5_1):
+        table = alternating_fixpoint(example_5_1).table()
+        assert len(table) == 5
+        assert table[0][0] == 0
+        assert table[2][1] == p("d", "e", "f", "g", "h")

@@ -1,0 +1,123 @@
+"""Unit tests for well-founded verdict explanations."""
+
+import pytest
+
+from repro.core.alternating import alternating_fixpoint
+from repro.core.explain import Explainer, explain
+from repro.datalog.atoms import atom
+from repro.datalog.parser import parse_program
+from repro.exceptions import EvaluationError
+
+WIN_MOVE = """
+move(a, b). move(b, a). move(b, c). move(c, d).
+wins(X) :- move(X, Y), not wins(Y).
+"""
+
+
+class TestTrueExplanations:
+    def test_fact_derivation(self):
+        explanation = explain(parse_program("a. b :- a."), atom("a"))
+        assert explanation.verdict == "true"
+        assert explanation.derivation.is_fact
+        assert explanation.derivation.depth() == 1
+
+    def test_chain_derivation_depth(self):
+        explanation = explain(parse_program("a. b :- a. c :- b."), atom("c"))
+        assert explanation.derivation.depth() == 3
+        assert atom("a") in explanation.derivation.atoms_used()
+
+    def test_negative_dependencies_recorded(self):
+        explanation = explain(parse_program(WIN_MOVE), atom("wins", "c"))
+        assert explanation.verdict == "true"
+        assert atom("wins", "d") in explanation.derivation.assumed_false
+
+    def test_derivation_never_uses_undefined_atoms(self):
+        result = alternating_fixpoint(parse_program(WIN_MOVE))
+        explainer = Explainer(result)
+        derivation = explainer.derive(atom("wins", "c"))
+        used = derivation.atoms_used()
+        assert not (used & result.undefined_atoms)
+
+    def test_derive_rejects_non_true_atom(self):
+        explainer = Explainer.for_program(parse_program(WIN_MOVE))
+        with pytest.raises(EvaluationError):
+            explainer.derive(atom("wins", "d"))
+
+    def test_every_true_atom_is_derivable(self, example_5_1):
+        result = alternating_fixpoint(example_5_1)
+        explainer = Explainer(result)
+        for true_atom in result.true_atoms():
+            derivation = explainer.derive(true_atom)
+            assert derivation.atom == true_atom
+
+    def test_render_mentions_rule_and_fact(self):
+        explanation = explain(parse_program(WIN_MOVE), atom("wins", "c"))
+        text = explanation.render()
+        assert "wins(c)" in text
+        assert "[fact]" in text
+        assert "false in the well-founded model" in text
+
+
+class TestFalseExplanations:
+    def test_no_rules_closed_world(self):
+        explanation = explain(parse_program("p :- q."), atom("q"))
+        assert explanation.verdict == "false"
+        assert explanation.blocked_rules == ()
+        assert "closed world" in explanation.render()
+
+    def test_blocked_by_true_negative_literal(self):
+        explanation = explain(parse_program(WIN_MOVE), atom("wins", "d"))
+        assert explanation.verdict == "false"
+        # wins(d) has no rules at all (d has no moves) in the ground program.
+        assert explanation.blocked_rules == ()
+
+    def test_blocked_rules_listed_with_witnesses(self, example_5_1):
+        explanation = explain(example_5_1, atom("p_d"))
+        assert explanation.verdict == "false"
+        assert len(explanation.blocked_rules) == 3  # three rules for p_d
+        rendered = explanation.render()
+        assert "blocked" in rendered
+
+    def test_unfounded_loop_explanation(self):
+        explanation = explain(parse_program("p :- q. q :- p."), atom("p"))
+        assert explanation.verdict == "false"
+        blocked = explanation.blocked_rules[0]
+        assert atom("q") in blocked.unfounded_support
+
+
+class TestUndefinedExplanations:
+    def test_choice_loop(self):
+        explanation = explain(parse_program("p :- not q. q :- not p."), atom("p"))
+        assert explanation.verdict == "undefined"
+        assert len(explanation.undefined_rules) == 1
+        assert "loop through negation" in explanation.render()
+
+    def test_win_move_draw_cycle(self):
+        explanation = explain(parse_program(WIN_MOVE), atom("wins", "a"))
+        assert explanation.verdict == "undefined"
+        assert explanation.undefined_rules
+
+    def test_definitively_blocked_rules_excluded(self):
+        program = parse_program(
+            """
+            p :- not q.
+            q :- not p.
+            p :- r.
+            """
+        )
+        explanation = explain(program, atom("p"))
+        # The rule p :- r is blocked (r is false) and must not be listed as
+        # part of the undefined loop.
+        assert all("r" not in str(rule) for rule in explanation.undefined_rules)
+
+
+class TestExplainerReuse:
+    def test_explainer_from_result_and_program_agree(self, example_5_1):
+        result = alternating_fixpoint(example_5_1)
+        from_result = Explainer(result).explain(atom("p_c")).render()
+        from_program = Explainer.for_program(example_5_1).explain(atom("p_c")).render()
+        assert from_result == from_program
+
+    def test_explain_accepts_result_object(self, example_5_1):
+        result = alternating_fixpoint(example_5_1)
+        assert explain(result, atom("p_i")).verdict == "true"

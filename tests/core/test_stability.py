@@ -1,0 +1,110 @@
+"""Unit tests for the stability transformation S̃_P and the GL reduct."""
+
+from repro.core.context import build_context
+from repro.core.eventual import eventual_consequence
+from repro.core.stability import (
+    gelfond_lifschitz_reduct,
+    is_stable_set,
+    reduct_minimum_model,
+    stability_transform,
+)
+from repro.datalog.atoms import atom, pos
+from repro.datalog.parser import parse_program
+from repro.datalog.rules import Rule
+from repro.fixpoint.lattice import NegativeSet, conjugate_of_positive
+from repro.fixpoint.operators import check_antimonotone_on_pair
+from repro.workloads import random_propositional_program
+
+
+def context_of(text: str):
+    return build_context(parse_program(text))
+
+
+class TestStabilityTransform:
+    def test_definition_as_conjugate_of_sp(self):
+        context = context_of("p :- not q. q :- not p. r.")
+        negatives = NegativeSet([atom("q")])
+        expected = conjugate_of_positive(
+            eventual_consequence(context, negatives), context.base
+        )
+        assert stability_transform(context, negatives) == expected
+
+    def test_empty_input_negates_everything_underivable(self):
+        context = context_of("p :- not q. r.")
+        result = stability_transform(context, NegativeSet.empty())
+        assert result.atoms == frozenset({atom("p"), atom("q")})
+
+    def test_antimonotonic(self):
+        context = context_of("p :- not q. q :- not r. r :- not p. s.")
+        smaller = NegativeSet.empty()
+        larger = NegativeSet([atom("q")])
+        assert check_antimonotone_on_pair(
+            lambda negatives: stability_transform(context, negatives),
+            smaller,
+            larger,
+            leq=lambda a, b: a <= b,
+        )
+
+    def test_antimonotonic_on_random_programs(self):
+        for seed in range(6):
+            program = random_propositional_program(atoms=6, rules=14, seed=seed)
+            context = build_context(program)
+            atoms = sorted(context.base, key=str)
+            smaller = NegativeSet(atoms[: len(atoms) // 3])
+            larger = NegativeSet(atoms[: 2 * len(atoms) // 3])
+            assert stability_transform(context, larger) <= stability_transform(context, smaller)
+
+
+class TestGelfondLifschitzReduct:
+    def test_blocked_rules_removed(self):
+        program = parse_program("p :- not q. r :- not s.")
+        reduct = gelfond_lifschitz_reduct(program, {atom("q")})
+        assert Rule(atom("r")) in reduct
+        assert all(rule.head != atom("p") for rule in reduct)
+
+    def test_surviving_rules_lose_negative_literals(self):
+        program = parse_program("p :- a, not q.")
+        reduct = gelfond_lifschitz_reduct(program, set())
+        assert Rule(atom("p"), (pos("a"),)) in reduct
+
+    def test_reduct_is_definite(self):
+        program = parse_program("p :- not q. q :- not p. r :- p, not q.")
+        assert gelfond_lifschitz_reduct(program, {atom("p")}).is_definite
+
+    def test_reduct_minimum_model(self):
+        program = parse_program("p :- not q. q :- not p.")
+        assert reduct_minimum_model(program, {atom("p")}) == frozenset({atom("p")})
+        assert reduct_minimum_model(program, {atom("q")}) == frozenset({atom("q")})
+
+
+class TestStableSetCheck:
+    def test_choice_program_has_two_stable_sets(self):
+        context = context_of("p :- not q. q :- not p.")
+        assert is_stable_set(context, {atom("p")})
+        assert is_stable_set(context, {atom("q")})
+        assert not is_stable_set(context, set())
+        assert not is_stable_set(context, {atom("p"), atom("q")})
+
+    def test_odd_loop_has_no_stable_set(self):
+        context = context_of("p :- not p.")
+        assert not is_stable_set(context, set())
+        assert not is_stable_set(context, {atom("p")})
+
+    def test_agrees_with_reduct_formulation(self):
+        # S̃_P-fixpoint check versus reduct minimum-model check, on random
+        # programs and random candidates.
+        for seed in range(6):
+            program = random_propositional_program(atoms=5, rules=12, seed=seed)
+            context = build_context(program)
+            atoms = sorted(context.base, key=str)
+            for mask in range(2 ** len(atoms)):
+                candidate = {a for i, a in enumerate(atoms) if mask & (1 << i)}
+                via_transform = is_stable_set(context, candidate)
+                via_reduct = (
+                    reduct_minimum_model(context.program, candidate) == frozenset(candidate)
+                )
+                assert via_transform == via_reduct
+
+    def test_atoms_outside_base_are_rejected(self):
+        context = context_of("p :- not q.")
+        assert not is_stable_set(context, {atom("zzz")})

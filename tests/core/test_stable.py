@@ -1,0 +1,106 @@
+"""Unit tests for stable model checking and enumeration."""
+
+import pytest
+
+from repro.core.alternating import alternating_fixpoint
+from repro.core.context import build_context
+from repro.core.stable import (
+    has_stable_model,
+    is_stable_model,
+    stable_consequences,
+    stable_models,
+    stable_models_brute_force,
+    unique_stable_model,
+)
+from repro.datalog.atoms import atom
+from repro.datalog.parser import parse_program
+from repro.exceptions import EvaluationError
+from repro.workloads import random_negative_loop_program, random_propositional_program
+
+
+class TestStableModelCheck:
+    def test_choice_program(self):
+        program = parse_program("p :- not q. q :- not p.")
+        assert is_stable_model(program, {atom("p")})
+        assert is_stable_model(program, {atom("q")})
+        assert not is_stable_model(program, {atom("p"), atom("q")})
+        assert not is_stable_model(program, set())
+
+    def test_horn_program_unique_stable_model_is_minimum_model(self):
+        program = parse_program("a. b :- a. c :- d.")
+        assert is_stable_model(program, {atom("a"), atom("b")})
+        assert not is_stable_model(program, {atom("a"), atom("b"), atom("c")})
+
+
+class TestEnumeration:
+    def test_choice_program_has_two(self):
+        models = stable_models(parse_program("p :- not q. q :- not p."))
+        truths = {model.true_atoms for model in models}
+        assert truths == {frozenset({atom("p")}), frozenset({atom("q")})}
+
+    def test_odd_loop_has_none(self):
+        assert stable_models(parse_program("p :- not p.")) == []
+        assert not has_stable_model(parse_program("p :- not p."))
+
+    def test_total_afp_model_is_unique_stable_model(self, ntc_program):
+        afp = alternating_fixpoint(ntc_program)
+        assert afp.is_total
+        model = unique_stable_model(ntc_program)
+        assert model.true_atoms == afp.true_atoms()
+
+    def test_unique_stable_model_errors(self):
+        with pytest.raises(EvaluationError):
+            unique_stable_model(parse_program("p :- not p."))
+        with pytest.raises(EvaluationError):
+            unique_stable_model(parse_program("p :- not q. q :- not p."))
+
+    def test_negative_loop_programs_double_models(self):
+        for pairs in (1, 2, 3):
+            program = random_negative_loop_program(pairs)
+            assert len(stable_models(program)) == 2 ** pairs
+
+    def test_limit_short_circuits(self):
+        program = random_negative_loop_program(4)
+        assert len(stable_models(program, limit=3)) == 3
+
+    def test_matches_brute_force_on_random_programs(self):
+        for seed in range(8):
+            program = random_propositional_program(atoms=5, rules=10, seed=seed)
+            context = build_context(program)
+            pruned = {m.true_atoms for m in stable_models(context)}
+            brute = {m.true_atoms for m in stable_models_brute_force(context)}
+            assert pruned == brute
+
+    def test_every_stable_model_is_total(self):
+        program = parse_program("p :- not q. q :- not p. r :- p. r :- q.")
+        for model in stable_models(program):
+            assert model.true_atoms | model.false_atoms == model.context.base
+
+    def test_stable_models_respect_wfs_false_atoms(self, example_5_1):
+        afp = alternating_fixpoint(example_5_1)
+        for model in stable_models(example_5_1, afp=afp):
+            assert frozenset(afp.negative_fixpoint.atoms) <= model.false_atoms
+            assert afp.true_atoms() <= model.true_atoms
+
+
+class TestStableConsequences:
+    def test_intersection_semantics(self, example_3_1):
+        # Both stable models contain p, they disagree on q and r.
+        interpretation = stable_consequences(example_3_1)
+        assert atom("p") in interpretation.true_atoms
+        assert interpretation.value_of_atom(atom("q")).value == "undefined"
+        assert interpretation.value_of_atom(atom("r")).value == "undefined"
+
+    def test_undefined_when_no_stable_model(self):
+        with pytest.raises(EvaluationError):
+            stable_consequences(parse_program("p :- not p."))
+
+    def test_stable_consequences_extend_wfs(self):
+        for seed in range(5):
+            program = random_propositional_program(atoms=6, rules=12, seed=seed)
+            if not has_stable_model(program):
+                continue
+            afp = alternating_fixpoint(program)
+            consequences = stable_consequences(program)
+            assert afp.true_atoms() <= consequences.true_atoms
+            assert frozenset(afp.negative_fixpoint.atoms) <= consequences.false_atoms

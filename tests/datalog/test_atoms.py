@@ -1,0 +1,86 @@
+"""Unit tests for atoms and literals."""
+
+import pytest
+
+from repro.datalog.atoms import Atom, Literal, Predicate, atom, ground_atom, neg, pos
+from repro.datalog.terms import Constant, Variable
+
+
+class TestAtom:
+    def test_propositional_atom_has_no_args(self):
+        proposition = Atom("p", ())
+        assert proposition.arity == 0
+        assert str(proposition) == "p"
+
+    def test_atom_string_form(self):
+        assert str(atom("edge", 1, "X")) == "edge(1, X)"
+
+    def test_atom_helper_coerces_variables(self):
+        built = atom("edge", "X", "b")
+        assert built.args == (Variable("X"), Constant("b"))
+
+    def test_ground_atom_treats_everything_as_constant(self):
+        built = ground_atom("edge", "X", 2)
+        assert built.args == (Constant("X"), Constant(2))
+        assert built.is_ground
+
+    def test_signature(self):
+        assert atom("edge", 1, 2).signature == Predicate("edge", 2)
+
+    def test_is_ground(self):
+        assert atom("edge", 1, 2).is_ground
+        assert not atom("edge", "X", 2).is_ground
+
+    def test_variables(self):
+        assert set(atom("r", "X", "Y", 1).variables()) == {Variable("X"), Variable("Y")}
+
+    def test_substitute(self):
+        substituted = atom("edge", "X", "Y").substitute({Variable("X"): Constant(1)})
+        assert substituted == atom("edge", 1, "Y")
+
+    def test_atoms_hashable_and_comparable(self):
+        assert atom("p", 1) == atom("p", 1)
+        assert len({atom("p", 1), atom("p", 1), atom("p", 2)}) == 2
+
+
+class TestPredicate:
+    def test_predicate_call_builds_atom(self):
+        edge = Predicate("edge", 2)
+        assert edge(1, "X") == atom("edge", 1, "X")
+
+    def test_predicate_call_checks_arity(self):
+        edge = Predicate("edge", 2)
+        with pytest.raises(ValueError):
+            edge(1)
+
+
+class TestLiteral:
+    def test_pos_and_neg_helpers(self):
+        assert pos("p", 1).positive
+        assert neg("p", 1).negative
+
+    def test_string_forms(self):
+        assert str(pos("p", 1)) == "p(1)"
+        assert str(neg("p", 1)) == "not p(1)"
+
+    def test_complement_flips_polarity(self):
+        literal = pos("p", 1)
+        assert literal.complement() == neg("p", 1)
+        assert literal.complement().complement() == literal
+
+    def test_negate_atom(self):
+        assert atom("p", 1).negate() == neg("p", 1)
+        assert atom("p", 1).as_literal() == pos("p", 1)
+
+    def test_substitute_preserves_sign(self):
+        literal = neg("p", "X")
+        assert literal.substitute({Variable("X"): Constant(3)}) == neg("p", 3)
+
+    def test_predicate_and_signature(self):
+        literal = neg("edge", "X", "Y")
+        assert literal.predicate == "edge"
+        assert literal.signature == Predicate("edge", 2)
+
+    def test_groundness(self):
+        assert pos("p", 1).is_ground
+        assert not pos("p", "X").is_ground

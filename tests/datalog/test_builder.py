@@ -1,0 +1,79 @@
+"""Unit tests for the programmatic builder DSL."""
+
+import pytest
+
+from repro.datalog.atoms import atom, neg, pos
+from repro.datalog.builder import ProgramBuilder, build_program, head, lit
+from repro.datalog.parser import parse_program
+from repro.datalog.rules import Rule
+
+
+class TestSpecHelpers:
+    def test_head_spec(self):
+        assert head(("edge", 1, "X")) == atom("edge", 1, "X")
+
+    def test_positive_literal_spec(self):
+        assert lit(("edge", "X", 2)) == pos("edge", "X", 2)
+
+    def test_negative_literal_spec(self):
+        assert lit(("not", "edge", "X", 2)) == neg("edge", "X", 2)
+
+    def test_empty_literal_rejected(self):
+        with pytest.raises(ValueError):
+            lit(("not",))
+
+    def test_non_string_predicate_rejected(self):
+        with pytest.raises(TypeError):
+            head((1, 2))
+
+
+class TestProgramBuilder:
+    def test_matches_parsed_program(self):
+        builder = ProgramBuilder()
+        builder.fact("edge", 1, 2)
+        builder.rule(("tc", "X", "Y"), [("edge", "X", "Y")])
+        builder.rule(("tc", "X", "Y"), [("edge", "X", "Z"), ("tc", "Z", "Y")])
+        built = builder.build()
+        parsed = parse_program(
+            "edge(1, 2). tc(X, Y) :- edge(X, Y). tc(X, Y) :- edge(X, Z), tc(Z, Y)."
+        )
+        assert built == parsed
+
+    def test_facts_bulk_insert(self):
+        builder = ProgramBuilder().facts("edge", [(1, 2), (2, 3)])
+        assert len(builder.build().facts()) == 2
+
+    def test_fact_arguments_always_constants(self):
+        # Even a capitalised string is a constant when asserted as a fact.
+        program = ProgramBuilder().fact("p", "X").build()
+        assert program.rules[0].is_fact
+        assert program.rules[0].head.is_ground
+
+    def test_proposition_negation_markers(self):
+        program = (
+            ProgramBuilder()
+            .proposition("p", "q", "-r")
+            .proposition("s", "not t")
+            .build()
+        )
+        assert program.rules[0] == Rule(atom("p"), (pos("q"), neg("r")))
+        assert program.rules[1] == Rule(atom("s"), (neg("t"),))
+
+    def test_raw_rule_and_extend(self):
+        other = parse_program("a :- b.")
+        program = ProgramBuilder().raw_rule(Rule(atom("c"))).extend(other).build()
+        assert len(program) == 2
+
+    def test_builder_len(self):
+        builder = ProgramBuilder().fact("p", 1)
+        assert len(builder) == 1
+
+
+class TestBuildProgram:
+    def test_one_shot_helper(self):
+        program = build_program(
+            rules=[(("tc", "X", "Y"), [("edge", "X", "Y")])],
+            facts=[("edge", (1, 2))],
+        )
+        assert len(program) == 2
+        assert atom("edge", 1, 2) in program.fact_atoms()

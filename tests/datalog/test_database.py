@@ -1,0 +1,62 @@
+"""Unit tests for the EDB database container."""
+
+import pytest
+
+from repro.datalog.atoms import atom
+from repro.datalog.database import Database
+from repro.datalog.parser import parse_program
+from repro.datalog.terms import Constant
+from repro.exceptions import NotGroundError
+
+
+class TestDatabase:
+    def test_add_and_contains(self):
+        database = Database()
+        database.add("edge", 1, 2)
+        assert database.contains("edge", 1, 2)
+        assert not database.contains("edge", 2, 1)
+
+    def test_add_atom(self):
+        database = Database()
+        database.add_atom(atom("edge", 1, 2))
+        assert database.contains("edge", 1, 2)
+
+    def test_add_atom_requires_ground(self):
+        with pytest.raises(NotGroundError):
+            Database().add_atom(atom("edge", "X", 2))
+
+    def test_remove(self):
+        database = Database.from_tuples({"edge": [(1, 2)]})
+        database.remove("edge", 1, 2)
+        assert not database.contains("edge", 1, 2)
+        database.remove("edge", 9, 9)  # no error on absent tuples
+
+    def test_from_facts(self):
+        database = Database.from_facts([atom("edge", 1, 2), atom("node", 1)])
+        assert database.relations() == {"edge", "node"}
+
+    def test_values_unwraps_constants(self):
+        database = Database.from_tuples({"edge": [(1, 2), ("a", "b")]})
+        assert database.values("edge") == {(1, 2), ("a", "b")}
+
+    def test_len_and_iter(self):
+        database = Database.from_tuples({"edge": [(1, 2), (2, 3)], "node": [(1,)]})
+        assert len(database) == 3
+        assert set(database) == {atom("edge", 1, 2), atom("edge", 2, 3), atom("node", 1)}
+
+    def test_equality(self):
+        left = Database.from_tuples({"edge": [(1, 2)]})
+        right = Database()
+        right.add("edge", 1, 2)
+        assert left == right
+
+    def test_as_program_and_attach(self):
+        database = Database.from_tuples({"edge": [(1, 2)]})
+        rules = parse_program("tc(X, Y) :- edge(X, Y).")
+        combined = database.attach(rules)
+        assert len(combined) == 2
+        assert atom("edge", 1, 2) in combined.fact_atoms()
+
+    def test_constants(self):
+        database = Database.from_tuples({"edge": [(1, 2)]})
+        assert database.constants() == {Constant(1), Constant(2)}

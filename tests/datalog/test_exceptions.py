@@ -1,0 +1,68 @@
+"""Unit tests for the exception hierarchy and failure injection paths."""
+
+import pytest
+
+from repro.datalog.grounding import GroundingLimits
+from repro.datalog.parser import parse_program
+from repro.engine.solver import solve
+from repro.exceptions import (
+    EvaluationError,
+    FormulaError,
+    GroundingError,
+    NotGroundError,
+    NotStratifiedError,
+    ParseError,
+    ReproError,
+    SafetyError,
+)
+
+
+class TestHierarchy:
+    def test_every_error_is_a_repro_error(self):
+        for exc_type in (
+            ParseError,
+            SafetyError,
+            GroundingError,
+            NotStratifiedError,
+            NotGroundError,
+            EvaluationError,
+            FormulaError,
+        ):
+            assert issubclass(exc_type, ReproError)
+
+    def test_parse_error_carries_position(self):
+        error = ParseError("bad token", line=3, column=7)
+        assert "line 3" in str(error)
+        assert "column 7" in str(error)
+        assert error.line == 3 and error.column == 7
+
+    def test_parse_error_without_position(self):
+        assert str(ParseError("oops")) == "oops"
+
+
+class TestFailureInjection:
+    def test_unsafe_program_surfaces_safety_error_through_solver(self):
+        with pytest.raises(SafetyError):
+            solve("p(X) :- not q(X).")
+
+    def test_grounding_limit_surfaces_grounding_error(self):
+        text = """
+        e(1, 2). e(2, 3). e(3, 1).
+        t(X, Y) :- e(X, Y).
+        t(X, Y) :- e(X, Z), t(Z, Y).
+        """
+        with pytest.raises(GroundingError):
+            solve(parse_program(text), limits=GroundingLimits(max_rules=2))
+
+    def test_parse_error_from_solver_text_input(self):
+        with pytest.raises(ReproError):
+            solve("p :- q")  # missing final dot
+
+    def test_catching_the_base_class_is_enough(self):
+        try:
+            solve("p(X) :- not q(X).")
+        except ReproError:
+            caught = True
+        else:  # pragma: no cover - should not happen
+            caught = False
+        assert caught

@@ -1,0 +1,121 @@
+"""Unit tests for Herbrand universes, bases, and grounding."""
+
+import pytest
+
+from repro.datalog.atoms import atom, neg, pos
+from repro.datalog.grounding import (
+    GroundingLimits,
+    ground_program,
+    herbrand_base,
+    herbrand_universe,
+    naive_ground,
+    relevant_ground,
+)
+from repro.datalog.parser import parse_program
+from repro.datalog.rules import Program, Rule
+from repro.datalog.terms import Compound, Constant
+from repro.exceptions import GroundingError, SafetyError
+
+
+TC = """
+edge(1, 2). edge(2, 3).
+tc(X, Y) :- edge(X, Y).
+tc(X, Y) :- edge(X, Z), tc(Z, Y).
+"""
+
+
+class TestHerbrandUniverse:
+    def test_constants_collected(self):
+        universe = herbrand_universe(parse_program(TC))
+        assert set(universe) == {Constant(1), Constant(2), Constant(3)}
+
+    def test_invents_constant_when_none_present(self):
+        program = parse_program("p(X) :- q(X).")
+        assert herbrand_universe(program) == [Constant("u0")]
+
+    def test_function_symbols_respect_depth(self):
+        program = parse_program("num(z). num(s(X)) :- num(X).")
+        depth0 = herbrand_universe(program, max_depth=0)
+        depth2 = herbrand_universe(program, max_depth=2)
+        assert Constant("z") in depth0
+        assert Compound("s", (Compound("s", (Constant("z"),)),)) in depth2
+
+
+class TestHerbrandBase:
+    def test_restricted_to_idb_by_default(self):
+        base = herbrand_base(parse_program(TC))
+        predicates = {a.predicate for a in base}
+        assert predicates == {"tc"}
+        assert len(base) == 9
+
+    def test_explicit_predicates(self):
+        base = herbrand_base(parse_program(TC), predicates={"edge"})
+        assert len(base) == 9
+
+    def test_propositional_atom(self):
+        base = herbrand_base(parse_program("p :- not q. q :- not p."))
+        assert base == {atom("p"), atom("q")}
+
+
+class TestNaiveGround:
+    def test_ground_program_unchanged(self):
+        program = parse_program("p :- not q. q.")
+        assert set(naive_ground(program).rules) == set(program.rules)
+
+    def test_instantiates_all_combinations(self):
+        program = parse_program("e(1, 2). p(X, Y) :- e(X, Y).")
+        grounded = naive_ground(program)
+        # 2 constants, 2 variables -> 4 instantiations + 1 fact.
+        assert len(grounded) == 5
+
+    def test_limit_enforced(self):
+        program = parse_program("e(1, 2). e(2, 3). e(3, 4). p(X, Y, Z) :- e(X, Y), e(Y, Z).")
+        with pytest.raises(GroundingError):
+            naive_ground(program, GroundingLimits(max_rules=10))
+
+
+class TestRelevantGround:
+    def test_only_supported_instances_kept(self):
+        grounded = relevant_ground(parse_program(TC))
+        heads = {rule.head for rule in grounded if rule.head.predicate == "tc"}
+        assert heads == {atom("tc", 1, 2), atom("tc", 2, 3), atom("tc", 1, 3)}
+
+    def test_agrees_with_naive_on_derivable_atoms(self):
+        program = parse_program(TC)
+        relevant_heads = {r.head for r in relevant_ground(program)}
+        naive_heads = {r.head for r in naive_ground(program)}
+        assert relevant_heads <= naive_heads
+
+    def test_negative_literals_preserved(self):
+        program = parse_program(
+            "move(c, d). wins(X) :- move(X, Y), not wins(Y)."
+        )
+        grounded = relevant_ground(program)
+        rule = next(r for r in grounded if r.head == atom("wins", "c"))
+        assert neg("wins", "d") in rule.body
+
+    def test_unsafe_rule_rejected(self):
+        with pytest.raises(SafetyError):
+            relevant_ground(parse_program("p(X) :- not q(X)."))
+
+    def test_duplicate_instances_deduplicated(self):
+        program = parse_program("e(1, 1). p(X) :- e(X, X). p(X) :- e(X, X).")
+        grounded = relevant_ground(program)
+        assert len([r for r in grounded if r.head == atom("p", 1)]) == 1
+
+    def test_limit_enforced(self):
+        program = parse_program(
+            "e(1, 2). e(2, 3). e(3, 1). tc(X, Y) :- e(X, Y). tc(X, Y) :- e(X, Z), tc(Z, Y)."
+        )
+        with pytest.raises(GroundingError):
+            relevant_ground(program, GroundingLimits(max_rules=3))
+
+
+class TestGroundProgram:
+    def test_passthrough_for_ground_input(self):
+        program = parse_program("p :- not q. q :- r.")
+        assert ground_program(program) is program
+
+    def test_grounds_non_ground_input(self):
+        grounded = ground_program(parse_program(TC))
+        assert grounded.is_ground

@@ -1,0 +1,100 @@
+"""Unit tests for program / facts / model I/O."""
+
+import json
+
+import pytest
+
+from repro.datalog.atoms import atom
+from repro.datalog.database import Database
+from repro.datalog.io import (
+    interpretation_from_dict,
+    interpretation_to_dict,
+    load_facts_csv,
+    load_interpretation_json,
+    load_program,
+    save_facts_csv,
+    save_interpretation_json,
+    save_program,
+)
+from repro.datalog.parser import parse_program
+from repro.exceptions import ParseError
+from repro.fixpoint.interpretations import PartialInterpretation
+
+PROGRAM_TEXT = """
+edge(1, 2). edge(2, 3).
+tc(X, Y) :- edge(X, Y).
+tc(X, Y) :- edge(X, Z), tc(Z, Y).
+"""
+
+
+class TestProgramFiles:
+    def test_round_trip(self, tmp_path):
+        program = parse_program(PROGRAM_TEXT)
+        path = tmp_path / "tc.lp"
+        save_program(program, path, header="transitive closure\nexample")
+        loaded = load_program(path)
+        assert loaded == program
+        assert path.read_text().startswith("% transitive closure")
+
+    def test_load_reports_parse_errors(self, tmp_path):
+        path = tmp_path / "bad.lp"
+        path.write_text("p :- q", encoding="utf-8")  # missing final dot
+        with pytest.raises(ParseError):
+            load_program(path)
+
+
+class TestFactsCsv:
+    def test_round_trip(self, tmp_path):
+        database = Database.from_tuples({"edge": [(1, 2), (2, 3), ("x", "y")]})
+        path = tmp_path / "edge.csv"
+        save_facts_csv(database, "edge", path)
+        loaded = load_facts_csv(path, "edge")
+        assert loaded.values("edge") == {(1, 2), (2, 3), ("x", "y")}
+
+    def test_numeric_coercion_can_be_disabled(self, tmp_path):
+        path = tmp_path / "edge.csv"
+        path.write_text("1,2\n", encoding="utf-8")
+        loaded = load_facts_csv(path, "edge", numeric=False)
+        assert loaded.values("edge") == {("1", "2")}
+
+    def test_blank_lines_skipped_and_append(self, tmp_path):
+        path = tmp_path / "edge.csv"
+        path.write_text("1,2\n\n3,4\n", encoding="utf-8")
+        database = Database.from_tuples({"node": [(9,)]})
+        loaded = load_facts_csv(path, "edge", database)
+        assert loaded is database
+        assert len(loaded.tuples("edge")) == 2
+        assert loaded.contains("node", 9)
+
+
+class TestInterpretationSerialisation:
+    def test_dict_round_trip(self):
+        interpretation = PartialInterpretation([atom("tc", 1, 2)], [atom("tc", 2, 1)])
+        payload = interpretation_to_dict(interpretation)
+        rebuilt = interpretation_from_dict(payload)
+        assert rebuilt.true_atoms == interpretation.true_atoms
+        assert rebuilt.false_atoms == interpretation.false_atoms
+
+    def test_undefined_listed_only_with_base(self):
+        interpretation = PartialInterpretation([atom("p")], [])
+        without_base = interpretation_to_dict(interpretation)
+        assert "undefined" not in without_base
+        with_base = interpretation_to_dict(interpretation, base=[atom("p"), atom("q")])
+        assert with_base["undefined"] == ["q"]
+
+    def test_json_round_trip_with_metadata(self, tmp_path):
+        interpretation = PartialInterpretation([atom("wins", "c")], [atom("wins", "d")])
+        path = tmp_path / "model.json"
+        save_interpretation_json(
+            interpretation, path, base=[atom("wins", "a"), atom("wins", "c"), atom("wins", "d")],
+            metadata={"semantics": "well-founded"},
+        )
+        payload = json.loads(path.read_text())
+        assert payload["metadata"]["semantics"] == "well-founded"
+        assert payload["undefined"] == ["wins(a)"]
+        loaded = load_interpretation_json(path)
+        assert loaded.true_atoms == interpretation.true_atoms
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(ParseError):
+            interpretation_from_dict({"true": ["Not An Atom ("]})

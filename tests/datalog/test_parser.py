@@ -1,0 +1,122 @@
+"""Unit tests for the parser and tokenizer."""
+
+import pytest
+
+from repro.datalog.atoms import atom, neg, pos
+from repro.datalog.parser import parse_atom, parse_literal, parse_program, parse_rule, tokenize
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Compound, Constant, Variable
+from repro.exceptions import ParseError
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        kinds = [t.kind for t in tokenize("p(X, 1) :- q(X).")]
+        assert kinds == [
+            "name", "lparen", "name", "comma", "number", "rparen",
+            "implies", "name", "lparen", "name", "rparen", "dot",
+        ]
+
+    def test_comments_are_skipped(self):
+        assert [t.value for t in tokenize("p. % comment\n# another\nq.")] == ["p", ".", "q", "."]
+
+    def test_not_keyword(self):
+        assert tokenize("not p")[0].kind == "not"
+
+    def test_tilde_and_backslash_plus_negation(self):
+        assert tokenize("~p")[0].kind == "not"
+        assert tokenize("\\+ p")[0].kind == "not"
+
+    def test_positions_are_tracked(self):
+        tokens = tokenize("p.\n  q.")
+        assert (tokens[2].line, tokens[2].column) == (2, 3)
+
+    def test_negative_numbers(self):
+        assert tokenize("p(-3)")[2].value == "-3"
+
+    def test_strings(self):
+        token = tokenize('p("hello world")')[2]
+        assert token.kind == "string" and token.value == "hello world"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(ParseError):
+            tokenize('p("oops')
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(ParseError):
+            tokenize("p ? q")
+
+
+class TestParseAtomAndLiteral:
+    def test_propositional_atom(self):
+        assert parse_atom("p") == atom("p")
+
+    def test_atom_with_arguments(self):
+        assert parse_atom("edge(a, X, 3)") == atom("edge", "a", "X", 3)
+
+    def test_nested_compound_terms(self):
+        parsed = parse_atom("p(f(a, g(X)))")
+        assert parsed.args[0] == Compound("f", (Constant("a"), Compound("g", (Variable("X"),))))
+
+    def test_string_constant(self):
+        assert parse_atom('label(X, "a b")').args[1] == Constant("a b")
+
+    def test_uppercase_predicate_rejected(self):
+        with pytest.raises(ParseError):
+            parse_atom("Pred(a)")
+
+    def test_positive_literal(self):
+        assert parse_literal("edge(1, 2)") == pos("edge", 1, 2)
+
+    def test_negative_literal(self):
+        assert parse_literal("not edge(1, 2)") == neg("edge", 1, 2)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_atom("p(a) q")
+
+
+class TestParseRule:
+    def test_fact(self):
+        assert parse_rule("edge(1, 2).") == Rule(atom("edge", 1, 2))
+
+    def test_rule_with_body(self):
+        parsed = parse_rule("wins(X) :- move(X, Y), not wins(Y).")
+        assert parsed == Rule(atom("wins", "X"), (pos("move", "X", "Y"), neg("wins", "Y")))
+
+    def test_arrow_synonym(self):
+        assert parse_rule("p <- q.") == parse_rule("p :- q.")
+
+    def test_missing_dot_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("p :- q")
+
+    def test_missing_body_literal_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("p :- .")
+
+
+class TestParseProgram:
+    def test_round_trip(self):
+        text = """
+        edge(1, 2). edge(2, 3).
+        tc(X, Y) :- edge(X, Y).
+        tc(X, Y) :- edge(X, Z), tc(Z, Y).
+        """
+        program = parse_program(text)
+        assert len(program) == 4
+        reparsed = parse_program(str(program))
+        assert reparsed == program
+
+    def test_empty_program(self):
+        assert len(parse_program("")) == 0
+        assert len(parse_program("% only a comment")) == 0
+
+    def test_example_5_1_parses(self, example_5_1):
+        assert len(example_5_1) == 10
+        assert example_5_1.idb_predicates() >= {"p_a", "p_b", "p_d"}
+
+    def test_propositional_program(self):
+        program = parse_program("p :- not q. q :- not p.")
+        assert program.is_propositional
+        assert len(program) == 2

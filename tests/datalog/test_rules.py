@@ -1,0 +1,138 @@
+"""Unit tests for rules and programs."""
+
+import pytest
+
+from repro.datalog.atoms import atom, neg, pos
+from repro.datalog.rules import Program, Rule
+from repro.datalog.terms import Constant, Variable
+from repro.exceptions import NotGroundError, SafetyError
+
+
+def tc_rules():
+    return [
+        Rule(atom("edge", 1, 2)),
+        Rule(atom("edge", 2, 3)),
+        Rule(atom("tc", "X", "Y"), (pos("edge", "X", "Y"),)),
+        Rule(atom("tc", "X", "Y"), (pos("edge", "X", "Z"), pos("tc", "Z", "Y"))),
+        Rule(atom("ntc", "X", "Y"), (pos("node", "X"), pos("node", "Y"), neg("tc", "X", "Y"))),
+        Rule(atom("node", 1)),
+        Rule(atom("node", 2)),
+        Rule(atom("node", 3)),
+    ]
+
+
+class TestRule:
+    def test_fact_detection(self):
+        assert Rule(atom("edge", 1, 2)).is_fact
+        assert not Rule(atom("edge", "X", 2)).is_fact
+        assert not Rule(atom("p"), (pos("q"),)).is_fact
+
+    def test_string_forms(self):
+        assert str(Rule(atom("p", 1))) == "p(1)."
+        rule = Rule(atom("p", "X"), (pos("q", "X"), neg("r", "X")))
+        assert str(rule) == "p(X) :- q(X), not r(X)."
+
+    def test_definite(self):
+        assert Rule(atom("p"), (pos("q"),)).is_definite
+        assert not Rule(atom("p"), (neg("q"),)).is_definite
+
+    def test_body_split(self):
+        rule = Rule(atom("p"), (pos("q"), neg("r"), pos("s")))
+        assert rule.positive_body() == (pos("q"), pos("s"))
+        assert rule.negative_body() == (neg("r"),)
+
+    def test_variables(self):
+        rule = Rule(atom("p", "X"), (pos("q", "X", "Y"), neg("r", "Z")))
+        assert rule.variables() == {Variable("X"), Variable("Y"), Variable("Z")}
+
+    def test_substitute(self):
+        rule = Rule(atom("p", "X"), (pos("q", "X"),))
+        grounded = rule.substitute({Variable("X"): Constant(1)})
+        assert grounded == Rule(atom("p", 1), (pos("q", 1),))
+        assert grounded.is_ground
+
+    def test_safety_accepts_range_restricted_rule(self):
+        Rule(atom("p", "X"), (pos("q", "X"), neg("r", "X"))).check_safety()
+
+    def test_safety_rejects_unbound_head_variable(self):
+        with pytest.raises(SafetyError):
+            Rule(atom("p", "X"), (pos("q", "Y"),)).check_safety()
+
+    def test_safety_rejects_unbound_negative_variable(self):
+        with pytest.raises(SafetyError):
+            Rule(atom("p", "X"), (pos("q", "X"), neg("r", "Y"))).check_safety()
+
+    def test_safety_accepts_ground_fact(self):
+        Rule(atom("p", 1)).check_safety()
+
+
+class TestProgram:
+    def test_len_and_iteration(self):
+        program = Program(tc_rules())
+        assert len(program) == 8
+        assert all(isinstance(rule, Rule) for rule in program)
+
+    def test_predicates(self):
+        program = Program(tc_rules())
+        assert program.predicates() == {"edge", "tc", "ntc", "node"}
+
+    def test_edb_idb_split(self):
+        program = Program(tc_rules())
+        assert program.edb_predicates() == {"edge", "node"}
+        assert program.idb_predicates() == {"tc", "ntc"}
+
+    def test_body_only_predicate_counts_as_edb(self):
+        program = Program([Rule(atom("p", "X"), (pos("q", "X"),))])
+        assert "q" in program.edb_predicates()
+
+    def test_rules_for(self):
+        program = Program(tc_rules())
+        assert len(program.rules_for("tc")) == 2
+        assert program.rules_for("missing") == ()
+
+    def test_facts_and_fact_atoms(self):
+        program = Program(tc_rules())
+        assert len(program.facts()) == 5
+        assert atom("edge", 1, 2) in program.fact_atoms()
+
+    def test_is_definite(self):
+        assert not Program(tc_rules()).is_definite
+        horn = Program([r for r in tc_rules() if r.is_definite])
+        assert horn.is_definite
+
+    def test_is_propositional(self):
+        assert Program([Rule(atom("p"), (neg("q"),))]).is_propositional
+        assert not Program(tc_rules()).is_propositional
+
+    def test_with_facts_requires_ground_atoms(self):
+        program = Program([])
+        with pytest.raises(NotGroundError):
+            program.with_facts([atom("p", "X")])
+
+    def test_with_facts_extends(self):
+        program = Program([]).with_facts([atom("p", 1)])
+        assert Rule(atom("p", 1)) in program
+
+    def test_union(self):
+        left = Program([Rule(atom("p", 1))])
+        right = Program([Rule(atom("q", 2))])
+        assert len(Program.union(left, right)) == 2
+
+    def test_equality_ignores_order(self):
+        rules = tc_rules()
+        assert Program(rules) == Program(list(reversed(rules)))
+
+    def test_require_ground_raises_on_variables(self):
+        with pytest.raises(NotGroundError):
+            Program(tc_rules()).require_ground()
+
+    def test_without_and_restricted_to(self):
+        program = Program(tc_rules())
+        assert "tc" not in program.without_predicates({"tc"}).head_predicates()
+        assert program.restricted_to({"tc"}).head_predicates() == {"tc"}
+
+    def test_statistics(self):
+        stats = Program(tc_rules()).statistics()
+        assert stats["rules"] == 8
+        assert stats["facts"] == 5
+        assert stats["negative_literals"] == 1

@@ -1,0 +1,70 @@
+"""Unit tests for plain-text report rendering."""
+
+from repro.core import alternating_fixpoint
+from repro.datalog.atoms import atom
+from repro.datalog.parser import parse_program
+from repro.games import figure4b_edges, solve_game
+from repro.reporting import (
+    format_table,
+    render_comparison,
+    render_game,
+    render_model,
+    render_trace,
+)
+from repro.semantics import compare_semantics
+
+
+class TestFormatTable:
+    def test_alignment_and_rule(self):
+        text = format_table(("a", "long header"), [("x", 1), ("yyyy", 22)])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_handles_rows_wider_than_headers(self):
+        text = format_table(("h",), [("verylongcell", "extra")])
+        assert "verylongcell" in text and "extra" in text
+
+
+class TestRenderTrace:
+    def test_contains_table_one_rows(self, example_5_1):
+        result = alternating_fixpoint(example_5_1)
+        text = render_trace(result)
+        assert "S_P" in text
+        assert "not p_d" in text
+        assert text.count("\n") == len(result.stages) + 1
+
+    def test_predicate_filter(self):
+        result = alternating_fixpoint(
+            parse_program("move(a, b). wins(X) :- move(X, Y), not wins(Y).")
+        )
+        text = render_trace(result, predicate="wins")
+        assert "move" not in text.replace("S_P", "")
+
+
+class TestRenderModel:
+    def test_three_rows_with_base(self, example_5_1):
+        result = alternating_fixpoint(example_5_1)
+        text = render_model(result.model, result.context.base)
+        assert "true" in text and "false" in text and "undefined" in text
+        assert "p_c" in text and "p_a" in text
+
+    def test_two_rows_without_base(self, example_5_1):
+        result = alternating_fixpoint(example_5_1)
+        text = render_model(result.model)
+        assert "undefined" not in text
+
+
+class TestRenderComparisonAndGame:
+    def test_comparison_columns(self, example_3_1):
+        comparison = compare_semantics(example_3_1)
+        text = render_comparison(comparison, [atom("p"), atom("q")])
+        assert "WFS" in text and "Stable" in text
+        assert "p" in text.splitlines()[2]
+
+    def test_game_rendering(self):
+        solution = solve_game(figure4b_edges())
+        text = render_game(solution)
+        assert "won" in text and "drawn" in text
+        assert "c" in text

@@ -1,0 +1,133 @@
+"""Unit tests for partial interpretations and rule satisfaction
+(Definitions 3.4–3.5, Example 3.1)."""
+
+import pytest
+
+from repro.datalog.atoms import atom, neg, pos
+from repro.datalog.parser import parse_program, parse_rule
+from repro.exceptions import EvaluationError
+from repro.fixpoint.interpretations import (
+    PartialInterpretation,
+    TruthValue,
+    is_partial_model,
+    is_total_model,
+    satisfies_rule,
+)
+
+BASE = {atom("p"), atom("q"), atom("r")}
+
+
+class TestTruthValue:
+    def test_negation(self):
+        assert ~TruthValue.TRUE is TruthValue.FALSE
+        assert ~TruthValue.FALSE is TruthValue.TRUE
+        assert ~TruthValue.UNDEFINED is TruthValue.UNDEFINED
+
+    def test_kleene_conjunction(self):
+        assert TruthValue.TRUE.conjoin(TruthValue.TRUE) is TruthValue.TRUE
+        assert TruthValue.TRUE.conjoin(TruthValue.UNDEFINED) is TruthValue.UNDEFINED
+        assert TruthValue.FALSE.conjoin(TruthValue.UNDEFINED) is TruthValue.FALSE
+
+    def test_kleene_disjunction(self):
+        assert TruthValue.TRUE.disjoin(TruthValue.FALSE) is TruthValue.TRUE
+        assert TruthValue.FALSE.disjoin(TruthValue.FALSE) is TruthValue.FALSE
+        assert TruthValue.FALSE.disjoin(TruthValue.UNDEFINED) is TruthValue.UNDEFINED
+
+
+class TestPartialInterpretation:
+    def test_three_values(self):
+        interpretation = PartialInterpretation([atom("p")], [atom("q")])
+        assert interpretation.value_of_atom(atom("p")) is TruthValue.TRUE
+        assert interpretation.value_of_atom(atom("q")) is TruthValue.FALSE
+        assert interpretation.value_of_atom(atom("r")) is TruthValue.UNDEFINED
+
+    def test_inconsistent_rejected(self):
+        with pytest.raises(EvaluationError):
+            PartialInterpretation([atom("p")], [atom("p")])
+
+    def test_literal_valuation(self):
+        interpretation = PartialInterpretation([atom("p")], [atom("q")])
+        assert interpretation.value_of_literal(pos("p")) is TruthValue.TRUE
+        assert interpretation.value_of_literal(neg("p")) is TruthValue.FALSE
+        assert interpretation.value_of_literal(neg("q")) is TruthValue.TRUE
+        assert interpretation.value_of_literal(neg("r")) is TruthValue.UNDEFINED
+
+    def test_body_valuation(self):
+        interpretation = PartialInterpretation([atom("p")], [atom("q")])
+        assert interpretation.value_of_body([pos("p"), neg("q")]) is TruthValue.TRUE
+        assert interpretation.value_of_body([pos("p"), pos("q")]) is TruthValue.FALSE
+        assert interpretation.value_of_body([pos("p"), pos("r")]) is TruthValue.UNDEFINED
+        assert interpretation.value_of_body([]) is TruthValue.TRUE
+
+    def test_from_literals_round_trip(self):
+        literals = {pos("p"), neg("q")}
+        interpretation = PartialInterpretation.from_literals(literals)
+        assert interpretation.literals() == frozenset(literals)
+
+    def test_total_from_true(self):
+        interpretation = PartialInterpretation.total_from_true([atom("p")], BASE)
+        assert interpretation.is_total_over(BASE)
+        assert interpretation.false_atoms == frozenset({atom("q"), atom("r")})
+
+    def test_undefined_atoms(self):
+        interpretation = PartialInterpretation([atom("p")], [])
+        assert interpretation.undefined_atoms(BASE) == frozenset({atom("q"), atom("r")})
+
+    def test_extends_and_ordering(self):
+        small = PartialInterpretation([atom("p")], [])
+        large = PartialInterpretation([atom("p")], [atom("q")])
+        assert large.extends(small)
+        assert small <= large
+        assert not large <= small
+
+    def test_restrict_to_predicates(self):
+        interpretation = PartialInterpretation([atom("p"), atom("q")], [atom("r")])
+        restricted = interpretation.restrict_to_predicates({"p", "r"})
+        assert restricted.true_atoms == frozenset({atom("p")})
+        assert restricted.false_atoms == frozenset({atom("r")})
+
+    def test_per_predicate_views(self):
+        interpretation = PartialInterpretation([atom("p", 1), atom("q", 1)], [atom("p", 2)])
+        assert interpretation.true_of_predicate("p") == {atom("p", 1)}
+        assert interpretation.false_of_predicate("p") == {atom("p", 2)}
+
+
+class TestSatisfaction:
+    def test_head_true_satisfies(self):
+        interpretation = PartialInterpretation([atom("p")], [])
+        assert satisfies_rule(interpretation, parse_rule("p :- q."))
+
+    def test_body_false_satisfies(self):
+        interpretation = PartialInterpretation([], [atom("q")])
+        assert satisfies_rule(interpretation, parse_rule("p :- q."))
+
+    def test_both_undefined_satisfies(self):
+        interpretation = PartialInterpretation([], [])
+        assert satisfies_rule(interpretation, parse_rule("p :- q."))
+
+    def test_false_head_undefined_body_not_satisfied(self):
+        # The subtlety called out right after Definition 3.5.
+        interpretation = PartialInterpretation([], [atom("p")])
+        assert not satisfies_rule(interpretation, parse_rule("p :- q."))
+
+    def test_true_body_false_head_not_satisfied(self):
+        interpretation = PartialInterpretation([atom("q")], [atom("p")])
+        assert not satisfies_rule(interpretation, parse_rule("p :- q."))
+
+    def test_example_3_1_not_p_is_not_a_partial_model(self, example_3_1):
+        # I1 = {not p} leaves every rule body undefined but p's rules are
+        # not satisfied once p is false: it is NOT a partial model, matching
+        # the paper's discussion (p is true in all total models).
+        interpretation = PartialInterpretation([], [atom("p")])
+        assert not is_partial_model(interpretation, example_3_1)
+
+    def test_example_3_1_empty_interpretation_is_partial_model(self, example_3_1):
+        assert is_partial_model(PartialInterpretation.empty(), example_3_1)
+
+    def test_example_3_1_total_model(self, example_3_1):
+        total = PartialInterpretation([atom("p"), atom("q")], [atom("r")])
+        assert is_total_model(total, example_3_1)
+
+    def test_is_total_model_requires_totality(self, example_3_1):
+        partial = PartialInterpretation([atom("p")], [])
+        assert not is_total_model(partial, example_3_1)

@@ -1,0 +1,80 @@
+"""Unit tests for literal-set operations (Definition 3.2)."""
+
+from repro.datalog.atoms import atom, neg, pos
+from repro.fixpoint.lattice import (
+    NegativeSet,
+    conjugate_of_negative,
+    conjugate_of_positive,
+    literals_to_sets,
+    negative_set,
+    sets_to_literals,
+)
+
+BASE = {atom("p"), atom("q"), atom("r")}
+
+
+class TestNegativeSet:
+    def test_contains_atoms(self):
+        negatives = negative_set([atom("p")])
+        assert atom("p") in negatives
+        assert atom("q") not in negatives
+
+    def test_subset_ordering(self):
+        small = negative_set([atom("p")])
+        large = negative_set([atom("p"), atom("q")])
+        assert small <= large
+        assert small < large
+        assert large >= small
+        assert not (large <= small)
+
+    def test_set_algebra(self):
+        left = negative_set([atom("p"), atom("q")])
+        right = negative_set([atom("q"), atom("r")])
+        assert (left | right).atoms == frozenset({atom("p"), atom("q"), atom("r")})
+        assert (left & right).atoms == frozenset({atom("q")})
+        assert (left - right).atoms == frozenset({atom("p")})
+
+    def test_literals_view(self):
+        negatives = negative_set([atom("p")])
+        assert negatives.literals() == frozenset({neg("p")})
+
+    def test_empty_and_everything(self):
+        assert len(NegativeSet.empty()) == 0
+        assert NegativeSet.everything(BASE).atoms == frozenset(BASE)
+
+    def test_equality_and_hash(self):
+        assert negative_set([atom("p")]) == negative_set([atom("p")])
+        assert len({negative_set([atom("p")]), negative_set([atom("p")])}) == 1
+
+    def test_str_mentions_not(self):
+        assert "not p" in str(negative_set([atom("p")]))
+
+
+class TestConjugates:
+    def test_conjugate_of_positive(self):
+        positives = {atom("p")}
+        conjugate = conjugate_of_positive(positives, BASE)
+        assert conjugate.atoms == frozenset({atom("q"), atom("r")})
+
+    def test_conjugate_of_negative(self):
+        negatives = negative_set([atom("p")])
+        assert conjugate_of_negative(negatives, BASE) == frozenset({atom("q"), atom("r")})
+
+    def test_conjugates_are_inverse(self):
+        positives = frozenset({atom("p"), atom("r")})
+        assert conjugate_of_negative(conjugate_of_positive(positives, BASE), BASE) == positives
+
+    def test_conjugate_of_empty_positive_is_everything(self):
+        assert conjugate_of_positive(frozenset(), BASE).atoms == frozenset(BASE)
+
+
+class TestConversions:
+    def test_literals_to_sets(self):
+        positives, negatives = literals_to_sets([pos("p"), neg("q"), pos("r")])
+        assert positives == frozenset({atom("p"), atom("r")})
+        assert negatives.atoms == frozenset({atom("q")})
+
+    def test_sets_to_literals_round_trip(self):
+        literals = frozenset({pos("p"), neg("q")})
+        positives, negatives = literals_to_sets(literals)
+        assert sets_to_literals(positives, negatives) == literals

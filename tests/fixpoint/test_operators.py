@@ -1,0 +1,87 @@
+"""Unit tests for the generic fixpoint iteration machinery."""
+
+import pytest
+
+from repro.exceptions import EvaluationError
+from repro.fixpoint.operators import (
+    check_antimonotone_on_pair,
+    check_monotone_on_chain,
+    is_fixpoint,
+    iterate_to_fixpoint,
+    least_fixpoint,
+)
+
+UNIVERSE = frozenset(range(10))
+
+
+def add_successors(values: frozenset) -> frozenset:
+    """A simple monotone operator: close under n -> n+1 (capped at 9)."""
+    result = set(values) | {0}
+    result.update(min(v + 1, 9) for v in values)
+    return frozenset(result)
+
+
+class TestIteration:
+    def test_reaches_fixpoint(self):
+        trace = iterate_to_fixpoint(add_successors, frozenset())
+        assert trace.fixpoint == UNIVERSE
+
+    def test_trace_stages_are_increasing(self):
+        trace = iterate_to_fixpoint(add_successors, frozenset())
+        for smaller, larger in zip(trace.stages, trace.stages[1:]):
+            assert smaller <= larger
+
+    def test_trace_metadata(self):
+        trace = iterate_to_fixpoint(add_successors, frozenset())
+        assert trace.iterations == len(trace.stages) - 1
+        assert trace.stages[trace.converged_at] == trace.fixpoint
+        assert len(trace) == len(trace.stages)
+
+    def test_least_fixpoint_shortcut(self):
+        assert least_fixpoint(add_successors, frozenset()) == UNIVERSE
+
+    def test_identity_converges_immediately(self):
+        trace = iterate_to_fixpoint(lambda s: s, frozenset({1}))
+        assert trace.iterations == 1
+        assert trace.fixpoint == frozenset({1})
+
+    def test_non_convergent_operator_raises(self):
+        counter = iter(range(10_000))
+
+        def keeps_growing(values: frozenset) -> frozenset:
+            return values | {next(counter)}
+
+        with pytest.raises(EvaluationError):
+            iterate_to_fixpoint(keeps_growing, frozenset(), max_stages=50)
+
+
+class TestPredicates:
+    def test_is_fixpoint(self):
+        assert is_fixpoint(add_successors, UNIVERSE)
+        assert not is_fixpoint(add_successors, frozenset({3}))
+
+    def test_monotone_check_accepts_monotone_operator(self):
+        chain = [frozenset(), frozenset({1}), frozenset({1, 2})]
+        assert check_monotone_on_chain(add_successors, chain)
+
+    def test_monotone_check_flags_non_monotone_operator(self):
+        def complement(values: frozenset) -> frozenset:
+            return UNIVERSE - values
+
+        chain = [frozenset(), frozenset({1})]
+        assert not check_monotone_on_chain(complement, chain)
+
+    def test_monotone_check_requires_ascending_chain(self):
+        with pytest.raises(ValueError):
+            check_monotone_on_chain(add_successors, [frozenset({1}), frozenset()])
+
+    def test_antimonotone_check(self):
+        def complement(values: frozenset) -> frozenset:
+            return UNIVERSE - values
+
+        assert check_antimonotone_on_pair(complement, frozenset(), frozenset({1}))
+        assert not check_antimonotone_on_pair(add_successors, frozenset(), frozenset({1}))
+
+    def test_antimonotone_check_requires_ordered_pair(self):
+        with pytest.raises(ValueError):
+            check_antimonotone_on_pair(add_successors, frozenset({1}), frozenset())

@@ -1,0 +1,77 @@
+"""Unit tests for fixpoint-logic (FP) systems and Theorem 8.1."""
+
+import pytest
+
+from repro.datalog.atoms import Atom, atom
+from repro.datalog.terms import Variable
+from repro.exceptions import FormulaError
+from repro.fol.fixpoint_logic import fixpoint_logic_model
+from repro.fol.formulas import and_, atom_formula, exists, not_, or_
+from repro.fol.general_programs import (
+    GeneralProgram,
+    GeneralRule,
+    general_alternating_fixpoint,
+)
+from repro.fol.structures import FiniteStructure
+
+
+def tc_rule() -> GeneralRule:
+    """tc(X, Y) <- e(X, Y) or exists Z (e(X, Z) and tc(Z, Y))."""
+    return GeneralRule(
+        Atom("tc", (Variable("X"), Variable("Y"))),
+        or_(
+            atom_formula("e", "X", "Y"),
+            exists(["Z"], and_(atom_formula("e", "X", "Z"), atom_formula("tc", "Z", "Y"))),
+        ),
+    )
+
+
+class TestFixpointLogic:
+    def test_transitive_closure(self):
+        structure = FiniteStructure.from_edges([(1, 2), (2, 3), (3, 4)], relation="e")
+        result = fixpoint_logic_model(GeneralProgram([tc_rule()]), structure)
+        assert atom("tc", 1, 4) in result.true_atoms
+        assert atom("tc", 4, 1) not in result.true_atoms
+        assert result.of_predicate("tc") == result.true_atoms
+
+    def test_negative_edb_is_allowed(self):
+        # FP permits negation on given (EDB) relations.
+        rule = GeneralRule(
+            Atom("isolated", (Variable("X"),)),
+            and_(
+                atom_formula("node", "X"),
+                not_(exists(["Y"], atom_formula("e", "X", "Y"))),
+                not_(exists(["Y"], atom_formula("e", "Y", "X"))),
+            ),
+        )
+        structure = FiniteStructure.from_relations(
+            [1, 2, 3], {"e": [(1, 2)], "node": [(1,), (2,), (3,)]}
+        )
+        result = fixpoint_logic_model(GeneralProgram([rule]), structure)
+        assert result.true_atoms == {atom("isolated", 3)}
+
+    def test_negative_idb_rejected(self):
+        rule = GeneralRule(
+            Atom("p", (Variable("X"),)),
+            and_(atom_formula("node", "X"), not_(atom_formula("p", "X"))),
+        )
+        structure = FiniteStructure.from_relations([1], {"node": [(1,)]})
+        with pytest.raises(FormulaError):
+            fixpoint_logic_model(GeneralProgram([rule]), structure)
+
+    def test_theorem_8_1_fp_equals_positive_afp_part(self):
+        # For an FP system the positive part of the AFP model is the FP
+        # least fixpoint (Theorem 8.1).
+        structure = FiniteStructure.from_edges([(1, 2), (2, 3), (3, 1), (3, 4)], relation="e")
+        program = GeneralProgram([tc_rule()])
+        fp = fixpoint_logic_model(program, structure)
+        afp = general_alternating_fixpoint(program, structure)
+        assert fp.true_atoms == afp.positive_fixpoint
+        assert afp.is_total
+
+    def test_interpretation_is_total(self):
+        structure = FiniteStructure.from_edges([(1, 2)], relation="e")
+        result = fixpoint_logic_model(GeneralProgram([tc_rule()]), structure)
+        assert result.interpretation.is_total_over(
+            GeneralProgram([tc_rule()]).herbrand_base(structure)
+        )

@@ -1,0 +1,122 @@
+"""Unit tests for the first-order formula AST."""
+
+import pytest
+
+from repro.datalog.terms import Constant, Variable
+from repro.exceptions import FormulaError
+from repro.fol.formulas import (
+    And,
+    AtomFormula,
+    Exists,
+    FalseFormula,
+    Forall,
+    Not,
+    Or,
+    TrueFormula,
+    and_,
+    atom_formula,
+    exists,
+    forall,
+    free_variables,
+    not_,
+    or_,
+    subformulas,
+    substitute_formula,
+    to_negation_normal_form,
+)
+
+E_YX = atom_formula("e", "Y", "X")
+W_Y = atom_formula("w", "Y")
+
+
+class TestConstruction:
+    def test_atom_formula_coerces_arguments(self):
+        formula = atom_formula("e", "X", 1)
+        assert formula.atom.args == (Variable("X"), Constant(1))
+
+    def test_and_or_flatten_trivial_cases(self):
+        assert and_() == TrueFormula()
+        assert or_() == FalseFormula()
+        assert and_(E_YX) == E_YX
+        assert isinstance(and_(E_YX, W_Y), And)
+        assert isinstance(or_(E_YX, W_Y), Or)
+
+    def test_quantifier_constructors(self):
+        formula = exists(["Y"], E_YX)
+        assert formula.variables == (Variable("Y"),)
+        assert isinstance(forall(["X", "Y"], E_YX), Forall)
+
+    def test_quantifier_rejects_non_variable(self):
+        with pytest.raises(FormulaError):
+            exists([42], E_YX)
+
+    def test_string_forms(self):
+        formula = not_(exists(["Y"], and_(E_YX, not_(W_Y))))
+        text = str(formula)
+        assert "exists Y" in text and "not" in text
+
+
+class TestFreeVariables:
+    def test_atom(self):
+        assert free_variables(E_YX) == {Variable("Y"), Variable("X")}
+
+    def test_quantifier_binds(self):
+        assert free_variables(exists(["Y"], E_YX)) == {Variable("X")}
+        assert free_variables(forall(["X", "Y"], E_YX)) == set()
+
+    def test_connectives_union(self):
+        formula = and_(E_YX, not_(atom_formula("p", "Z")))
+        assert free_variables(formula) == {Variable("X"), Variable("Y"), Variable("Z")}
+
+    def test_constants_contribute_nothing(self):
+        assert free_variables(TrueFormula()) == set()
+        assert free_variables(FalseFormula()) == set()
+
+
+class TestSubstitution:
+    def test_substitutes_free_occurrences(self):
+        result = substitute_formula(E_YX, {Variable("X"): Constant(1)})
+        assert result == atom_formula("e", "Y", 1)
+
+    def test_respects_quantifier_scope(self):
+        formula = exists(["Y"], E_YX)
+        result = substitute_formula(formula, {Variable("Y"): Constant(1), Variable("X"): Constant(2)})
+        assert result == exists(["Y"], atom_formula("e", "Y", 2))
+
+
+class TestNegationNormalForm:
+    def test_double_negation_removed(self):
+        assert to_negation_normal_form(not_(not_(E_YX))) == E_YX
+
+    def test_de_morgan(self):
+        result = to_negation_normal_form(not_(and_(E_YX, W_Y)))
+        assert isinstance(result, Or)
+        assert all(isinstance(p, Not) for p in result.parts)
+
+    def test_quantifier_duality(self):
+        result = to_negation_normal_form(not_(exists(["Y"], W_Y)))
+        assert isinstance(result, Forall)
+        assert result.sub == not_(W_Y)
+
+        result = to_negation_normal_form(not_(forall(["Y"], W_Y)))
+        assert isinstance(result, Exists)
+
+    def test_example_8_1(self):
+        # not exists X p(X)   ==>   forall X not p(X)
+        phi = not_(exists(["X"], atom_formula("p", "X")))
+        nnf = to_negation_normal_form(phi)
+        assert nnf == forall(["X"], not_(atom_formula("p", "X")))
+
+    def test_negated_constants(self):
+        assert to_negation_normal_form(not_(TrueFormula())) == FalseFormula()
+        assert to_negation_normal_form(not_(FalseFormula())) == TrueFormula()
+
+
+class TestSubformulas:
+    def test_preorder_enumeration(self):
+        formula = not_(exists(["Y"], and_(E_YX, not_(W_Y))))
+        nodes = list(subformulas(formula))
+        assert formula in nodes
+        assert E_YX in nodes
+        assert W_Y in nodes
+        assert len(nodes) == 6

@@ -1,0 +1,136 @@
+"""Unit tests for general programs and alternating fixpoint logic."""
+
+import pytest
+
+from repro.datalog.atoms import Atom, atom
+from repro.datalog.terms import Variable
+from repro.exceptions import FormulaError
+from repro.fixpoint.lattice import NegativeSet
+from repro.fol.formulas import and_, atom_formula, exists, forall, not_, or_
+from repro.fol.general_programs import (
+    GeneralProgram,
+    GeneralRule,
+    general_alternating_fixpoint,
+    general_eventual_consequence,
+    general_stability_transform,
+)
+from repro.fol.structures import FiniteStructure
+
+
+def wf_rule() -> GeneralRule:
+    """Example 8.2: w(X) <- not exists Y (e(Y, X) and not w(Y))."""
+    return GeneralRule(
+        Atom("w", (Variable("X"),)),
+        not_(exists(["Y"], and_(atom_formula("e", "Y", "X"), not_(atom_formula("w", "Y"))))),
+    )
+
+
+def reach_rule() -> GeneralRule:
+    """FP-style reachability from node 1: r(X) <- X = 1 or exists Y (r(Y) and e(Y, X)).
+
+    Equality is emulated with the EDB relation ``is_one``.
+    """
+    return GeneralRule(
+        Atom("r", (Variable("X"),)),
+        or_(
+            atom_formula("is_one", "X"),
+            exists(["Y"], and_(atom_formula("r", "Y"), atom_formula("e", "Y", "X"))),
+        ),
+    )
+
+
+class TestGeneralRuleValidation:
+    def test_head_must_be_distinct_variables(self):
+        with pytest.raises(FormulaError):
+            GeneralRule(Atom("p", (Variable("X"), Variable("X"))), atom_formula("q", "X"))
+        with pytest.raises(FormulaError):
+            GeneralRule(atom("p", 1), atom_formula("q", 1))
+
+    def test_unquantified_body_variables_rejected(self):
+        with pytest.raises(FormulaError):
+            GeneralRule(Atom("p", (Variable("X"),)), atom_formula("e", "X", "Y"))
+
+    def test_one_rule_per_relation(self):
+        with pytest.raises(FormulaError):
+            GeneralProgram([wf_rule(), wf_rule()])
+
+
+class TestGeneralProgramStructure:
+    def test_idb_and_edb_predicates(self):
+        program = GeneralProgram([wf_rule()])
+        assert program.idb_predicates() == {"w"}
+        assert program.edb_predicates() == {"e"}
+
+    def test_fixpoint_logic_detection(self):
+        # Example 8.2's rule IS a fixpoint-logic system: w occurs only under
+        # an even number of negations (the paper makes exactly this point).
+        assert GeneralProgram([wf_rule()]).is_fixpoint_logic()
+        assert GeneralProgram([reach_rule()]).is_fixpoint_logic()
+        # The win-move rule is not: wins occurs under a single negation.
+        win = GeneralRule(
+            Atom("wins", (Variable("X"),)),
+            exists(["Y"], and_(atom_formula("move", "X", "Y"), not_(atom_formula("wins", "Y")))),
+        )
+        assert not GeneralProgram([win]).is_fixpoint_logic()
+
+    def test_herbrand_base(self):
+        structure = FiniteStructure.from_edges([(1, 2)], relation="e")
+        base = GeneralProgram([wf_rule()]).herbrand_base(structure)
+        assert base == {atom("w", 1), atom("w", 2)}
+
+
+class TestGeneralOperators:
+    def test_eventual_consequence_ignores_negative_arg_for_fp(self):
+        structure = FiniteStructure.from_relations(
+            [1, 2, 3], {"e": [(1, 2), (2, 3)], "is_one": [(1,)]}
+        )
+        program = GeneralProgram([reach_rule()])
+        empty = general_eventual_consequence(program, structure, NegativeSet.empty())
+        everything = general_eventual_consequence(
+            program, structure, NegativeSet([atom("r", 1), atom("r", 2), atom("r", 3)])
+        )
+        assert empty == everything == {atom("r", 1), atom("r", 2), atom("r", 3)}
+
+    def test_stability_transform_conjugates(self):
+        program = GeneralProgram([wf_rule()])
+        # Acyclic graph: every node is well founded, S_P(∅) already derives
+        # both w atoms (w occurs positively), so the conjugate is empty.
+        acyclic = FiniteStructure.from_edges([(1, 2)], relation="e")
+        assert frozenset(
+            general_stability_transform(program, acyclic, NegativeSet.empty()).atoms
+        ) == frozenset()
+        # 2-cycle: nothing is well founded, so everything is negated.
+        cyclic = FiniteStructure.from_edges([(1, 2), (2, 1)], relation="e")
+        assert frozenset(
+            general_stability_transform(program, cyclic, NegativeSet.empty()).atoms
+        ) == frozenset({atom("w", 1), atom("w", 2)})
+
+
+class TestExample82:
+    def test_well_founded_nodes_on_acyclic_graph(self):
+        structure = FiniteStructure.from_edges([(1, 2), (2, 3)], relation="e")
+        result = general_alternating_fixpoint(GeneralProgram([wf_rule()]), structure)
+        assert result.true_of_predicate("w") == {atom("w", 1), atom("w", 2), atom("w", 3)}
+        assert result.is_total
+
+    def test_well_founded_nodes_with_cycle(self):
+        # 4 -> 4 self-loop: 4 and everything it reaches is not well founded.
+        structure = FiniteStructure.from_edges(
+            [(1, 2), (2, 3), (4, 4), (4, 5)], relation="e"
+        )
+        result = general_alternating_fixpoint(GeneralProgram([wf_rule()]), structure)
+        assert result.true_of_predicate("w") == {atom("w", 1), atom("w", 2), atom("w", 3)}
+        assert result.false_of_predicate("w") == {atom("w", 4), atom("w", 5)}
+        assert result.is_total
+
+    def test_infinite_descending_chain_in_cycle_only(self):
+        structure = FiniteStructure.from_edges([(1, 2), (2, 1)], relation="e")
+        result = general_alternating_fixpoint(GeneralProgram([wf_rule()]), structure)
+        assert result.true_of_predicate("w") == set()
+        assert result.false_of_predicate("w") == {atom("w", 1), atom("w", 2)}
+
+    def test_model_view(self):
+        structure = FiniteStructure.from_edges([(1, 2)], relation="e")
+        result = general_alternating_fixpoint(GeneralProgram([wf_rule()]), structure)
+        assert result.model.is_true(atom("w", 1))
+        assert result.undefined_atoms == frozenset()

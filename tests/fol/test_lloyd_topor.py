@@ -1,0 +1,130 @@
+"""Unit tests for the Lloyd–Topor transformation and Theorems 8.6–8.7."""
+
+from repro.core.alternating import alternating_fixpoint
+from repro.datalog.atoms import Atom, atom
+from repro.datalog.rules import Program
+from repro.datalog.terms import Variable
+from repro.fol.fixpoint_logic import fixpoint_logic_model
+from repro.fol.formulas import and_, atom_formula, exists, forall, not_, or_
+from repro.fol.general_programs import GeneralProgram, GeneralRule, general_alternating_fixpoint
+from repro.fol.lloyd_topor import domain_facts, lloyd_topor_transform
+from repro.fol.structures import FiniteStructure
+
+
+def wf_rule() -> GeneralRule:
+    return GeneralRule(
+        Atom("w", (Variable("X"),)),
+        not_(exists(["Y"], and_(atom_formula("e", "Y", "X"), not_(atom_formula("w", "Y"))))),
+    )
+
+
+def tc_rule() -> GeneralRule:
+    return GeneralRule(
+        Atom("tc", (Variable("X"), Variable("Y"))),
+        or_(
+            atom_formula("e", "X", "Y"),
+            exists(["Z"], and_(atom_formula("e", "X", "Z"), atom_formula("tc", "Z", "Y"))),
+        ),
+    )
+
+
+def evaluate_normal(result, structure: FiniteStructure):
+    """Attach EDB and domain facts and run the (normal-program) AFP."""
+    pieces = [result.program, structure.edb.as_program()]
+    if result.domain_predicate is not None:
+        pieces.append(domain_facts(structure, result.domain_predicate))
+    return alternating_fixpoint(Program.union(*pieces))
+
+
+class TestTransformationShape:
+    def test_example_8_2_produces_two_rules(self):
+        result = lloyd_topor_transform(GeneralProgram([wf_rule()]))
+        heads = {rule.head.predicate for rule in result.program}
+        assert "w" in heads
+        assert len(result.auxiliary_predicates()) == 1
+        auxiliary = next(iter(result.auxiliary_predicates()))
+        assert auxiliary in heads
+        # The auxiliary relation replaces a negative subformula: globally negative.
+        assert result.globally_negative() == {auxiliary}
+        assert "w" in result.globally_positive()
+
+    def test_disjunction_becomes_multiple_rules(self):
+        result = lloyd_topor_transform(GeneralProgram([tc_rule()]))
+        tc_rules = [rule for rule in result.program if rule.head.predicate == "tc"]
+        assert len(tc_rules) == 2
+        assert not result.auxiliary_predicates()
+
+    def test_universal_quantifier_eliminated(self):
+        rule = GeneralRule(
+            Atom("all_good", ()),
+            forall(["X"], atom_formula("good", "X")),
+        )
+        result = lloyd_topor_transform(GeneralProgram([rule]))
+        # forall is rewritten through a negated existential auxiliary.
+        assert len(result.auxiliary_predicates()) == 1
+        assert all(lit.negative or lit.predicate != "all_good" for r in result.program for lit in r.body)
+
+    def test_domain_guards_keep_rules_safe(self):
+        result = lloyd_topor_transform(GeneralProgram([wf_rule()]))
+        assert result.domain_predicate == "dom"
+        result.program.check_safety()
+
+    def test_no_guard_when_not_needed(self):
+        result = lloyd_topor_transform(GeneralProgram([tc_rule()]))
+        assert result.domain_predicate is None
+
+    def test_rules_are_normal(self):
+        result = lloyd_topor_transform(GeneralProgram([wf_rule(), tc_rule()]))
+        for rule in result.program:
+            assert all(hasattr(lit, "positive") for lit in rule.body)
+
+
+class TestTheorem87:
+    """The transformed program preserves the positive AFP part on the
+    original relations."""
+
+    def test_well_founded_nodes_round_trip(self):
+        general = GeneralProgram([wf_rule()])
+        structure = FiniteStructure.from_edges(
+            [(1, 2), (2, 3), (4, 4), (4, 5)], relation="e"
+        )
+        original = general_alternating_fixpoint(general, structure)
+        transformed = lloyd_topor_transform(general)
+        normal = evaluate_normal(transformed, structure)
+        w_true_normal = {a for a in normal.true_atoms() if a.predicate == "w"}
+        assert w_true_normal == original.true_of_predicate("w")
+
+    def test_fp_reachability_round_trip(self):
+        general = GeneralProgram([tc_rule()])
+        structure = FiniteStructure.from_edges([(1, 2), (2, 3), (3, 1), (3, 4)], relation="e")
+        fp = fixpoint_logic_model(general, structure)
+        transformed = lloyd_topor_transform(general)
+        normal = evaluate_normal(transformed, structure)
+        tc_true_normal = {a for a in normal.true_atoms() if a.predicate == "tc"}
+        assert tc_true_normal == fp.true_atoms
+
+    def test_negated_universal_concept(self):
+        # has_sink <- exists X forall Y not e(X, Y): some node with no
+        # outgoing edge.
+        rule = GeneralRule(
+            Atom("has_sink", ()),
+            exists(["X"], and_(atom_formula("node", "X"),
+                               forall(["Y"], not_(atom_formula("e", "X", "Y"))))),
+        )
+        general = GeneralProgram([rule])
+        with_sink = FiniteStructure.from_relations(
+            [1, 2], {"e": [(1, 2)], "node": [(1,), (2,)]}
+        )
+        without_sink = FiniteStructure.from_relations(
+            [1, 2], {"e": [(1, 2), (2, 1)], "node": [(1,), (2,)]}
+        )
+        original_with = general_alternating_fixpoint(general, with_sink)
+        original_without = general_alternating_fixpoint(general, without_sink)
+        assert atom("has_sink") in original_with.positive_fixpoint
+        assert atom("has_sink") not in original_without.positive_fixpoint
+
+        transformed = lloyd_topor_transform(general)
+        assert {a for a in evaluate_normal(transformed, with_sink).true_atoms()
+                if a.predicate == "has_sink"} == {atom("has_sink")}
+        assert {a for a in evaluate_normal(transformed, without_sink).true_atoms()
+                if a.predicate == "has_sink"} == set()

@@ -1,0 +1,55 @@
+"""Unit tests for polarity analysis (Definition 8.1)."""
+
+from repro.fol.polarity import occurs_only_positively, predicate_occurrences, predicate_polarities
+from repro.fol.formulas import and_, atom_formula, exists, forall, not_, or_
+
+E_YX = atom_formula("e", "Y", "X")
+W_Y = atom_formula("w", "Y")
+
+
+class TestPolarity:
+    def test_plain_occurrence_is_positive(self):
+        occurrences = list(predicate_occurrences(E_YX))
+        assert occurrences[0].predicate == "e"
+        assert occurrences[0].positive
+
+    def test_single_negation_flips(self):
+        occurrences = list(predicate_occurrences(not_(W_Y)))
+        assert not occurrences[0].positive
+
+    def test_double_negation_restores(self):
+        occurrences = list(predicate_occurrences(not_(not_(W_Y))))
+        assert occurrences[0].positive
+
+    def test_quantifiers_preserve_polarity(self):
+        # Example 8.2: w is positive inside the existential, but the whole
+        # existential is under a negation, so w occurs... the inner not flips
+        # once and the outer not flips again: net positive.
+        body = not_(exists(["Y"], and_(E_YX, not_(W_Y))))
+        polarities = predicate_polarities(body)
+        assert polarities["w"] == {True}
+        assert polarities["e"] == {False}
+
+    def test_both_polarities_reported(self):
+        formula = and_(W_Y, not_(W_Y))
+        assert predicate_polarities(formula)["w"] == {True, False}
+
+    def test_forall_transparent(self):
+        formula = forall(["Y"], not_(W_Y))
+        assert predicate_polarities(formula)["w"] == {False}
+
+
+class TestOccursOnlyPositively:
+    def test_fixpoint_logic_restriction(self):
+        body = exists(["Y"], and_(E_YX, W_Y))
+        assert occurs_only_positively(body, {"w"})
+
+    def test_detects_negative_idb_occurrence(self):
+        body = exists(["Y"], and_(E_YX, not_(W_Y)))
+        assert not occurs_only_positively(body, {"w"})
+        # EDB polarity is irrelevant to the check.
+        assert occurs_only_positively(body, {"q"})
+
+    def test_or_branches_checked(self):
+        body = or_(W_Y, not_(atom_formula("w", "Z")))
+        assert not occurs_only_positively(body, {"w"})

@@ -1,0 +1,88 @@
+"""Unit tests for formula truth under literal sets (Definition 8.2)."""
+
+import pytest
+
+from repro.datalog.atoms import atom
+from repro.exceptions import FormulaError
+from repro.fol.formulas import and_, atom_formula, exists, forall, not_, or_
+from repro.fol.structures import FiniteStructure
+from repro.fol.truth import LiteralContext, formula_is_true
+
+STRUCTURE = FiniteStructure.from_relations([1, 2, 3], {"e": [(1, 2), (2, 3)]})
+
+
+def context(positive=(), negative=()):
+    return LiteralContext(STRUCTURE, frozenset(positive), frozenset(negative))
+
+
+class TestLiterals:
+    def test_positive_idb_literal_requires_membership(self):
+        assert formula_is_true(atom_formula("w", 1), context(positive=[atom("w", 1)]))
+        assert not formula_is_true(atom_formula("w", 1), context())
+
+    def test_negative_idb_literal_requires_explicit_negative(self):
+        # Example 8.1: absence of the positive literal is NOT enough.
+        formula = not_(atom_formula("w", 1))
+        assert not formula_is_true(formula, context())
+        assert formula_is_true(formula, context(negative=[atom("w", 1)]))
+
+    def test_edb_atoms_use_the_structure(self):
+        assert formula_is_true(atom_formula("e", 1, 2), context())
+        assert not formula_is_true(atom_formula("e", 2, 1), context())
+        assert formula_is_true(not_(atom_formula("e", 2, 1)), context())
+
+    def test_free_variables_rejected(self):
+        with pytest.raises(FormulaError):
+            formula_is_true(atom_formula("w", "X"), context())
+
+
+class TestConnectivesAndQuantifiers:
+    def test_conjunction_and_disjunction(self):
+        ctx = context(positive=[atom("w", 1)])
+        assert formula_is_true(and_(atom_formula("w", 1), atom_formula("e", 1, 2)), ctx)
+        assert not formula_is_true(and_(atom_formula("w", 1), atom_formula("w", 2)), ctx)
+        assert formula_is_true(or_(atom_formula("w", 2), atom_formula("w", 1)), ctx)
+
+    def test_exists_over_domain(self):
+        formula = exists(["X"], atom_formula("e", "X", 3))
+        assert formula_is_true(formula, context())
+        assert not formula_is_true(exists(["X"], atom_formula("e", "X", 1)), context())
+
+    def test_forall_over_domain(self):
+        ctx = context(negative=[atom("w", 1), atom("w", 2), atom("w", 3)])
+        assert formula_is_true(forall(["X"], not_(atom_formula("w", "X"))), ctx)
+        partial = context(negative=[atom("w", 1), atom("w", 2)])
+        assert not formula_is_true(forall(["X"], not_(atom_formula("w", "X"))), partial)
+
+    def test_example_8_1_asymmetry(self):
+        # phi = not exists X w(X) needs not-w(t) for EVERY domain element;
+        # psi = not phi is true as soon as some w(t) is in the positive part.
+        phi = not_(exists(["X"], atom_formula("w", "X")))
+        all_negative = context(negative=[atom("w", 1), atom("w", 2), atom("w", 3)])
+        nothing = context()
+        assert formula_is_true(phi, all_negative)
+        assert not formula_is_true(phi, nothing)
+
+        psi = not_(phi)
+        has_positive = context(positive=[atom("w", 2)])
+        assert formula_is_true(psi, has_positive)
+        assert not formula_is_true(psi, nothing)
+
+    def test_example_8_2_body(self):
+        # w(X) <- not exists Y (e(Y, X) and not w(Y)), instantiated at X=1:
+        # node 1 has no incoming edge, so the body holds even with no
+        # literals at all.
+        body_at_1 = not_(
+            exists(["Y"], and_(atom_formula("e", "Y", 1), not_(atom_formula("w", "Y"))))
+        )
+        assert formula_is_true(body_at_1, context())
+        # At X=2 there is an incoming edge from 1.  Because w(Y) occurs
+        # *positively* in the body (under two negations), the body needs the
+        # positive literal w(1) in the set — mere absence of "not w(1)" is
+        # not enough (the asymmetry of Definition 8.2).
+        body_at_2 = not_(
+            exists(["Y"], and_(atom_formula("e", "Y", 2), not_(atom_formula("w", "Y"))))
+        )
+        assert not formula_is_true(body_at_2, context())
+        assert formula_is_true(body_at_2, context(positive=[atom("w", 1)]))
+        assert not formula_is_true(body_at_2, context(negative=[atom("w", 1)]))

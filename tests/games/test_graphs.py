@@ -1,0 +1,70 @@
+"""Unit tests for graph workload generators."""
+
+from repro.games.graphs import (
+    binary_tree_edges,
+    chain_edges,
+    complete_dag_edges,
+    cycle_edges,
+    grid_edges,
+    lollipop_edges,
+    nodes_of,
+    random_digraph_edges,
+    random_game_edges,
+)
+
+
+class TestDeterministicFamilies:
+    def test_chain(self):
+        edges = chain_edges(3)
+        assert edges == [("n0", "n1"), ("n1", "n2"), ("n2", "n3")]
+        assert len(nodes_of(edges)) == 4
+
+    def test_cycle(self):
+        edges = cycle_edges(3)
+        assert ("n2", "n0") in edges
+        assert len(edges) == 3
+        assert cycle_edges(0) == []
+
+    def test_lollipop(self):
+        edges = lollipop_edges(3, 2)
+        assert ("n0", "nt0") in edges
+        assert ("nt0", "nt1") in edges
+        assert len(edges) == 5
+
+    def test_complete_dag(self):
+        edges = complete_dag_edges(4)
+        assert len(edges) == 6
+        assert all(int(s[1:]) < int(t[1:]) for s, t in edges)
+
+    def test_binary_tree(self):
+        edges = binary_tree_edges(2)
+        assert len(edges) == 6
+        assert ("n0", "n1") in edges and ("n0", "n2") in edges
+
+    def test_grid(self):
+        edges = grid_edges(2, 2)
+        assert len(edges) == 4
+        assert ("n0_0", "n0_1") in edges and ("n0_0", "n1_0") in edges
+
+
+class TestRandomFamilies:
+    def test_random_digraph_is_deterministic_per_seed(self):
+        assert random_digraph_edges(10, 0.3, seed=7) == random_digraph_edges(10, 0.3, seed=7)
+        assert random_digraph_edges(10, 0.3, seed=7) != random_digraph_edges(10, 0.3, seed=8)
+
+    def test_random_digraph_respects_probability_bounds(self):
+        assert random_digraph_edges(10, 0.0, seed=1) == []
+        assert len(random_digraph_edges(5, 1.0, seed=1)) == 20  # no self loops
+
+    def test_self_loop_flag(self):
+        with_loops = random_digraph_edges(5, 1.0, seed=1, allow_self_loops=True)
+        assert len(with_loops) == 25
+
+    def test_random_game_has_sinks(self):
+        edges = random_game_edges(nodes=16, out_degree=3, seed=3)
+        sources = {s for s, _ in edges}
+        nodes = set(nodes_of(edges))
+        assert nodes - sources  # at least one sink appears as a target only
+
+    def test_random_game_deterministic(self):
+        assert random_game_edges(12, 2, seed=5) == random_game_edges(12, 2, seed=5)

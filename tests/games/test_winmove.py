@@ -1,0 +1,102 @@
+"""Unit tests for win–move games (Example 5.2, Figure 4)."""
+
+from repro.core.alternating import alternating_fixpoint
+from repro.core.stable import stable_models, unique_stable_model
+from repro.datalog.atoms import atom
+from repro.games.winmove import (
+    figure4a_edges,
+    figure4b_edges,
+    figure4c_edges,
+    solve_game,
+    win_move_program,
+)
+
+
+class TestFigure4a:
+    def test_total_model_matches_paper(self):
+        solution = solve_game(figure4a_edges())
+        assert solution.won == {"b", "e", "g"}
+        assert solution.lost == {"a", "c", "d", "f", "h", "i"}
+        assert solution.drawn == set()
+        assert solution.result.is_total
+
+    def test_total_afp_model_is_unique_stable_model(self):
+        program = win_move_program(figure4a_edges())
+        afp = alternating_fixpoint(program)
+        stable = unique_stable_model(program)
+        assert stable.true_atoms == afp.true_atoms()
+
+
+class TestFigure4b:
+    def test_partial_model_matches_paper(self):
+        solution = solve_game(figure4b_edges())
+        assert solution.won == {"c"}
+        assert solution.lost == {"d"}
+        assert solution.drawn == {"a", "b"}
+        assert not solution.result.is_total
+
+    def test_two_stable_models_resolve_the_draw(self):
+        program = win_move_program(figure4b_edges())
+        models = stable_models(program)
+        wins_sets = {
+            frozenset(a.args[0].value for a in model.true_atoms if a.predicate == "wins")
+            for model in models
+        }
+        assert wins_sets == {frozenset({"a", "c"}), frozenset({"b", "c"})}
+
+
+class TestFigure4c:
+    def test_total_model_despite_cycle(self):
+        solution = solve_game(figure4c_edges())
+        assert solution.won == {"b"}
+        assert solution.lost == {"a", "c"}
+        assert solution.drawn == set()
+        assert solution.result.is_total
+
+    def test_unique_stable_model(self):
+        program = win_move_program(figure4c_edges())
+        stable = unique_stable_model(program)
+        assert atom("wins", "b") in stable.true_atoms
+        assert atom("wins", "a") not in stable.true_atoms
+
+
+class TestSolveGame:
+    def test_status_of_and_mapping(self):
+        solution = solve_game(figure4b_edges())
+        assert solution.status_of("c") == "won"
+        assert solution.status_of("d") == "lost"
+        assert solution.status_of("a") == "drawn"
+        assert solution.status_of("zzz") == "unknown"
+        assert solution.as_mapping()["c"] == "won"
+
+    def test_game_theoretic_invariants_on_random_graphs(self):
+        from repro.games.graphs import random_game_edges
+
+        for seed in range(5):
+            edges = random_game_edges(nodes=12, out_degree=3, seed=seed)
+            if not edges:
+                continue
+            solution = solve_game(edges)
+            successors: dict = {}
+            for source, target in edges:
+                successors.setdefault(source, set()).add(target)
+            for position in solution.won:
+                # A won position has some move to a lost position.
+                assert any(t in solution.lost for t in successors.get(position, ()))
+            for position in solution.lost:
+                # A lost position has no move to a lost position.
+                assert all(t not in solution.lost for t in successors.get(position, ()))
+            for position in solution.drawn:
+                # A drawn position has a move to a drawn position and none to
+                # a lost one.
+                assert any(t in solution.drawn for t in successors.get(position, ()))
+                assert all(t not in solution.lost for t in successors.get(position, ()))
+
+    def test_single_cycle_is_all_drawn(self):
+        solution = solve_game([("a", "b"), ("b", "a")])
+        assert solution.drawn == {"a", "b"}
+
+    def test_chain_alternates(self):
+        solution = solve_game([("a", "b"), ("b", "c"), ("c", "d")])
+        assert solution.won == {"a", "c"}
+        assert solution.lost == {"b", "d"}

@@ -1,0 +1,80 @@
+"""Integration test for Example 5.2 (win–move games, Figure 4) — experiment E3."""
+
+from repro.core.alternating import alternating_fixpoint
+from repro.core.eventual import eventual_consequence
+from repro.core.stability import stability_transform
+from repro.datalog.atoms import Atom, atom
+from repro.datalog.terms import Constant
+from repro.fixpoint.lattice import NegativeSet
+from repro.games.winmove import figure4b_edges, figure4c_edges, win_move_program
+
+
+def wins(*names: str) -> frozenset:
+    return frozenset(Atom("wins", (Constant(name),)) for name in names)
+
+
+class TestFigure4bIterationTrace:
+    """The paper's walk-through of part (b): Ĩ2 = {¬w(d)}, S_P(Ĩ2) = {w(c)},
+    Ĩ3 = ¬·w{a, b, d}, Ĩ4 = {¬w(d)} again."""
+
+    def test_stage_values(self):
+        program = win_move_program(figure4b_edges())
+        result = alternating_fixpoint(program)
+        context = result.context
+
+        def only_wins(atoms):
+            return frozenset(a for a in atoms if a.predicate == "wins")
+
+        # Ĩ1 = S̃_P(∅) negates every wins atom (and more); Ĩ2 = A_P(∅).
+        i2 = result.stages[2]
+        assert only_wins(i2.negative.atoms) == wins("d")
+        assert only_wins(i2.positive) == wins("c")
+
+        i3 = result.stages[3]
+        assert only_wins(i3.negative.atoms) == wins("a", "b", "d")
+
+        i4 = result.stages[4]
+        assert only_wins(i4.negative.atoms) == wins("d")
+
+    def test_final_model(self):
+        result = alternating_fixpoint(win_move_program(figure4b_edges()))
+        assert {a for a in result.true_atoms() if a.predicate == "wins"} == wins("c")
+        assert {a for a in result.false_atoms() if a.predicate == "wins"} == wins("d")
+        assert {a for a in result.undefined_atoms if a.predicate == "wins"} == wins("a", "b")
+
+
+class TestFigure4cIterationTrace:
+    """Part (c): Ĩ2 = {¬w(c)}, S_P(Ĩ2) = {w(b)}, Ĩ3 = Ĩ4 = ¬·w{a, c} — a
+    total model despite the cycle, and a fixpoint of S̃_P itself."""
+
+    def test_stage_values(self):
+        program = win_move_program(figure4c_edges())
+        result = alternating_fixpoint(program)
+
+        def only_wins(atoms):
+            return frozenset(a for a in atoms if a.predicate == "wins")
+
+        i2 = result.stages[2]
+        assert only_wins(i2.negative.atoms) == wins("c")
+        assert only_wins(i2.positive) == wins("b")
+
+        i3 = result.stages[3]
+        assert only_wins(i3.negative.atoms) == wins("a", "c")
+
+        i4 = result.stages[4]
+        assert only_wins(i4.negative.atoms) == wins("a", "c")
+
+    def test_fixpoint_of_stability_transform_itself(self):
+        # In parts (a) and (c) the paper notes the final Ĩ is a fixpoint of
+        # S̃_P as well, i.e. the AFP total model is a stable model.
+        program = win_move_program(figure4c_edges())
+        result = alternating_fixpoint(program)
+        assert stability_transform(result.context, result.negative_fixpoint) == (
+            result.negative_fixpoint
+        )
+
+    def test_total_model(self):
+        result = alternating_fixpoint(win_move_program(figure4c_edges()))
+        assert result.is_total
+        assert {a for a in result.true_atoms() if a.predicate == "wins"} == wins("b")
+        assert {a for a in result.false_atoms() if a.predicate == "wins"} == wins("a", "c")

@@ -1,0 +1,61 @@
+"""Smoke tests: every example script must run cleanly and produce the
+headline facts it claims to demonstrate."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def run_example(path: Path) -> str:
+    completed = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        check=False,
+    )
+    assert completed.returncode == 0, completed.stderr
+    return completed.stdout
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=[p.stem for p in EXAMPLES])
+def test_example_runs_cleanly(path):
+    output = run_example(path)
+    assert output.strip(), f"{path.name} produced no output"
+
+
+def test_quickstart_headline_facts():
+    output = run_example(EXAMPLES_DIR / "quickstart.py")
+    assert "wins(c)" in output
+    assert "undefined" in output
+    assert "stable model" in output
+
+
+def test_graph_reachability_headline_facts():
+    output = run_example(EXAMPLES_DIR / "graph_reachability_db.py")
+    assert "stratified" in output
+    assert "true" in output and "false" in output
+
+
+def test_game_analysis_headline_facts():
+    output = run_example(EXAMPLES_DIR / "game_analysis.py")
+    assert "Figure 4" in output
+    assert "drawn" in output
+
+
+def test_first_order_bodies_headline_facts():
+    output = run_example(EXAMPLES_DIR / "first_order_bodies.py")
+    assert "well-founded nodes" in output
+    assert "Theorem 8.7" in output
+    assert "identical? True" in output
+
+
+def test_semantics_zoo_headline_facts():
+    output = run_example(EXAMPLES_DIR / "semantics_zoo.py")
+    assert "Theorem 7.8 AFP == WFS: yes" in output
+    assert "no stable model" in output  # the barber program

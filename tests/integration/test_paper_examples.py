@@ -1,0 +1,93 @@
+"""Integration tests reproducing the paper's worked examples end to end.
+
+Each test class corresponds to one example or claim of the paper and checks
+it through the *public* API (parser + solver), not the internal operators.
+"""
+
+from repro.core.alternating import alternating_fixpoint
+from repro.core.stable import stable_models
+from repro.core.wellfounded import well_founded_model
+from repro.datalog.atoms import atom
+from repro.engine import answers, ask, solve
+from repro.fixpoint.interpretations import TruthValue
+from repro.semantics import compare_semantics
+
+
+class TestExample51EndToEnd:
+    """Example 5.1: the 10-rule program over p{a..i}."""
+
+    def test_through_public_solver(self, example_5_1):
+        solution = solve(example_5_1)
+        assert solution.semantics == "alternating-fixpoint"
+        assert solution.is_true("p_c") and solution.is_true("p_i")
+        for name in ("p_d", "p_e", "p_f", "p_g", "p_h"):
+            assert solution.is_false(name)
+        assert solution.is_undefined("p_a") and solution.is_undefined("p_b")
+
+    def test_afp_wfs_and_stable_relationships(self, example_5_1):
+        afp = alternating_fixpoint(example_5_1)
+        wfs = well_founded_model(example_5_1)
+        assert afp.model.literals() == wfs.model.literals()
+        for model in stable_models(example_5_1):
+            assert afp.true_atoms() <= model.true_atoms
+
+
+class TestExample22ComplementOfTransitiveClosure:
+    """Example 2.2 / Section 8.5: ntc behaves correctly in WFS, incorrectly
+    under the inflationary semantics."""
+
+    def test_verdict_table(self, ntc_program):
+        comparison = compare_semantics(ntc_program)
+        in_tc = atom("ntc", 1, 2)          # (1,2) IS in the closure
+        not_in_tc = atom("ntc", 1, 3)      # 3 is unreachable
+        assert comparison.verdicts_for(in_tc)["well_founded"] == "false"
+        assert comparison.verdicts_for(not_in_tc)["well_founded"] == "true"
+        assert comparison.verdicts_for(in_tc)["inflationary"] == "true"
+        assert comparison.verdicts_for(not_in_tc)["stratified"] == "true"
+        assert comparison.verdicts_for(not_in_tc)["stable"] == "true"
+
+    def test_queries_from_example_2_1(self, ntc_program):
+        solution = solve(ntc_program)
+        assert ask(solution, "tc(1, 2)") is TruthValue.TRUE
+        unreachable_from_1 = {a["Y"] for a in answers(solution, "ntc(1, Y)")}
+        assert unreachable_from_1 == {3}
+
+
+class TestSection2_4Claims:
+    """Relationships between WFS and stable models surveyed in Section 2.4."""
+
+    def test_wfs_total_implies_unique_stable(self, ntc_program):
+        afp = alternating_fixpoint(ntc_program)
+        assert afp.is_total
+        models = stable_models(ntc_program)
+        assert len(models) == 1
+        assert models[0].true_atoms == afp.true_atoms()
+
+    def test_unique_stable_does_not_imply_wfs_total(self):
+        # Classic example: p :- not p.  q :- not p.  has no stable model;
+        # instead use:  a :- not b. b :- not a. p :- a. p :- b. p' program
+        # where WFS is partial but exactly one stable model exists is harder;
+        # the paper only claims one direction, which we verify on a program
+        # where WFS is partial and stable models are multiple.
+        program_text = "a :- not b. b :- not a."
+        afp = alternating_fixpoint(solve(program_text).program)
+        assert not afp.is_total
+        assert len(stable_models(solve(program_text).program)) == 2
+
+    def test_program_with_no_stable_model_still_has_wfs(self):
+        solution = solve("p :- not p. q.", semantics="well-founded")
+        assert solution.is_true("q")
+        assert solution.is_undefined("p")
+        assert stable_models(solution.program) == []
+
+
+class TestExample31:
+    """Example 3.1 and Theorem 3.3's context."""
+
+    def test_minimum_partial_model_exists_and_is_empty(self, example_3_1):
+        wfs = well_founded_model(example_3_1)
+        assert len(wfs.model) == 0  # the least-defined partial model
+
+    def test_stable_models_resolve_the_choice(self, example_3_1):
+        truths = {frozenset(str(a) for a in m.true_atoms) for m in stable_models(example_3_1)}
+        assert truths == {frozenset({"p", "q"}), frozenset({"p", "r"})}

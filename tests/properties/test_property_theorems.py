@@ -1,0 +1,185 @@
+"""Property-based tests (hypothesis) for the paper's theorems.
+
+Random ground propositional programs are generated directly from a
+hypothesis strategy; on every one of them we check the structural theorems:
+
+* Theorem 7.8 — the alternating fixpoint model equals the well-founded
+  partial model;
+* antimonotonicity of ``S̃_P`` and monotonicity of ``A_P``;
+* every stable model extends the well-founded model, and a total AFP model
+  is the unique stable model;
+* the AFP/WFS model is a partial model of the program;
+* Horn programs: the AFP positive part is the van Emden–Kowalski minimum
+  model; Fitting's model is contained in the WFS model.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.alternating import alternating_fixpoint, alternating_transform
+from repro.core.context import build_context
+from repro.core.eventual import eventual_consequence, eventual_consequence_naive
+from repro.core.stability import stability_transform
+from repro.core.stable import stable_models
+from repro.core.wellfounded import greatest_unfounded_set, is_unfounded_set, well_founded_model
+from repro.datalog.atoms import Atom, Literal
+from repro.datalog.rules import Program, Rule
+from repro.fixpoint.interpretations import is_partial_model
+from repro.fixpoint.lattice import NegativeSet
+from repro.semantics.fitting import fitting_model
+from repro.semantics.horn import horn_minimum_model
+
+ATOM_NAMES = ["a", "b", "c", "d", "e", "f"]
+
+SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+
+def atoms_strategy():
+    return st.sampled_from(ATOM_NAMES).map(lambda name: Atom(name, ()))
+
+
+def literal_strategy():
+    return st.tuples(atoms_strategy(), st.booleans()).map(
+        lambda pair: Literal(pair[0], positive=pair[1])
+    )
+
+
+def rule_strategy():
+    return st.tuples(
+        atoms_strategy(),
+        st.lists(literal_strategy(), min_size=0, max_size=3),
+    ).map(lambda pair: Rule(pair[0], tuple(pair[1])))
+
+
+def program_strategy(min_rules: int = 1, max_rules: int = 12):
+    return st.lists(rule_strategy(), min_size=min_rules, max_size=max_rules).map(Program)
+
+
+def horn_program_strategy():
+    def positive_rule(pair):
+        head, body_atoms = pair
+        return Rule(head, tuple(Literal(a, True) for a in body_atoms))
+
+    rule = st.tuples(atoms_strategy(), st.lists(atoms_strategy(), max_size=3)).map(positive_rule)
+    return st.lists(rule, min_size=1, max_size=12).map(Program)
+
+
+def negative_subset_strategy(program: Program):
+    context = build_context(program)
+    atoms = sorted(context.base, key=str)
+    return st.lists(st.sampled_from(atoms) if atoms else st.nothing(), unique=True).map(NegativeSet)
+
+
+class TestTheorem78:
+    @SETTINGS
+    @given(program=program_strategy())
+    def test_afp_equals_wfs(self, program: Program):
+        afp = alternating_fixpoint(program)
+        wfs = well_founded_model(program)
+        assert afp.model.true_atoms == wfs.model.true_atoms
+        assert afp.model.false_atoms == wfs.model.false_atoms
+
+    @SETTINGS
+    @given(program=program_strategy())
+    def test_afp_model_is_partial_model(self, program: Program):
+        result = alternating_fixpoint(program)
+        assert is_partial_model(result.model, result.context.program)
+
+
+class TestOperatorProperties:
+    @SETTINGS
+    @given(program=program_strategy(), data=st.data())
+    def test_stability_transform_is_antimonotonic(self, program: Program, data):
+        context = build_context(program)
+        atoms = sorted(context.base, key=str)
+        smaller_atoms = data.draw(st.lists(st.sampled_from(atoms), unique=True)) if atoms else []
+        extra = data.draw(st.lists(st.sampled_from(atoms), unique=True)) if atoms else []
+        smaller = NegativeSet(smaller_atoms)
+        larger = NegativeSet(set(smaller_atoms) | set(extra))
+        assert stability_transform(context, larger) <= stability_transform(context, smaller)
+
+    @SETTINGS
+    @given(program=program_strategy(), data=st.data())
+    def test_alternating_transform_is_monotonic(self, program: Program, data):
+        context = build_context(program)
+        atoms = sorted(context.base, key=str)
+        smaller_atoms = data.draw(st.lists(st.sampled_from(atoms), unique=True)) if atoms else []
+        extra = data.draw(st.lists(st.sampled_from(atoms), unique=True)) if atoms else []
+        smaller = NegativeSet(smaller_atoms)
+        larger = NegativeSet(set(smaller_atoms) | set(extra))
+        assert alternating_transform(context, smaller) <= alternating_transform(context, larger)
+
+    @SETTINGS
+    @given(program=program_strategy(), data=st.data())
+    def test_eventual_consequence_matches_naive_reference(self, program: Program, data):
+        context = build_context(program)
+        atoms = sorted(context.base, key=str)
+        negatives = NegativeSet(
+            data.draw(st.lists(st.sampled_from(atoms), unique=True)) if atoms else []
+        )
+        assert eventual_consequence(context, negatives) == eventual_consequence_naive(
+            context, negatives
+        )
+
+    @SETTINGS
+    @given(program=program_strategy())
+    def test_greatest_unfounded_set_is_an_unfounded_set(self, program: Program):
+        context = build_context(program)
+        wfs = well_founded_model(context)
+        for stage in wfs.stages:
+            unfounded = greatest_unfounded_set(context, stage)
+            assert is_unfounded_set(context, unfounded, stage)
+
+
+class TestStableModelRelationships:
+    @SETTINGS
+    @given(program=program_strategy(max_rules=10))
+    def test_every_stable_model_extends_the_wfs_model(self, program: Program):
+        afp = alternating_fixpoint(program)
+        for model in stable_models(program, afp=afp):
+            assert afp.true_atoms() <= model.true_atoms
+            assert frozenset(afp.negative_fixpoint.atoms) <= model.false_atoms
+
+    @SETTINGS
+    @given(program=program_strategy(max_rules=10))
+    def test_total_afp_model_is_the_unique_stable_model(self, program: Program):
+        afp = alternating_fixpoint(program)
+        if not afp.is_total:
+            return
+        models = stable_models(program, afp=afp)
+        assert len(models) == 1
+        assert models[0].true_atoms == afp.true_atoms()
+
+    @SETTINGS
+    @given(program=program_strategy(max_rules=10))
+    def test_stable_models_are_fixpoints_of_the_stability_transform(self, program: Program):
+        context = build_context(program)
+        afp = alternating_fixpoint(context)
+        for model in stable_models(context, afp=afp):
+            negatives = NegativeSet(model.false_atoms)
+            assert stability_transform(context, negatives) == negatives
+
+
+class TestAgreementWithBaselines:
+    @SETTINGS
+    @given(program=horn_program_strategy())
+    def test_horn_programs_afp_positive_part_is_minimum_model(self, program: Program):
+        afp = alternating_fixpoint(program)
+        horn = horn_minimum_model(program)
+        assert afp.true_atoms() == horn.true_atoms
+        assert afp.is_total
+
+    @SETTINGS
+    @given(program=program_strategy())
+    def test_fitting_model_is_contained_in_wfs(self, program: Program):
+        context = build_context(program)
+        fitting = fitting_model(context)
+        afp = alternating_fixpoint(context)
+        assert fitting.model.true_atoms <= afp.true_atoms()
+        assert fitting.model.false_atoms <= afp.false_atoms()

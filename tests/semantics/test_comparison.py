@@ -1,0 +1,54 @@
+"""Unit tests for the cross-semantics comparison harness."""
+
+from repro.datalog.atoms import atom
+from repro.datalog.parser import parse_program
+from repro.semantics.comparison import compare_semantics
+from repro.workloads import complement_of_transitive_closure_program
+
+
+class TestCompareSemantics:
+    def test_afp_always_agrees_with_wfs(self, example_5_1, win_move_4b, ntc_program):
+        for program in (example_5_1, win_move_4b, ntc_program):
+            comparison = compare_semantics(program, enumerate_stable=False)
+            assert comparison.agreement_afp_wfs()
+
+    def test_stratified_slot_absent_for_unstratified_program(self, win_move_4b):
+        comparison = compare_semantics(win_move_4b)
+        assert comparison.stratified is None
+        assert comparison.classification.is_stratified is False
+
+    def test_horn_slot_only_for_definite_programs(self, ntc_program):
+        comparison = compare_semantics(ntc_program, enumerate_stable=False)
+        assert comparison.horn is None
+        horn_comparison = compare_semantics(parse_program("a. b :- a."))
+        assert horn_comparison.horn is not None
+
+    def test_verdicts_on_ntc_cycle(self):
+        program = complement_of_transitive_closure_program([(1, 2), (2, 1)])
+        comparison = compare_semantics(program)
+        verdicts = comparison.verdicts_for(atom("ntc", 1, 1))
+        assert verdicts["alternating_fixpoint"] == "false"
+        assert verdicts["well_founded"] == "false"
+        assert verdicts["stratified"] == "false"
+        assert verdicts["inflationary"] == "true"   # the IFP anomaly
+        assert verdicts["stable"] == "false"
+
+    def test_stable_verdicts(self, example_3_1):
+        comparison = compare_semantics(example_3_1)
+        assert comparison.verdicts_for(atom("p"))["stable"] == "true"
+        assert comparison.verdicts_for(atom("q"))["stable"] == "undefined"
+
+    def test_stable_not_computed_when_disabled(self, example_3_1):
+        comparison = compare_semantics(example_3_1, enumerate_stable=False)
+        assert comparison.stable is None
+        assert comparison.verdicts_for(atom("p"))["stable"] == "not computed"
+
+    def test_no_stable_model_verdict(self):
+        comparison = compare_semantics(parse_program("p :- not p."))
+        assert comparison.stable == ()
+        assert comparison.verdicts_for(atom("p"))["stable"] == "no stable model"
+
+    def test_stable_skipped_for_large_bases(self):
+        program = complement_of_transitive_closure_program([(i, i + 1) for i in range(6)])
+        comparison = compare_semantics(program, max_stable_atoms=5)
+        assert comparison.stable is None

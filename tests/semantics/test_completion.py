@@ -1,0 +1,60 @@
+"""Unit tests for the Clark completion."""
+
+from repro.core.stable import stable_models
+from repro.datalog.atoms import atom
+from repro.datalog.parser import parse_program
+from repro.semantics.completion import clark_completion
+from repro.workloads import random_propositional_program
+
+
+class TestCompletionConstruction:
+    def test_definition_collects_all_bodies(self):
+        completion = clark_completion(parse_program("p :- q. p :- not r. q. r :- q."))
+        definition = completion.definition_of(atom("p"))
+        assert len(definition.bodies) == 2
+
+    def test_fact_gets_empty_body(self):
+        completion = clark_completion(parse_program("p. q :- p."))
+        assert () in completion.definition_of(atom("p")).bodies
+
+    def test_atom_without_rules_is_equivalent_to_false(self):
+        completion = clark_completion(parse_program("p :- q."))
+        assert completion.definition_of(atom("q")).bodies == ()
+
+    def test_string_rendering(self):
+        completion = clark_completion(parse_program("p :- q, not r."))
+        text = str(completion.definition_of(atom("p")))
+        assert "<->" in text and "not r" in text
+
+
+class TestCompletionModels:
+    def test_inconsistent_completion_of_negative_self_loop(self):
+        # p <-> not p has no two-valued model (the classical anomaly).
+        completion = clark_completion(parse_program("p :- not p."))
+        assert not completion.is_consistent()
+
+    def test_choice_program_has_two_models(self):
+        completion = clark_completion(parse_program("p :- not q. q :- not p."))
+        models = set(completion.two_valued_models())
+        assert models == {frozenset({atom("p")}), frozenset({atom("q")})}
+
+    def test_positive_loop_completion_admits_unsupported_model(self):
+        # comp(p :- q. q :- p.) = {p <-> q} which has the model {p, q},
+        # although neither stable nor well-founded semantics accepts it.
+        completion = clark_completion(parse_program("p :- q. q :- p."))
+        models = set(completion.two_valued_models())
+        assert frozenset() in models
+        assert frozenset({atom("p"), atom("q")}) in models
+
+    def test_every_stable_model_is_a_completion_model(self):
+        for seed in range(8):
+            program = random_propositional_program(atoms=5, rules=10, seed=seed)
+            completion = clark_completion(program)
+            for model in stable_models(program):
+                assert completion.is_model(model.true_atoms)
+
+    def test_is_model_checks_both_directions(self):
+        completion = clark_completion(parse_program("p :- q. q."))
+        assert completion.is_model({atom("p"), atom("q")})
+        assert not completion.is_model({atom("q")})
+        assert not completion.is_model({atom("p")})

@@ -1,0 +1,48 @@
+"""Unit tests for Horn minimum models."""
+
+import pytest
+
+from repro.core.alternating import alternating_fixpoint
+from repro.datalog.atoms import atom
+from repro.datalog.parser import parse_program
+from repro.exceptions import EvaluationError
+from repro.semantics.horn import horn_minimum_model, horn_model_trace
+from repro.workloads import transitive_closure_program
+
+
+class TestHornMinimumModel:
+    def test_simple_chain(self):
+        result = horn_minimum_model(parse_program("a. b :- a. c :- b. d :- e."))
+        assert result.true_atoms == frozenset({atom("a"), atom("b"), atom("c")})
+        assert atom("a") in result
+
+    def test_transitive_closure(self):
+        program = transitive_closure_program([(1, 2), (2, 3), (3, 4)])
+        result = horn_minimum_model(program)
+        assert atom("tc", 1, 4) in result.true_atoms
+        assert atom("tc", 4, 1) not in result.true_atoms
+
+    def test_rejects_programs_with_negation(self):
+        with pytest.raises(EvaluationError):
+            horn_minimum_model(parse_program("p :- not q."))
+
+    def test_interpretation_is_total(self):
+        result = horn_minimum_model(parse_program("a. b :- a. c :- d."))
+        assert result.interpretation.is_total_over(result.context.base)
+        assert atom("c") in result.interpretation.false_atoms
+
+    def test_agrees_with_alternating_fixpoint(self):
+        program = transitive_closure_program([(1, 2), (2, 3), (3, 1)])
+        horn = horn_minimum_model(program)
+        afp = alternating_fixpoint(program)
+        assert horn.true_atoms == afp.true_atoms()
+
+    def test_trace_is_increasing_and_converges(self):
+        trace = horn_model_trace(parse_program("a. b :- a. c :- b."))
+        for smaller, larger in zip(trace.stages, trace.stages[1:]):
+            assert smaller <= larger
+        assert trace.fixpoint == frozenset({atom("a"), atom("b"), atom("c")})
+
+    def test_trace_rejects_negation(self):
+        with pytest.raises(EvaluationError):
+            horn_model_trace(parse_program("p :- not q."))

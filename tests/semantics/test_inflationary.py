@@ -1,0 +1,59 @@
+"""Unit tests for the inflationary (IFP) semantics and Example 2.2."""
+
+from repro.datalog.atoms import atom
+from repro.datalog.parser import parse_program
+from repro.semantics.inflationary import inflationary_model, naive_negation_trace
+from repro.semantics.stratified import stratified_model
+from repro.workloads import complement_of_transitive_closure_program
+
+
+class TestInflationaryModel:
+    def test_rounds_are_increasing(self):
+        result = inflationary_model(parse_program("p :- not q. q :- p. r :- q."))
+        for smaller, larger in zip(result.trace.stages, result.trace.stages[1:]):
+            assert smaller <= larger
+
+    def test_conclusions_are_kept_even_when_justification_breaks(self):
+        # p is concluded in round 1 because q has not been concluded yet;
+        # q is then concluded from p, but p is never retracted.
+        result = inflationary_model(parse_program("p :- not q. q :- p."))
+        assert result.true_atoms == frozenset({atom("p"), atom("q")})
+
+    def test_example_2_2_ntc_is_wrong_under_ifp(self):
+        # The inflationary semantics puts *all* pairs into ntc because in the
+        # first round no tc fact has been concluded yet (Example 2.2).
+        program = complement_of_transitive_closure_program([(1, 2), (2, 3)])
+        inflationary = inflationary_model(program)
+        stratified = stratified_model(program)
+        ifp_ntc = {a for a in inflationary.true_atoms if a.predicate == "ntc"}
+        correct_ntc = {a for a in stratified.true_atoms if a.predicate == "ntc"}
+        assert atom("ntc", 1, 2) in ifp_ntc          # wrong: (1,2) IS in tc
+        assert atom("ntc", 1, 2) not in correct_ntc
+        assert correct_ntc < ifp_ntc                  # IFP overshoots strictly
+
+    def test_horn_program_agrees_with_minimum_model(self):
+        from repro.semantics.horn import horn_minimum_model
+
+        program = parse_program("a. b :- a. c :- b.")
+        assert inflationary_model(program).true_atoms == horn_minimum_model(program).true_atoms
+
+    def test_interpretation_is_total(self):
+        result = inflationary_model(parse_program("p :- not q. q :- p. z :- y."))
+        assert result.interpretation.is_total_over(result.context.base)
+
+    def test_rounds_counter(self):
+        result = inflationary_model(parse_program("a. b :- a. c :- b."))
+        assert result.rounds >= 3
+
+
+class TestNaiveNegationOperator:
+    def test_oscillates_on_negative_self_loop(self):
+        rounds = naive_negation_trace(parse_program("p :- not p."))
+        assert frozenset({atom("p")}) in rounds
+        assert frozenset() in rounds
+        # The last two recorded rounds witness the 2-cycle.
+        assert rounds[-1] != rounds[-2]
+
+    def test_converges_on_horn_program(self):
+        rounds = naive_negation_trace(parse_program("a. b :- a."))
+        assert rounds[-1] == rounds[-2] == frozenset({atom("a"), atom("b")})

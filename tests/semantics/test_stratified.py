@@ -1,0 +1,55 @@
+"""Unit tests for the stratified (perfect model) semantics."""
+
+import pytest
+
+from repro.core.alternating import alternating_fixpoint
+from repro.datalog.atoms import atom
+from repro.datalog.parser import parse_program
+from repro.exceptions import NotStratifiedError
+from repro.semantics.stratified import stratified_model
+from repro.workloads import complement_of_transitive_closure_program
+
+
+class TestStratifiedModel:
+    def test_ntc_complement_is_correct(self, ntc_program):
+        result = stratified_model(ntc_program)
+        # Node 3 is isolated: nothing reaches it and it reaches nothing.
+        assert atom("ntc", 1, 3) in result.true_atoms
+        assert atom("ntc", 3, 1) in result.true_atoms
+        assert atom("ntc", 3, 3) in result.true_atoms
+        # The cycle 1 <-> 2 puts every pair among {1, 2} in tc.
+        assert atom("ntc", 1, 1) not in result.true_atoms
+        assert atom("ntc", 1, 2) not in result.true_atoms
+
+    def test_two_negation_layers(self):
+        program = parse_program("a :- not b. b :- not c. c.")
+        result = stratified_model(program)
+        assert result.true_atoms >= {atom("a"), atom("c")}
+        assert atom("b") not in result.true_atoms
+        assert result.strata_count == 3
+
+    def test_rejects_unstratified_program(self, win_move_4b):
+        with pytest.raises(NotStratifiedError):
+            stratified_model(win_move_4b)
+
+    def test_agrees_with_alternating_fixpoint(self):
+        program = complement_of_transitive_closure_program([(1, 2), (2, 3), (4, 4)])
+        stratified = stratified_model(program)
+        afp = alternating_fixpoint(program)
+        assert afp.is_total
+        assert stratified.true_atoms == afp.true_atoms()
+
+    def test_interpretation_is_total(self, ntc_program):
+        result = stratified_model(ntc_program)
+        assert result.interpretation.is_total_over(result.context.base)
+
+    def test_horn_program_single_stratum(self):
+        result = stratified_model(parse_program("a. b :- a."))
+        assert result.true_atoms == frozenset({atom("a"), atom("b")})
+        assert result.strata_count == 1
+
+    def test_negation_of_edb_only(self):
+        program = parse_program("q(1). p(X) :- r(X), not q(X). r(1). r(2).")
+        result = stratified_model(program)
+        assert atom("p", 2) in result.true_atoms
+        assert atom("p", 1) not in result.true_atoms

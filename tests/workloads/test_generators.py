@@ -1,0 +1,68 @@
+"""Unit tests for program workload generators."""
+
+from repro.core.alternating import alternating_fixpoint
+from repro.core.stable import stable_models
+from repro.datalog.atoms import atom
+from repro.workloads.generators import (
+    complement_of_transitive_closure_program,
+    random_negative_loop_program,
+    random_propositional_program,
+    reachability_program,
+    transitive_closure_program,
+    two_player_choice_program,
+    well_founded_nodes_program,
+)
+
+
+class TestGraphPrograms:
+    def test_transitive_closure(self):
+        result = alternating_fixpoint(transitive_closure_program([(1, 2), (2, 3)]))
+        assert atom("tc", 1, 3) in result.true_atoms()
+
+    def test_ntc_program_is_stratified(self):
+        from repro.analysis.stratification import is_stratified
+
+        program = complement_of_transitive_closure_program([(1, 2)])
+        assert is_stratified(program)
+        assert "ntc" in program.idb_predicates()
+
+    def test_reachability(self):
+        program = reachability_program([(1, 2), (2, 3), (4, 5)], sources=[1])
+        result = alternating_fixpoint(program)
+        reached = {a.args[0].value for a in result.true_atoms() if a.predicate == "reach"}
+        assert reached == {1, 2, 3}
+
+    def test_well_founded_nodes_program(self):
+        program = well_founded_nodes_program([(1, 2), (2, 3), (4, 4)])
+        result = alternating_fixpoint(program)
+        well_founded = {a.args[0].value for a in result.true_atoms() if a.predicate == "w"}
+        assert well_founded == {1, 2, 3}
+
+
+class TestRandomPrograms:
+    def test_deterministic_per_seed(self):
+        assert random_propositional_program(6, 12, seed=1) == random_propositional_program(6, 12, seed=1)
+        assert random_propositional_program(6, 12, seed=1) != random_propositional_program(6, 12, seed=2)
+
+    def test_rule_count_and_propositional(self):
+        program = random_propositional_program(6, 12, seed=0)
+        assert len(program) == 12
+        assert program.is_propositional
+
+    def test_negation_probability_zero_gives_horn(self):
+        program = random_propositional_program(6, 20, seed=0, negation_probability=0.0)
+        assert program.is_definite
+
+    def test_negative_loop_program_stable_count(self):
+        program = random_negative_loop_program(3, seed=1)
+        assert len(stable_models(program)) == 8
+        result = alternating_fixpoint(program)
+        assert len(result.undefined_atoms) == 6
+
+    def test_two_player_choice_program(self):
+        program = two_player_choice_program(2, winners=1)
+        result = alternating_fixpoint(program)
+        assert atom("dead0") in result.true_atoms()
+        assert atom("lose0") in result.false_atoms()
+        assert atom("win0") in result.true_atoms()
+        assert len(result.undefined_atoms) == 4
