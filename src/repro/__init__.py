@@ -38,6 +38,8 @@ from .core import (
     stable_models,
     well_founded_model,
 )
+from .engine import Solution, answers, ask, solve
+from .evaluation import DEFAULT_STRATEGY, EVALUATION_STRATEGIES
 from .fixpoint import PartialInterpretation, TruthValue
 
 __version__ = "1.0.0"
@@ -59,6 +61,12 @@ __all__ = [
     "alternating_fixpoint",
     "stable_models",
     "well_founded_model",
+    "Solution",
+    "answers",
+    "ask",
+    "solve",
+    "DEFAULT_STRATEGY",
+    "EVALUATION_STRATEGIES",
     "PartialInterpretation",
     "TruthValue",
     "__version__",

@@ -13,7 +13,13 @@
   locally stratified, strict, ...);
 * ``explain FILE A``  — justify why atom ``A`` is true / false / undefined
   in the well-founded model;
-* ``compare FILE``    — show per-atom verdicts under every semantics.
+* ``compare FILE``    — show per-atom verdicts under every semantics;
+* ``bench FILE``      — time the naive versus semi-naive evaluation
+  strategies on the program's well-founded model.
+
+Commands that evaluate fixpoints accept ``--strategy seminaive|naive``
+(semi-naive indexed evaluation is the default; naive re-scans every ground
+rule and exists as the differential-testing oracle).
 
 Programs are rule files in the textual syntax (see README); EDB relations
 can be loaded from CSV with repeated ``--facts relation=path.csv`` options.
@@ -33,6 +39,7 @@ from .datalog.io import load_facts_csv, load_program, save_interpretation_json
 from .datalog.rules import Program
 from .engine import answers, ask, solve
 from .engine.solver import SUPPORTED_SEMANTICS
+from .evaluation import DEFAULT_STRATEGY, EVALUATION_STRATEGIES
 from .exceptions import ReproError
 from .fixpoint.interpretations import TruthValue
 from .reporting import render_comparison, render_model, render_trace
@@ -58,16 +65,26 @@ def build_parser() -> argparse.ArgumentParser:
             help="load an EDB relation from a CSV file (repeatable)",
         )
 
+    def add_strategy_argument(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--strategy",
+            choices=EVALUATION_STRATEGIES,
+            default=DEFAULT_STRATEGY,
+            help="fixpoint evaluation strategy (default: %(default)s)",
+        )
+
     solve_parser = subparsers.add_parser("solve", help="compute a model and print it")
     add_program_arguments(solve_parser)
     solve_parser.add_argument(
         "--semantics", choices=SUPPORTED_SEMANTICS, default="auto", help="semantics to use"
     )
+    add_strategy_argument(solve_parser)
     solve_parser.add_argument("--predicate", help="restrict the printed model to one relation")
     solve_parser.add_argument("--json", metavar="OUT", help="also write the model as JSON")
 
     trace_parser = subparsers.add_parser("trace", help="print the alternating-fixpoint iteration table")
     add_program_arguments(trace_parser)
+    add_strategy_argument(trace_parser)
     trace_parser.add_argument("--predicate", help="restrict the table to one relation")
 
     query_parser = subparsers.add_parser("query", help="answer a conjunctive query")
@@ -75,6 +92,15 @@ def build_parser() -> argparse.ArgumentParser:
     query_parser.add_argument("query", help='e.g. "wins(X), not wins(Y)" or a ground query')
     query_parser.add_argument(
         "--semantics", choices=SUPPORTED_SEMANTICS, default="auto", help="semantics to use"
+    )
+    add_strategy_argument(query_parser)
+
+    bench_parser = subparsers.add_parser(
+        "bench", help="time naive vs semi-naive evaluation on the program"
+    )
+    add_program_arguments(bench_parser)
+    bench_parser.add_argument(
+        "--repeat", type=int, default=3, help="timing repetitions per strategy (best is kept)"
     )
 
     stable_parser = subparsers.add_parser("stable", help="enumerate stable models")
@@ -118,7 +144,7 @@ def _load(arguments) -> Program:
 # --------------------------------------------------------------------- #
 def _cmd_solve(arguments, out) -> int:
     program = _load(arguments)
-    solution = solve(program, semantics=arguments.semantics)
+    solution = solve(program, semantics=arguments.semantics, strategy=arguments.strategy)
     print(f"semantics: {solution.semantics}", file=out)
     print(render_model(solution.interpretation, solution.base, arguments.predicate), file=out)
     if arguments.json:
@@ -134,7 +160,7 @@ def _cmd_solve(arguments, out) -> int:
 
 def _cmd_trace(arguments, out) -> int:
     program = _load(arguments)
-    result = alternating_fixpoint(program)
+    result = alternating_fixpoint(program, strategy=arguments.strategy)
     print(render_trace(result, arguments.predicate), file=out)
     print(f"\nconverged after {result.iterations} applications of the stability transform", file=out)
     print(f"total model: {'yes' if result.is_total else 'no'}", file=out)
@@ -143,7 +169,7 @@ def _cmd_trace(arguments, out) -> int:
 
 def _cmd_query(arguments, out) -> int:
     program = _load(arguments)
-    solution = solve(program, semantics=arguments.semantics)
+    solution = solve(program, semantics=arguments.semantics, strategy=arguments.strategy)
     text = arguments.query
     has_variables = any(piece and piece[0].isupper() for piece in _argument_tokens(text))
     if has_variables:
@@ -217,6 +243,41 @@ def _cmd_compare(arguments, out) -> int:
     return 0
 
 
+def _cmd_bench(arguments, out) -> int:
+    import time
+
+    from .core import build_context
+
+    program = _load(arguments)
+    context = build_context(program)
+    repeat = max(1, arguments.repeat)
+
+    timings: dict[str, float] = {}
+    results: dict[str, object] = {}
+    for strategy in EVALUATION_STRATEGIES:
+        best = float("inf")
+        for _ in range(repeat):
+            start = time.perf_counter()
+            result = alternating_fixpoint(context, strategy=strategy)
+            best = min(best, time.perf_counter() - start)
+        timings[strategy] = best
+        results[strategy] = (result.true_atoms(), result.false_atoms())
+
+    agree = len(set(results.values())) == 1
+    stats = context.statistics()
+    print(
+        f"program: {stats['ground_rules']} ground rules, {stats['facts']} facts, "
+        f"{stats['atoms']} atoms",
+        file=out,
+    )
+    for strategy in EVALUATION_STRATEGIES:
+        print(f"{strategy:10s} {timings[strategy] * 1000:10.3f} ms  (best of {repeat})", file=out)
+    if timings["seminaive"] > 0:
+        print(f"speedup    {timings['naive'] / timings['seminaive']:10.2f}x", file=out)
+    print(f"models agree: {'yes' if agree else 'NO'}", file=out)
+    return 0 if agree else 1
+
+
 _COMMANDS = {
     "solve": _cmd_solve,
     "trace": _cmd_trace,
@@ -225,6 +286,7 @@ _COMMANDS = {
     "classify": _cmd_classify,
     "explain": _cmd_explain,
     "compare": _cmd_compare,
+    "bench": _cmd_bench,
 }
 
 

@@ -26,9 +26,10 @@ from typing import Iterable, Optional, Sequence
 from ..datalog.atoms import Atom
 from ..datalog.grounding import GroundingLimits
 from ..datalog.rules import Program
+from ..evaluation.engine import DEFAULT_STRATEGY
 from ..exceptions import EvaluationError
 from ..fixpoint.interpretations import PartialInterpretation
-from ..fixpoint.lattice import NegativeSet
+from ..fixpoint.lattice import NegativeSet, conjugate_of_positive
 from .context import GroundContext, build_context
 from .eventual import eventual_consequence
 from .stability import stability_transform
@@ -140,9 +141,15 @@ class AlternatingFixpointResult:
         ]
 
 
-def alternating_transform(context: GroundContext, negative: NegativeSet) -> NegativeSet:
+def alternating_transform(
+    context: GroundContext,
+    negative: NegativeSet,
+    strategy: str = DEFAULT_STRATEGY,
+) -> NegativeSet:
     """``A_P(Ĩ) = S̃_P(S̃_P(Ĩ))`` — Definition 5.1 (monotonic)."""
-    return stability_transform(context, stability_transform(context, negative))
+    return stability_transform(
+        context, stability_transform(context, negative, strategy=strategy), strategy=strategy
+    )
 
 
 def alternating_fixpoint(
@@ -150,14 +157,16 @@ def alternating_fixpoint(
     limits: GroundingLimits | None = None,
     full_base: bool = False,
     extra_atoms: Iterable[Atom] = (),
+    strategy: str = DEFAULT_STRATEGY,
 ) -> AlternatingFixpointResult:
     """Compute the alternating fixpoint partial model of *program*.
 
     Accepts either a :class:`~repro.datalog.rules.Program` (which is
-    grounded first) or a pre-built :class:`GroundContext`.  The result
-    carries the full iteration trace; ``result.model`` is the AFP partial
-    model, equal to the well-founded partial model (Theorem 7.8, verified
-    extensively by the test suite).
+    grounded first) or a pre-built :class:`GroundContext`.  The inner
+    ``S_P`` evaluations run under *strategy* (semi-naive by default).  The
+    result carries the full iteration trace; ``result.model`` is the AFP
+    partial model, equal to the well-founded partial model (Theorem 7.8,
+    verified extensively by the test suite).
     """
     if isinstance(program, GroundContext):
         context = program
@@ -166,7 +175,7 @@ def alternating_fixpoint(
 
     stages: list[AlternatingStage] = []
     current = NegativeSet.empty()
-    positive = eventual_consequence(context, current)
+    positive = eventual_consequence(context, current, strategy=strategy)
     stages.append(AlternatingStage(0, current, positive))
 
     previous_even: Optional[NegativeSet] = current
@@ -175,8 +184,10 @@ def alternating_fixpoint(
         index += 1
         if index > _MAX_STAGES:
             raise EvaluationError("alternating fixpoint did not converge")
-        current = stability_transform(context, current)
-        positive = eventual_consequence(context, current)
+        # S̃_P(Ĩ_k) is the conjugate of the S_P(Ĩ_k) already computed for the
+        # previous stage, so each stage needs exactly one S_P evaluation.
+        current = conjugate_of_positive(positive, context.base)
+        positive = eventual_consequence(context, current, strategy=strategy)
         stages.append(AlternatingStage(index, current, positive))
         if index % 2 == 0:
             if previous_even is not None and current == previous_even:
@@ -184,7 +195,7 @@ def alternating_fixpoint(
             previous_even = current
 
     negative_fixpoint = current
-    positive_fixpoint = eventual_consequence(context, negative_fixpoint)
+    positive_fixpoint = positive
     return AlternatingFixpointResult(
         context=context,
         negative_fixpoint=negative_fixpoint,

@@ -12,7 +12,11 @@ negative body literals are all in ``Ĩ``.  From it the paper derives:
 * the parametrised ``T_{P∪Ĩ}`` of Definition 4.1, whose least fixpoint is
   the eventual consequence ``S_P`` (computed in :mod:`repro.core.eventual`).
 
-All of these take a :class:`~repro.core.context.GroundContext`.
+All of these take a :class:`~repro.core.context.GroundContext` and a
+``strategy`` selecting the evaluation engine: ``"seminaive"`` (default)
+applies one step through the per-context rule index of
+:mod:`repro.evaluation`, ``"naive"`` re-scans every rule exactly as the
+definitions read and serves as the differential-testing oracle.
 """
 
 from __future__ import annotations
@@ -20,6 +24,7 @@ from __future__ import annotations
 from typing import AbstractSet
 
 from ..datalog.atoms import Atom
+from ..evaluation.engine import DEFAULT_STRATEGY, get_engine
 from ..fixpoint.lattice import NegativeSet, conjugate_of_positive
 from .context import GroundContext
 
@@ -31,11 +36,14 @@ __all__ = [
     "naive_negation_step",
 ]
 
+_EMPTY_NEGATIVE = NegativeSet.empty()
+
 
 def immediate_consequence(
     context: GroundContext,
     positive: AbstractSet[Atom],
     negative: NegativeSet,
+    strategy: str = DEFAULT_STRATEGY,
 ) -> frozenset[Atom]:
     """``C_P(I⁺, Ĩ)`` — Definition 3.6.
 
@@ -44,35 +52,29 @@ def immediate_consequence(
     overestimates of negative facts may coexist with the positive atoms they
     negate.
     """
-    derived: set[Atom] = set(context.facts)
-    for rule in context.rules:
-        if all(atom in positive for atom in rule.positive_body) and all(
-            atom in negative for atom in rule.negative_body
-        ):
-            derived.add(rule.head)
-    return frozenset(derived)
+    return get_engine(strategy).step(context, positive, negative)
 
 
-def horn_step(context: GroundContext, positive: AbstractSet[Atom]) -> frozenset[Atom]:
+def horn_step(
+    context: GroundContext,
+    positive: AbstractSet[Atom],
+    strategy: str = DEFAULT_STRATEGY,
+) -> frozenset[Atom]:
     """The Horn-clause immediate consequence ``T_P(I⁺) = C_P(I⁺, ∅)``.
 
-    Only rules without negative body literals can fire.  This is the
-    transformation whose least fixpoint is the minimum model of a definite
-    program (van Emden–Kowalski).
+    Only rules without negative body literals can fire (an empty negative
+    context justifies no negative literal).  This is the transformation
+    whose least fixpoint is the minimum model of a definite program (van
+    Emden–Kowalski).
     """
-    derived: set[Atom] = set(context.facts)
-    for rule in context.rules:
-        if rule.negative_body:
-            continue
-        if all(atom in positive for atom in rule.positive_body):
-            derived.add(rule.head)
-    return frozenset(derived)
+    return get_engine(strategy).step(context, positive, _EMPTY_NEGATIVE)
 
 
 def tp_step(
     context: GroundContext,
     positive: AbstractSet[Atom],
     negative: NegativeSet,
+    strategy: str = DEFAULT_STRATEGY,
 ) -> frozenset[Atom]:
     """``T_P(I)`` of Definition 3.7 for ``I = I⁺ + Ĩ``.
 
@@ -80,12 +82,13 @@ def tp_step(
     call sites read like the paper (``T_P`` produces only positive literals,
     negative conclusions are drawn by a separate mechanism such as ``U_P``).
     """
-    return immediate_consequence(context, positive, negative)
+    return immediate_consequence(context, positive, negative, strategy=strategy)
 
 
 def inflationary_step(
     context: GroundContext,
     positive: AbstractSet[Atom],
+    strategy: str = DEFAULT_STRATEGY,
 ) -> frozenset[Atom]:
     """One round of the inflationary (IFP) transformation.
 
@@ -95,12 +98,15 @@ def inflationary_step(
     operator is the inflationary semantics compared against in Example 2.2.
     """
     negative = conjugate_of_positive(positive, context.base)
-    return immediate_consequence(context, positive, negative) | frozenset(positive)
+    return immediate_consequence(context, positive, negative, strategy=strategy) | frozenset(
+        positive
+    )
 
 
 def naive_negation_step(
     context: GroundContext,
     positive: AbstractSet[Atom],
+    strategy: str = DEFAULT_STRATEGY,
 ) -> frozenset[Atom]:
     """The non-inflationary, non-monotonic extension ``C_P(I⁺, conj(I⁺))``.
 
@@ -109,4 +115,4 @@ def naive_negation_step(
     increasing; the tests demonstrate exactly that failure.
     """
     negative = conjugate_of_positive(positive, context.base)
-    return immediate_consequence(context, positive, negative)
+    return immediate_consequence(context, positive, negative, strategy=strategy)

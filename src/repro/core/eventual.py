@@ -4,14 +4,16 @@
 eventually derivable when the negative literals in ``Ĩ`` are treated as
 additional EDB facts (Figure 3 of the paper).  It is the workhorse of both
 the stability transformation and the alternating fixpoint, so two
-implementations are provided:
+strategies are provided through :mod:`repro.evaluation`:
 
-* :func:`eventual_consequence_naive` — repeated application of
-  ``T_{P∪Ĩ}`` until convergence, exactly as the definition reads; and
-* :func:`eventual_consequence` — a linear-time counting propagation
-  (Dowling–Gallier style): every rule keeps a count of positive body atoms
-  not yet derived, and a rule whose negative body is contained in ``Ĩ``
-  fires as soon as that count reaches zero.
+* ``"naive"`` — repeated application of ``T_{P∪Ĩ}`` until convergence,
+  exactly as the definition reads (also exposed as
+  :func:`eventual_consequence_naive`); and
+* ``"seminaive"`` (default) — the indexed delta propagation of
+  :mod:`repro.evaluation.seminaive` (Dowling–Gallier style): every rule
+  keeps a count of positive body atoms not yet derived, and a rule whose
+  negative body is contained in ``Ĩ`` fires in O(1) when its last positive
+  body atom is derived.
 
 The two are differentially tested against each other; the fast version is
 the default everywhere.
@@ -19,10 +21,8 @@ the default everywhere.
 
 from __future__ import annotations
 
-from collections import deque
-from typing import AbstractSet, Iterable
-
 from ..datalog.atoms import Atom
+from ..evaluation.engine import DEFAULT_STRATEGY, get_engine
 from ..fixpoint.lattice import NegativeSet
 from ..fixpoint.operators import FixpointTrace, iterate_to_fixpoint
 from .context import GroundContext
@@ -35,43 +35,16 @@ __all__ = [
 ]
 
 
-def eventual_consequence(context: GroundContext, negative: NegativeSet) -> frozenset[Atom]:
+def eventual_consequence(
+    context: GroundContext,
+    negative: NegativeSet,
+    strategy: str = DEFAULT_STRATEGY,
+) -> frozenset[Atom]:
     """``S_P(Ĩ)`` — all positive atoms derivable with ``Ĩ`` held fixed.
 
-    Runs a seminaive counting propagation: O(total body size) per call.
+    The default semi-naive strategy costs O(total body size) per call.
     """
-    rules = context.rules
-    # Rules whose negative body is justified by Ĩ participate; others are inert.
-    active: list[bool] = [False] * len(rules)
-    remaining: list[int] = [0] * len(rules)
-    derived: set[Atom] = set(context.facts)
-    queue: deque[Atom] = deque(derived)
-
-    for index, rule in enumerate(rules):
-        if all(atom in negative for atom in rule.negative_body):
-            active[index] = True
-            # Count *distinct* positive body atoms; duplicate occurrences in a
-            # body must not be double-counted.
-            remaining[index] = len(set(rule.positive_body))
-            if remaining[index] == 0 and rule.head not in derived:
-                derived.add(rule.head)
-                queue.append(rule.head)
-
-    # Each derived atom is dequeued exactly once, and rules_by_positive_atom
-    # lists a rule once per distinct body atom, so decrementing on dequeue
-    # counts every distinct satisfied body atom exactly once.
-    while queue:
-        atom = queue.popleft()
-        for index in context.rules_by_positive_atom.get(atom, ()):
-            if not active[index]:
-                continue
-            remaining[index] -= 1
-            if remaining[index] == 0:
-                head = rules[index].head
-                if head not in derived:
-                    derived.add(head)
-                    queue.append(head)
-    return frozenset(derived)
+    return get_engine(strategy).consequence(context, negative)
 
 
 def eventual_consequence_naive(context: GroundContext, negative: NegativeSet) -> frozenset[Atom]:
@@ -101,7 +74,9 @@ def eventual_consequence_trace(
     return iterate_to_fixpoint(step, frozenset())
 
 
-def minimum_model(context: GroundContext) -> frozenset[Atom]:
+def minimum_model(
+    context: GroundContext, strategy: str = DEFAULT_STRATEGY
+) -> frozenset[Atom]:
     """The minimum model of a definite (Horn) ground program.
 
     For Horn programs ``S_P`` does not depend on the negative argument, so
@@ -109,4 +84,4 @@ def minimum_model(context: GroundContext) -> frozenset[Atom]:
     ignored (they cannot fire with an empty negative set), which matches the
     Horn restriction the callers enforce.
     """
-    return eventual_consequence(context, NegativeSet.empty())
+    return eventual_consequence(context, NegativeSet.empty(), strategy=strategy)

@@ -24,6 +24,7 @@ from typing import AbstractSet
 
 from ..datalog.atoms import Atom, Literal
 from ..datalog.rules import Program, Rule
+from ..evaluation.engine import DEFAULT_STRATEGY
 from ..fixpoint.lattice import NegativeSet, conjugate_of_positive
 from .context import GroundContext, build_context
 from .eventual import eventual_consequence
@@ -36,14 +37,18 @@ __all__ = [
 ]
 
 
-def stability_transform(context: GroundContext, negative: NegativeSet) -> NegativeSet:
+def stability_transform(
+    context: GroundContext,
+    negative: NegativeSet,
+    strategy: str = DEFAULT_STRATEGY,
+) -> NegativeSet:
     """``S̃_P(Ĩ)`` — Definition 4.2.
 
     Derive everything positive that follows from ``Ĩ`` (via ``S_P``), then
     return the conjugate: the atoms of the base *not* derived, as negative
     literals.
     """
-    derived = eventual_consequence(context, negative)
+    derived = eventual_consequence(context, negative, strategy=strategy)
     return conjugate_of_positive(derived, context.base)
 
 
@@ -77,7 +82,11 @@ def reduct_minimum_model(program: Program, candidate: AbstractSet[Atom]) -> froz
     return eventual_consequence(reduct_context, NegativeSet.empty())
 
 
-def is_stable_set(context: GroundContext, true_atoms: AbstractSet[Atom]) -> bool:
+def is_stable_set(
+    context: GroundContext,
+    true_atoms: AbstractSet[Atom],
+    strategy: str = DEFAULT_STRATEGY,
+) -> bool:
     """Check stability of a candidate total model given by its true atoms.
 
     Using the paper's formulation: represent the candidate by its negative
@@ -91,4 +100,4 @@ def is_stable_set(context: GroundContext, true_atoms: AbstractSet[Atom]) -> bool
         # asserting them is not stable.
         return False
     negative = conjugate_of_positive(true_atoms, context.base)
-    return stability_transform(context, negative) == negative
+    return stability_transform(context, negative, strategy=strategy) == negative

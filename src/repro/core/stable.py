@@ -32,6 +32,7 @@ from typing import AbstractSet, Iterable, Iterator, Optional, Sequence
 from ..datalog.atoms import Atom
 from ..datalog.grounding import GroundingLimits
 from ..datalog.rules import Program
+from ..evaluation.engine import DEFAULT_STRATEGY
 from ..exceptions import EvaluationError
 from ..fixpoint.interpretations import PartialInterpretation
 from ..fixpoint.lattice import NegativeSet, conjugate_of_positive
@@ -87,16 +88,18 @@ def is_stable_model(
     program: Program | GroundContext,
     true_atoms: AbstractSet[Atom],
     limits: GroundingLimits | None = None,
+    strategy: str = DEFAULT_STRATEGY,
 ) -> bool:
     """Check whether the total interpretation given by *true_atoms* is a
     stable model of *program*."""
     context = _as_context(program, limits)
-    return is_stable_set(context, true_atoms)
+    return is_stable_set(context, true_atoms, strategy=strategy)
 
 
 def stable_models_brute_force(
     program: Program | GroundContext,
     limits: GroundingLimits | None = None,
+    strategy: str = DEFAULT_STRATEGY,
 ) -> list[StableModel]:
     """Enumerate stable models by testing every subset of the base.
 
@@ -109,7 +112,7 @@ def stable_models_brute_force(
     for size in range(len(atoms) + 1):
         for subset in itertools.combinations(atoms, size):
             candidate = frozenset(subset)
-            if is_stable_set(context, candidate):
+            if is_stable_set(context, candidate, strategy=strategy):
                 models.append(StableModel(context, candidate))
     return models
 
@@ -119,6 +122,7 @@ def stable_models(
     limits: GroundingLimits | None = None,
     afp: Optional[AlternatingFixpointResult] = None,
     limit: Optional[int] = None,
+    strategy: str = DEFAULT_STRATEGY,
 ) -> list[StableModel]:
     """Enumerate the stable models of *program*.
 
@@ -138,7 +142,7 @@ def stable_models(
     existence or a sample is needed).
     """
     context = _as_context(program, limits)
-    afp_result = afp if afp is not None else alternating_fixpoint(context)
+    afp_result = afp if afp is not None else alternating_fixpoint(context, strategy=strategy)
     wf_true = afp_result.positive_fixpoint
     wf_false = frozenset(afp_result.negative_fixpoint.atoms)
     undefined = sorted(afp_result.undefined_atoms, key=str)
@@ -155,8 +159,8 @@ def stable_models(
         neg_upper = NegativeSet(
             frozenset(context.base) - wf_true - decided_true
         )
-        derivable_floor = eventual_consequence(context, neg_lower)
-        derivable_ceiling = eventual_consequence(context, neg_upper)
+        derivable_floor = eventual_consequence(context, neg_lower, strategy=strategy)
+        derivable_ceiling = eventual_consequence(context, neg_upper, strategy=strategy)
         # Pruning: a decided-false atom already derivable from the floor can
         # only become "more derivable" as further atoms are decided false.
         if decided_false & derivable_floor:
@@ -165,7 +169,7 @@ def stable_models(
             return
         if position == len(undefined):
             candidate = frozenset(wf_true | decided_true)
-            if is_stable_set(context, candidate) and candidate_is_new(candidate):
+            if is_stable_set(context, candidate, strategy=strategy) and candidate_is_new(candidate):
                 models.append(StableModel(context, candidate))
             return
         atom = undefined[position]
@@ -204,6 +208,7 @@ def unique_stable_model(
 def stable_consequences(
     program: Program | GroundContext,
     limits: GroundingLimits | None = None,
+    strategy: str = DEFAULT_STRATEGY,
 ) -> PartialInterpretation:
     """The stable model semantics of Gelfond–Lifschitz (Section 2.4).
 
@@ -212,7 +217,7 @@ def stable_consequences(
     no stable model, where this semantics is undefined.
     """
     context = _as_context(program, limits)
-    models = stable_models(context)
+    models = stable_models(context, strategy=strategy)
     if not models:
         raise EvaluationError(
             "the stable model semantics is undefined: the program has no stable model"

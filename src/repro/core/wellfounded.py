@@ -18,13 +18,13 @@ Definitions implemented here:
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
 from typing import AbstractSet, Iterable
 
 from ..datalog.atoms import Atom
 from ..datalog.grounding import GroundingLimits
 from ..datalog.rules import Program
+from ..evaluation.engine import DEFAULT_STRATEGY, get_engine
 from ..fixpoint.interpretations import PartialInterpretation
 from ..fixpoint.lattice import NegativeSet
 from .consequence import tp_step
@@ -98,64 +98,34 @@ def greatest_unfounded_set(
     context: GroundContext,
     interpretation: PartialInterpretation,
     universe: AbstractSet[Atom] | None = None,
+    strategy: str = DEFAULT_STRATEGY,
 ) -> frozenset[Atom]:
     """``U_P(I)`` — the greatest unfounded set with respect to *I*.
 
     Computed as the complement (within the base) of the least set ``X`` of
     atoms that are *externally supported*: ``p ∈ X`` when some rule for
     ``p`` has no body literal false in ``I`` and all its positive body atoms
-    already in ``X``.  Everything not externally supported is unfounded;
-    this is the standard linear-time computation and is differentially
-    tested against :func:`is_unfounded_set`.
+    already in ``X``.  Everything not externally supported is unfounded.
+    The semi-naive strategy kills rules through the shared watch lists of
+    :mod:`repro.evaluation` and propagates support with the same counters
+    as ``S_P`` — the standard linear-time computation; the naive strategy
+    re-scans the rules until the supported set stops growing.  Both are
+    differentially tested against :func:`is_unfounded_set`.
     """
     base = frozenset(universe) if universe is not None else context.base
-
-    # Rules not killed by a witness of type (1): no body literal false in I.
-    usable: list[int] = []
-    for index, rule in enumerate(context.rules):
-        killed = any(interpretation.is_false(atom) for atom in rule.positive_body) or any(
-            interpretation.is_true(atom) for atom in rule.negative_body
-        )
-        if not killed:
-            usable.append(index)
-
-    # Least fixpoint of "supported by a usable rule whose positive body is
-    # already supported", seeded by the facts.
-    supported: set[Atom] = set(context.facts)
-    remaining: dict[int, int] = {}
-    queue: deque[Atom] = deque(supported)
-    for index in usable:
-        rule = context.rules[index]
-        # Count distinct positive body atoms; atoms already supported are
-        # accounted for when they are dequeued (every supported atom passes
-        # through the queue exactly once).
-        remaining[index] = len(set(rule.positive_body))
-        if remaining[index] == 0 and rule.head not in supported:
-            supported.add(rule.head)
-            queue.append(rule.head)
-
-    while queue:
-        atom = queue.popleft()
-        for index in context.rules_by_positive_atom.get(atom, ()):
-            if index not in remaining:
-                continue
-            if remaining[index] > 0:
-                remaining[index] -= 1
-                if remaining[index] == 0:
-                    head = context.rules[index].head
-                    if head not in supported:
-                        supported.add(head)
-                        queue.append(head)
+    supported = get_engine(strategy).supported(context, interpretation)
     return frozenset(base - supported)
 
 
 def well_founded_transform(
-    context: GroundContext, interpretation: PartialInterpretation
+    context: GroundContext,
+    interpretation: PartialInterpretation,
+    strategy: str = DEFAULT_STRATEGY,
 ) -> PartialInterpretation:
     """``W_P(I) = T_P(I) ∪ ¬·U_P(I)`` — Definition 6.2."""
     negative_part = NegativeSet(interpretation.false_atoms)
-    positives = tp_step(context, interpretation.true_atoms, negative_part)
-    negatives = greatest_unfounded_set(context, interpretation)
+    positives = tp_step(context, interpretation.true_atoms, negative_part, strategy=strategy)
+    negatives = greatest_unfounded_set(context, interpretation, strategy=strategy)
     return PartialInterpretation(positives, negatives)
 
 
@@ -164,6 +134,7 @@ def well_founded_model(
     limits: GroundingLimits | None = None,
     full_base: bool = False,
     extra_atoms: Iterable[Atom] = (),
+    strategy: str = DEFAULT_STRATEGY,
 ) -> WellFoundedResult:
     """The well-founded partial model: the least fixpoint of ``W_P``.
 
@@ -179,7 +150,7 @@ def well_founded_model(
     stages: list[PartialInterpretation] = [PartialInterpretation.empty()]
     current = stages[0]
     while True:
-        following = well_founded_transform(context, current)
+        following = well_founded_transform(context, current, strategy=strategy)
         stages.append(following)
         if (
             following.true_atoms == current.true_atoms

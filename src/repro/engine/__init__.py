@@ -1,6 +1,14 @@
 """High-level deductive-database engine: one-call solving and querying."""
 
 from .query import QueryAnswer, answers, ask
-from .solver import SUPPORTED_SEMANTICS, Solution, solve
+from .solver import EVALUATION_STRATEGIES, SUPPORTED_SEMANTICS, Solution, solve
 
-__all__ = ["QueryAnswer", "answers", "ask", "SUPPORTED_SEMANTICS", "Solution", "solve"]
+__all__ = [
+    "QueryAnswer",
+    "answers",
+    "ask",
+    "EVALUATION_STRATEGIES",
+    "SUPPORTED_SEMANTICS",
+    "Solution",
+    "solve",
+]

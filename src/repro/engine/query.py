@@ -103,16 +103,20 @@ def answers(solution: Solution, query: str) -> Iterator[QueryAnswer]:
     literals = _parse_query(query)
     positive = [lit for lit in literals if lit.positive]
     negative = [lit for lit in literals if lit.negative]
-    true_atoms = solution.true_atoms()
+
+    # Index the true atoms by (predicate, arity) once; every positive
+    # conjunct at every depth of the backtracking search then scans only its
+    # own relation instead of the whole model.
+    by_signature: dict[tuple[str, int], list[Atom]] = {}
+    for atom in solution.true_atoms():
+        by_signature.setdefault((atom.predicate, atom.arity), []).append(atom)
 
     def extend(index: int, binding: dict[Variable, Term]) -> Iterator[dict[Variable, Term]]:
         if index == len(positive):
             yield binding
             return
         pattern = positive[index].atom
-        for atom in true_atoms:
-            if atom.predicate != pattern.predicate or atom.arity != pattern.arity:
-                continue
+        for atom in by_signature.get((pattern.predicate, pattern.arity), ()):
             extended = match_atom(pattern, atom, binding)
             if extended is not None:
                 yield from extend(index + 1, extended)

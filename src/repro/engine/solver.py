@@ -21,6 +21,7 @@ from ..datalog.grounding import GroundingLimits
 from ..datalog.parser import parse_program
 from ..datalog.rules import Program
 from ..datalog.terms import Constant
+from ..evaluation.engine import DEFAULT_STRATEGY, EVALUATION_STRATEGIES, validate_strategy
 from ..exceptions import EvaluationError
 from ..fixpoint.interpretations import PartialInterpretation, TruthValue
 from ..core.alternating import alternating_fixpoint
@@ -32,7 +33,7 @@ from ..semantics.horn import horn_minimum_model
 from ..semantics.inflationary import inflationary_model
 from ..semantics.stratified import stratified_model
 
-__all__ = ["Solution", "solve", "SUPPORTED_SEMANTICS"]
+__all__ = ["Solution", "solve", "SUPPORTED_SEMANTICS", "EVALUATION_STRATEGIES"]
 
 SUPPORTED_SEMANTICS = (
     "auto",
@@ -54,6 +55,7 @@ class Solution:
     semantics: str
     interpretation: PartialInterpretation
     base: frozenset[Atom]
+    strategy: str = DEFAULT_STRATEGY
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -117,6 +119,7 @@ def solve(
     semantics: str = "auto",
     database: Optional[Database] = None,
     limits: GroundingLimits | None = None,
+    strategy: str = DEFAULT_STRATEGY,
 ) -> Solution:
     """Solve *program* under the requested semantics.
 
@@ -131,6 +134,11 @@ def solve(
         every stable model) and raises when there is no stable model.
     database:
         Optional EDB facts to attach to the rules before solving.
+    strategy:
+        Evaluation strategy for the fixpoint computations: ``"seminaive"``
+        (default, indexed delta-driven) or ``"naive"`` (re-scan every rule;
+        the differential-testing oracle).  The Fitting semantics runs its
+        own three-valued operator and ignores the strategy.
     """
     if isinstance(program, str):
         program = parse_program(program)
@@ -140,6 +148,7 @@ def solve(
         raise EvaluationError(
             f"unknown semantics {semantics!r}; expected one of {', '.join(SUPPORTED_SEMANTICS)}"
         )
+    validate_strategy(strategy)
 
     if semantics == "auto":
         classification = classify(program, check_local=False)
@@ -150,20 +159,26 @@ def solve(
 
     if semantics in ("alternating-fixpoint", "well-founded"):
         if semantics == "alternating-fixpoint":
-            interpretation = alternating_fixpoint(context).model
+            interpretation = alternating_fixpoint(context, strategy=strategy).model
         else:
-            interpretation = well_founded_model(context).model
+            interpretation = well_founded_model(context, strategy=strategy).model
     elif semantics == "stratified":
-        interpretation = stratified_model(program, limits=limits).interpretation
+        interpretation = stratified_model(program, limits=limits, strategy=strategy).interpretation
     elif semantics == "horn":
-        interpretation = horn_minimum_model(context).interpretation
+        interpretation = horn_minimum_model(context, strategy=strategy).interpretation
     elif semantics == "fitting":
         interpretation = fitting_model(context).model
     elif semantics == "inflationary":
         interpretation = inflationary_model(context).interpretation
     elif semantics == "stable":
-        interpretation = stable_consequences(context, limits=limits)
+        interpretation = stable_consequences(context, limits=limits, strategy=strategy)
     else:  # pragma: no cover - guarded above
         raise EvaluationError(f"unhandled semantics {semantics!r}")
 
-    return Solution(program=program, semantics=semantics, interpretation=interpretation, base=base)
+    return Solution(
+        program=program,
+        semantics=semantics,
+        interpretation=interpretation,
+        base=base,
+        strategy=strategy,
+    )

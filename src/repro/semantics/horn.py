@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from ..datalog.atoms import Atom
 from ..datalog.grounding import GroundingLimits
 from ..datalog.rules import Program
+from ..evaluation.engine import DEFAULT_STRATEGY
 from ..exceptions import EvaluationError
 from ..fixpoint.interpretations import PartialInterpretation
 from ..fixpoint.lattice import NegativeSet
@@ -51,6 +52,7 @@ def _require_definite(program: Program) -> None:
 def horn_minimum_model(
     program: Program | GroundContext,
     limits: GroundingLimits | None = None,
+    strategy: str = DEFAULT_STRATEGY,
 ) -> HornModelResult:
     """The least Herbrand model of a definite program.
 
@@ -62,7 +64,7 @@ def horn_minimum_model(
     else:
         _require_definite(program)
         context = build_context(program, limits=limits)
-    true_atoms = eventual_consequence(context, NegativeSet.empty())
+    true_atoms = eventual_consequence(context, NegativeSet.empty(), strategy=strategy)
     return HornModelResult(context, true_atoms)
 
 

@@ -16,6 +16,7 @@ from ..analysis.stratification import Stratification, stratify
 from ..datalog.atoms import Atom
 from ..datalog.grounding import GroundingLimits
 from ..datalog.rules import Program
+from ..evaluation.engine import DEFAULT_STRATEGY, get_engine
 from ..fixpoint.interpretations import PartialInterpretation
 from ..fixpoint.lattice import NegativeSet
 from ..core.context import GroundContext, build_context
@@ -44,14 +45,22 @@ class StratifiedModelResult:
 def stratified_model(
     program: Program,
     limits: GroundingLimits | None = None,
+    strategy: str = DEFAULT_STRATEGY,
 ) -> StratifiedModelResult:
     """Evaluate a stratified program stratum by stratum.
 
-    Raises :class:`~repro.exceptions.NotStratifiedError` when the program is
-    not stratified (e.g. the win–move program of Example 5.2).
+    Each stratum is saturated by the evaluation engine: the rules of the
+    stratum whose negative conditions are not contradicted become the
+    active set (stratification guarantees negative body predicates live in
+    strictly lower, already-completed strata or in the EDB, so "not yet
+    derived" genuinely means false there), and the closure is seeded with
+    everything true so far.  Raises
+    :class:`~repro.exceptions.NotStratifiedError` when the program is not
+    stratified (e.g. the win–move program of Example 5.2).
     """
     stratification = stratify(program)
     context = build_context(program, limits=limits)
+    engine = get_engine(strategy)
 
     # Atoms confirmed true so far (across completed strata).
     true_atoms: set[Atom] = set(context.facts)
@@ -60,26 +69,14 @@ def stratified_model(
 
     for level in range(stratification.depth):
         predicates = stratification.predicates_at(level)
-        # Saturate this stratum: fire rules whose heads are in the stratum,
-        # using negative information only about lower (completed) strata and
-        # EDB atoms absent from the facts.
-        changed = True
-        while changed:
-            changed = False
-            for rule in context.rules:
-                if stratification.stratum_of(rule.head.predicate) != level:
-                    continue
-                if rule.head in true_atoms:
-                    continue
-                if not all(atom in true_atoms for atom in rule.positive_body):
-                    continue
-                # Stratification guarantees negative body predicates live in
-                # strictly lower (already completed) strata or in the EDB, so
-                # "not yet derived" genuinely means false here.
-                if any(atom in true_atoms for atom in rule.negative_body):
-                    continue
-                true_atoms.add(rule.head)
-                changed = True
+        active = bytearray(len(context.rules))
+        for index, rule in enumerate(context.rules):
+            if stratification.stratum_of(rule.head.predicate) != level:
+                continue
+            if any(atom in true_atoms for atom in rule.negative_body):
+                continue
+            active[index] = 1
+        true_atoms = set(engine.closure(context, true_atoms, active))
         # Close the stratum: everything of its predicates not derived is false.
         for atom in context.base:
             if atom.predicate in predicates and atom not in true_atoms:

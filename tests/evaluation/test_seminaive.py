@@ -1,0 +1,120 @@
+"""Differential tests of the semi-naive driver against the naive oracle."""
+
+import pytest
+
+from repro.core.context import build_context
+from repro.core.eventual import eventual_consequence_trace
+from repro.core.wellfounded import well_founded_model
+from repro.datalog.parser import parse_program
+from repro.evaluation.engine import NaiveEngine
+from repro.evaluation.seminaive import (
+    active_rules_for_negative,
+    seminaive_closure,
+    seminaive_consequence,
+    seminaive_rounds,
+    seminaive_step,
+    supported_atoms,
+)
+from repro.fixpoint.lattice import NegativeSet
+from repro.games import figure4b_edges, win_move_program
+from repro.workloads import (
+    complement_of_transitive_closure_program,
+    random_propositional_program,
+)
+
+NAIVE = NaiveEngine()
+
+
+def example_contexts():
+    programs = [
+        parse_program("p :- q, not r. q :- not s. s. t :- t."),
+        parse_program("a :- a, a, not b. b :- not a. c."),
+        win_move_program(figure4b_edges()),
+        complement_of_transitive_closure_program([("a", "b"), ("b", "c"), ("c", "a")]),
+        random_propositional_program(atoms=12, rules=40, seed=3),
+    ]
+    return [build_context(program) for program in programs]
+
+
+def negative_sets(context):
+    atoms = sorted(context.base, key=str)
+    return [
+        NegativeSet.empty(),
+        NegativeSet(atoms[::2]),
+        NegativeSet(atoms),
+    ]
+
+
+class TestConsequence:
+    @pytest.mark.parametrize("context", example_contexts(), ids=lambda c: f"{c.rule_count}r")
+    def test_matches_naive_fixpoint(self, context):
+        for negative in negative_sets(context):
+            assert seminaive_consequence(context, negative) == NAIVE.consequence(
+                context, negative
+            )
+
+    @pytest.mark.parametrize("context", example_contexts(), ids=lambda c: f"{c.rule_count}r")
+    def test_rounds_are_the_naive_stage_deltas(self, context):
+        for negative in negative_sets(context):
+            rounds = seminaive_rounds(context, negative)
+            trace = eventual_consequence_trace(context, negative)
+            cumulative: frozenset = frozenset()
+            for depth, delta in enumerate(rounds):
+                assert delta, "rounds must be nonempty deltas"
+                assert not (delta & cumulative), "an atom is derived exactly once"
+                cumulative = cumulative | delta
+                # Naive stage k+1 holds everything derivable within depth+1 steps.
+                assert cumulative == trace.stages[depth + 1]
+            assert cumulative == trace.fixpoint
+
+
+class TestStep:
+    @pytest.mark.parametrize("context", example_contexts(), ids=lambda c: f"{c.rule_count}r")
+    def test_matches_naive_single_step(self, context):
+        atoms = sorted(context.base, key=str)
+        positives = [frozenset(), frozenset(atoms[1::2]), frozenset(atoms)]
+        for positive in positives:
+            for negative in negative_sets(context):
+                assert seminaive_step(context, positive, negative) == NAIVE.step(
+                    context, positive, negative
+                )
+
+    def test_duplicate_body_atoms_not_double_counted(self):
+        context = build_context(parse_program("p :- q, q. q."))
+        # q alone must satisfy the whole body; a double decrement would make
+        # the counter go negative and a miscount would keep the rule silent.
+        assert seminaive_step(context, frozenset(context.facts), NegativeSet.empty()) == (
+            NAIVE.step(context, frozenset(context.facts), NegativeSet.empty())
+        )
+
+
+class TestActivation:
+    def test_active_rules_match_negative_body_containment(self):
+        for context in example_contexts():
+            for negative in negative_sets(context):
+                active = active_rules_for_negative(context, negative)
+                for index, rule in enumerate(context.rules):
+                    expected = all(atom in negative for atom in rule.negative_body)
+                    assert bool(active[index]) == expected
+
+
+class TestClosure:
+    def test_closure_respects_activation_flags(self):
+        context = build_context(parse_program("p :- q. r :- q. q."))
+        active = bytearray(len(context.rules))
+        for index, rule in enumerate(context.rules):
+            if str(rule.head) == "p":
+                active[index] = 1
+        closed = seminaive_closure(context, context.facts, active)
+        names = {str(atom) for atom in closed}
+        assert names == {"q", "p"}
+        assert closed == NAIVE.closure(context, context.facts, active)
+
+
+class TestSupported:
+    @pytest.mark.parametrize("context", example_contexts(), ids=lambda c: f"{c.rule_count}r")
+    def test_matches_naive_supported_along_wfs_stages(self, context):
+        # The W_P iteration exercises supported() on a growing family of
+        # partial interpretations, from empty to the well-founded model.
+        for stage in well_founded_model(context).stages:
+            assert supported_atoms(context, stage) == NAIVE.supported(context, stage)
