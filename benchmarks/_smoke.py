@@ -1,0 +1,19 @@
+"""Smoke-mode size trimming for the benchmark harness.
+
+The CI smoke step sets ``REPRO_BENCH_SMOKE=1`` and runs every benchmark
+entry point (``-m benchsmoke``) with its size sweeps trimmed to the
+smallest entries, so regressions in the perf harness itself are caught on
+every push without paying for the full sweeps.
+"""
+
+from __future__ import annotations
+
+import os
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+
+def trim(values, keep: int = 1) -> list:
+    """The full size sweep, or just its first *keep* entries in smoke mode."""
+    values = list(values)
+    return values[:keep] if SMOKE else values

@@ -18,6 +18,22 @@ import pytest
 
 def pytest_configure(config):  # pragma: no cover - benchmarking plumbing
     config.addinivalue_line("markers", "repro(experiment): paper experiment id")
+    config.addinivalue_line(
+        "markers", "benchsmoke: fast benchmark subset runnable on every CI push"
+    )
+    config.addinivalue_line(
+        "markers", "benchslow: heavy benchmark excluded from the CI smoke step"
+    )
+
+
+def pytest_collection_modifyitems(config, items):  # pragma: no cover - plumbing
+    # Every benchmark doubles as a reproduction check, so the CI smoke step
+    # (`-m benchsmoke`, with REPRO_BENCH_SMOKE=1 trimming the size sweeps —
+    # see _smoke.py) runs them all except the ones explicitly marked
+    # benchslow.
+    for item in items:
+        if "benchslow" not in item.keywords:
+            item.add_marker(pytest.mark.benchsmoke)
 
 
 @pytest.fixture

@@ -27,8 +27,15 @@ from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Optional, Sequence
 
 from ..datalog.atoms import Atom
-from ..datalog.grounding import GroundingLimits, ground_program, herbrand_base, naive_ground
+from ..datalog.grounding import (
+    GroundingLimits,
+    herbrand_base,
+    naive_ground,
+    relevant_ground,
+    stream_relevant_ground,
+)
 from ..datalog.rules import Program, Rule
+from ..exceptions import GroundingError
 
 __all__ = ["GroundRule", "GroundContext", "build_context"]
 
@@ -106,19 +113,42 @@ def build_context(
     grounder:
         ``"relevant"`` (default) instantiates only rules whose positive body
         is supportable — equivalent for the well-founded, stable, stratified,
-        Horn and inflationary semantics.  ``"naive"`` is the literal Herbrand
-        instantiation ``P_H``; the Fitting semantics needs it because it can
-        leave *underivable* atoms undefined rather than false.
+        Horn and inflationary semantics.  It runs the indexed semi-naive
+        grounder and consumes its rule stream incrementally: facts, rule
+        decomposition and the occurring-atom base are built in the same
+        pass that grounds, with no intermediate program materialised
+        first.  ``"relevant-scan"`` is the same relevant grounding computed
+        by the original linear-scan matcher (the differential oracle).
+        ``"naive"`` is the literal Herbrand instantiation ``P_H``; the
+        Fitting semantics needs it because it can leave *underivable* atoms
+        undefined rather than false.
     """
-    if grounder == "naive" and not program.is_ground:
+    if grounder not in ("relevant", "relevant-scan", "naive"):
+        raise GroundingError(
+            f"unknown grounder {grounder!r}; expected 'relevant', 'relevant-scan' or 'naive'"
+        )
+    grounded: Program | None
+    if program.is_ground:
+        grounded = program
+        rule_stream: Iterable[Rule] = program
+    elif grounder == "naive":
         grounded = naive_ground(program, limits)
+        rule_stream = grounded
+    elif grounder == "relevant-scan":
+        grounded = relevant_ground(program, limits, matcher="scan")
+        rule_stream = grounded
     else:
-        grounded = ground_program(program, limits)
+        # Consume the indexed grounder's incremental stream directly.
+        grounded = None
+        rule_stream = stream_relevant_ground(program, limits)
 
+    collected: list[Rule] | None = [] if grounded is None else None
     facts: set[Atom] = set()
     ground_rules: list[GroundRule] = []
     occurring: set[Atom] = set()
-    for rule in grounded:
+    for rule in rule_stream:
+        if collected is not None:
+            collected.append(rule)
         if rule.is_fact:
             facts.add(rule.head)
             occurring.add(rule.head)
@@ -129,6 +159,8 @@ def build_context(
         occurring.add(rule.head)
         occurring.update(positive)
         occurring.update(negative)
+    if grounded is None:
+        grounded = Program(collected)
 
     base: set[Atom] = set(occurring)
     base.update(extra_atoms)

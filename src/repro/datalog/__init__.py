@@ -9,13 +9,17 @@ from .atoms import Atom, Literal, Predicate, atom, neg, pos
 from .builder import ProgramBuilder, build_program
 from .database import Database
 from .grounding import (
+    DEFAULT_GROUNDING_MATCHER,
+    GROUNDING_MATCHERS,
     GroundingLimits,
     ground_program,
     herbrand_base,
     herbrand_universe,
     naive_ground,
     relevant_ground,
+    stream_relevant_ground,
 )
+from .joins import Relation, RelationStore, greedy_join_order, join_bindings
 from .io import (
     load_facts_csv,
     load_interpretation_json,
@@ -39,12 +43,19 @@ __all__ = [
     "ProgramBuilder",
     "build_program",
     "Database",
+    "DEFAULT_GROUNDING_MATCHER",
+    "GROUNDING_MATCHERS",
     "GroundingLimits",
     "ground_program",
     "herbrand_base",
     "herbrand_universe",
     "naive_ground",
     "relevant_ground",
+    "stream_relevant_ground",
+    "Relation",
+    "RelationStore",
+    "greedy_join_order",
+    "join_bindings",
     "load_facts_csv",
     "load_interpretation_json",
     "load_program",

@@ -21,6 +21,28 @@ Two grounding strategies are provided:
   over-approximation are false in every partial model considered), and it is
   the default used by :func:`ground_program`.
 
+:func:`relevant_ground` itself dispatches between two matchers, mirroring
+the ``"seminaive"`` / ``"naive"`` strategy split of :mod:`repro.evaluation`:
+
+* ``"indexed"`` (default) — a fused semi-naive grounder built on the
+  hash-join relations of :mod:`repro.datalog.joins`.  The envelope fixpoint
+  is delta-driven: each round evaluates, per rule, one variant per positive
+  conjunct with that conjunct restricted to the rows derived in the
+  previous round (earlier conjuncts to strictly older rows, later ones to
+  everything), so every rule instance is enumerated exactly once, the
+  moment its last supporting atom appears.  Conjuncts are joined in greedy
+  most-bound-first order through lazily built argument-position hash
+  indexes, and ground rules are emitted incrementally — there is no
+  separate re-instantiation pass.  :func:`stream_relevant_ground` exposes
+  the incremental rule stream directly (consumed by
+  :func:`repro.core.context.build_context` to build evaluation contexts
+  without an intermediate program).
+* ``"scan"`` — the original matcher: a naive envelope fixpoint that
+  re-matches every rule against the whole derivable set each round by
+  linear scan over per-signature fact lists, then a second pass that
+  re-instantiates every rule.  Quadratically slower on recursive
+  workloads; kept as the differential-testing oracle.
+
 Programs with function symbols have infinite Herbrand universes; the
 ``max_depth`` parameter bounds the term nesting considered, which is the
 substitution documented in DESIGN.md (all paper experiments are
@@ -30,24 +52,35 @@ function-free).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+import time
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Sequence
 
-from ..exceptions import GroundingError
+from ..exceptions import GroundingError, GroundingTimeout
 from .atoms import Atom, Literal
+from .joins import RelationStore, join_bindings
 from .rules import Program, Rule
 from .terms import Constant, Term, Variable, enumerate_ground_terms, term_constants, term_functions
 
 __all__ = [
     "GroundingLimits",
+    "GROUNDING_MATCHERS",
+    "DEFAULT_GROUNDING_MATCHER",
     "herbrand_universe",
     "herbrand_base",
     "naive_ground",
     "relevant_ground",
+    "stream_relevant_ground",
     "ground_program",
 ]
 
 DEFAULT_MAX_GROUND_RULES = 2_000_000
+
+#: Matchers accepted by :func:`relevant_ground`: ``"indexed"`` is the
+#: semi-naive hash-join grounder, ``"scan"`` the original linear-scan
+#: matcher kept as the differential oracle.
+GROUNDING_MATCHERS = ("indexed", "scan")
+DEFAULT_GROUNDING_MATCHER = "indexed"
 
 
 @dataclass(frozen=True)
@@ -57,11 +90,46 @@ class GroundingLimits:
     ``max_depth`` bounds compound-term nesting in the Herbrand universe;
     ``max_rules`` aborts the grounding when the instantiated program would
     exceed the given number of rules (protecting against accidental
-    combinatorial blow-ups in user programs).
+    combinatorial blow-ups in user programs); ``max_seconds``, when set,
+    aborts with :class:`~repro.exceptions.GroundingTimeout` once the
+    grounder has spent that much wall-clock time (deadline-bound serving,
+    benchmark budgets).
     """
 
     max_depth: int = 0
     max_rules: int = DEFAULT_MAX_GROUND_RULES
+    max_seconds: float | None = None
+
+
+class _Budget:
+    """Wall-clock budget tracking for one grounding run."""
+
+    __slots__ = ("start", "deadline", "counter")
+
+    def __init__(self, limits: GroundingLimits):
+        self.start = time.monotonic()
+        self.deadline = (
+            self.start + limits.max_seconds if limits.max_seconds is not None else None
+        )
+        self.counter = 0
+
+    def check(self) -> None:
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            elapsed = time.monotonic() - self.start
+            raise GroundingTimeout(
+                f"grounding exceeded its wall-clock budget after {elapsed:.3f}s",
+                elapsed=elapsed,
+            )
+
+    def tick(self, stride: int = 64) -> None:
+        """A cheap periodic check for tight loops: only consults the clock
+        every *stride* calls."""
+        if self.deadline is None:
+            return
+        self.counter += 1
+        if self.counter >= stride:
+            self.counter = 0
+            self.check()
 
 
 def herbrand_universe(program: Program, max_depth: int = 0) -> list[Term]:
@@ -138,6 +206,7 @@ def naive_ground(program: Program, limits: GroundingLimits | None = None) -> Pro
     exceed ``limits.max_rules``.
     """
     limits = limits or GroundingLimits()
+    budget = _Budget(limits)
     universe = herbrand_universe(program, limits.max_depth)
     ground_rules: list[Rule] = []
     for rule in program:
@@ -154,18 +223,29 @@ def naive_ground(program: Program, limits: GroundingLimits | None = None) -> Pro
         for combination in itertools.product(universe, repeat=len(variables)):
             binding = dict(zip(variables, combination))
             ground_rules.append(rule.substitute(binding))
+            budget.tick()
     return Program(ground_rules)
 
 
-def relevant_ground(program: Program, limits: GroundingLimits | None = None) -> Program:
+def _validate_matcher(matcher: str) -> None:
+    if matcher not in GROUNDING_MATCHERS:
+        choices = ", ".join(GROUNDING_MATCHERS)
+        raise GroundingError(f"unknown grounding matcher {matcher!r}; expected one of: {choices}")
+
+
+def relevant_ground(
+    program: Program,
+    limits: GroundingLimits | None = None,
+    matcher: str = DEFAULT_GROUNDING_MATCHER,
+) -> Program:
     """Instantiate rules only where their positive body is supportable.
 
     The over-approximation of derivable atoms is the minimum model of the
     *positive envelope* of the program (the Horn program obtained by erasing
     negative body literals), computed bottom-up to a fixpoint.  Rules are
     instantiated by matching their positive body literals against that set,
-    in the given order, threading the variable binding; safety guarantees
-    that all variables end up bound.
+    threading the variable binding; safety guarantees that all variables
+    end up bound.
 
     Ground negative literals are kept verbatim (even when their atom is
     outside the over-approximation and therefore underivable) so that the
@@ -177,10 +257,153 @@ def relevant_ground(program: Program, limits: GroundingLimits | None = None) -> 
     leave *underivable* atoms undefined (their proof search never finitely
     fails), so :func:`repro.semantics.fitting.fitting_model` grounds naively
     by default.
+
+    *matcher* selects the implementation (see the module docstring):
+    ``"indexed"`` — the semi-naive hash-join grounder — or ``"scan"`` — the
+    original linear-scan oracle.  Both produce the same rule set (the
+    property suite asserts this), differing only in enumeration order.
+    """
+    _validate_matcher(matcher)
+    if matcher == "scan":
+        return _scan_relevant_ground(program, limits)
+    return Program(stream_relevant_ground(program, limits))
+
+
+def stream_relevant_ground(
+    program: Program, limits: GroundingLimits | None = None
+) -> Iterator[Rule]:
+    """Stream the relevant grounding incrementally (indexed matcher).
+
+    Yields the ground rules of ``relevant_ground(program)`` one at a time,
+    as the fused semi-naive envelope fixpoint derives them: facts first
+    (sorted), then each rule instance the moment the delta round supplying
+    its last positive body atom completes its join.  Consumers such as
+    :func:`repro.core.context.build_context` use the stream to build their
+    own indexes in the same pass instead of waiting for the full program.
+    """
+    limits = limits or GroundingLimits()
+    budget = _Budget(limits)
+    program.check_safety()
+
+    seen: set[Rule] = set()
+    emitted = 0
+
+    store = RelationStore()
+    pending: list[Atom] = []
+    pending_set: set[Atom] = set()
+
+    def derive(atom: Atom) -> None:
+        if atom not in pending_set and atom not in store:
+            pending_set.add(atom)
+            pending.append(atom)
+
+    for fact in sorted(program.fact_atoms(), key=str):
+        rule = Rule(fact)
+        if rule not in seen:
+            seen.add(rule)
+            emitted += 1
+            yield rule
+        derive(fact)
+
+    decomposed: list[tuple[Rule, tuple[Atom, ...], tuple[tuple[str, int], ...]]] = []
+    for rule in program.non_fact_rules():
+        positive = tuple(lit.atom for lit in rule.body if lit.positive)
+        signatures = tuple((atom.predicate, atom.arity) for atom in positive)
+        decomposed.append((rule, positive, signatures))
+
+    # Rules with no positive conjuncts are ground (safety) and fire exactly
+    # once, seeding the envelope alongside the facts.
+    for rule, positive, _ in decomposed:
+        if positive:
+            continue
+        ground = _instantiate_rule(rule, {})
+        if ground not in seen:
+            seen.add(ground)
+            emitted += 1
+            if emitted > limits.max_rules:
+                raise GroundingError(f"grounding exceeded the limit of {limits.max_rules} rules")
+            yield ground
+        derive(ground.head)
+
+    # ------------------------------------------------------------------ #
+    # Semi-naive envelope fixpoint fused with rule instantiation: the
+    # round's delta is joined through the hash indexes, emitting each
+    # ground rule exactly once, and newly derived heads become the next
+    # delta.  Variant i pins conjunct i to the delta rows, conjuncts
+    # before i to strictly older rows and conjuncts after i to all rows,
+    # so no binding is enumerated twice.
+    # ------------------------------------------------------------------ #
+    old_sizes: dict[tuple[str, int], int] = {}
+    while pending:
+        batch = pending
+        pending = []
+        for atom in batch:
+            store.add_atom(atom)
+        pending_set.clear()
+        new_sizes = store.sizes()
+
+        for rule, positive, signatures in decomposed:
+            if not positive:
+                continue
+            budget.check()
+            for i, delta_signature in enumerate(signatures):
+                delta_lo = old_sizes.get(delta_signature, 0)
+                delta_hi = new_sizes.get(delta_signature, 0)
+                if delta_hi <= delta_lo:
+                    continue
+                windows = []
+                for j, signature in enumerate(signatures):
+                    if j < i:
+                        windows.append((0, old_sizes.get(signature, 0)))
+                    elif j == i:
+                        windows.append((delta_lo, delta_hi))
+                    else:
+                        windows.append((0, new_sizes.get(signature, 0)))
+                for binding in join_bindings(positive, windows, store, seed=i):
+                    ground = _instantiate_rule(rule, binding)
+                    if ground not in seen:
+                        seen.add(ground)
+                        emitted += 1
+                        if emitted > limits.max_rules:
+                            raise GroundingError(
+                                f"grounding exceeded the limit of {limits.max_rules} rules"
+                            )
+                        yield ground
+                    derive(ground.head)
+                    budget.tick()
+        old_sizes = new_sizes
+
+
+def _instantiate_rule(rule: Rule, binding: dict[Variable, Term]) -> Rule:
+    """Instantiate *rule* under *binding*, checking groundness as the old
+    matcher did (defensive: safety has already been validated)."""
+    head = rule.head.substitute(binding)
+    if not head.is_ground:
+        raise GroundingError(
+            f"rule '{rule}' produced a non-ground head {head}; the rule is unsafe"
+        )
+    body: list[Literal] = []
+    for lit in rule.body:
+        ground_lit = lit.substitute(binding)
+        if lit.negative and not ground_lit.is_ground:
+            raise GroundingError(
+                f"negative literal {lit} in rule '{rule}' is not ground "
+                "after binding positive body variables; the rule is unsafe"
+            )
+        body.append(ground_lit)
+    return Rule(head, tuple(body))
+
+
+def _scan_relevant_ground(program: Program, limits: GroundingLimits | None = None) -> Program:
+    """The original matcher: naive envelope fixpoint + linear-scan joins.
+
+    Kept verbatim (modulo the ``(predicate, arity)`` fact index and the
+    wall-clock budget) as the differential oracle for the indexed grounder.
     """
     from .unification import match_atom  # local import to avoid a cycle at import time
 
     limits = limits or GroundingLimits()
+    budget = _Budget(limits)
     program.check_safety()
 
     facts = set(program.fact_atoms())
@@ -194,8 +417,10 @@ def relevant_ground(program: Program, limits: GroundingLimits | None = None) -> 
     while changed:
         changed = False
         for rule in non_facts:
+            budget.check()
             positive = [lit.atom for lit in rule.body if lit.positive]
             for binding in _match_body(positive, derivable, match_atom):
+                budget.tick()
                 head = rule.head.substitute(binding)
                 if not head.is_ground:
                     raise GroundingError(
@@ -212,9 +437,10 @@ def relevant_ground(program: Program, limits: GroundingLimits | None = None) -> 
     ground_rules: list[Rule] = [Rule(fact) for fact in sorted(facts, key=str)]
     seen: set[Rule] = set(ground_rules)
     for rule in non_facts:
+        budget.check()
         positive = [lit.atom for lit in rule.body if lit.positive]
-        negative = [lit for lit in rule.body if lit.negative]
         for binding in _match_body(positive, derivable, match_atom):
+            budget.tick()
             head = rule.head.substitute(binding)
             body: list[Literal] = []
             for lit in rule.body:
@@ -236,20 +462,22 @@ def relevant_ground(program: Program, limits: GroundingLimits | None = None) -> 
                 raise GroundingError(
                     f"grounding exceeded the limit of {limits.max_rules} rules"
                 )
-        # `negative` is unused beyond documentation of the split; keep linters quiet.
-        del negative
     return Program(ground_rules)
 
 
-def ground_program(program: Program, limits: GroundingLimits | None = None) -> Program:
+def ground_program(
+    program: Program,
+    limits: GroundingLimits | None = None,
+    matcher: str = DEFAULT_GROUNDING_MATCHER,
+) -> Program:
     """Ground *program*, returning it unchanged when it is already ground.
 
     This is the entry point the semantics modules use; it currently
-    delegates to :func:`relevant_ground`.
+    delegates to :func:`relevant_ground` with the given matcher.
     """
     if program.is_ground:
         return program
-    return relevant_ground(program, limits)
+    return relevant_ground(program, limits, matcher=matcher)
 
 
 def _match_body(atoms: Sequence[Atom], facts: set[Atom], match_atom) -> Iterable[dict]:
@@ -258,17 +486,19 @@ def _match_body(atoms: Sequence[Atom], facts: set[Atom], match_atom) -> Iterable
     if not atoms:
         yield {}
         return
-    # Index facts by predicate once; bodies repeatedly probe the same relations.
-    by_predicate: dict[str, list[Atom]] = {}
+    # Index facts by (predicate, arity) once; bodies repeatedly probe the
+    # same relations, and the full signature keeps a probe for p/2 from
+    # wading through p/1 facts.
+    by_signature: dict[tuple[str, int], list[Atom]] = {}
     for fact in facts:
-        by_predicate.setdefault(fact.predicate, []).append(fact)
+        by_signature.setdefault((fact.predicate, fact.arity), []).append(fact)
 
     def extend(index: int, binding: dict) -> Iterable[dict]:
         if index == len(atoms):
             yield binding
             return
         pattern = atoms[index]
-        for fact in by_predicate.get(pattern.predicate, ()):  # pragma: no branch
+        for fact in by_signature.get((pattern.predicate, pattern.arity), ()):  # pragma: no branch
             extended = match_atom(pattern, fact, binding)
             if extended is not None:
                 yield from extend(index + 1, extended)

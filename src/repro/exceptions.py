@@ -51,6 +51,20 @@ class GroundingError(ReproError):
     """
 
 
+class GroundingTimeout(GroundingError):
+    """Raised when grounding exceeds the ``max_seconds`` wall-clock budget
+    of its :class:`~repro.datalog.grounding.GroundingLimits`.
+
+    Carries ``elapsed``, the seconds actually spent before aborting, so
+    callers (benchmark harnesses, request handlers with deadlines) can use
+    the aborted run as a lower bound on the true cost.
+    """
+
+    def __init__(self, message: str, elapsed: float | None = None):
+        super().__init__(message)
+        self.elapsed = elapsed
+
+
 class NotStratifiedError(ReproError):
     """Raised when a stratification-based evaluator receives a program that
     has no stratification (i.e. negation occurs inside a recursive cycle)."""

@@ -3,8 +3,10 @@
 from .generators import (
     complement_of_transitive_closure_program,
     random_negative_loop_program,
+    random_nonground_program,
     random_propositional_program,
     reachability_program,
+    same_generation_program,
     transitive_closure_program,
     two_player_choice_program,
     well_founded_nodes_program,
@@ -13,8 +15,10 @@ from .generators import (
 __all__ = [
     "complement_of_transitive_closure_program",
     "random_negative_loop_program",
+    "random_nonground_program",
     "random_propositional_program",
     "reachability_program",
+    "same_generation_program",
     "transitive_closure_program",
     "two_player_choice_program",
     "well_founded_nodes_program",

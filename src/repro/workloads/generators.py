@@ -1,14 +1,19 @@
 """Workload generators: programs for benchmarks and property-based tests.
 
-Three families matter for reproducing the paper:
+Four families matter for reproducing the paper and scaling it up:
 
-* *graph programs* — transitive closure, its complement, reachability,
-  sources/sinks, and the well-founded-nodes program of Example 8.2;
+* *graph programs* — transitive closure, same-generation, its complement,
+  reachability, sources/sinks, and the well-founded-nodes program of
+  Example 8.2; together with the win–move game these are the non-ground
+  workloads the grounding benchmarks sweep over EDB graphs;
 * *win–move games* — provided by :mod:`repro.games`;
 * *random ground programs* — propositional programs with controlled rule
   counts, body sizes and negation density, used by the property-based tests
   (Theorem 7.8 equivalence, stable-model containment, monotonicity of
-  ``A_P``) and by the scaling benchmarks.
+  ``A_P``) and by the scaling benchmarks;
+* *random non-ground programs* — safe-by-construction normal programs with
+  variables, used by the grounder differential tests (indexed semi-naive
+  grounding versus the scan oracle versus ``naive_ground``).
 """
 
 from __future__ import annotations
@@ -24,9 +29,11 @@ __all__ = [
     "transitive_closure_program",
     "complement_of_transitive_closure_program",
     "reachability_program",
+    "same_generation_program",
     "well_founded_nodes_program",
     "random_propositional_program",
     "random_negative_loop_program",
+    "random_nonground_program",
     "two_player_choice_program",
 ]
 
@@ -82,6 +89,29 @@ def reachability_program(edges: Iterable[Edge], sources: Sequence[object]) -> Pr
     return builder.build()
 
 
+def same_generation_program(parent_edges: Iterable[Edge]) -> Program:
+    """The classic same-generation program over a parenthood relation.
+
+    ``sg(X, Y)`` holds when ``X`` and ``Y`` are the same number of
+    generations below some common view of the family forest::
+
+        sg(X, X) :- node(X).
+        sg(X, Y) :- parent(P, X), parent(Q, Y), sg(P, Q).
+
+    The recursive rule's three-way join (two ``parent`` probes around a
+    recursive ``sg`` delta) is the standard stress test for grounder join
+    ordering and argument indexes.
+    """
+    builder = ProgramBuilder()
+    _graph_facts(builder, parent_edges, relation="parent")
+    builder.rule(("sg", "X", "X"), [("node", "X")])
+    builder.rule(
+        ("sg", "X", "Y"),
+        [("parent", "P", "X"), ("parent", "Q", "Y"), ("sg", "P", "Q")],
+    )
+    return builder.build()
+
+
 def well_founded_nodes_program(edges: Iterable[Edge]) -> Program:
     """Example 8.2 in its normal-program form.
 
@@ -129,6 +159,69 @@ def random_propositional_program(
             body.append(Literal(atom, positive))
         produced.append(Rule(head, tuple(body)))
     return Program(produced)
+
+
+def random_nonground_program(
+    constants: int = 4,
+    edb_relations: int = 2,
+    idb_relations: int = 2,
+    facts: int = 10,
+    rules: int = 6,
+    seed: int = 0,
+    max_body: int = 3,
+    negation_probability: float = 0.25,
+) -> Program:
+    """A random *non-ground* normal program, safe by construction.
+
+    EDB relations ``e0..`` (arity 1–2) receive random facts over constants
+    ``c0..``; each of the *rules* IDB rules draws a random positive body
+    over EDB and IDB relations with variable-or-constant arguments, then —
+    with the given probability — one negative literal and finally a head
+    whose arguments are restricted to positively bound variables and
+    constants, so every generated rule is range-restricted.  Deterministic
+    per seed; with ``negation_probability=0`` the result is definite.  The
+    small constant pool keeps ``naive_ground`` tractable, which is what the
+    grounder differential tests need.
+    """
+    generator = random.Random(seed)
+    builder = ProgramBuilder()
+    constant_pool = [f"c{i}" for i in range(max(1, constants))]
+    edb = [(f"e{i}", generator.choice((1, 2))) for i in range(max(1, edb_relations))]
+    idb = [(f"r{i}", generator.choice((1, 2))) for i in range(max(1, idb_relations))]
+    variable_pool = ["X", "Y", "Z"]
+
+    for _ in range(max(1, facts)):
+        name, arity = generator.choice(edb)
+        builder.fact(name, *(generator.choice(constant_pool) for _ in range(arity)))
+
+    def bound_or_constant(bound: list[str]) -> str:
+        if bound and generator.random() < 0.8:
+            return generator.choice(bound)
+        return generator.choice(constant_pool)
+
+    for _ in range(max(1, rules)):
+        head_name, head_arity = generator.choice(idb)
+        body: list[tuple] = []
+        bound_variables: list[str] = []
+        for _ in range(generator.randint(1, max(1, max_body))):
+            name, arity = generator.choice(edb + idb)
+            args = []
+            for _ in range(arity):
+                if generator.random() < 0.8:
+                    variable = generator.choice(variable_pool)
+                    args.append(variable)
+                    bound_variables.append(variable)
+                else:
+                    args.append(generator.choice(constant_pool))
+            body.append((name, *args))
+        if bound_variables and generator.random() < negation_probability:
+            name, arity = generator.choice(edb + idb)
+            body.append(
+                ("not", name, *(bound_or_constant(bound_variables) for _ in range(arity)))
+            )
+        head_args = (bound_or_constant(bound_variables) for _ in range(head_arity))
+        builder.rule((head_name, *head_args), body)
+    return builder.build()
 
 
 def random_negative_loop_program(pairs: int, seed: int = 0) -> Program:

@@ -1,8 +1,11 @@
 """Unit tests for ground evaluation contexts."""
 
+import pytest
+
 from repro.core.context import build_context
 from repro.datalog.atoms import atom
 from repro.datalog.parser import parse_program
+from repro.exceptions import GroundingError
 
 
 class TestBuildContext:
@@ -52,3 +55,31 @@ class TestBuildContext:
     def test_atoms_of_predicate(self):
         context = build_context(parse_program("e(1, 2). p(X) :- e(X, Y), not p(Y)."))
         assert context.atoms_of_predicate("p") == {atom("p", 1), atom("p", 2)}
+
+
+class TestGrounderDispatch:
+    TC = "edge(1, 2). edge(2, 3). tc(X, Y) :- edge(X, Y). tc(X, Y) :- edge(X, Z), tc(Z, Y)."
+
+    def test_relevant_and_scan_contexts_agree(self):
+        program = parse_program(self.TC)
+        streamed = build_context(program, grounder="relevant")
+        scanned = build_context(program, grounder="relevant-scan")
+        assert set(streamed.program.rules) == set(scanned.program.rules)
+        assert streamed.facts == scanned.facts
+        assert streamed.base == scanned.base
+        assert {r.head for r in streamed.rules} == {r.head for r in scanned.rules}
+
+    def test_streamed_program_is_materialised_on_the_context(self):
+        context = build_context(parse_program(self.TC), grounder="relevant")
+        assert context.program.is_ground
+        assert len(context.program) == context.rule_count
+
+    def test_naive_grounder_widens_the_base(self):
+        program = parse_program("e(1). e(2). p(X) :- e(X), not q(X).")
+        relevant = build_context(program, grounder="relevant")
+        naive = build_context(program, grounder="naive")
+        assert relevant.base <= naive.base
+
+    def test_unknown_grounder_rejected(self):
+        with pytest.raises(GroundingError, match="unknown grounder"):
+            build_context(parse_program(self.TC), grounder="quantum")

@@ -4,17 +4,20 @@ import pytest
 
 from repro.datalog.atoms import atom, neg, pos
 from repro.datalog.grounding import (
+    DEFAULT_GROUNDING_MATCHER,
+    GROUNDING_MATCHERS,
     GroundingLimits,
     ground_program,
     herbrand_base,
     herbrand_universe,
     naive_ground,
     relevant_ground,
+    stream_relevant_ground,
 )
 from repro.datalog.parser import parse_program
 from repro.datalog.rules import Program, Rule
 from repro.datalog.terms import Compound, Constant
-from repro.exceptions import GroundingError, SafetyError
+from repro.exceptions import GroundingError, GroundingTimeout, SafetyError
 
 
 TC = """
@@ -74,41 +77,102 @@ class TestNaiveGround:
             naive_ground(program, GroundingLimits(max_rules=10))
 
 
+@pytest.mark.parametrize("matcher", GROUNDING_MATCHERS)
 class TestRelevantGround:
-    def test_only_supported_instances_kept(self):
-        grounded = relevant_ground(parse_program(TC))
+    def test_only_supported_instances_kept(self, matcher):
+        grounded = relevant_ground(parse_program(TC), matcher=matcher)
         heads = {rule.head for rule in grounded if rule.head.predicate == "tc"}
         assert heads == {atom("tc", 1, 2), atom("tc", 2, 3), atom("tc", 1, 3)}
 
-    def test_agrees_with_naive_on_derivable_atoms(self):
+    def test_agrees_with_naive_on_derivable_atoms(self, matcher):
         program = parse_program(TC)
-        relevant_heads = {r.head for r in relevant_ground(program)}
+        relevant_heads = {r.head for r in relevant_ground(program, matcher=matcher)}
         naive_heads = {r.head for r in naive_ground(program)}
         assert relevant_heads <= naive_heads
 
-    def test_negative_literals_preserved(self):
+    def test_negative_literals_preserved(self, matcher):
         program = parse_program(
             "move(c, d). wins(X) :- move(X, Y), not wins(Y)."
         )
-        grounded = relevant_ground(program)
+        grounded = relevant_ground(program, matcher=matcher)
         rule = next(r for r in grounded if r.head == atom("wins", "c"))
         assert neg("wins", "d") in rule.body
 
-    def test_unsafe_rule_rejected(self):
+    def test_unsafe_rule_rejected(self, matcher):
         with pytest.raises(SafetyError):
-            relevant_ground(parse_program("p(X) :- not q(X)."))
+            relevant_ground(parse_program("p(X) :- not q(X)."), matcher=matcher)
 
-    def test_duplicate_instances_deduplicated(self):
+    def test_duplicate_instances_deduplicated(self, matcher):
         program = parse_program("e(1, 1). p(X) :- e(X, X). p(X) :- e(X, X).")
-        grounded = relevant_ground(program)
+        grounded = relevant_ground(program, matcher=matcher)
         assert len([r for r in grounded if r.head == atom("p", 1)]) == 1
 
-    def test_limit_enforced(self):
+    def test_limit_enforced(self, matcher):
         program = parse_program(
             "e(1, 2). e(2, 3). e(3, 1). tc(X, Y) :- e(X, Y). tc(X, Y) :- e(X, Z), tc(Z, Y)."
         )
         with pytest.raises(GroundingError):
-            relevant_ground(program, GroundingLimits(max_rules=3))
+            relevant_ground(program, GroundingLimits(max_rules=3), matcher=matcher)
+
+    def test_mixed_arity_predicates_kept_apart(self, matcher):
+        # p occurs with two arities; the fact index must key on the full
+        # (predicate, arity) signature.
+        program = parse_program("p(1). p(1, 2). q(X) :- p(X). r(X, Y) :- p(X, Y).")
+        grounded = relevant_ground(program, matcher=matcher)
+        heads = {rule.head for rule in grounded}
+        assert atom("q", 1) in heads
+        assert atom("r", 1, 2) in heads
+        assert atom("q", 2) not in heads
+
+    def test_negative_only_body_rules_fire(self, matcher):
+        program = parse_program("p :- not q. r :- p.")
+        grounded = relevant_ground(program, matcher=matcher)
+        assert {rule.head for rule in grounded} == {atom("p"), atom("r")}
+
+    def test_wall_clock_budget_enforced(self, matcher):
+        program = parse_program(
+            "e(1, 2). e(2, 3). e(3, 4). e(4, 1). "
+            "tc(X, Y) :- e(X, Y). tc(X, Y) :- e(X, Z), tc(Z, Y)."
+        )
+        with pytest.raises(GroundingTimeout) as excinfo:
+            relevant_ground(program, GroundingLimits(max_seconds=0.0), matcher=matcher)
+        assert excinfo.value.elapsed is not None
+
+
+class TestMatcherDispatch:
+    def test_matchers_and_default(self):
+        assert DEFAULT_GROUNDING_MATCHER == "indexed"
+        assert set(GROUNDING_MATCHERS) == {"indexed", "scan"}
+
+    def test_unknown_matcher_rejected(self):
+        with pytest.raises(GroundingError, match="unknown grounding matcher"):
+            relevant_ground(parse_program(TC), matcher="quantum")
+
+    def test_matchers_produce_identical_rule_sets(self):
+        program = parse_program(TC)
+        indexed = relevant_ground(program, matcher="indexed")
+        scan = relevant_ground(program, matcher="scan")
+        assert set(indexed.rules) == set(scan.rules)
+
+
+class TestStreamRelevantGround:
+    def test_stream_matches_materialised_grounding(self):
+        program = parse_program(TC)
+        streamed = list(stream_relevant_ground(program))
+        assert set(streamed) == set(relevant_ground(program).rules)
+
+    def test_facts_streamed_first_in_sorted_order(self):
+        program = parse_program(TC)
+        streamed = list(stream_relevant_ground(program))
+        fact_block = [rule for rule in streamed if rule.is_fact]
+        assert streamed[: len(fact_block)] == fact_block
+        assert fact_block == sorted(fact_block, key=lambda rule: str(rule.head))
+
+    def test_stream_is_incremental(self):
+        # Pulling the first rule must not require grounding everything.
+        stream = stream_relevant_ground(parse_program(TC))
+        first = next(stream)
+        assert first.is_fact
 
 
 class TestGroundProgram:

@@ -80,6 +80,21 @@ class TestCliStrategy:
         assert "seminaive" in text and "naive" in text
         assert "models agree: yes" in text
 
+    def test_bench_times_the_grounding_phase(self, program_file):
+        out = io.StringIO()
+        assert main(["bench", program_file, "--repeat", "1"], out=out) == 0
+        text = out.getvalue()
+        assert "grounding phase" in text
+        assert "indexed" in text and "scan" in text
+        assert "ground programs agree: yes" in text
+
+    def test_bench_skips_grounding_phase_for_ground_programs(self, tmp_path):
+        path = tmp_path / "ground.lp"
+        path.write_text("p :- not q. q :- r.")
+        out = io.StringIO()
+        assert main(["bench", str(path), "--repeat", "1"], out=out) == 0
+        assert "grounding phase" not in out.getvalue()
+
     def test_rejects_unknown_strategy(self, program_file):
         with pytest.raises(SystemExit):
             main(["solve", program_file, "--strategy", "quantum"], out=io.StringIO())

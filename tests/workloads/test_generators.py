@@ -6,8 +6,10 @@ from repro.datalog.atoms import atom
 from repro.workloads.generators import (
     complement_of_transitive_closure_program,
     random_negative_loop_program,
+    random_nonground_program,
     random_propositional_program,
     reachability_program,
+    same_generation_program,
     transitive_closure_program,
     two_player_choice_program,
     well_founded_nodes_program,
@@ -38,6 +40,21 @@ class TestGraphPrograms:
         well_founded = {a.args[0].value for a in result.true_atoms() if a.predicate == "w"}
         assert well_founded == {1, 2, 3}
 
+    def test_same_generation_on_a_small_tree(self):
+        # parents: r -> a, r -> b; a -> x, b -> y: {a, b} and {x, y} are the
+        # same-generation pairs, plus reflexivity for every node.
+        program = same_generation_program([("r", "a"), ("r", "b"), ("a", "x"), ("b", "y")])
+        result = alternating_fixpoint(program)
+        sg = {
+            (a.args[0].value, a.args[1].value)
+            for a in result.true_atoms()
+            if a.predicate == "sg"
+        }
+        assert ("a", "b") in sg and ("b", "a") in sg
+        assert ("x", "y") in sg and ("y", "x") in sg
+        assert all((n, n) in sg for n in ("r", "a", "b", "x", "y"))
+        assert ("r", "a") not in sg and ("a", "y") not in sg
+
 
 class TestRandomPrograms:
     def test_deterministic_per_seed(self):
@@ -58,6 +75,18 @@ class TestRandomPrograms:
         assert len(stable_models(program)) == 8
         result = alternating_fixpoint(program)
         assert len(result.undefined_atoms) == 6
+
+    def test_nonground_deterministic_and_safe(self):
+        assert random_nonground_program(seed=3) == random_nonground_program(seed=3)
+        assert random_nonground_program(seed=3) != random_nonground_program(seed=4)
+        for seed in range(6):
+            program = random_nonground_program(seed=seed)
+            program.check_safety()  # must not raise: safe by construction
+            assert not program.is_ground or program.facts()
+
+    def test_nonground_negation_probability_zero_gives_horn(self):
+        program = random_nonground_program(seed=0, rules=10, negation_probability=0.0)
+        assert program.is_definite
 
     def test_two_player_choice_program(self):
         program = two_player_choice_program(2, winners=1)
