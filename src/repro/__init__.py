@@ -33,8 +33,10 @@ from .datalog import (
 )
 from .core import (
     AlternatingFixpointResult,
+    ModularResult,
     afp_model,
     alternating_fixpoint,
+    modular_well_founded,
     stable_models,
     well_founded_model,
 )
@@ -57,8 +59,10 @@ __all__ = [
     "parse_rule",
     "pos",
     "AlternatingFixpointResult",
+    "ModularResult",
     "afp_model",
     "alternating_fixpoint",
+    "modular_well_founded",
     "stable_models",
     "well_founded_model",
     "Solution",

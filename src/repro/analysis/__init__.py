@@ -2,7 +2,14 @@
 local stratification, strictness (Definition 8.3), and classification."""
 
 from .classification import ProgramClassification, classify
-from .dependency import ArcPolarity, DependencyGraph, build_dependency_graph
+from .dependency import (
+    ArcPolarity,
+    AtomDependencyGraph,
+    DependencyGraph,
+    build_atom_dependency_graph,
+    build_dependency_graph,
+    tarjan_scc,
+)
 from .local_stratification import LocalStratification, is_locally_stratified, locally_stratify
 from .stratification import Stratification, is_stratified, stratify
 from .strictness import StrictnessAnalysis, analyse_strictness, is_strict, is_strict_in_idb
@@ -11,8 +18,11 @@ __all__ = [
     "ProgramClassification",
     "classify",
     "ArcPolarity",
+    "AtomDependencyGraph",
     "DependencyGraph",
+    "build_atom_dependency_graph",
     "build_dependency_graph",
+    "tarjan_scc",
     "LocalStratification",
     "is_locally_stratified",
     "locally_stratify",

@@ -11,18 +11,20 @@ on which those agreements must hold.
 Deciding local stratification of a non-ground program is undecidable in
 general (Cholak, cited in the paper); here we only analyse finite ground
 programs, where the question reduces to detecting negative cycles in the
-*atom* dependency graph.
+*atom* dependency graph — built by
+:func:`repro.analysis.dependency.build_atom_dependency_graph`, the same
+structure the component-wise well-founded evaluator condenses.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass
 from typing import Mapping, Optional
 
 from ..datalog.atoms import Atom
 from ..datalog.grounding import ground_program
 from ..datalog.rules import Program
+from .dependency import ArcPolarity, build_atom_dependency_graph
 
 __all__ = ["LocalStratification", "locally_stratify", "is_locally_stratified"]
 
@@ -60,31 +62,14 @@ def locally_stratify(program: Program) -> LocalStratification:
     the usual longest-negation-count over the condensation.
     """
     grounded = ground_program(program)
+    graph = build_atom_dependency_graph(grounded)
+    components = graph.strongly_connected_components()
 
-    positive_edges: dict[Atom, set[Atom]] = defaultdict(set)
-    negative_edges: dict[Atom, set[Atom]] = defaultdict(set)
-    atoms: set[Atom] = set()
-    for rule in grounded:
-        atoms.add(rule.head)
-        for literal in rule.body:
-            atoms.add(literal.atom)
-            if literal.positive:
-                positive_edges[rule.head].add(literal.atom)
-            else:
-                negative_edges[rule.head].add(literal.atom)
-
-    components = _tarjan(atoms, positive_edges, negative_edges)
-    component_of: dict[Atom, int] = {}
-    for index, component in enumerate(components):
-        for member in component:
-            component_of[member] = index
-
-    # Fail when a negative arc stays within one component.
+    # Fail when a negative (or mixed) arc stays within one component.
     offenders: set[Atom] = set()
-    for source, targets in negative_edges.items():
-        for target in targets:
-            if component_of[source] == component_of[target]:
-                offenders.update(components[component_of[source]])
+    for component in components:
+        if graph.negative_arc_within(component):
+            offenders.update(component)
     if offenders:
         return LocalStratification(None, frozenset(offenders))
 
@@ -93,70 +78,13 @@ def locally_stratify(program: Program) -> LocalStratification:
     for component in components:
         level = 0
         for member in component:
-            for target in positive_edges.get(member, ()):  # same level allowed
-                if target not in component:
-                    level = max(level, levels[target])
-            for target in negative_edges.get(member, ()):  # must be strictly lower
-                level = max(level, levels[target] + 1)
+            for target in graph.successors(member):
+                if target in component:
+                    continue
+                if graph.polarity(member, target) is ArcPolarity.POSITIVE:
+                    level = max(level, levels[target])  # same level allowed
+                else:
+                    level = max(level, levels[target] + 1)  # strictly higher
         for member in component:
             levels[member] = level
     return LocalStratification(levels, frozenset())
-
-
-def _tarjan(
-    atoms: set[Atom],
-    positive_edges: Mapping[Atom, set[Atom]],
-    negative_edges: Mapping[Atom, set[Atom]],
-) -> list[set[Atom]]:
-    """Strongly connected components of the atom graph, callees first."""
-    adjacency: dict[Atom, list[Atom]] = defaultdict(list)
-    for source in atoms:
-        adjacency[source].extend(positive_edges.get(source, ()))
-        adjacency[source].extend(negative_edges.get(source, ()))
-
-    index_counter = 0
-    index: dict[Atom, int] = {}
-    lowlink: dict[Atom, int] = {}
-    stack: list[Atom] = []
-    on_stack: set[Atom] = set()
-    components: list[set[Atom]] = []
-
-    for root in sorted(atoms, key=str):
-        if root in index:
-            continue
-        work: list[tuple[Atom, int]] = [(root, 0)]
-        while work:
-            node, child_index = work.pop()
-            if child_index == 0:
-                index[node] = index_counter
-                lowlink[node] = index_counter
-                index_counter += 1
-                stack.append(node)
-                on_stack.add(node)
-            advanced = False
-            children = adjacency.get(node, [])
-            while child_index < len(children):
-                child = children[child_index]
-                child_index += 1
-                if child not in index:
-                    work.append((node, child_index))
-                    work.append((child, 0))
-                    advanced = True
-                    break
-                if child in on_stack:
-                    lowlink[node] = min(lowlink[node], index[child])
-            if advanced:
-                continue
-            if lowlink[node] == index[node]:
-                component: set[Atom] = set()
-                while True:
-                    member = stack.pop()
-                    on_stack.discard(member)
-                    component.add(member)
-                    if member == node:
-                        break
-                components.append(component)
-            if work:
-                parent = work[-1][0]
-                lowlink[parent] = min(lowlink[parent], lowlink[node])
-    return components

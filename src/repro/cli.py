@@ -15,13 +15,19 @@
   in the well-founded model;
 * ``compare FILE``    — show per-atom verdicts under every semantics;
 * ``bench FILE``      — time the grounding phase (indexed hash-join
-  grounder versus the scan oracle, for non-ground programs) and the naive
-  versus semi-naive evaluation strategies on the program's well-founded
-  model.
+  grounder versus the scan oracle, for non-ground programs), the naive
+  versus semi-naive evaluation strategies, and the modular versus
+  monolithic well-founded engines on the program, with per-component
+  statistics for the modular run.
 
 Commands that evaluate fixpoints accept ``--strategy seminaive|naive``
 (semi-naive indexed evaluation is the default; naive re-scans every ground
-rule and exists as the differential-testing oracle).
+rule and exists as the differential-testing oracle) and ``--engine
+modular|monolithic`` (component-wise well-founded evaluation over the SCC
+condensation of the atom dependency graph, versus the global alternating
+fixpoint; ``trace`` defaults to monolithic because the Table I view *is*
+the global stage sequence, and prints per-component statistics instead
+when asked for the modular engine).
 
 Programs are rule files in the textual syntax (see README); EDB relations
 can be loaded from CSV with repeated ``--facts relation=path.csv`` options.
@@ -34,7 +40,13 @@ import sys
 from typing import Optional, Sequence
 
 from .analysis import classify
-from .core import alternating_fixpoint, stable_models
+from .core import (
+    DEFAULT_ENGINE,
+    EVALUATION_ENGINES,
+    alternating_fixpoint,
+    modular_well_founded,
+    stable_models,
+)
 from .core.explain import Explainer
 from .datalog import Database, parse_atom
 from .datalog.io import load_facts_csv, load_program, save_interpretation_json
@@ -75,18 +87,30 @@ def build_parser() -> argparse.ArgumentParser:
             help="fixpoint evaluation strategy (default: %(default)s)",
         )
 
+    def add_engine_argument(sub: argparse.ArgumentParser, default: str = DEFAULT_ENGINE) -> None:
+        sub.add_argument(
+            "--engine",
+            choices=EVALUATION_ENGINES,
+            default=default,
+            help="well-founded evaluation engine (default: %(default)s)",
+        )
+
     solve_parser = subparsers.add_parser("solve", help="compute a model and print it")
     add_program_arguments(solve_parser)
     solve_parser.add_argument(
         "--semantics", choices=SUPPORTED_SEMANTICS, default="auto", help="semantics to use"
     )
     add_strategy_argument(solve_parser)
+    add_engine_argument(solve_parser)
     solve_parser.add_argument("--predicate", help="restrict the printed model to one relation")
     solve_parser.add_argument("--json", metavar="OUT", help="also write the model as JSON")
 
     trace_parser = subparsers.add_parser("trace", help="print the alternating-fixpoint iteration table")
     add_program_arguments(trace_parser)
     add_strategy_argument(trace_parser)
+    # Table I *is* the global stage sequence, so the monolithic engine is
+    # the default here; --engine modular switches to per-component stats.
+    add_engine_argument(trace_parser, default="monolithic")
     trace_parser.add_argument("--predicate", help="restrict the table to one relation")
 
     query_parser = subparsers.add_parser("query", help="answer a conjunctive query")
@@ -96,11 +120,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--semantics", choices=SUPPORTED_SEMANTICS, default="auto", help="semantics to use"
     )
     add_strategy_argument(query_parser)
+    add_engine_argument(query_parser)
 
     bench_parser = subparsers.add_parser(
-        "bench", help="time naive vs semi-naive evaluation on the program"
+        "bench", help="time grounding, strategies and engines on the program"
     )
     add_program_arguments(bench_parser)
+    # The strategy phase times naive vs semi-naive S_P evaluation, which
+    # only the monolithic engine exercises globally (the modular engine
+    # bypasses the strategy on horn/stratified components); the engine
+    # phase below always compares both engines regardless.
+    add_engine_argument(bench_parser, default="monolithic")
     bench_parser.add_argument(
         "--repeat", type=int, default=3, help="timing repetitions per strategy (best is kept)"
     )
@@ -144,9 +174,37 @@ def _load(arguments) -> Program:
 # --------------------------------------------------------------------- #
 # Subcommand implementations
 # --------------------------------------------------------------------- #
+def _render_component_stats(result) -> str:
+    """Per-component statistics of a modular well-founded run."""
+    methods = result.method_counts()
+    stages = result.stages_by_method()
+    lines = [
+        f"components: {result.component_count} "
+        f"(largest {result.largest_component} atoms)",
+    ]
+    for method in ("horn", "stratified", "alternating"):
+        if method not in methods:
+            continue
+        lines.append(
+            f"  {method:12s} {methods[method]:6d} components, "
+            f"{stages.get(method, 0)} stages"
+        )
+    sizes = sorted((report.size for report in result.components), reverse=True)
+    preview = ", ".join(str(size) for size in sizes[:8])
+    if len(sizes) > 8:
+        preview += ", ..."
+    lines.append(f"  sizes        [{preview}]")
+    return "\n".join(lines)
+
+
 def _cmd_solve(arguments, out) -> int:
     program = _load(arguments)
-    solution = solve(program, semantics=arguments.semantics, strategy=arguments.strategy)
+    solution = solve(
+        program,
+        semantics=arguments.semantics,
+        strategy=arguments.strategy,
+        engine=arguments.engine,
+    )
     print(f"semantics: {solution.semantics}", file=out)
     print(render_model(solution.interpretation, solution.base, arguments.predicate), file=out)
     if arguments.json:
@@ -162,6 +220,12 @@ def _cmd_solve(arguments, out) -> int:
 
 def _cmd_trace(arguments, out) -> int:
     program = _load(arguments)
+    if arguments.engine == "modular":
+        result = modular_well_founded(program, strategy=arguments.strategy)
+        print(_render_component_stats(result), file=out)
+        print(render_model(result.model, result.context.base, arguments.predicate), file=out)
+        print(f"total model: {'yes' if result.is_total else 'no'}", file=out)
+        return 0
     result = alternating_fixpoint(program, strategy=arguments.strategy)
     print(render_trace(result, arguments.predicate), file=out)
     print(f"\nconverged after {result.iterations} applications of the stability transform", file=out)
@@ -171,7 +235,12 @@ def _cmd_trace(arguments, out) -> int:
 
 def _cmd_query(arguments, out) -> int:
     program = _load(arguments)
-    solution = solve(program, semantics=arguments.semantics, strategy=arguments.strategy)
+    solution = solve(
+        program,
+        semantics=arguments.semantics,
+        strategy=arguments.strategy,
+        engine=arguments.engine,
+    )
     text = arguments.query
     has_variables = any(piece and piece[0].isupper() for piece in _argument_tokens(text))
     if has_variables:
@@ -294,14 +363,14 @@ def _cmd_bench(arguments, out) -> int:
         best = float("inf")
         for _ in range(repeat):
             start = time.perf_counter()
-            result = alternating_fixpoint(context, strategy=strategy)
+            result = alternating_fixpoint(context, strategy=strategy, engine=arguments.engine)
             best = min(best, time.perf_counter() - start)
         timings[strategy] = best
         results[strategy] = (result.true_atoms(), result.false_atoms())
 
     agree = len(set(results.values())) == 1
     stats = context.statistics()
-    print("evaluation phase (alternating fixpoint):", file=out)
+    print(f"evaluation phase (alternating fixpoint, {arguments.engine} engine):", file=out)
     print(
         f"program: {stats['ground_rules']} ground rules, {stats['facts']} facts, "
         f"{stats['atoms']} atoms",
@@ -312,7 +381,36 @@ def _cmd_bench(arguments, out) -> int:
     if timings["seminaive"] > 0:
         print(f"speedup    {timings['naive'] / timings['seminaive']:10.2f}x", file=out)
     print(f"models agree: {'yes' if agree else 'NO'}", file=out)
-    return 0 if agree else 1
+
+    # Engine phase: component-wise modular evaluation against the
+    # monolithic alternating fixpoint, both on the default strategy.
+    engine_timings: dict[str, float] = {}
+    modular_result = None
+    for engine in EVALUATION_ENGINES:
+        best = float("inf")
+        for _ in range(repeat):
+            start = time.perf_counter()
+            if engine == "modular":
+                modular_result = modular_well_founded(context)
+            else:
+                monolithic_result = alternating_fixpoint(context, keep_stages=False)
+            best = min(best, time.perf_counter() - start)
+        engine_timings[engine] = best
+    engines_agree = (
+        modular_result.model.true_atoms == monolithic_result.positive_fixpoint
+        and modular_result.model.false_atoms == frozenset(monolithic_result.negative_fixpoint.atoms)
+    )
+    print("\nengine phase (well-founded model, modular vs monolithic):", file=out)
+    for engine in EVALUATION_ENGINES:
+        print(f"{engine:10s} {engine_timings[engine] * 1000:10.3f} ms  (best of {repeat})", file=out)
+    if engine_timings["modular"] > 0:
+        print(
+            f"speedup    {engine_timings['monolithic'] / engine_timings['modular']:10.2f}x",
+            file=out,
+        )
+    print(_render_component_stats(modular_result), file=out)
+    print(f"models agree: {'yes' if engines_agree else 'NO'}", file=out)
+    return 0 if agree and engines_agree else 1
 
 
 _COMMANDS = {

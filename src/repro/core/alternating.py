@@ -81,13 +81,18 @@ class AlternatingFixpointResult:
     positive_fixpoint:
         ``A⁺ = S_P(Ã)`` (the well-founded true atoms).
     stages:
-        The ``Ĩ_k`` / ``S_P(Ĩ_k)`` trace, i.e. the rows of Table I.
+        The ``Ĩ_k`` / ``S_P(Ĩ_k)`` trace, i.e. the rows of Table I.  With
+        ``keep_stages=False`` only the first and final rows are retained.
+    stage_count:
+        Number of rows the full trace would have; ``None`` when ``stages``
+        already is the full trace.
     """
 
     context: GroundContext
     negative_fixpoint: NegativeSet
     positive_fixpoint: frozenset[Atom]
     stages: tuple[AlternatingStage, ...]
+    stage_count: Optional[int] = None
 
     # ------------------------------------------------------------------ #
     # Model views
@@ -115,6 +120,8 @@ class AlternatingFixpointResult:
     @property
     def iterations(self) -> int:
         """Number of ``S̃_P`` applications performed."""
+        if self.stage_count is not None:
+            return self.stage_count - 1
         return len(self.stages) - 1
 
     def true_atoms(self) -> frozenset[Atom]:
@@ -158,16 +165,48 @@ def alternating_fixpoint(
     full_base: bool = False,
     extra_atoms: Iterable[Atom] = (),
     strategy: str = DEFAULT_STRATEGY,
+    keep_stages: bool = True,
+    engine: str = "monolithic",
 ) -> AlternatingFixpointResult:
     """Compute the alternating fixpoint partial model of *program*.
 
     Accepts either a :class:`~repro.datalog.rules.Program` (which is
     grounded first) or a pre-built :class:`GroundContext`.  The inner
     ``S_P`` evaluations run under *strategy* (semi-naive by default).  The
-    result carries the full iteration trace; ``result.model`` is the AFP
-    partial model, equal to the well-founded partial model (Theorem 7.8,
-    verified extensively by the test suite).
+    result carries the full iteration trace — the Table I rows — unless
+    ``keep_stages=False``, which retains only the first and final rows
+    (large runs need not hold every intermediate interpretation alive;
+    ``stage_count`` still reports the true trace length).
+
+    With ``engine="modular"`` the model is computed component-wise by
+    :func:`repro.core.modular.modular_well_founded` (SCC condensation of
+    the atom dependency graph, cheapest-sound-method dispatch per
+    component) instead of by monolithic alternation; the result then
+    carries a single synthetic stage holding the fixpoint, since no global
+    ``Ĩ_k`` sequence exists.  The models are identical (Theorem 7.8 plus
+    the splitting property of the well-founded semantics); the monolithic
+    engine remains the differential oracle.
     """
+    if engine != "monolithic":
+        from .modular import modular_well_founded, validate_engine
+
+        validate_engine(engine)
+        modular = modular_well_founded(
+            program,
+            limits=limits,
+            full_base=full_base,
+            extra_atoms=extra_atoms,
+            strategy=strategy,
+        )
+        negative = NegativeSet(modular.model.false_atoms)
+        positive = modular.model.true_atoms
+        return AlternatingFixpointResult(
+            context=modular.context,
+            negative_fixpoint=negative,
+            positive_fixpoint=positive,
+            stages=(AlternatingStage(0, negative, positive),),
+        )
+
     if isinstance(program, GroundContext):
         context = program
     else:
@@ -188,19 +227,28 @@ def alternating_fixpoint(
         # previous stage, so each stage needs exactly one S_P evaluation.
         current = conjugate_of_positive(positive, context.base)
         positive = eventual_consequence(context, current, strategy=strategy)
-        stages.append(AlternatingStage(index, current, positive))
+        stage = AlternatingStage(index, current, positive)
+        if keep_stages:
+            stages.append(stage)
         if index % 2 == 0:
-            if previous_even is not None and current == previous_even:
+            # Even stages form an ascending chain, so unequal sizes decide
+            # inequality without comparing the sets element-wise.
+            if (
+                previous_even is not None
+                and len(current) == len(previous_even)
+                and current == previous_even
+            ):
                 break
             previous_even = current
 
-    negative_fixpoint = current
-    positive_fixpoint = positive
+    if not keep_stages:
+        stages.append(stage)
     return AlternatingFixpointResult(
         context=context,
-        negative_fixpoint=negative_fixpoint,
-        positive_fixpoint=positive_fixpoint,
+        negative_fixpoint=current,
+        positive_fixpoint=positive,
         stages=tuple(stages),
+        stage_count=None if keep_stages else index + 1,
     )
 
 

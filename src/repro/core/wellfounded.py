@@ -135,13 +135,37 @@ def well_founded_model(
     full_base: bool = False,
     extra_atoms: Iterable[Atom] = (),
     strategy: str = DEFAULT_STRATEGY,
+    engine: str = "monolithic",
 ) -> WellFoundedResult:
     """The well-founded partial model: the least fixpoint of ``W_P``.
 
     ``W_P`` is monotone in the information ordering of partial
     interpretations, so iterating from the empty interpretation converges;
     the stages are recorded for inspection and for the Figure 2 benchmark.
+
+    With ``engine="modular"`` the model is instead assembled component by
+    component (:func:`repro.core.modular.modular_well_founded`); the
+    resulting ``stages`` collapse to ``(empty, model)`` since no global
+    ``W_P`` sequence is run.  The default monolithic iteration remains the
+    independent unfounded-set oracle of Theorem 7.8.
     """
+    if engine != "monolithic":
+        from .modular import modular_well_founded, validate_engine
+
+        validate_engine(engine)
+        result = modular_well_founded(
+            program,
+            limits=limits,
+            full_base=full_base,
+            extra_atoms=extra_atoms,
+            strategy=strategy,
+        )
+        return WellFoundedResult(
+            context=result.context,
+            model=result.model,
+            stages=(PartialInterpretation.empty(), result.model),
+        )
+
     if isinstance(program, GroundContext):
         context = program
     else:

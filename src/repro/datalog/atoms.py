@@ -13,7 +13,7 @@ conjugation (Definition 3.2) — live in :mod:`repro.fixpoint.lattice`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator, Mapping, Sequence
 
 from .terms import Constant, Term, Variable, make_term, substitute_term, term_variables
@@ -46,13 +46,25 @@ class Atom:
 
     Propositional atoms are modelled as atoms of arity zero, e.g. ``p()``;
     their textual form omits the parentheses.
+
+    Atoms are the keys of every index and interpretation in the engine, so
+    the structural hash is computed once and cached (``0`` doubles as the
+    not-yet-computed sentinel; real hashes are remapped off it).
     """
 
     predicate: str
     args: tuple[Term, ...] = ()
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "args", tuple(self.args))
+
+    def __hash__(self) -> int:
+        value = self._hash
+        if value == 0:
+            value = hash((self.predicate, self.args)) or 1
+            object.__setattr__(self, "_hash", value)
+        return value
 
     def __str__(self) -> str:
         if not self.args:

@@ -1,12 +1,21 @@
 """High-level deductive-database engine: one-call solving and querying."""
 
 from .query import QueryAnswer, answers, ask
-from .solver import EVALUATION_STRATEGIES, SUPPORTED_SEMANTICS, Solution, solve
+from .solver import (
+    DEFAULT_ENGINE,
+    EVALUATION_ENGINES,
+    EVALUATION_STRATEGIES,
+    SUPPORTED_SEMANTICS,
+    Solution,
+    solve,
+)
 
 __all__ = [
     "QueryAnswer",
     "answers",
     "ask",
+    "DEFAULT_ENGINE",
+    "EVALUATION_ENGINES",
     "EVALUATION_STRATEGIES",
     "SUPPORTED_SEMANTICS",
     "Solution",

@@ -26,6 +26,7 @@ from ..exceptions import EvaluationError
 from ..fixpoint.interpretations import PartialInterpretation, TruthValue
 from ..core.alternating import alternating_fixpoint
 from ..core.context import build_context
+from ..core.modular import DEFAULT_ENGINE, EVALUATION_ENGINES, validate_engine
 from ..core.stable import stable_consequences
 from ..core.wellfounded import well_founded_model
 from ..semantics.fitting import fitting_model
@@ -33,7 +34,14 @@ from ..semantics.horn import horn_minimum_model
 from ..semantics.inflationary import inflationary_model
 from ..semantics.stratified import stratified_model
 
-__all__ = ["Solution", "solve", "SUPPORTED_SEMANTICS", "EVALUATION_STRATEGIES"]
+__all__ = [
+    "Solution",
+    "solve",
+    "SUPPORTED_SEMANTICS",
+    "EVALUATION_STRATEGIES",
+    "EVALUATION_ENGINES",
+    "DEFAULT_ENGINE",
+]
 
 SUPPORTED_SEMANTICS = (
     "auto",
@@ -56,6 +64,7 @@ class Solution:
     interpretation: PartialInterpretation
     base: frozenset[Atom]
     strategy: str = DEFAULT_STRATEGY
+    engine: str = DEFAULT_ENGINE
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -120,6 +129,7 @@ def solve(
     database: Optional[Database] = None,
     limits: GroundingLimits | None = None,
     strategy: str = DEFAULT_STRATEGY,
+    engine: str = DEFAULT_ENGINE,
 ) -> Solution:
     """Solve *program* under the requested semantics.
 
@@ -139,6 +149,13 @@ def solve(
         (default, indexed delta-driven) or ``"naive"`` (re-scan every rule;
         the differential-testing oracle).  The Fitting semantics runs its
         own three-valued operator and ignores the strategy.
+    engine:
+        Well-founded evaluation engine: ``"modular"`` (default) condenses
+        the atom dependency graph into SCCs and solves each component with
+        the cheapest sound method; ``"monolithic"`` runs the global
+        alternating fixpoint / ``W_P`` iteration (the differential oracle).
+        Only the ``alternating-fixpoint`` and ``well-founded`` semantics
+        (and ``auto`` when it resolves to them) consult the engine.
     """
     if isinstance(program, str):
         program = parse_program(program)
@@ -149,6 +166,7 @@ def solve(
             f"unknown semantics {semantics!r}; expected one of {', '.join(SUPPORTED_SEMANTICS)}"
         )
     validate_strategy(strategy)
+    validate_engine(engine)
 
     if semantics == "auto":
         classification = classify(program, check_local=False)
@@ -159,9 +177,9 @@ def solve(
 
     if semantics in ("alternating-fixpoint", "well-founded"):
         if semantics == "alternating-fixpoint":
-            interpretation = alternating_fixpoint(context, strategy=strategy).model
+            interpretation = alternating_fixpoint(context, strategy=strategy, engine=engine).model
         else:
-            interpretation = well_founded_model(context, strategy=strategy).model
+            interpretation = well_founded_model(context, strategy=strategy, engine=engine).model
     elif semantics == "stratified":
         interpretation = stratified_model(program, limits=limits, strategy=strategy).interpretation
     elif semantics == "horn":
@@ -181,4 +199,5 @@ def solve(
         interpretation=interpretation,
         base=base,
         strategy=strategy,
+        engine=engine,
     )

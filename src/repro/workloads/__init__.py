@@ -2,6 +2,7 @@
 
 from .generators import (
     complement_of_transitive_closure_program,
+    layered_program,
     random_negative_loop_program,
     random_nonground_program,
     random_propositional_program,
@@ -14,6 +15,7 @@ from .generators import (
 
 __all__ = [
     "complement_of_transitive_closure_program",
+    "layered_program",
     "random_negative_loop_program",
     "random_nonground_program",
     "random_propositional_program",

@@ -31,6 +31,7 @@ __all__ = [
     "reachability_program",
     "same_generation_program",
     "well_founded_nodes_program",
+    "layered_program",
     "random_propositional_program",
     "random_negative_loop_program",
     "random_nonground_program",
@@ -126,6 +127,58 @@ def well_founded_nodes_program(edges: Iterable[Edge]) -> Program:
     _graph_facts(builder, edges, relation="e")
     builder.rule(("w", "X"), [("node", "X"), ("not", "u", "X")])
     builder.rule(("u", "X"), [("e", "Y", "X"), ("not", "w", "Y")])
+    return builder.build()
+
+
+def layered_program(layers: int, layer_size: int) -> Program:
+    """Stacked negation clusters connected by positive arcs — the
+    adversarial workload for *monolithic* alternating-fixpoint evaluation.
+
+    Each layer ``ℓ`` is gated by ``base(ℓ)`` (a fact for layer 0, derived
+    from the layer below otherwise) and contains:
+
+    * a **negation chain** ``chain(ℓ, i) ← base(ℓ) ∧ ¬chain(ℓ, i+1)`` of
+      *layer_size* atoms: atom-level *acyclic*, yet the monolithic
+      alternation needs ``Θ(layer_size)`` global stages to settle it one
+      rung per alternation — while every rung is a singleton SCC the
+      component-wise evaluator resolves in O(1);
+    * an **undefined triangle** ``undef(ℓ, k) ← base(ℓ) ∧
+      ¬undef(ℓ, k+1 mod 3)``: negation through recursion, all three atoms
+      undefined — the per-component alternating fixpoint fires here;
+    * two **observers** of the triangle, ``frontier(ℓ) ← undef(ℓ, 0)``
+      and ``shadow(ℓ) ← base(ℓ) ∧ ¬undef(ℓ, 0)``: undefined through a
+      literal resting on an unresolved component below — the stratified
+      double-closure method fires here;
+    * the **positive bridge** to the next layer,
+      ``bridge(ℓ) ← chain(ℓ, layer_size−2)`` and
+      ``base(ℓ+1) ← bridge(ℓ)`` (``chain(ℓ, layer_size−2)`` is true
+      whenever the gate is, since the chain's top rung is false).
+
+    The program is ground; monolithic evaluation costs
+    ``Θ(layer_size × layers·layer_size)`` while component-wise evaluation
+    is near-linear in the program size.
+    """
+    layers = max(1, layers)
+    size = max(2, layer_size)
+    builder = ProgramBuilder()
+    for layer in range(layers):
+        if layer == 0:
+            builder.fact("base", 0)
+        else:
+            builder.rule(("base", layer), [("bridge", layer - 1)])
+        for i in range(size - 1):
+            builder.rule(
+                ("chain", layer, i),
+                [("base", layer), ("not", "chain", layer, i + 1)],
+            )
+        builder.rule(("bridge", layer), [("chain", layer, size - 2)])
+        for k in range(3):
+            builder.rule(
+                ("undef", layer, k),
+                [("base", layer), ("not", "undef", layer, (k + 1) % 3)],
+            )
+        builder.rule(("frontier", layer), [("undef", layer, 0)])
+        builder.rule(("shadow", layer), [("base", layer), ("not", "undef", layer, 0)])
     return builder.build()
 
 

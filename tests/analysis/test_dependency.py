@@ -75,3 +75,109 @@ class TestSccAndCycles:
         graph = build_dependency_graph(parse_program("a :- b. b :- c. d :- a."))
         assert graph.reachable_from("a") == {"a", "b", "c"}
         assert graph.reachable_from("c") == {"c"}
+
+
+class TestAtomDependencyGraph:
+    def _graph(self, text):
+        from repro.analysis.dependency import build_atom_dependency_graph
+
+        return build_atom_dependency_graph(parse_program(text))
+
+    def test_arcs_and_polarity(self):
+        from repro.datalog.atoms import Atom
+
+        graph = self._graph("p :- q, not r.")
+        p, q, r = Atom("p"), Atom("q"), Atom("r")
+        assert graph.polarity(p, q) is ArcPolarity.POSITIVE
+        assert graph.polarity(p, r) is ArcPolarity.NEGATIVE
+        assert graph.polarity(q, p) is None
+        assert set(graph.successors(p)) == {q, r}
+
+    def test_mixed_polarity_merges(self):
+        from repro.datalog.atoms import Atom
+
+        graph = self._graph("p :- q. p :- not q.")
+        assert graph.polarity(Atom("p"), Atom("q")) is ArcPolarity.MIXED
+        assert graph.has_negative_arc()
+
+    def test_distinct_ground_atoms_are_distinct_nodes(self):
+        from repro.analysis.dependency import build_atom_dependency_graph
+        from repro.core.context import build_context
+        from repro.datalog.atoms import ground_atom
+
+        context = build_context(
+            parse_program("e(1, 2). e(2, 1). t(X, Y) :- e(X, Y). t(X, Y) :- e(X, Z), t(Z, Y).")
+        )
+        graph = build_atom_dependency_graph(context)
+        # Atom-level granularity: t(1, 2) depends on e(1, 2) but not on e(2, 2).
+        t12 = ground_atom("t", 1, 2)
+        assert graph.polarity(t12, ground_atom("e", 1, 2)) is ArcPolarity.POSITIVE
+        assert graph.polarity(t12, ground_atom("e", 2, 2)) is None
+
+    def test_sccs_callees_first(self):
+        from repro.datalog.atoms import Atom
+
+        graph = self._graph("p :- q. q :- p. r :- p.")
+        components = graph.strongly_connected_components()
+        loop = {Atom("p"), Atom("q")}
+        assert loop in components
+        assert components.index(loop) < components.index({Atom("r")})
+        assert graph.condensation_order() == components
+
+    def test_negative_cycle_atoms(self):
+        from repro.datalog.atoms import Atom
+
+        graph = self._graph("p :- not q. q :- not p. r :- p.")
+        assert graph.negative_cycle_atoms() == {Atom("p"), Atom("q")}
+        assert graph.negative_arc_within({Atom("p"), Atom("q")})
+        assert not graph.negative_arc_within({Atom("r"), Atom("p")})
+
+    def test_acyclic_negation_has_no_offenders(self):
+        graph = self._graph("p :- not q. q :- not r. r.")
+        assert graph.negative_cycle_atoms() == set()
+
+    def test_context_build_includes_isolated_base_atoms(self):
+        from repro.analysis.dependency import build_atom_dependency_graph
+        from repro.core.context import build_context
+        from repro.datalog.atoms import Atom
+
+        context = build_context(parse_program("p :- q."), extra_atoms=[Atom("lonely")])
+        graph = build_atom_dependency_graph(context)
+        assert Atom("lonely") in graph.nodes
+        assert {Atom("lonely")} in graph.strongly_connected_components()
+
+    def test_context_and_program_builds_agree(self):
+        from repro.analysis.dependency import build_atom_dependency_graph
+        from repro.core.context import build_context
+
+        program = parse_program("a. p :- a, not q. q :- p. r :- not p, not r.")
+        from_program = build_atom_dependency_graph(program)
+        from_context = build_atom_dependency_graph(build_context(program))
+        assert from_program.nodes == from_context.nodes
+        assert {
+            (s, t, p) for s, t, p in from_program.arcs()
+        } == {(s, t, p) for s, t, p in from_context.arcs()}
+
+    def test_non_ground_program_rejected(self):
+        import pytest
+
+        from repro.analysis.dependency import build_atom_dependency_graph
+        from repro.exceptions import NotGroundError
+
+        with pytest.raises(NotGroundError):
+            build_atom_dependency_graph(parse_program("p(X) :- q(X)."))
+
+
+class TestSharedTarjan:
+    def test_generic_tarjan_on_plain_graph(self):
+        from repro.analysis.dependency import tarjan_scc
+
+        adjacency = {1: [2], 2: [3], 3: [1], 4: [3]}
+        components = tarjan_scc([1, 2, 3, 4], adjacency)
+        assert {1, 2, 3} in components and {4} in components
+        assert components.index({1, 2, 3}) < components.index({4})
+
+    def test_predicate_graph_still_uses_it(self):
+        graph = build_dependency_graph(parse_program("p :- q. q :- p. r :- q."))
+        components = graph.strongly_connected_components()
+        assert {"p", "q"} in components and {"r"} in components

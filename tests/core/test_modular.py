@@ -1,0 +1,222 @@
+"""Unit tests for the component-wise well-founded evaluator."""
+
+import pytest
+
+from repro.core.alternating import alternating_fixpoint
+from repro.core.context import build_context
+from repro.core.modular import (
+    DEFAULT_ENGINE,
+    EVALUATION_ENGINES,
+    modular_model,
+    modular_well_founded,
+    validate_engine,
+)
+from repro.core.wellfounded import well_founded_model
+from repro.datalog import parse_program
+from repro.datalog.atoms import Atom
+from repro.exceptions import EvaluationError
+from repro.workloads import layered_program
+
+
+def _assert_same_model(program):
+    """The modular model must equal both monolithic characterisations."""
+    modular = modular_well_founded(program)
+    afp = alternating_fixpoint(program)
+    wfs = well_founded_model(program)
+    assert modular.model == afp.model == wfs.model
+    return modular
+
+
+class TestModelEquality:
+    def test_win_move(self, win_move_4b):
+        modular = _assert_same_model(win_move_4b)
+        assert not modular.is_total
+
+    def test_example_5_1(self, example_5_1):
+        _assert_same_model(example_5_1)
+
+    def test_example_3_1(self, example_3_1):
+        _assert_same_model(example_3_1)
+
+    def test_ntc(self, ntc_program):
+        modular = _assert_same_model(ntc_program)
+        # Stratified program: nothing is left undefined anywhere.
+        assert modular.is_total
+
+    def test_layered(self):
+        _assert_same_model(layered_program(3, 5))
+
+    def test_empty_program(self):
+        modular = modular_well_founded(parse_program(""))
+        assert modular.component_count == 0
+        assert modular.model.true_atoms == frozenset()
+        assert modular.model.false_atoms == frozenset()
+
+    def test_facts_only(self):
+        modular = modular_well_founded(parse_program("a. b."))
+        assert modular.model.true_atoms == {Atom("a"), Atom("b")}
+        assert modular.is_total
+
+    def test_accepts_prebuilt_context(self, win_move_4b):
+        context = build_context(win_move_4b)
+        from_context = modular_well_founded(context)
+        assert from_context.context is context
+        assert from_context.model == modular_well_founded(win_move_4b).model
+
+    def test_modular_model_wrapper(self, win_move_4b):
+        assert modular_model(win_move_4b) == alternating_fixpoint(win_move_4b).model
+
+    def test_extra_atoms_come_out_false(self):
+        extra = Atom("ghost")
+        modular = modular_well_founded(parse_program("p."), extra_atoms=[extra])
+        assert extra in modular.model.false_atoms
+
+
+class TestMethodDispatch:
+    def test_horn_component(self):
+        modular = modular_well_founded(parse_program("a. b :- a. c :- b, a."))
+        assert set(modular.method_counts()) == {"horn"}
+        assert modular.is_total
+
+    def test_positive_recursion_is_one_horn_component(self):
+        modular = modular_well_founded(parse_program("p :- q. q :- p. r."))
+        sizes = {report.size for report in modular.components}
+        assert 2 in sizes  # the {p, q} loop collapses into one component
+        assert set(modular.method_counts()) == {"horn"}
+        assert modular.model.false_atoms >= {Atom("p"), Atom("q")}
+
+    def test_downward_negation_resolves_to_horn(self):
+        # Negation only points at already-decided atoms below: nothing is
+        # left undefined, so both components solve as Horn closures.
+        modular = modular_well_founded(parse_program("a. b :- not c. c :- not a."))
+        assert set(modular.method_counts()) == {"horn"}
+        assert modular.model.true_atoms == {Atom("a"), Atom("b")}
+
+    def test_negation_through_recursion_is_alternating(self):
+        modular = modular_well_founded(parse_program("p :- not q. q :- not p."))
+        assert modular.method_counts() == {"alternating": 1}
+        assert modular.model.undefined_atoms(modular.context.base) == {Atom("p"), Atom("q")}
+
+    def test_self_negation_singleton_is_alternating(self):
+        modular = modular_well_founded(parse_program("p :- not p."))
+        assert modular.method_counts() == {"alternating": 1}
+        assert modular.undefined_atoms == {Atom("p")}
+
+    def test_literals_on_undefined_atoms_are_stratified(self):
+        # q (positive) and r (negative) both rest on the undefined p from
+        # the component below; s rests on both observers.
+        modular = modular_well_founded(parse_program("p :- not p. q :- p. r :- not p. s :- q, r."))
+        methods = {
+            next(iter(report.atoms)).predicate: report.method
+            for report in modular.components
+        }
+        assert methods["p"] == "alternating"
+        assert methods["q"] == "stratified"
+        assert methods["r"] == "stratified"
+        assert methods["s"] == "stratified"
+        assert modular.undefined_atoms == {Atom("p"), Atom("q"), Atom("r"), Atom("s")}
+
+    def test_killed_rule_does_not_force_alternating(self):
+        # The rule `p :- not q, not a` mentions q negatively inside the
+        # {p, q} loop but is killed by the true atom a below; the surviving
+        # residual rules are purely positive, so the component must solve
+        # as one Horn closure, not a per-component alternating fixpoint.
+        modular = modular_well_founded(parse_program("a. p :- q. q :- p. p :- not q, not a."))
+        loop = next(report for report in modular.components if report.size == 2)
+        assert loop.method == "horn"
+        assert modular.model.false_atoms == {Atom("p"), Atom("q")}
+
+    def test_layered_dispatch_counts(self):
+        layers, size = 3, 6
+        modular = modular_well_founded(layered_program(layers, size))
+        counts = modular.method_counts()
+        # One undefined triangle per layer...
+        assert counts["alternating"] == layers
+        # ...watched by one frontier and one shadow observer per layer.
+        assert counts["stratified"] == 2 * layers
+        # Everything else (chains, bridges, bases) resolves as Horn.
+        assert counts["horn"] == modular.component_count - 3 * layers
+
+    def test_component_reports_are_consistent(self, example_5_1):
+        modular = modular_well_founded(example_5_1)
+        for report in modular.components:
+            assert report.size >= 1
+            assert report.true_count + report.false_count + report.undefined_count == report.size
+            assert report.method in ("horn", "stratified", "alternating")
+            assert report.stages >= 1
+        total = sum(report.size for report in modular.components)
+        assert total == len(modular.context.base)
+
+    def test_statistics_shape(self, win_move_4b):
+        stats = modular_well_founded(win_move_4b).statistics()
+        assert stats["components"] > 0
+        assert "methods" in stats and "stages" in stats
+        assert stats["atoms"] == 8
+
+
+class TestUndefMarkerAtom:
+    def test_fresh_name_avoids_collision(self):
+        # A program that already uses the designated predicate name: the
+        # marker must pick a fresh one and the reserved-looking atom must
+        # still get its ordinary verdict.
+        from repro.datalog import ProgramBuilder
+
+        builder = ProgramBuilder()
+        builder.proposition("_wfs_undef", "-p")
+        builder.proposition("p", "-p")
+        program = builder.build()
+        modular = modular_well_founded(program)
+        assert modular.model == alternating_fixpoint(program).model
+        assert Atom("_wfs_undef") in modular.undefined_atoms
+
+    def test_marker_atom_never_leaks_into_model(self):
+        modular = modular_well_founded(parse_program("p :- not p. q :- p, not q."))
+        mentioned = set(modular.model.true_atoms) | set(modular.model.false_atoms)
+        assert all(not atom.predicate.startswith("_wfs_undef") for atom in mentioned)
+        assert all(
+            not atom.predicate.startswith("_wfs_undef")
+            for report in modular.components
+            for atom in report.atoms
+        )
+
+
+class TestEngineDispatch:
+    def test_validate_engine(self):
+        for engine in EVALUATION_ENGINES:
+            assert validate_engine(engine) == engine
+        with pytest.raises(EvaluationError):
+            validate_engine("turbo")
+        assert DEFAULT_ENGINE in EVALUATION_ENGINES
+
+    def test_alternating_fixpoint_engine_dispatch(self, win_move_4b):
+        monolithic = alternating_fixpoint(win_move_4b, engine="monolithic")
+        modular = alternating_fixpoint(win_move_4b, engine="modular")
+        assert modular.model == monolithic.model
+        # The modular run has no global stage sequence: one synthetic row.
+        assert len(modular.stages) == 1
+        assert modular.iterations == 0
+
+    def test_well_founded_model_engine_dispatch(self, win_move_4b):
+        monolithic = well_founded_model(win_move_4b, engine="monolithic")
+        modular = well_founded_model(win_move_4b, engine="modular")
+        assert modular.model == monolithic.model
+        assert modular.stages[-1] == modular.model
+
+    def test_unknown_engine_raises(self, win_move_4b):
+        with pytest.raises(EvaluationError):
+            alternating_fixpoint(win_move_4b, engine="warp")
+        with pytest.raises(EvaluationError):
+            well_founded_model(win_move_4b, engine="warp")
+
+
+class TestKeepStages:
+    def test_keep_stages_false_retains_endpoints(self, example_5_1):
+        full = alternating_fixpoint(example_5_1)
+        trimmed = alternating_fixpoint(example_5_1, keep_stages=False)
+        assert trimmed.model == full.model
+        assert len(trimmed.stages) == 2
+        assert trimmed.stages[0] == full.stages[0]
+        assert trimmed.stages[-1] == full.stages[-1]
+        # The true iteration count survives the trimming.
+        assert trimmed.iterations == full.iterations
+        assert trimmed.stage_count == len(full.stages)

@@ -129,3 +129,37 @@ class TestOtherCommands:
         assert code == 0
         assert "wins(a)" in output
         assert "move(a, b)" not in output
+
+
+class TestEngineOption:
+    def test_solve_accepts_engine(self, game_file):
+        modular = run("solve", game_file, "--engine", "modular", "--predicate", "wins")
+        monolithic = run("solve", game_file, "--engine", "monolithic", "--predicate", "wins")
+        assert modular == monolithic
+        assert modular[0] == 0
+
+    def test_trace_modular_prints_component_stats(self, game_file):
+        code, output = run("trace", game_file, "--engine", "modular")
+        assert code == 0
+        assert "components:" in output
+        assert "alternating" in output
+        assert "total model: no" in output
+
+    def test_trace_default_stays_monolithic(self, game_file):
+        code, output = run("trace", game_file)
+        assert code == 0
+        assert "S_P" in output and "components:" not in output
+
+    def test_query_accepts_engine(self, game_file):
+        code, output = run("query", game_file, "wins(c)", "--engine", "modular")
+        assert code == 0
+        assert output.strip() == "true"
+
+
+class TestBenchCommand:
+    def test_bench_reports_engine_split(self, game_file):
+        code, output = run("bench", game_file, "--repeat", "1")
+        assert code == 0
+        assert "modular" in output and "monolithic" in output
+        assert "components:" in output
+        assert output.count("models agree: yes") == 2

@@ -85,3 +85,30 @@ class TestSolve:
     def test_is_total_flag(self):
         assert solve(TC_TEXT).is_total
         assert not solve("p :- not q. q :- not p.").is_total
+
+
+class TestEngineSelection:
+    GAME = "move(a, b). move(b, a). move(b, c). wins(X) :- move(X, Y), not wins(Y)."
+
+    def test_engines_agree_on_wfs_semantics(self):
+        for semantics in ("alternating-fixpoint", "well-founded"):
+            modular = solve(self.GAME, semantics=semantics, engine="modular")
+            monolithic = solve(self.GAME, semantics=semantics, engine="monolithic")
+            assert modular.interpretation == monolithic.interpretation
+            assert modular.engine == "modular"
+            assert monolithic.engine == "monolithic"
+
+    def test_default_engine_is_modular(self):
+        from repro.engine.solver import DEFAULT_ENGINE
+
+        assert DEFAULT_ENGINE == "modular"
+        assert solve(self.GAME).engine == "modular"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(EvaluationError):
+            solve(self.GAME, engine="hyperdrive")
+
+    def test_engine_constant_exported(self):
+        from repro.engine.solver import EVALUATION_ENGINES
+
+        assert set(EVALUATION_ENGINES) == {"modular", "monolithic"}

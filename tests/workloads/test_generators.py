@@ -95,3 +95,50 @@ class TestRandomPrograms:
         assert atom("lose0") in result.false_atoms()
         assert atom("win0") in result.true_atoms()
         assert len(result.undefined_atoms) == 4
+
+
+class TestLayeredProgram:
+    def test_is_ground_and_scales_linearly(self):
+        from repro.workloads.generators import layered_program
+
+        small = layered_program(2, 5)
+        big = layered_program(4, 5)
+        assert small.is_ground and big.is_ground
+        assert len(big) == 2 * len(small)
+
+    def test_well_founded_shape(self):
+        from repro.workloads.generators import layered_program
+
+        layers, size = 3, 6
+        result = alternating_fixpoint(layered_program(layers, size))
+        for layer in range(layers):
+            # Gates and bridges are all true: the positive arcs connect
+            # every layer back to the layer-0 fact.
+            assert atom("base", layer) in result.true_atoms()
+            assert atom("bridge", layer) in result.true_atoms()
+            # The chain's top rung has no rule, then strict alternation.
+            for i in range(size):
+                expected = "false" if (size - 1 - i) % 2 == 0 else "true"
+                assert result.value_of(atom("chain", layer, i)) == expected
+            # The negation triangle and both observers stay undefined.
+            for k in range(3):
+                assert result.value_of(atom("undef", layer, k)) == "undefined"
+            assert result.value_of(atom("frontier", layer)) == "undefined"
+            assert result.value_of(atom("shadow", layer)) == "undefined"
+
+    def test_monolithic_stage_count_grows_with_layer_size(self):
+        from repro.workloads.generators import layered_program
+
+        shallow = alternating_fixpoint(layered_program(2, 4))
+        deep = alternating_fixpoint(layered_program(2, 16))
+        assert deep.iterations > shallow.iterations
+        # The adversarial property: stages scale with the chain length.
+        assert deep.iterations >= 16
+
+    def test_minimum_sizes_clamped(self):
+        from repro.workloads.generators import layered_program
+
+        program = layered_program(0, 0)
+        assert len(program) > 0
+        result = alternating_fixpoint(program)
+        assert atom("base", 0) in result.true_atoms()
