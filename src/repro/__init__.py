@@ -16,6 +16,21 @@ Quickstart
 >>> result = alternating_fixpoint(program)
 >>> sorted(str(a) for a in result.true_atoms() if a.predicate == "wins")
 ['wins(b)']
+
+For a long-lived, updatable database use a :class:`KnowledgeBase` — facts
+are asserted and retracted against a live session and the solved model
+stays warm across updates.  On *ground* rule sets (propositional or
+pre-grounded programs) under the well-founded defaults, maintenance is
+incremental: only the dependency-graph components downstream of a change
+are re-solved.  Non-ground rules, as below, transparently re-solve in
+full with identical results:
+
+>>> from repro import KnowledgeBase
+>>> kb = KnowledgeBase("wins(X) :- move(X, Y), not wins(Y).")
+>>> kb.load({"move": [("a", "b"), ("b", "a"), ("b", "c")]})
+3
+>>> sorted(kb.query("wins"))
+[('b',)]
 """
 
 from .datalog import (
@@ -40,11 +55,13 @@ from .core import (
     stable_models,
     well_founded_model,
 )
+from .config import EngineConfig
 from .engine import Solution, answers, ask, solve
 from .evaluation import DEFAULT_STRATEGY, EVALUATION_STRATEGIES
 from .fixpoint import PartialInterpretation, TruthValue
+from .session import KnowledgeBase, ResultSet, UpdateStats
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Atom",
@@ -65,6 +82,10 @@ __all__ = [
     "modular_well_founded",
     "stable_models",
     "well_founded_model",
+    "EngineConfig",
+    "KnowledgeBase",
+    "ResultSet",
+    "UpdateStats",
     "Solution",
     "answers",
     "ask",

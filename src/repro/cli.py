@@ -4,6 +4,9 @@
 
 * ``solve FILE``      — compute a model under a chosen semantics and print
   it (or write JSON with ``--json OUT``);
+* ``repl [FILE]``     — interactive knowledge-base session: assert and
+  retract facts against a live :class:`~repro.session.KnowledgeBase` and
+  query the incrementally maintained model;
 * ``trace FILE``      — print the alternating-fixpoint iteration table
   (the Table I view) for the program;
 * ``query FILE Q``    — answer a conjunctive query against the computed
@@ -20,14 +23,14 @@
   monolithic well-founded engines on the program, with per-component
   statistics for the modular run.
 
-Commands that evaluate fixpoints accept ``--strategy seminaive|naive``
-(semi-naive indexed evaluation is the default; naive re-scans every ground
-rule and exists as the differential-testing oracle) and ``--engine
-modular|monolithic`` (component-wise well-founded evaluation over the SCC
-condensation of the atom dependency graph, versus the global alternating
-fixpoint; ``trace`` defaults to monolithic because the Table I view *is*
-the global stage sequence, and prints per-component statistics instead
-when asked for the modular engine).
+Commands that evaluate fixpoints share one set of configuration options —
+``--strategy``, ``--engine``, ``--grounder`` (and ``--semantics`` where a
+semantics choice makes sense) — which are folded into a single validated
+:class:`~repro.config.EngineConfig`; every command therefore rejects an
+unknown value with the same error message listing the accepted ones.
+``trace`` defaults to the monolithic engine because the Table I view *is*
+the global stage sequence (it prints per-component statistics instead when
+asked for the modular engine).
 
 Programs are rule files in the textual syntax (see README); EDB relations
 can be loaded from CSV with repeated ``--facts relation=path.csv`` options.
@@ -40,24 +43,26 @@ import sys
 from typing import Optional, Sequence
 
 from .analysis import classify
-from .core import (
+from .config import (
     DEFAULT_ENGINE,
     EVALUATION_ENGINES,
-    alternating_fixpoint,
-    modular_well_founded,
-    stable_models,
+    EVALUATION_STRATEGIES,
+    SUPPORTED_GROUNDERS,
+    SUPPORTED_SEMANTICS,
+    EngineConfig,
 )
-from .core.explain import Explainer
+from .core import alternating_fixpoint, modular_well_founded, stable_models
 from .datalog import Database, parse_atom
 from .datalog.io import load_facts_csv, load_program, save_interpretation_json
 from .datalog.rules import Program
 from .engine import answers, ask, solve
-from .engine.solver import SUPPORTED_SEMANTICS
-from .evaluation import DEFAULT_STRATEGY, EVALUATION_STRATEGIES
+from .engine.query import query_has_variables
+from .evaluation import DEFAULT_STRATEGY
 from .exceptions import ReproError
 from .fixpoint.interpretations import TruthValue
 from .reporting import render_comparison, render_model, render_trace
 from .semantics import compare_semantics
+from .session import KnowledgeBase, run_repl
 
 __all__ = ["main", "build_parser"]
 
@@ -69,8 +74,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    def add_program_arguments(sub: argparse.ArgumentParser) -> None:
-        sub.add_argument("program", help="path to a rule file")
+    def add_program_arguments(sub: argparse.ArgumentParser, optional: bool = False) -> None:
+        if optional:
+            sub.add_argument("program", nargs="?", help="path to a rule file")
+        else:
+            sub.add_argument("program", help="path to a rule file")
         sub.add_argument(
             "--facts",
             action="append",
@@ -79,64 +87,97 @@ def build_parser() -> argparse.ArgumentParser:
             help="load an EDB relation from a CSV file (repeatable)",
         )
 
-    def add_strategy_argument(sub: argparse.ArgumentParser) -> None:
-        sub.add_argument(
-            "--strategy",
-            choices=EVALUATION_STRATEGIES,
-            default=DEFAULT_STRATEGY,
-            help="fixpoint evaluation strategy (default: %(default)s)",
-        )
-
-    def add_engine_argument(sub: argparse.ArgumentParser, default: str = DEFAULT_ENGINE) -> None:
-        sub.add_argument(
-            "--engine",
-            choices=EVALUATION_ENGINES,
-            default=default,
-            help="well-founded evaluation engine (default: %(default)s)",
-        )
+    def add_config_arguments(
+        sub: argparse.ArgumentParser,
+        semantics: bool = False,
+        strategy: bool = True,
+        engine: bool = True,
+        grounder: bool = True,
+        engine_default: str = DEFAULT_ENGINE,
+    ) -> None:
+        # Values are validated centrally by EngineConfig (not argparse
+        # choices), so every command rejects bad input with the same
+        # message listing the accepted values.  Each command only adds the
+        # options it actually consults — a flag a command would ignore is
+        # an argparse error, not a silent no-op.
+        if semantics:
+            sub.add_argument(
+                "--semantics",
+                default="auto",
+                metavar="NAME",
+                help=f"semantics to use: {', '.join(SUPPORTED_SEMANTICS)} (default: auto)",
+            )
+        if strategy:
+            sub.add_argument(
+                "--strategy",
+                default=DEFAULT_STRATEGY,
+                metavar="NAME",
+                help=f"fixpoint evaluation strategy: {', '.join(EVALUATION_STRATEGIES)} "
+                f"(default: {DEFAULT_STRATEGY})",
+            )
+        if engine:
+            sub.add_argument(
+                "--engine",
+                default=engine_default,
+                metavar="NAME",
+                help=f"well-founded evaluation engine: {', '.join(EVALUATION_ENGINES)} "
+                f"(default: {engine_default})",
+            )
+        if grounder:
+            sub.add_argument(
+                "--grounder",
+                default="relevant",
+                metavar="NAME",
+                help=f"grounder: {', '.join(SUPPORTED_GROUNDERS)} (default: relevant)",
+            )
 
     solve_parser = subparsers.add_parser("solve", help="compute a model and print it")
     add_program_arguments(solve_parser)
-    solve_parser.add_argument(
-        "--semantics", choices=SUPPORTED_SEMANTICS, default="auto", help="semantics to use"
-    )
-    add_strategy_argument(solve_parser)
-    add_engine_argument(solve_parser)
+    add_config_arguments(solve_parser, semantics=True)
     solve_parser.add_argument("--predicate", help="restrict the printed model to one relation")
     solve_parser.add_argument("--json", metavar="OUT", help="also write the model as JSON")
 
+    repl_parser = subparsers.add_parser(
+        "repl", help="interactive knowledge-base session (assert/retract/query)"
+    )
+    add_program_arguments(repl_parser, optional=True)
+    add_config_arguments(repl_parser, semantics=True)
+
     trace_parser = subparsers.add_parser("trace", help="print the alternating-fixpoint iteration table")
     add_program_arguments(trace_parser)
-    add_strategy_argument(trace_parser)
     # Table I *is* the global stage sequence, so the monolithic engine is
     # the default here; --engine modular switches to per-component stats.
-    add_engine_argument(trace_parser, default="monolithic")
+    add_config_arguments(trace_parser, grounder=False, engine_default="monolithic")
     trace_parser.add_argument("--predicate", help="restrict the table to one relation")
 
     query_parser = subparsers.add_parser("query", help="answer a conjunctive query")
     add_program_arguments(query_parser)
     query_parser.add_argument("query", help='e.g. "wins(X), not wins(Y)" or a ground query')
-    query_parser.add_argument(
-        "--semantics", choices=SUPPORTED_SEMANTICS, default="auto", help="semantics to use"
-    )
-    add_strategy_argument(query_parser)
-    add_engine_argument(query_parser)
+    add_config_arguments(query_parser, semantics=True)
 
     bench_parser = subparsers.add_parser(
         "bench", help="time grounding, strategies and engines on the program"
     )
     add_program_arguments(bench_parser)
-    # The strategy phase times naive vs semi-naive S_P evaluation, which
-    # only the monolithic engine exercises globally (the modular engine
-    # bypasses the strategy on horn/stratified components); the engine
-    # phase below always compares both engines regardless.
-    add_engine_argument(bench_parser, default="monolithic")
+    # bench sweeps both strategies and both grounding matchers itself, so
+    # only the engine of the strategy phase is selectable: naive vs
+    # semi-naive S_P evaluation is only exercised globally by the
+    # monolithic engine (the modular engine bypasses the strategy on
+    # horn/stratified components); the engine phase below always compares
+    # both engines regardless.
+    add_config_arguments(
+        bench_parser, strategy=False, grounder=False, engine_default="monolithic"
+    )
     bench_parser.add_argument(
         "--repeat", type=int, default=3, help="timing repetitions per strategy (best is kept)"
     )
 
     stable_parser = subparsers.add_parser("stable", help="enumerate stable models")
     add_program_arguments(stable_parser)
+    # The enumerator prunes with the (engine-independent) alternating
+    # fixpoint and grounds with the default grounder: only the strategy
+    # is consulted.
+    add_config_arguments(stable_parser, engine=False, grounder=False)
     stable_parser.add_argument("--limit", type=int, default=None, help="stop after N models")
 
     classify_parser = subparsers.add_parser("classify", help="report the program's syntactic class")
@@ -144,6 +185,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     explain_parser = subparsers.add_parser("explain", help="justify an atom's well-founded verdict")
     add_program_arguments(explain_parser)
+    add_config_arguments(explain_parser)
     explain_parser.add_argument("atom", help="ground atom, e.g. wins(c)")
 
     compare_parser = subparsers.add_parser("compare", help="verdicts under every semantics")
@@ -158,8 +200,22 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _config_from_args(arguments) -> EngineConfig:
+    """Fold the command's options into one validated EngineConfig; bad
+    values raise through EngineConfig with the shared message format."""
+    return EngineConfig(
+        semantics=getattr(arguments, "semantics", "auto"),
+        strategy=getattr(arguments, "strategy", DEFAULT_STRATEGY),
+        engine=getattr(arguments, "engine", DEFAULT_ENGINE),
+        grounder=getattr(arguments, "grounder", "relevant"),
+    )
+
+
 def _load(arguments) -> Program:
-    program = load_program(arguments.program)
+    if arguments.program is None:
+        program = Program()
+    else:
+        program = load_program(arguments.program)
     if arguments.facts:
         database = Database()
         for entry in arguments.facts:
@@ -198,13 +254,9 @@ def _render_component_stats(result) -> str:
 
 
 def _cmd_solve(arguments, out) -> int:
+    config = _config_from_args(arguments)
     program = _load(arguments)
-    solution = solve(
-        program,
-        semantics=arguments.semantics,
-        strategy=arguments.strategy,
-        engine=arguments.engine,
-    )
+    solution = solve(program, config=config)
     print(f"semantics: {solution.semantics}", file=out)
     print(render_model(solution.interpretation, solution.base, arguments.predicate), file=out)
     if arguments.json:
@@ -218,15 +270,26 @@ def _cmd_solve(arguments, out) -> int:
     return 0
 
 
-def _cmd_trace(arguments, out) -> int:
+def _cmd_repl(arguments, out) -> int:
+    config = _config_from_args(arguments)
     program = _load(arguments)
-    if arguments.engine == "modular":
-        result = modular_well_founded(program, strategy=arguments.strategy)
+    kb = KnowledgeBase(program, config=config)
+    interactive = sys.stdin.isatty()
+    if interactive:
+        print("repro interactive session — type 'help' for commands", file=out)
+    return run_repl(kb, sys.stdin, out, prompt="repro> " if interactive else None)
+
+
+def _cmd_trace(arguments, out) -> int:
+    config = _config_from_args(arguments)
+    program = _load(arguments)
+    if config.engine == "modular":
+        result = modular_well_founded(program, config=config)
         print(_render_component_stats(result), file=out)
         print(render_model(result.model, result.context.base, arguments.predicate), file=out)
         print(f"total model: {'yes' if result.is_total else 'no'}", file=out)
         return 0
-    result = alternating_fixpoint(program, strategy=arguments.strategy)
+    result = alternating_fixpoint(program, config=config)
     print(render_trace(result, arguments.predicate), file=out)
     print(f"\nconverged after {result.iterations} applications of the stability transform", file=out)
     print(f"total model: {'yes' if result.is_total else 'no'}", file=out)
@@ -234,16 +297,11 @@ def _cmd_trace(arguments, out) -> int:
 
 
 def _cmd_query(arguments, out) -> int:
+    config = _config_from_args(arguments)
     program = _load(arguments)
-    solution = solve(
-        program,
-        semantics=arguments.semantics,
-        strategy=arguments.strategy,
-        engine=arguments.engine,
-    )
+    solution = solve(program, config=config)
     text = arguments.query
-    has_variables = any(piece and piece[0].isupper() for piece in _argument_tokens(text))
-    if has_variables:
+    if query_has_variables(text):
         results = list(answers(solution, text))
         if not results:
             print("no answers", file=out)
@@ -253,25 +311,14 @@ def _cmd_query(arguments, out) -> int:
         return 0
     verdict = ask(solution, text)
     print(verdict.value, file=out)
-    return 0 if verdict is TruthValue.TRUE else 0
-
-
-def _argument_tokens(query: str):
-    token = ""
-    for char in query:
-        if char.isalnum() or char == "_":
-            token += char
-        else:
-            if token:
-                yield token
-            token = ""
-    if token:
-        yield token
+    # grep-style exit status so shell scripts can branch on the verdict
+    return 0 if verdict is TruthValue.TRUE else 1
 
 
 def _cmd_stable(arguments, out) -> int:
+    config = _config_from_args(arguments)
     program = _load(arguments)
-    models = stable_models(program, limit=arguments.limit)
+    models = stable_models(program, limit=arguments.limit, config=config)
     if not models:
         print("no stable model", file=out)
         return 1
@@ -290,10 +337,11 @@ def _cmd_classify(arguments, out) -> int:
 
 
 def _cmd_explain(arguments, out) -> int:
+    config = _config_from_args(arguments)
     program = _load(arguments)
-    explainer = Explainer.for_program(program)
+    kb = KnowledgeBase(program, config=config.replace(semantics="well-founded"))
     atom = parse_atom(arguments.atom)
-    print(explainer.explain(atom).render(), file=out)
+    print(kb.explain(atom).render(), file=out)
     return 0
 
 
@@ -320,6 +368,7 @@ def _cmd_bench(arguments, out) -> int:
     from .core import build_context
     from .datalog.grounding import GROUNDING_MATCHERS, relevant_ground
 
+    config = _config_from_args(arguments)
     program = _load(arguments)
     repeat = max(1, arguments.repeat)
 
@@ -363,14 +412,14 @@ def _cmd_bench(arguments, out) -> int:
         best = float("inf")
         for _ in range(repeat):
             start = time.perf_counter()
-            result = alternating_fixpoint(context, strategy=strategy, engine=arguments.engine)
+            result = alternating_fixpoint(context, strategy=strategy, engine=config.engine)
             best = min(best, time.perf_counter() - start)
         timings[strategy] = best
         results[strategy] = (result.true_atoms(), result.false_atoms())
 
     agree = len(set(results.values())) == 1
     stats = context.statistics()
-    print(f"evaluation phase (alternating fixpoint, {arguments.engine} engine):", file=out)
+    print(f"evaluation phase (alternating fixpoint, {config.engine} engine):", file=out)
     print(
         f"program: {stats['ground_rules']} ground rules, {stats['facts']} facts, "
         f"{stats['atoms']} atoms",
@@ -415,6 +464,7 @@ def _cmd_bench(arguments, out) -> int:
 
 _COMMANDS = {
     "solve": _cmd_solve,
+    "repl": _cmd_repl,
     "trace": _cmd_trace,
     "query": _cmd_query,
     "stable": _cmd_stable,

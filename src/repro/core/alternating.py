@@ -23,10 +23,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
+from ..config import DEFAULT_STRATEGY, EngineConfig, merge_entry_config
 from ..datalog.atoms import Atom
 from ..datalog.grounding import GroundingLimits
 from ..datalog.rules import Program
-from ..evaluation.engine import DEFAULT_STRATEGY
 from ..exceptions import EvaluationError
 from ..fixpoint.interpretations import PartialInterpretation
 from ..fixpoint.lattice import NegativeSet, conjugate_of_positive
@@ -164,9 +164,10 @@ def alternating_fixpoint(
     limits: GroundingLimits | None = None,
     full_base: bool = False,
     extra_atoms: Iterable[Atom] = (),
-    strategy: str = DEFAULT_STRATEGY,
+    strategy: str | None = None,
     keep_stages: bool = True,
-    engine: str = "monolithic",
+    engine: str | None = None,
+    config: Optional[EngineConfig] = None,
 ) -> AlternatingFixpointResult:
     """Compute the alternating fixpoint partial model of *program*.
 
@@ -186,17 +187,25 @@ def alternating_fixpoint(
     ``Ĩ_k`` sequence exists.  The models are identical (Theorem 7.8 plus
     the splitting property of the well-founded semantics); the monolithic
     engine remains the differential oracle.
-    """
-    if engine != "monolithic":
-        from .modular import modular_well_founded, validate_engine
 
-        validate_engine(engine)
+    A *config* supplies ``strategy``/``engine``/``limits`` together; the
+    per-field keywords are then rejected (except ``limits``, which may
+    still override).  Called directly without either, the engine defaults
+    to monolithic — this function *is* the monolithic oracle's home.
+    """
+    strategy, engine, limits, grounder = merge_entry_config(
+        config, strategy=strategy, engine=engine, limits=limits, default_engine="monolithic"
+    )
+    if engine != "monolithic":
+        from .modular import modular_well_founded  # deferred: cycle with engine dispatch
+
         modular = modular_well_founded(
             program,
             limits=limits,
             full_base=full_base,
             extra_atoms=extra_atoms,
             strategy=strategy,
+            grounder=grounder,
         )
         negative = NegativeSet(modular.model.false_atoms)
         positive = modular.model.true_atoms
@@ -210,7 +219,9 @@ def alternating_fixpoint(
     if isinstance(program, GroundContext):
         context = program
     else:
-        context = build_context(program, limits=limits, full_base=full_base, extra_atoms=extra_atoms)
+        context = build_context(
+            program, limits=limits, full_base=full_base, extra_atoms=extra_atoms, grounder=grounder
+        )
 
     stages: list[AlternatingStage] = []
     current = NegativeSet.empty()

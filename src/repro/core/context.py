@@ -24,8 +24,9 @@ tables list every ``p(x)`` atom).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, Mapping, Optional, Sequence
 
+from ..config import DEFAULT_GROUNDER, validate_grounder
 from ..datalog.atoms import Atom
 from ..datalog.grounding import (
     GroundingLimits,
@@ -35,7 +36,8 @@ from ..datalog.grounding import (
     stream_relevant_ground,
 )
 from ..datalog.rules import Program, Rule
-from ..exceptions import GroundingError
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..config import EngineConfig
 
 __all__ = ["GroundRule", "GroundContext", "build_context"]
 
@@ -93,7 +95,8 @@ def build_context(
     limits: GroundingLimits | None = None,
     full_base: bool = False,
     extra_atoms: Iterable[Atom] = (),
-    grounder: str = "relevant",
+    grounder: str | None = None,
+    config: "EngineConfig | None" = None,
 ) -> GroundContext:
     """Ground *program* and build an evaluation context.
 
@@ -122,11 +125,19 @@ def build_context(
         ``"naive"`` is the literal Herbrand instantiation ``P_H``; the
         Fitting semantics needs it because it can leave *underivable* atoms
         undefined rather than false.
+    config:
+        An :class:`~repro.config.EngineConfig` supplying ``grounder`` (with
+        the matcher folded in) and ``limits`` together; the per-field
+        keywords, when given, take precedence.
     """
-    if grounder not in ("relevant", "relevant-scan", "naive"):
-        raise GroundingError(
-            f"unknown grounder {grounder!r}; expected 'relevant', 'relevant-scan' or 'naive'"
-        )
+    if config is not None:
+        if grounder is None:
+            grounder = config.resolved_grounder
+        if limits is None:
+            limits = config.limits
+    validate_grounder(grounder if grounder is not None else DEFAULT_GROUNDER)
+    if grounder is None:
+        grounder = DEFAULT_GROUNDER
     grounded: Program | None
     if program.is_ground:
         grounded = program

@@ -45,14 +45,20 @@ tests and by ``benchmarks/bench_modular_wfs.py``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from typing import Iterable, Mapping, Optional, Sequence
 
 from ..analysis.dependency import build_atom_dependency_graph
+from ..config import (
+    DEFAULT_ENGINE,
+    DEFAULT_STRATEGY,
+    EVALUATION_ENGINES,
+    EngineConfig,
+    merge_entry_config,
+    validate_engine,
+)
 from ..datalog.atoms import Atom, Literal
 from ..datalog.grounding import GroundingLimits
 from ..datalog.rules import Program, Rule
-from ..evaluation.engine import DEFAULT_STRATEGY, validate_strategy
-from ..exceptions import EvaluationError
 from ..fixpoint.interpretations import PartialInterpretation
 from .context import GroundContext, build_context
 
@@ -62,30 +68,16 @@ __all__ = [
     "validate_engine",
     "ComponentReport",
     "ModularResult",
+    "fresh_undef_atom",
+    "solve_component",
     "modular_well_founded",
     "modular_model",
 ]
-
-#: The two well-founded evaluation engines: component-wise (the default in
-#: the high-level API) and the monolithic alternation it is differentially
-#: tested against.
-EVALUATION_ENGINES = ("modular", "monolithic")
-DEFAULT_ENGINE = "modular"
 
 #: Fallback predicate name for the designated undefined atom injected into
 #: component-local programs (suffixed until fresh if a program really uses
 #: the name).
 _UNDEF_PREDICATE = "_wfs_undef"
-
-
-def validate_engine(engine: str) -> str:
-    """Return *engine* if it is known, raising otherwise."""
-    if engine not in EVALUATION_ENGINES:
-        raise EvaluationError(
-            f"unknown evaluation engine {engine!r}; "
-            f"expected one of {', '.join(EVALUATION_ENGINES)}"
-        )
-    return engine
 
 
 @dataclass(frozen=True)
@@ -218,13 +210,132 @@ def _component_closure(
     return derived
 
 
-def _fresh_undef_atom(base: frozenset[Atom]) -> Atom:
+def fresh_undef_atom(base: Iterable[Atom]) -> Atom:
     """A zero-arity atom whose predicate name clashes with nothing in *base*."""
     name = _UNDEF_PREDICATE
     taken = {atom.predicate for atom in base}
     while name in taken:
         name += "_"
     return Atom(name, ())
+
+
+def solve_component(
+    component: set[Atom],
+    comp_index: int,
+    rules: Sequence,
+    rules_by_head: Mapping[Atom, tuple[int, ...]],
+    facts: frozenset[Atom],
+    true_atoms: set[Atom],
+    false_atoms: set[Atom],
+    undef_atom: Atom,
+    strategy: str = DEFAULT_STRATEGY,
+) -> tuple[set[Atom], set[Atom], ComponentReport]:
+    """Solve one strongly connected component against its solved context.
+
+    *true_atoms* / *false_atoms* are the verdicts of the components already
+    evaluated (everything this component's rules can reach outside itself
+    must be decided or deliberately left undefined there); they are read,
+    never written.  Returns the component's true set, false set and
+    :class:`ComponentReport`.  This is the unit of work shared by the batch
+    evaluator below and by the incremental maintenance of
+    :mod:`repro.session` (which re-runs it only for components downstream
+    of a changed fact).
+    """
+    # ---- singleton fast path ---------------------------------------- #
+    # The vast majority of components are single atoms with no
+    # self-dependency; their verdict falls out of one pass over their
+    # rules with no closure machinery at all.
+    if len(component) == 1:
+        fast = _solve_singleton(component, rules, rules_by_head, facts, true_atoms, false_atoms)
+        if fast is not None:
+            comp_true, comp_false, method, rule_count, stages = fast
+            return (
+                comp_true,
+                comp_false,
+                ComponentReport(
+                    index=comp_index,
+                    atoms=tuple(component),
+                    method=method,
+                    rules=rule_count,
+                    stages=stages,
+                    true_count=len(comp_true),
+                    false_count=len(comp_false),
+                ),
+            )
+
+    # ---- partial evaluation against the solved context --------------- #
+    local_rules: list[tuple[Atom, tuple[Atom, ...], tuple[Atom, ...], bool]] = []
+    has_internal_negation = False
+    for head in component:
+        for rule_id in rules_by_head.get(head, ()):
+            rule = rules[rule_id]
+            killed = False
+            positive_internal: list[Atom] = []
+            negative_internal: list[Atom] = []
+            marker = False
+            for atom in rule.positive_body:
+                if atom in component:
+                    positive_internal.append(atom)
+                elif atom in true_atoms:
+                    continue  # satisfied; drop the literal
+                elif atom in false_atoms:
+                    killed = True
+                    break
+                else:
+                    marker = True  # undefined below
+            if not killed:
+                for atom in rule.negative_body:
+                    if atom in component:
+                        negative_internal.append(atom)
+                    elif atom in false_atoms:
+                        continue  # satisfied; drop the literal
+                    elif atom in true_atoms:
+                        killed = True
+                        break
+                    else:
+                        marker = True  # undefined below
+            if killed:
+                continue
+            if negative_internal:
+                has_internal_negation = True
+            local_rules.append(
+                (head, tuple(positive_internal), tuple(negative_internal), marker)
+            )
+
+    local_facts = component & facts
+
+    # ---- cheapest-sound-method dispatch ------------------------------ #
+    if has_internal_negation:
+        method = "alternating"
+        comp_true, comp_false, stages = _solve_alternating(
+            component, local_rules, local_facts, undef_atom, strategy
+        )
+    else:
+        definite = _component_closure(local_rules, local_facts, fire_markers=False)
+        if any(marker for (_, _, _, marker) in local_rules):
+            method = "stratified"
+            envelope = _component_closure(local_rules, local_facts, fire_markers=True)
+            stages = 2
+        else:
+            method = "horn"
+            envelope = definite
+            stages = 1
+        comp_true = definite
+        comp_false = component - envelope
+
+    return (
+        comp_true,
+        comp_false,
+        ComponentReport(
+            index=comp_index,
+            atoms=tuple(component),
+            method=method,
+            rules=len(local_rules),
+            stages=stages,
+            true_count=len(comp_true),
+            false_count=len(comp_false),
+        ),
+    )
 
 
 # --------------------------------------------------------------------- #
@@ -235,22 +346,29 @@ def modular_well_founded(
     limits: GroundingLimits | None = None,
     full_base: bool = False,
     extra_atoms: Iterable[Atom] = (),
-    strategy: str = DEFAULT_STRATEGY,
+    strategy: str | None = None,
+    config: Optional[EngineConfig] = None,
+    grounder: str | None = None,
 ) -> ModularResult:
     """Compute the well-founded partial model component by component.
 
     Accepts either a :class:`~repro.datalog.rules.Program` (grounded first)
     or a pre-built :class:`GroundContext`.  *strategy* selects the engine
-    used inside the per-component alternating fixpoints.
+    used inside the per-component alternating fixpoints; a *config* supplies
+    ``strategy``/``limits`` together (the two spellings are exclusive).
     """
-    validate_strategy(strategy)
+    strategy, _, limits, grounder = merge_entry_config(
+        config, strategy=strategy, limits=limits, grounder=grounder
+    )
     if isinstance(program, GroundContext):
         context = program
     else:
-        context = build_context(program, limits=limits, full_base=full_base, extra_atoms=extra_atoms)
+        context = build_context(
+            program, limits=limits, full_base=full_base, extra_atoms=extra_atoms, grounder=grounder
+        )
 
     graph = build_atom_dependency_graph(context)
-    undef_atom = _fresh_undef_atom(context.base)
+    undef_atom = fresh_undef_atom(context.base)
 
     rules = context.rules
     rules_by_head: Mapping[Atom, tuple[int, ...]] = context.rules_by_head
@@ -261,102 +379,20 @@ def modular_well_founded(
     reports: list[ComponentReport] = []
 
     for comp_index, component in enumerate(graph.condensation_order()):
-        # ---- singleton fast path ------------------------------------ #
-        # The vast majority of components are single atoms with no
-        # self-dependency; their verdict falls out of one pass over their
-        # rules with no closure machinery at all.
-        if len(component) == 1:
-            fast = _solve_singleton(component, rules, rules_by_head, facts, true_atoms, false_atoms)
-            if fast is not None:
-                comp_true, comp_false, method, rule_count, stages = fast
-                true_atoms.update(comp_true)
-                false_atoms.update(comp_false)
-                reports.append(
-                    ComponentReport(
-                        index=comp_index,
-                        atoms=tuple(component),
-                        method=method,
-                        rules=rule_count,
-                        stages=stages,
-                        true_count=len(comp_true),
-                        false_count=len(comp_false),
-                    )
-                )
-                continue
-
-        # ---- partial evaluation against the solved context ---------- #
-        local_rules: list[tuple[Atom, tuple[Atom, ...], tuple[Atom, ...], bool]] = []
-        has_internal_negation = False
-        for head in component:
-            for rule_id in rules_by_head.get(head, ()):
-                rule = rules[rule_id]
-                killed = False
-                positive_internal: list[Atom] = []
-                negative_internal: list[Atom] = []
-                marker = False
-                for atom in rule.positive_body:
-                    if atom in component:
-                        positive_internal.append(atom)
-                    elif atom in true_atoms:
-                        continue  # satisfied; drop the literal
-                    elif atom in false_atoms:
-                        killed = True
-                        break
-                    else:
-                        marker = True  # undefined below
-                if not killed:
-                    for atom in rule.negative_body:
-                        if atom in component:
-                            negative_internal.append(atom)
-                        elif atom in false_atoms:
-                            continue  # satisfied; drop the literal
-                        elif atom in true_atoms:
-                            killed = True
-                            break
-                        else:
-                            marker = True  # undefined below
-                if killed:
-                    continue
-                if negative_internal:
-                    has_internal_negation = True
-                local_rules.append(
-                    (head, tuple(positive_internal), tuple(negative_internal), marker)
-                )
-
-        local_facts = component & facts
-
-        # ---- cheapest-sound-method dispatch ------------------------- #
-        if has_internal_negation:
-            method = "alternating"
-            comp_true, comp_false, stages = _solve_alternating(
-                component, local_rules, local_facts, undef_atom, strategy
-            )
-        else:
-            definite = _component_closure(local_rules, local_facts, fire_markers=False)
-            if any(marker for (_, _, _, marker) in local_rules):
-                method = "stratified"
-                envelope = _component_closure(local_rules, local_facts, fire_markers=True)
-                stages = 2
-            else:
-                method = "horn"
-                envelope = definite
-                stages = 1
-            comp_true = definite
-            comp_false = component - envelope
-
+        comp_true, comp_false, report = solve_component(
+            component,
+            comp_index,
+            rules,
+            rules_by_head,
+            facts,
+            true_atoms,
+            false_atoms,
+            undef_atom,
+            strategy,
+        )
         true_atoms.update(comp_true)
         false_atoms.update(comp_false)
-        reports.append(
-            ComponentReport(
-                index=comp_index,
-                atoms=tuple(component),
-                method=method,
-                rules=len(local_rules),
-                stages=stages,
-                true_count=len(comp_true),
-                false_count=len(comp_false),
-            )
-        )
+        reports.append(report)
 
     model = PartialInterpretation(true_atoms, false_atoms)
     return ModularResult(context=context, model=model, components=tuple(reports))

@@ -32,7 +32,7 @@ from typing import AbstractSet, Iterable, Iterator, Optional, Sequence
 from ..datalog.atoms import Atom
 from ..datalog.grounding import GroundingLimits
 from ..datalog.rules import Program
-from ..evaluation.engine import DEFAULT_STRATEGY
+from ..config import DEFAULT_STRATEGY, EngineConfig, merge_entry_config
 from ..exceptions import EvaluationError
 from ..fixpoint.interpretations import PartialInterpretation
 from ..fixpoint.lattice import NegativeSet, conjugate_of_positive
@@ -78,10 +78,14 @@ class StableModel:
         return "{" + ", ".join(sorted(str(a) for a in self.true_atoms)) + "}"
 
 
-def _as_context(program: Program | GroundContext, limits: GroundingLimits | None) -> GroundContext:
+def _as_context(
+    program: Program | GroundContext,
+    limits: GroundingLimits | None,
+    grounder: str | None = None,
+) -> GroundContext:
     if isinstance(program, GroundContext):
         return program
-    return build_context(program, limits=limits)
+    return build_context(program, limits=limits, grounder=grounder)
 
 
 def is_stable_model(
@@ -122,7 +126,8 @@ def stable_models(
     limits: GroundingLimits | None = None,
     afp: Optional[AlternatingFixpointResult] = None,
     limit: Optional[int] = None,
-    strategy: str = DEFAULT_STRATEGY,
+    strategy: str | None = None,
+    config: EngineConfig | None = None,
 ) -> list[StableModel]:
     """Enumerate the stable models of *program*.
 
@@ -139,9 +144,11 @@ def stable_models(
       candidate negative set can never be true — prune.
 
     ``limit`` stops the enumeration after that many models (useful when only
-    existence or a sample is needed).
+    existence or a sample is needed).  A *config* supplies
+    ``strategy``/``limits`` together.
     """
-    context = _as_context(program, limits)
+    strategy, _, limits, grounder = merge_entry_config(config, strategy=strategy, limits=limits)
+    context = _as_context(program, limits, grounder)
     afp_result = afp if afp is not None else alternating_fixpoint(context, strategy=strategy)
     wf_true = afp_result.positive_fixpoint
     wf_false = frozenset(afp_result.negative_fixpoint.atoms)
@@ -208,15 +215,18 @@ def unique_stable_model(
 def stable_consequences(
     program: Program | GroundContext,
     limits: GroundingLimits | None = None,
-    strategy: str = DEFAULT_STRATEGY,
+    strategy: str | None = None,
+    config: EngineConfig | None = None,
 ) -> PartialInterpretation:
     """The stable model semantics of Gelfond–Lifschitz (Section 2.4).
 
     An atom is true when it belongs to every stable model and false when it
     belongs to none.  Raises :class:`EvaluationError` when the program has
-    no stable model, where this semantics is undefined.
+    no stable model, where this semantics is undefined.  A *config*
+    supplies ``strategy``/``limits`` together.
     """
-    context = _as_context(program, limits)
+    strategy, _, limits, grounder = merge_entry_config(config, strategy=strategy, limits=limits)
+    context = _as_context(program, limits, grounder)
     models = stable_models(context, strategy=strategy)
     if not models:
         raise EvaluationError(

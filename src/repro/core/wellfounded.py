@@ -21,10 +21,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import AbstractSet, Iterable
 
+from ..config import DEFAULT_STRATEGY, EngineConfig, merge_entry_config
 from ..datalog.atoms import Atom
 from ..datalog.grounding import GroundingLimits
 from ..datalog.rules import Program
-from ..evaluation.engine import DEFAULT_STRATEGY, get_engine
+from ..evaluation.engine import get_engine
 from ..fixpoint.interpretations import PartialInterpretation
 from ..fixpoint.lattice import NegativeSet
 from .consequence import tp_step
@@ -134,8 +135,9 @@ def well_founded_model(
     limits: GroundingLimits | None = None,
     full_base: bool = False,
     extra_atoms: Iterable[Atom] = (),
-    strategy: str = DEFAULT_STRATEGY,
-    engine: str = "monolithic",
+    strategy: str | None = None,
+    engine: str | None = None,
+    config: "EngineConfig | None" = None,
 ) -> WellFoundedResult:
     """The well-founded partial model: the least fixpoint of ``W_P``.
 
@@ -147,18 +149,22 @@ def well_founded_model(
     component (:func:`repro.core.modular.modular_well_founded`); the
     resulting ``stages`` collapse to ``(empty, model)`` since no global
     ``W_P`` sequence is run.  The default monolithic iteration remains the
-    independent unfounded-set oracle of Theorem 7.8.
+    independent unfounded-set oracle of Theorem 7.8.  A *config* supplies
+    ``strategy``/``engine``/``limits`` together.
     """
+    strategy, engine, limits, grounder = merge_entry_config(
+        config, strategy=strategy, engine=engine, limits=limits, default_engine="monolithic"
+    )
     if engine != "monolithic":
-        from .modular import modular_well_founded, validate_engine
+        from .modular import modular_well_founded
 
-        validate_engine(engine)
         result = modular_well_founded(
             program,
             limits=limits,
             full_base=full_base,
             extra_atoms=extra_atoms,
             strategy=strategy,
+            grounder=grounder,
         )
         return WellFoundedResult(
             context=result.context,
@@ -169,7 +175,9 @@ def well_founded_model(
     if isinstance(program, GroundContext):
         context = program
     else:
-        context = build_context(program, limits=limits, full_base=full_base, extra_atoms=extra_atoms)
+        context = build_context(
+            program, limits=limits, full_base=full_base, extra_atoms=extra_atoms, grounder=grounder
+        )
 
     stages: list[PartialInterpretation] = [PartialInterpretation.empty()]
     current = stages[0]

@@ -71,6 +71,14 @@ class Database:
         row = tuple(value if isinstance(value, (Constant,)) else Constant(value) for value in values)
         self._relations.get(relation, set()).discard(row)
 
+    def remove_atom(self, fact: Atom) -> None:
+        """Remove a ground atom if present (no error if absent).
+
+        Unlike :meth:`remove` this takes the argument terms verbatim, so
+        compound terms survive the round trip with :meth:`add_atom`.
+        """
+        self._relations.get(fact.predicate, set()).discard(fact.args)
+
     # ------------------------------------------------------------------ #
     # Queries
     # ------------------------------------------------------------------ #
@@ -90,6 +98,10 @@ class Database:
     def contains(self, relation: str, *values: object) -> bool:
         row = tuple(value if isinstance(value, (Constant,)) else Constant(value) for value in values)
         return row in self._relations.get(relation, set())
+
+    def contains_atom(self, fact: Atom) -> bool:
+        """Membership test for a ground atom (argument terms taken verbatim)."""
+        return fact.args in self._relations.get(fact.predicate, set())
 
     def facts(self) -> Iterator[Atom]:
         """Yield every fact as a ground atom."""

@@ -25,7 +25,26 @@ from ..exceptions import ParseError
 from ..fixpoint.interpretations import TruthValue
 from .solver import Solution
 
-__all__ = ["QueryAnswer", "ask", "answers"]
+__all__ = ["QueryAnswer", "ask", "answers", "query_has_variables"]
+
+
+def query_has_variables(text: str) -> bool:
+    """Whether a textual conjunctive query mentions a variable.
+
+    The parser convention makes any identifier starting with an uppercase
+    letter a variable; this scans the identifier tokens of the raw text so
+    the CLI and the repl can route between :func:`ask` and :func:`answers`
+    without parsing twice.
+    """
+    token = ""
+    for char in text:
+        if char.isalnum() or char == "_":
+            token += char
+        else:
+            if token and token[0].isupper():
+                return True
+            token = ""
+    return bool(token) and token[0].isupper()
 
 
 @dataclass(frozen=True)

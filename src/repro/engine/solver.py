@@ -7,26 +7,44 @@ truth values and relation contents.  ``semantics="auto"`` picks the
 cheapest semantics that agrees with the well-founded model for the
 program's syntactic class (Horn → minimum model, stratified → perfect
 model, otherwise the alternating fixpoint).
+
+Evaluation choices travel in one validated
+:class:`~repro.config.EngineConfig` (``config=``); the historical
+``strategy=``/``engine=`` keywords keep working through a deprecation
+shim.  :func:`solve` itself is a thin one-shot wrapper: it spins up a
+throwaway :class:`repro.session.KnowledgeBase`-style evaluation
+(:func:`solve_configured`) and returns its solution — long-lived callers
+should hold a ``KnowledgeBase`` instead and let it maintain the model
+incrementally across updates.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Union
+from functools import cached_property
+from typing import Iterable, Mapping, Optional, Union
 
 from ..analysis.classification import classify
+from ..config import (
+    DEFAULT_ENGINE,
+    DEFAULT_SEMANTICS,
+    DEFAULT_STRATEGY,
+    EVALUATION_ENGINES,
+    EVALUATION_STRATEGIES,
+    SUPPORTED_SEMANTICS,
+    EngineConfig,
+    resolve_config,
+)
 from ..datalog.atoms import Atom
 from ..datalog.database import Database
 from ..datalog.grounding import GroundingLimits
 from ..datalog.parser import parse_program
 from ..datalog.rules import Program
 from ..datalog.terms import Constant
-from ..evaluation.engine import DEFAULT_STRATEGY, EVALUATION_STRATEGIES, validate_strategy
 from ..exceptions import EvaluationError
 from ..fixpoint.interpretations import PartialInterpretation, TruthValue
 from ..core.alternating import alternating_fixpoint
 from ..core.context import build_context
-from ..core.modular import DEFAULT_ENGINE, EVALUATION_ENGINES, validate_engine
 from ..core.stable import stable_consequences
 from ..core.wellfounded import well_founded_model
 from ..semantics.fitting import fitting_model
@@ -37,27 +55,26 @@ from ..semantics.stratified import stratified_model
 __all__ = [
     "Solution",
     "solve",
+    "solve_configured",
+    "resolve_auto_semantics",
     "SUPPORTED_SEMANTICS",
     "EVALUATION_STRATEGIES",
     "EVALUATION_ENGINES",
     "DEFAULT_ENGINE",
+    "EngineConfig",
 ]
-
-SUPPORTED_SEMANTICS = (
-    "auto",
-    "alternating-fixpoint",
-    "well-founded",
-    "stratified",
-    "horn",
-    "fitting",
-    "inflationary",
-    "stable",
-)
 
 
 @dataclass(frozen=True)
 class Solution:
-    """The result of solving a program under one semantics."""
+    """The result of solving a program under one semantics.
+
+    Relation views are predicate-indexed: the first call to
+    :meth:`relation` / :meth:`undefined_relation` builds a per-predicate
+    row index over the interpretation once, and every later call (query-
+    heavy sessions hit these constantly) is a dictionary lookup instead of
+    a scan over every true/base atom.
+    """
 
     program: Program
     semantics: str
@@ -65,6 +82,11 @@ class Solution:
     base: frozenset[Atom]
     strategy: str = DEFAULT_STRATEGY
     engine: str = DEFAULT_ENGINE
+    config: Optional[EngineConfig] = None
+    #: The ground evaluation context the model was computed over, when the
+    #: producer kept it — lets consumers (e.g. the session explainer) reuse
+    #: the grounding instead of re-running it.
+    context: Optional[object] = None
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -86,23 +108,34 @@ class Solution:
     def is_undefined(self, predicate: str, *values: object) -> bool:
         return self.value_of(_ground_atom(predicate, values)) is TruthValue.UNDEFINED
 
+    @cached_property
+    def _true_rows(self) -> Mapping[str, frozenset[tuple[object, ...]]]:
+        """True tuples indexed by predicate, with constants unwrapped."""
+        rows: dict[str, set[tuple[object, ...]]] = {}
+        for atom in self.interpretation.true_atoms:
+            rows.setdefault(atom.predicate, set()).add(
+                tuple(_unwrap(term) for term in atom.args)
+            )
+        return {predicate: frozenset(found) for predicate, found in rows.items()}
+
+    @cached_property
+    def _undefined_rows(self) -> Mapping[str, frozenset[tuple[object, ...]]]:
+        """Undefined tuples of the base indexed by predicate."""
+        rows: dict[str, set[tuple[object, ...]]] = {}
+        for atom in self.base:
+            if self.interpretation.value_of_atom(atom) is TruthValue.UNDEFINED:
+                rows.setdefault(atom.predicate, set()).add(
+                    tuple(_unwrap(term) for term in atom.args)
+                )
+        return {predicate: frozenset(found) for predicate, found in rows.items()}
+
     def relation(self, predicate: str) -> set[tuple[object, ...]]:
         """The tuples for which *predicate* is true, with constants unwrapped."""
-        rows: set[tuple[object, ...]] = set()
-        for atom in self.interpretation.true_atoms:
-            if atom.predicate == predicate:
-                rows.add(tuple(_unwrap(term) for term in atom.args))
-        return rows
+        return set(self._true_rows.get(predicate, ()))
 
     def undefined_relation(self, predicate: str) -> set[tuple[object, ...]]:
         """Tuples of *predicate* left undefined by a partial semantics."""
-        rows: set[tuple[object, ...]] = set()
-        for atom in self.base:
-            if atom.predicate != predicate:
-                continue
-            if self.interpretation.value_of_atom(atom) is TruthValue.UNDEFINED:
-                rows.add(tuple(_unwrap(term) for term in atom.args))
-        return rows
+        return set(self._undefined_rows.get(predicate, ()))
 
     def true_atoms(self) -> frozenset[Atom]:
         return self.interpretation.true_atoms
@@ -123,57 +156,36 @@ def _ground_atom(predicate: str, values: Iterable[object]) -> Atom:
     return Atom(predicate, tuple(Constant(v) for v in values))
 
 
-def solve(
-    program: Union[str, Program],
-    semantics: str = "auto",
-    database: Optional[Database] = None,
-    limits: GroundingLimits | None = None,
-    strategy: str = DEFAULT_STRATEGY,
-    engine: str = DEFAULT_ENGINE,
-) -> Solution:
-    """Solve *program* under the requested semantics.
+def resolve_auto_semantics(program: Program) -> str:
+    """The concrete semantics ``"auto"`` picks for *program*: the cheapest
+    one agreeing with the well-founded model for its syntactic class."""
+    return classify(program, check_local=False).recommended_semantics
 
-    Parameters
-    ----------
-    program:
-        Program text (parsed with the standard syntax) or a ready
-        :class:`Program`.
-    semantics:
-        One of :data:`SUPPORTED_SEMANTICS`.  ``"stable"`` computes the
-        *intersection* semantics (true in every stable model / false in
-        every stable model) and raises when there is no stable model.
-    database:
-        Optional EDB facts to attach to the rules before solving.
-    strategy:
-        Evaluation strategy for the fixpoint computations: ``"seminaive"``
-        (default, indexed delta-driven) or ``"naive"`` (re-scan every rule;
-        the differential-testing oracle).  The Fitting semantics runs its
-        own three-valued operator and ignores the strategy.
-    engine:
-        Well-founded evaluation engine: ``"modular"`` (default) condenses
-        the atom dependency graph into SCCs and solves each component with
-        the cheapest sound method; ``"monolithic"`` runs the global
-        alternating fixpoint / ``W_P`` iteration (the differential oracle).
-        Only the ``alternating-fixpoint`` and ``well-founded`` semantics
-        (and ``auto`` when it resolves to them) consult the engine.
+
+def solve_configured(
+    program: Union[str, Program],
+    config: EngineConfig,
+    database: Optional[Database] = None,
+) -> Solution:
+    """Solve *program* under an already-resolved :class:`EngineConfig`.
+
+    This is the config-native core of :func:`solve`, also used by
+    :class:`repro.session.KnowledgeBase` for the semantics its incremental
+    engine does not cover.
     """
     if isinstance(program, str):
         program = parse_program(program)
     if database is not None:
         program = database.attach(program)
-    if semantics not in SUPPORTED_SEMANTICS:
-        raise EvaluationError(
-            f"unknown semantics {semantics!r}; expected one of {', '.join(SUPPORTED_SEMANTICS)}"
-        )
-    validate_strategy(strategy)
-    validate_engine(engine)
 
+    semantics = config.semantics
     if semantics == "auto":
-        classification = classify(program, check_local=False)
-        semantics = classification.recommended_semantics
+        semantics = resolve_auto_semantics(program)
 
-    context = build_context(program, limits=limits)
-    base = frozenset(context.base)
+    limits = config.limits
+    strategy = config.strategy
+    engine = config.engine
+    context = build_context(program, limits=limits, grounder=config.resolved_grounder)
 
     if semantics in ("alternating-fixpoint", "well-founded"):
         if semantics == "alternating-fixpoint":
@@ -190,14 +202,72 @@ def solve(
         interpretation = inflationary_model(context).interpretation
     elif semantics == "stable":
         interpretation = stable_consequences(context, limits=limits, strategy=strategy)
-    else:  # pragma: no cover - guarded above
+    else:  # pragma: no cover - guarded by EngineConfig validation
         raise EvaluationError(f"unhandled semantics {semantics!r}")
 
     return Solution(
         program=program,
         semantics=semantics,
         interpretation=interpretation,
-        base=base,
+        base=frozenset(context.base),
         strategy=strategy,
         engine=engine,
+        config=config,
+        context=context,
     )
+
+
+def solve(
+    program: Union[str, Program],
+    semantics: Optional[str] = None,
+    database: Optional[Database] = None,
+    limits: GroundingLimits | None = None,
+    strategy: Optional[str] = None,
+    engine: Optional[str] = None,
+    *,
+    grounder: Optional[str] = None,
+    matcher: Optional[str] = None,
+    config: Optional[EngineConfig] = None,
+) -> Solution:
+    """Solve *program* under the requested semantics, one-shot.
+
+    Parameters
+    ----------
+    program:
+        Program text (parsed with the standard syntax) or a ready
+        :class:`Program`.
+    semantics:
+        One of :data:`SUPPORTED_SEMANTICS` (default ``"auto"``).
+        ``"stable"`` computes the *intersection* semantics (true in every
+        stable model / false in every stable model) and raises when there
+        is no stable model.  May be combined with ``config=``, overriding
+        the config's semantics.
+    database:
+        Optional EDB facts to attach to the rules before solving.
+    config:
+        An :class:`EngineConfig` carrying every evaluation choice
+        (semantics / strategy / engine / grounder / matcher / limits),
+        validated at construction.  This is the preferred spelling.
+    strategy, engine, grounder, matcher:
+        Deprecated per-field spellings of the config (see
+        :class:`EngineConfig` for their meaning); they keep working but
+        emit a :class:`DeprecationWarning` and cannot be combined with
+        ``config=``.
+
+    For repeated queries and evolving fact bases, prefer a stateful
+    :class:`repro.session.KnowledgeBase` — it keeps the solved model warm
+    and maintains it incrementally instead of re-solving from scratch.
+    """
+    resolved = resolve_config(
+        config,
+        semantics=semantics,
+        strategy=strategy,
+        engine=engine,
+        grounder=grounder,
+        matcher=matcher,
+        limits=limits,
+        default_semantics=DEFAULT_SEMANTICS,
+        warn=True,
+        caller="solve",
+    )
+    return solve_configured(program, resolved, database=database)

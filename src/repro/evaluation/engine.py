@@ -24,8 +24,10 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, AbstractSet, Iterable, Sequence
 
+# Canonical definitions live in repro.config (the one validation point for
+# every evaluation option); re-exported here for the historical import path.
+from ..config import DEFAULT_STRATEGY, EVALUATION_STRATEGIES, validate_strategy
 from ..datalog.atoms import Atom
-from ..exceptions import EvaluationError
 from ..fixpoint.lattice import NegativeSet
 from .seminaive import (
     active_rules_for_negative,
@@ -47,20 +49,6 @@ __all__ = [
     "SeminaiveEngine",
     "NaiveEngine",
 ]
-
-EVALUATION_STRATEGIES = ("seminaive", "naive")
-DEFAULT_STRATEGY = "seminaive"
-
-
-def validate_strategy(strategy: str) -> str:
-    """Return *strategy* if it is known, raising otherwise."""
-    if strategy not in EVALUATION_STRATEGIES:
-        raise EvaluationError(
-            f"unknown evaluation strategy {strategy!r}; "
-            f"expected one of {', '.join(EVALUATION_STRATEGIES)}"
-        )
-    return strategy
-
 
 class SeminaiveEngine:
     """Indexed, delta-driven evaluation (the default)."""

@@ -18,12 +18,16 @@ the property-based tests and demonstrated by benchmark E4).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..datalog.atoms import Atom
 from ..datalog.grounding import GroundingLimits
 from ..datalog.rules import Program
 from ..fixpoint.interpretations import PartialInterpretation, TruthValue
 from ..core.context import GroundContext, build_context
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..config import EngineConfig
 
 __all__ = ["FittingResult", "fitting_transform", "fitting_model"]
 
@@ -82,6 +86,7 @@ def fitting_model(
     program: Program | GroundContext,
     limits: GroundingLimits | None = None,
     grounder: str = "naive",
+    config: "EngineConfig | None" = None,
 ) -> FittingResult:
     """The least fixpoint of the Fitting operator (Kripke–Kleene model).
 
@@ -91,8 +96,11 @@ def fitting_model(
     search never finitely fails), so the relevance-pruned grounding used by
     the other semantics would change its verdicts.  Pass a pre-built
     :class:`GroundContext` (or ``grounder="relevant"``) to trade that
-    fidelity for speed.
+    fidelity for speed.  A *config* supplies ``limits``; its grounder is
+    deliberately ignored here in favour of the fidelity default.
     """
+    if config is not None and limits is None:
+        limits = config.limits
     if isinstance(program, GroundContext):
         context = program
     else:

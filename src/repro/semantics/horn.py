@@ -11,10 +11,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..config import EngineConfig, merge_entry_config
 from ..datalog.atoms import Atom
 from ..datalog.grounding import GroundingLimits
 from ..datalog.rules import Program
-from ..evaluation.engine import DEFAULT_STRATEGY
 from ..exceptions import EvaluationError
 from ..fixpoint.interpretations import PartialInterpretation
 from ..fixpoint.lattice import NegativeSet
@@ -52,18 +52,21 @@ def _require_definite(program: Program) -> None:
 def horn_minimum_model(
     program: Program | GroundContext,
     limits: GroundingLimits | None = None,
-    strategy: str = DEFAULT_STRATEGY,
+    strategy: str | None = None,
+    config: EngineConfig | None = None,
 ) -> HornModelResult:
     """The least Herbrand model of a definite program.
 
     Raises :class:`EvaluationError` when the program contains negation.
+    A *config* supplies ``strategy``/``limits`` together.
     """
+    strategy, _, limits, grounder = merge_entry_config(config, strategy=strategy, limits=limits)
     if isinstance(program, GroundContext):
         context = program
         _require_definite(context.program)
     else:
         _require_definite(program)
-        context = build_context(program, limits=limits)
+        context = build_context(program, limits=limits, grounder=grounder)
     true_atoms = eventual_consequence(context, NegativeSet.empty(), strategy=strategy)
     return HornModelResult(context, true_atoms)
 

@@ -15,6 +15,7 @@ Benchmark E4 regenerates exactly that comparison.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..datalog.atoms import Atom
 from ..datalog.grounding import GroundingLimits
@@ -23,6 +24,9 @@ from ..fixpoint.interpretations import PartialInterpretation
 from ..fixpoint.operators import FixpointTrace, iterate_to_fixpoint
 from ..core.consequence import inflationary_step, naive_negation_step
 from ..core.context import GroundContext, build_context
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..config import EngineConfig
 
 __all__ = ["InflationaryResult", "inflationary_model", "inflationary_trace", "naive_negation_trace"]
 
@@ -48,8 +52,15 @@ class InflationaryResult:
 def inflationary_model(
     program: Program | GroundContext,
     limits: GroundingLimits | None = None,
+    config: "EngineConfig | None" = None,
 ) -> InflationaryResult:
-    """Compute the inflationary (IFP) fixpoint of *program*."""
+    """Compute the inflationary (IFP) fixpoint of *program*.
+
+    A *config* supplies ``limits`` (the inflationary operator has no other
+    tunable: it is strategy-free by definition).
+    """
+    if config is not None and limits is None:
+        limits = config.limits
     if isinstance(program, GroundContext):
         context = program
     else:

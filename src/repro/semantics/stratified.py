@@ -13,12 +13,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..analysis.stratification import Stratification, stratify
+from ..config import EngineConfig, merge_entry_config
 from ..datalog.atoms import Atom
 from ..datalog.grounding import GroundingLimits
 from ..datalog.rules import Program
-from ..evaluation.engine import DEFAULT_STRATEGY, get_engine
+from ..evaluation.engine import get_engine
 from ..fixpoint.interpretations import PartialInterpretation
-from ..fixpoint.lattice import NegativeSet
 from ..core.context import GroundContext, build_context
 
 __all__ = ["StratifiedModelResult", "stratified_model"]
@@ -45,7 +45,8 @@ class StratifiedModelResult:
 def stratified_model(
     program: Program,
     limits: GroundingLimits | None = None,
-    strategy: str = DEFAULT_STRATEGY,
+    strategy: str | None = None,
+    config: "EngineConfig | None" = None,
 ) -> StratifiedModelResult:
     """Evaluate a stratified program stratum by stratum.
 
@@ -56,10 +57,12 @@ def stratified_model(
     derived" genuinely means false there), and the closure is seeded with
     everything true so far.  Raises
     :class:`~repro.exceptions.NotStratifiedError` when the program is not
-    stratified (e.g. the win–move program of Example 5.2).
+    stratified (e.g. the win–move program of Example 5.2).  A *config*
+    supplies ``strategy``/``limits`` together.
     """
+    strategy, _, limits, grounder = merge_entry_config(config, strategy=strategy, limits=limits)
     stratification = stratify(program)
-    context = build_context(program, limits=limits)
+    context = build_context(program, limits=limits, grounder=grounder)
     engine = get_engine(strategy)
 
     # Atoms confirmed true so far (across completed strata).

@@ -1,0 +1,25 @@
+"""Stateful knowledge-base sessions with incremental model maintenance.
+
+* :class:`KnowledgeBase` — rules plus a mutable EDB, a fluent query
+  surface, and a solved model kept warm across updates;
+* :class:`ResultSet` — lazy, predicate-indexed relation views;
+* :class:`IncrementalEngine` / :class:`UpdateStats` — the component-level
+  invalidation machinery behind incremental refreshes;
+* :func:`run_repl` — the interactive loop behind ``python -m repro repl``;
+* :class:`EngineConfig` — re-exported from :mod:`repro.config`, the one
+  validated carrier of every evaluation choice.
+"""
+
+from ..config import EngineConfig
+from .incremental import IncrementalEngine, UpdateStats
+from .knowledge_base import KnowledgeBase, ResultSet
+from .repl import run_repl
+
+__all__ = [
+    "EngineConfig",
+    "IncrementalEngine",
+    "KnowledgeBase",
+    "ResultSet",
+    "UpdateStats",
+    "run_repl",
+]

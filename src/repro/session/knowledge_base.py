@@ -1,0 +1,613 @@
+"""The stateful :class:`KnowledgeBase` session API.
+
+The paper's deductive-database framing (Section 2.5) is a *database*: a
+fixed rule set queried and updated over time.  The one-shot
+:func:`repro.engine.solver.solve` re-grounds and re-solves on every call;
+a :class:`KnowledgeBase` instead holds the rules plus a mutable EDB and
+keeps the solved model warm:
+
+.. code-block:: python
+
+    from repro.session import KnowledgeBase
+
+    kb = KnowledgeBase("wins(X) :- move(X, Y), not wins(Y).")
+    kb.load({"move": [("a", "b"), ("b", "a"), ("b", "c")]})
+    list(kb.query("wins"))          # [('b',)]
+    kb.assert_fact("move", "c", "d")
+    list(kb.query("wins"))          # [('b',), ('c',)] — model refreshed
+
+Mutations (:meth:`~KnowledgeBase.assert_fact`,
+:meth:`~KnowledgeBase.retract_fact`, :meth:`~KnowledgeBase.load`) are
+lazy: the model refreshes on the next read.  Group related updates in
+``with kb.batch():`` — the block is transactional (an exception rolls the
+whole group back) and the eventual refresh covers the net delta once.
+
+When the rules are ground and the (resolved) semantics is in the
+well-founded family with the modular engine — the defaults — refreshes are
+*incremental*: only the SCC components of the atom dependency graph
+reachable from the changed facts are re-solved
+(:mod:`repro.session.incremental`); everything else keeps its frozen
+verdict.  Any other configuration transparently falls back to a full
+re-solve per refresh, with the same observable results.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterable, Iterator, Mapping, Optional, Sequence, Union
+
+from ..config import EngineConfig, resolve_config
+from ..core.alternating import AlternatingFixpointResult, AlternatingStage
+from ..core.explain import Explainer, Explanation
+from ..datalog.atoms import Atom
+from ..datalog.database import Database
+from ..datalog.parser import parse_atom, parse_program
+from ..datalog.rules import Program, Rule
+from ..datalog.terms import Compound, Constant, Variable
+from ..engine.query import QueryAnswer, answers as query_answers, ask as query_ask
+from ..engine.solver import Solution, resolve_auto_semantics, solve_configured
+from ..exceptions import EvaluationError, NotGroundError
+from ..fixpoint.interpretations import PartialInterpretation, TruthValue
+from ..fixpoint.lattice import NegativeSet
+from .incremental import IncrementalEngine, UpdateStats
+
+__all__ = ["KnowledgeBase", "ResultSet"]
+
+#: Semantics whose model the incremental engine maintains (it computes the
+#: well-founded partial model, which these two name interchangeably).
+_WFS_FAMILY = ("well-founded", "alternating-fixpoint")
+
+
+def _match_row(row: Sequence[object], pattern: Sequence[object]) -> bool:
+    """Does *row* (unwrapped Python values) match *pattern*?
+
+    Pattern items: ``None`` matches anything; a :class:`Variable` matches
+    anything but repeated occurrences must bind to equal values; a
+    :class:`Constant` matches its payload; anything else matches by
+    equality.
+    """
+    if len(row) != len(pattern):
+        return False
+    binding: dict[str, object] = {}
+    for value, item in zip(row, pattern):
+        if item is None:
+            continue
+        if isinstance(item, Variable):
+            if item.name in binding:
+                if binding[item.name] != value:
+                    return False
+            else:
+                binding[item.name] = value
+        elif isinstance(item, Constant):
+            if item.value != value:
+                return False
+        elif item != value:
+            return False
+    return True
+
+
+class ResultSet:
+    """A lazy, predicate-indexed view of one relation in the current model.
+
+    Nothing is computed at construction: iterating (or ``len()``,
+    ``in``, :meth:`first`) pulls the owning knowledge base's *current*
+    solution — so a result set stays live across updates, and reads after
+    an ``assert_fact`` see the refreshed model.  Row lookup goes through
+    the per-predicate index of :class:`~repro.engine.solver.Solution`
+    rather than a scan of the whole model.
+    """
+
+    def __init__(
+        self,
+        kb: "KnowledgeBase",
+        predicate: str,
+        pattern: Optional[tuple[object, ...]] = None,
+        truth: TruthValue = TruthValue.TRUE,
+    ):
+        self._kb = kb
+        self._predicate = predicate
+        self._pattern = pattern
+        self._truth = truth
+
+    # -- the lazy core --------------------------------------------------- #
+    def _rows(self) -> set[tuple[object, ...]]:
+        solution = self._kb.solution
+        if self._truth is TruthValue.UNDEFINED:
+            rows = solution.undefined_relation(self._predicate)
+        else:
+            rows = solution.relation(self._predicate)
+        if self._pattern is None:
+            return rows
+        return {row for row in rows if _match_row(row, self._pattern)}
+
+    # -- fluent refinements ---------------------------------------------- #
+    def where(self, *pattern: object) -> "ResultSet":
+        """A narrowed view matching *pattern* (see :meth:`KnowledgeBase.query`)."""
+        return ResultSet(self._kb, self._predicate, tuple(pattern), self._truth)
+
+    @property
+    def undefined(self) -> "ResultSet":
+        """The same view over the *undefined* tuples of the predicate
+        (non-empty only under partial semantics)."""
+        return ResultSet(self._kb, self._predicate, self._pattern, TruthValue.UNDEFINED)
+
+    # -- consumption ----------------------------------------------------- #
+    def __iter__(self) -> Iterator[tuple[object, ...]]:
+        return iter(sorted(self._rows(), key=repr))
+
+    def __len__(self) -> int:
+        return len(self._rows())
+
+    def __bool__(self) -> bool:
+        return bool(self._rows())
+
+    def __contains__(self, row: object) -> bool:
+        if not isinstance(row, tuple):
+            row = (row,)
+        return row in self._rows()
+
+    def first(self, default: object = None) -> object:
+        """The first row in sorted order, or *default* when empty."""
+        for row in self:
+            return row
+        return default
+
+    def to_set(self) -> frozenset[tuple[object, ...]]:
+        """All rows as a frozen set."""
+        return frozenset(self._rows())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        qualifier = ".undefined" if self._truth is TruthValue.UNDEFINED else ""
+        return f"ResultSet({self._predicate!r}{qualifier}, {len(self)} rows)"
+
+
+class KnowledgeBase:
+    """A long-lived deductive-database session.
+
+    Parameters
+    ----------
+    rules:
+        Program text or a :class:`~repro.datalog.rules.Program`.  Fact
+        rules in it seed the EDB (and are retractable like any other
+        fact); the non-fact rules are fixed for the session's lifetime.
+    facts:
+        Optional initial EDB: a :class:`~repro.datalog.database.Database`,
+        a mapping ``{"edge": [(1, 2), ...]}``, or an iterable of ground
+        atoms.
+    config:
+        The :class:`~repro.config.EngineConfig` every evaluation runs
+        under.  The legacy per-field keywords (``semantics=``,
+        ``strategy=``, ...) keep working through the same deprecation shim
+        as :func:`repro.engine.solver.solve`.
+    """
+
+    def __init__(
+        self,
+        rules: Union[str, Program, None] = "",
+        *,
+        facts: Union[Database, Mapping, Iterable[Atom], None] = None,
+        config: Optional[EngineConfig] = None,
+        semantics: Optional[str] = None,
+        strategy: Optional[str] = None,
+        engine: Optional[str] = None,
+        grounder: Optional[str] = None,
+        matcher: Optional[str] = None,
+        limits=None,
+    ):
+        self._config = resolve_config(
+            config,
+            semantics=semantics,
+            strategy=strategy,
+            engine=engine,
+            grounder=grounder,
+            matcher=matcher,
+            limits=limits,
+            warn=True,
+            caller="KnowledgeBase",
+        )
+        if rules is None:
+            rules = Program()
+        elif isinstance(rules, str):
+            rules = parse_program(rules)
+        self._rules = Program(rule for rule in rules if not rule.is_fact)
+
+        self._edb = Database()
+        # Facts as an insertion-ordered map to their (cached) fact rules:
+        # membership tests are O(1) and `_program()` reuses the Rule
+        # objects instead of re-wrapping every fact per refresh.
+        self._fact_rules: dict[Atom, Rule] = {}
+        self._changed: set[Atom] = set()
+        self._journal: list[tuple[Atom, bool]] = []
+        self._batch_depth = 0
+        self._dirty = True
+        self._solution: Optional[Solution] = None
+        self._attached: Optional[Program] = None
+        self._explainer: Optional[Explainer] = None
+        self._engine: Optional[IncrementalEngine] = None
+        self._resolved_semantics: Optional[str] = None
+        self._incremental: Optional[bool] = None
+        self._last_update: Optional[UpdateStats] = None
+        self._update_count = 0
+
+        for rule in rules.facts():
+            self._insert(rule.head)
+        if facts is not None:
+            self.load(facts)
+        # Nothing asserted so far is a "change": the first solve is full.
+        self._changed.clear()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def config(self) -> EngineConfig:
+        return self._config
+
+    @property
+    def rules(self) -> Program:
+        """The fixed (non-fact) rule set of the session."""
+        return self._rules
+
+    def facts(self, predicate: Optional[str] = None) -> Iterator[Atom]:
+        """The current EDB facts, optionally restricted to one predicate."""
+        if predicate is None:
+            yield from sorted(self._fact_rules, key=str)
+        else:
+            yield from sorted(
+                (atom for atom in self._fact_rules if atom.predicate == predicate), key=str
+            )
+
+    def fact_count(self) -> int:
+        return len(self._fact_rules)
+
+    @property
+    def semantics(self) -> str:
+        """The concrete semantics the session evaluates under (``"auto"``
+        resolved against the rule set)."""
+        self._resolve_mode()
+        return self._resolved_semantics
+
+    @property
+    def is_incremental(self) -> bool:
+        """Whether refreshes use the incremental component engine."""
+        self._resolve_mode()
+        return self._incremental
+
+    @property
+    def last_update(self) -> Optional[UpdateStats]:
+        """Statistics of the most recent model refresh."""
+        return self._last_update
+
+    def statistics(self) -> dict[str, object]:
+        """Session counters plus, when incremental, component statistics."""
+        self._refresh()
+        stats: dict[str, object] = {
+            "rules": len(self._rules),
+            "facts": len(self._fact_rules),
+            "semantics": self.semantics,
+            "incremental": self.is_incremental,
+            "refreshes": self._update_count,
+        }
+        if self._last_update is not None:
+            stats["last_update"] = self._last_update.describe()
+        if self._engine is not None:
+            stats.update(self._engine.modular_result().statistics())
+        return stats
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def assert_fact(self, fact: Union[Atom, str], *values: object) -> bool:
+        """Insert an EDB fact; returns whether the database changed.
+
+        Accepts a ground :class:`Atom`, fact text (``"edge(1, 2)"``), or a
+        predicate name plus Python values (``kb.assert_fact("edge", 1, 2)``).
+        """
+        return self._insert(self._coerce(fact, values))
+
+    def retract_fact(self, fact: Union[Atom, str], *values: object) -> bool:
+        """Remove an EDB fact; returns whether the database changed."""
+        return self._remove(self._coerce(fact, values))
+
+    def load(self, source: Union[Database, Mapping, Iterable[Atom]]) -> int:
+        """Bulk-assert facts; returns how many were new.
+
+        Accepts a :class:`Database`, a mapping ``{relation: rows}``, or an
+        iterable of ground atoms.
+        """
+        if isinstance(source, Database):
+            atoms: Iterable[Atom] = source.facts()
+        elif isinstance(source, Mapping):
+            atoms = (
+                Atom(name, tuple(_make_constant(value) for value in row))
+                for name, rows in source.items()
+                for row in rows
+            )
+        else:
+            atoms = source
+        added = 0
+        for atom in atoms:
+            if self._insert(atom):
+                added += 1
+        return added
+
+    @contextmanager
+    def batch(self):
+        """Group mutations transactionally.
+
+        Inside the block mutations apply immediately (reads see them), but
+        an exception rolls every mutation of the block back before
+        propagating; on success the whole net delta is covered by one
+        model refresh at the next read.
+        """
+        mark = len(self._journal)
+        self._batch_depth += 1
+        try:
+            yield self
+        except BaseException:
+            while len(self._journal) > mark:
+                atom, was_present = self._journal.pop()
+                if was_present:
+                    self._edb.add_atom(atom)
+                    self._fact_rules[atom] = Rule(atom)
+                else:
+                    self._edb.remove_atom(atom)
+                    self._fact_rules.pop(atom, None)
+                self._note_change(atom)
+            raise
+        else:
+            if self._batch_depth == 1:
+                self._journal.clear()
+        finally:
+            self._batch_depth -= 1
+
+    # -- mutation plumbing ----------------------------------------------- #
+    def _coerce(self, fact: Union[Atom, str], values: Sequence[object]) -> Atom:
+        if isinstance(fact, Atom):
+            if values:
+                raise EvaluationError(
+                    "pass either a ready atom or predicate-plus-values, not both"
+                )
+            atom = fact
+        elif values:
+            atom = Atom(fact, tuple(_make_constant(value) for value in values))
+        else:
+            atom = parse_atom(fact)
+        if not atom.is_ground:
+            raise NotGroundError(f"EDB fact {atom} is not ground")
+        return atom
+
+    def _insert(self, atom: Atom) -> bool:
+        if atom in self._fact_rules:
+            return False
+        if not atom.is_ground:
+            raise NotGroundError(f"EDB fact {atom} is not ground")
+        self._edb.add_atom(atom)
+        self._fact_rules[atom] = Rule(atom)
+        if self._batch_depth:
+            self._journal.append((atom, False))
+        self._note_change(atom)
+        return True
+
+    def _remove(self, atom: Atom) -> bool:
+        if atom not in self._fact_rules:
+            return False
+        self._edb.remove_atom(atom)
+        del self._fact_rules[atom]
+        if self._batch_depth:
+            self._journal.append((atom, True))
+        self._note_change(atom)
+        return True
+
+    def _note_change(self, atom: Atom) -> None:
+        # A fact asserted then retracted (or vice versa) since the last
+        # refresh cancels out; the symmetric toggle keeps `_changed` the
+        # exact set of atoms whose status differs from the solved state.
+        # The old Solution object stays referenced (it is an immutable
+        # snapshot); `_refresh` replaces it when the net delta is non-empty.
+        if atom in self._changed:
+            self._changed.discard(atom)
+        else:
+            self._changed.add(atom)
+        self._dirty = True
+        self._attached = None
+        self._explainer = None
+
+    # ------------------------------------------------------------------ #
+    # Solving
+    # ------------------------------------------------------------------ #
+    def _program(self) -> Program:
+        """The full current program (facts plus rules), cached per state.
+
+        Rebuilding after a mutation is O(|EDB| + |rules|) list assembly of
+        cached Rule objects — the remaining linear term of a refresh
+        snapshot (the incremental solve itself touches only the affected
+        components).
+        """
+        if self._attached is None:
+            pieces = list(self._fact_rules.values())
+            pieces.extend(self._rules)
+            self._attached = Program(pieces)
+        return self._attached
+
+    def _resolve_mode(self) -> None:
+        if self._incremental is not None:
+            return
+        semantics = self._config.semantics
+        if semantics == "auto":
+            # Classification is a function of the rules: facts are definite
+            # and add no dependency arcs, so resolving once is safe.
+            semantics = resolve_auto_semantics(self._program())
+        self._resolved_semantics = semantics
+        self._incremental = (
+            semantics in _WFS_FAMILY
+            and self._config.engine == "modular"
+            and self._rules.is_ground
+        )
+
+    def _refresh(self) -> None:
+        if not self._dirty:
+            return
+        self._resolve_mode()
+        # The pending delta is cleared only after a successful solve: a
+        # refresh that raises (no stable model, grounding limit, ...) must
+        # leave the changes queued so the next read retries instead of
+        # serving a model that contradicts the EDB.
+        changed = self._changed
+        if not changed and self._solution is not None:
+            # Every mutation since the last refresh cancelled out.
+            self._dirty = False
+            return
+        if self._incremental:
+            if self._engine is None:
+                self._engine = IncrementalEngine(self._rules, strategy=self._config.strategy)
+                stats = self._engine.refresh(frozenset(self._fact_rules), None)
+            else:
+                stats = self._engine.refresh(frozenset(self._fact_rules), set(changed))
+            solution = Solution(
+                program=self._program(),
+                semantics=self._resolved_semantics,
+                interpretation=self._engine.model,
+                base=self._engine.base,
+                strategy=self._config.strategy,
+                engine=self._config.engine,
+                config=self._config,
+            )
+        else:
+            started = time.perf_counter()
+            solution = solve_configured(self._program(), self._config)
+            stats = UpdateStats(
+                mode="initial" if self._update_count == 0 else "rebuild",
+                changed=len(changed),
+                components_total=0,
+                components_recomputed=0,
+                components_reused=0,
+                floating_changed=0,
+                elapsed=time.perf_counter() - started,
+            )
+        self._changed = set()
+        self._solution = solution
+        self._last_update = stats
+        self._update_count += 1
+        self._dirty = False
+
+    @property
+    def solution(self) -> Solution:
+        """The current :class:`~repro.engine.solver.Solution`, refreshed on
+        demand."""
+        self._refresh()
+        return self._solution
+
+    @property
+    def model(self) -> PartialInterpretation:
+        """The current partial model."""
+        return self.solution.interpretation
+
+    @property
+    def base(self) -> frozenset[Atom]:
+        """The current atom universe."""
+        return self.solution.base
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def query(self, predicate: str, *pattern: object) -> ResultSet:
+        """A lazy view of the true tuples of *predicate*.
+
+        With no pattern, every true tuple; pattern items narrow it:
+        ``None`` or a :class:`~repro.datalog.terms.Variable` are wildcards
+        (a repeated variable must bind consistently), anything else must
+        equal the value:
+
+        >>> kb.query("wins")                  # doctest: +SKIP
+        >>> kb.query("edge", 1, None)         # doctest: +SKIP
+        >>> kb.query("edge", X, X)            # doctest: +SKIP
+        """
+        return ResultSet(self, predicate, tuple(pattern) if pattern else None)
+
+    def ask(self, query: str) -> TruthValue:
+        """Three-valued verdict of a ground conjunctive query."""
+        return query_ask(self.solution, query)
+
+    def answers(self, query: str) -> Iterator[QueryAnswer]:
+        """Substitutions satisfying a conjunctive query with variables."""
+        return query_answers(self.solution, query)
+
+    def value_of(self, atom: Union[Atom, str]) -> TruthValue:
+        """Truth value of one ground atom."""
+        if isinstance(atom, str):
+            atom = parse_atom(atom)
+        return self.solution.value_of(atom)
+
+    def is_true(self, predicate: str, *values: object) -> bool:
+        return self.solution.is_true(predicate, *values)
+
+    def is_false(self, predicate: str, *values: object) -> bool:
+        return self.solution.is_false(predicate, *values)
+
+    def is_undefined(self, predicate: str, *values: object) -> bool:
+        return self.solution.is_undefined(predicate, *values)
+
+    def explain(self, atom: Union[Atom, str]) -> Explanation:
+        """Justify an atom's verdict in the *well-founded* model of the
+        current program (see :mod:`repro.core.explain`).
+
+        Under the well-founded family the explanation is built against the
+        session's maintained model; under other semantics a well-founded
+        model is computed for the explanation (the verdicts coincide for
+        Horn and stratified programs).
+        """
+        if isinstance(atom, str):
+            atom = parse_atom(atom)
+        self._refresh()
+        if self._explainer is None:
+            self._explainer = Explainer(self._alternating_result())
+        return self._explainer.explain(atom)
+
+    def _alternating_result(self) -> AlternatingFixpointResult:
+        if self._engine is not None:
+            model = self._engine.model
+            negative = NegativeSet(model.false_atoms)
+            return AlternatingFixpointResult(
+                context=self._engine.context,
+                negative_fixpoint=negative,
+                positive_fixpoint=model.true_atoms,
+                stages=(AlternatingStage(0, negative, model.true_atoms),),
+            )
+        if self._resolved_semantics in _WFS_FAMILY and self._solution is not None:
+            # The maintained model already is the well-founded model: wrap
+            # it for the explainer, reusing the solve's ground context
+            # (no second solve, and no re-grounding unless the producer
+            # dropped the context).
+            context = self._solution.context
+            if context is None:
+                from ..core.context import build_context
+
+                context = build_context(self._program(), config=self._config)
+            model = self._solution.interpretation
+            negative = NegativeSet(model.false_atoms)
+            return AlternatingFixpointResult(
+                context=context,
+                negative_fixpoint=negative,
+                positive_fixpoint=model.true_atoms,
+                stages=(AlternatingStage(0, negative, model.true_atoms),),
+            )
+        from ..core.alternating import alternating_fixpoint
+
+        return alternating_fixpoint(self._program(), config=self._config)
+
+    def __len__(self) -> int:
+        return len(self._fact_rules)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"KnowledgeBase({len(self._rules)} rules, {len(self._fact_rules)} facts, "
+            f"semantics={self._config.semantics!r}, engine={self._config.engine!r})"
+        )
+
+
+def _make_constant(value: object):
+    if isinstance(value, (Constant, Variable, Compound)):
+        return value
+    return Constant(value)

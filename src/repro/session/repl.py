@@ -1,0 +1,176 @@
+"""A line-oriented interactive session over a :class:`KnowledgeBase`.
+
+``python -m repro repl [FILE]`` drops into a read–eval–print loop in which
+facts are asserted and retracted against a live knowledge base and queries
+read the incrementally maintained model — the session API exercised
+end-to-end from a shell.  The loop itself is a plain function over an
+iterable of command lines, so tests (and the CI smoke step) drive it by
+piping a script through stdin.
+
+Commands::
+
+    assert FACT.            insert an EDB fact, e.g.  assert move(c, e).
+    retract FACT.           remove an EDB fact
+    begin / commit / abort  group updates transactionally (kb.batch())
+    query Q                 relation name, or a conjunctive query with
+                            variables, e.g.  query wins(X), not wins(Y)
+    ask Q                   three-valued verdict of a ground query
+    explain ATOM            justify an atom's well-founded verdict
+    model [PREDICATE]       print the current partial model
+    facts [PREDICATE]       list the current EDB facts
+    stats                   refresh / component-reuse statistics
+    config                  the session's EngineConfig
+    help                    this text
+    quit                    leave the repl (EOF works too)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, TextIO
+
+from ..engine.query import query_has_variables
+from ..exceptions import ReproError
+from ..reporting import render_model
+from .knowledge_base import KnowledgeBase
+
+__all__ = ["run_repl", "HELP_TEXT"]
+
+HELP_TEXT = """\
+commands:
+  assert FACT.       insert an EDB fact        e.g.  assert move(c, e).
+  retract FACT.      remove an EDB fact
+  begin              start a transactional batch of updates
+  commit             apply the open batch
+  abort              roll the open batch back
+  query Q            relation name or conjunctive query (variables allowed)
+  ask Q              three-valued verdict of a ground conjunctive query
+  explain ATOM       justify an atom's well-founded verdict
+  model [PREDICATE]  print the current partial model
+  facts [PREDICATE]  list the current EDB facts
+  stats              refresh / component-reuse statistics
+  config             the session's EngineConfig
+  help               this text
+  quit               leave the repl"""
+
+
+class _AbortBatch(Exception):
+    """Internal signal driving the rollback path of ``kb.batch()``."""
+
+
+def run_repl(
+    kb: KnowledgeBase,
+    lines: Iterable[str],
+    out: TextIO,
+    prompt: Optional[str] = None,
+) -> int:
+    """Drive *kb* with the command *lines*; returns a process exit code.
+
+    *prompt*, when given, is written to *out* before every read (interactive
+    use); piped scripts leave it ``None`` so the transcript stays clean.
+    """
+    batch = None  # the open kb.batch() context manager, if any
+    iterator = iter(lines)
+    while True:
+        if prompt is not None:
+            out.write(prompt)
+            out.flush()
+        try:
+            line = next(iterator)
+        except StopIteration:
+            break
+        stripped = line.strip()
+        if not stripped or stripped.startswith("%"):
+            continue
+        command, _, rest = stripped.partition(" ")
+        command = command.lower()
+        rest = rest.strip()
+        try:
+            if command in ("quit", "exit"):
+                break
+            elif command == "help":
+                print(HELP_TEXT, file=out)
+            elif command == "assert":
+                changed = kb.assert_fact(rest.rstrip("."))
+                print("asserted" if changed else "unchanged (already present)", file=out)
+            elif command == "retract":
+                changed = kb.retract_fact(rest.rstrip("."))
+                print("retracted" if changed else "unchanged (not present)", file=out)
+            elif command == "begin":
+                if batch is not None:
+                    print("error: a batch is already open", file=out)
+                    continue
+                batch = kb.batch()
+                batch.__enter__()
+                print("batch open", file=out)
+            elif command == "commit":
+                if batch is None:
+                    print("error: no open batch", file=out)
+                    continue
+                batch.__exit__(None, None, None)
+                batch = None
+                print("batch committed", file=out)
+            elif command == "abort":
+                if batch is None:
+                    print("error: no open batch", file=out)
+                    continue
+                try:
+                    batch.__exit__(_AbortBatch, _AbortBatch(), None)
+                except _AbortBatch:
+                    pass
+                batch = None
+                print("batch rolled back", file=out)
+            elif command == "query":
+                _cmd_query(kb, rest, out)
+            elif command == "ask":
+                print(kb.ask(rest).value, file=out)
+            elif command == "explain":
+                print(kb.explain(rest.rstrip(".")).render(), file=out)
+            elif command == "model":
+                solution = kb.solution
+                print(
+                    render_model(solution.interpretation, solution.base, rest or None),
+                    file=out,
+                )
+            elif command == "facts":
+                facts = list(kb.facts(rest or None))
+                for atom in facts:
+                    print(f"  {atom}.", file=out)
+                print(f"{len(facts)} fact(s)", file=out)
+            elif command == "stats":
+                for key, value in kb.statistics().items():
+                    print(f"  {key:18s} {value}", file=out)
+            elif command == "config":
+                for key, value in kb.config.describe().items():
+                    print(f"  {key:10s} {value}", file=out)
+            else:
+                print(f"error: unknown command {command!r} (try: help)", file=out)
+        except ReproError as error:
+            print(f"error: {error}", file=out)
+    if batch is not None:
+        # EOF with an open batch: keep its updates (commit), like a shell
+        # heredoc ending mid-transaction.
+        batch.__exit__(None, None, None)
+    return 0
+
+
+def _cmd_query(kb: KnowledgeBase, rest: str, out: TextIO) -> None:
+    if not rest:
+        print("error: query expects a relation name or a conjunctive query", file=out)
+        return
+    if "(" not in rest:
+        rows = kb.query(rest)
+        for row in rows:
+            rendered = ", ".join(str(value) for value in row)
+            print(f"  ({rendered})" if row else "  ()", file=out)
+        print(f"{len(rows)} row(s)", file=out)
+        return
+    if query_has_variables(rest):
+        found = 0
+        for answer in kb.answers(rest):
+            found += 1
+            bindings = ", ".join(f"{k} = {v}" for k, v in sorted(answer.as_dict().items()))
+            print(f"  {bindings}", file=out)
+        print(f"{found} answer(s)", file=out)
+        return
+    verdict = kb.ask(rest)
+    print(verdict.value, file=out)

@@ -95,9 +95,11 @@ class TestCliStrategy:
         assert main(["bench", str(path), "--repeat", "1"], out=out) == 0
         assert "grounding phase" not in out.getvalue()
 
-    def test_rejects_unknown_strategy(self, program_file):
-        with pytest.raises(SystemExit):
-            main(["solve", program_file, "--strategy", "quantum"], out=io.StringIO())
+    def test_rejects_unknown_strategy(self, program_file, capsys):
+        # Validation is centralised in EngineConfig: every command reports
+        # an unknown value with the same message and exit code 2.
+        assert main(["solve", program_file, "--strategy", "quantum"], out=io.StringIO()) == 2
+        assert "unknown evaluation strategy 'quantum'" in capsys.readouterr().err
 
 
 def test_public_exports():

@@ -55,6 +55,14 @@ def test_first_order_bodies_headline_facts():
     assert "identical? True" in output
 
 
+def test_live_session_headline_facts():
+    output = run_example(EXAMPLES_DIR / "live_session.py")
+    assert "winning positions: ['c']" in output
+    assert "wins(c) verdict  : false" in output
+    assert "incremental:" in output
+    assert "reuse:" in output
+
+
 def test_semantics_zoo_headline_facts():
     output = run_example(EXAMPLES_DIR / "semantics_zoo.py")
     assert "Theorem 7.8 AFP == WFS: yes" in output

@@ -1,0 +1,126 @@
+"""Unit tests for the interactive repl loop (driven by scripted lines)."""
+
+import io
+
+from repro.config import EngineConfig
+from repro.session import KnowledgeBase, run_repl
+from repro.session.repl import HELP_TEXT
+
+GAME_TEXT = """
+move(a, b). move(b, a). move(b, c). move(c, d).
+wins(X) :- move(X, Y), not wins(Y).
+"""
+
+
+def drive(kb, *lines) -> str:
+    out = io.StringIO()
+    assert run_repl(kb, list(lines), out) == 0
+    return out.getvalue()
+
+
+def test_query_relation_and_conjunctive():
+    kb = KnowledgeBase(GAME_TEXT)
+    output = drive(kb, "query wins", "query wins(X)", "query wins(c)")
+    assert "(c)" in output
+    assert "X = c" in output
+    assert "true" in output
+
+
+def test_assert_retract_round_trip():
+    kb = KnowledgeBase(GAME_TEXT)
+    output = drive(
+        kb,
+        "assert move(d, e).",
+        "query wins",
+        "retract move(d, e)",
+        "query wins",
+        "assert move(d, e).",
+        "assert move(d, e).",
+    )
+    assert "asserted" in output
+    assert "retracted" in output
+    assert "unchanged (already present)" in output
+
+
+def test_batch_commit_and_abort():
+    kb = KnowledgeBase(GAME_TEXT)
+    output = drive(
+        kb,
+        "begin",
+        "assert move(d, e).",
+        "abort",
+        "query wins",
+        "begin",
+        "assert move(d, e).",
+        "commit",
+        "ask wins(c)",
+    )
+    assert "batch open" in output
+    assert "batch rolled back" in output
+    assert "batch committed" in output
+    assert "false" in output.splitlines()[-1] or "false" in output
+
+
+def test_model_facts_stats_config_help():
+    kb = KnowledgeBase(GAME_TEXT, config=EngineConfig(semantics="well-founded"))
+    output = drive(kb, "model wins", "facts move", "stats", "config", "help")
+    assert "wins(c)" in output
+    assert "move(a, b)." in output
+    assert "semantics" in output
+    assert "strategy" in output
+    assert "commands:" in output
+    assert HELP_TEXT.splitlines()[1].strip() in output
+
+
+def test_explain_and_errors_keep_looping():
+    kb = KnowledgeBase(GAME_TEXT)
+    output = drive(
+        kb,
+        "explain wins(c)",
+        "frobnicate",
+        "assert move(X, Y).",
+        "commit",
+        "query wins",
+    )
+    assert "wins(c): true" in output
+    assert "unknown command 'frobnicate'" in output
+    assert "error:" in output  # the non-ground assert reports, loop continues
+    assert "no open batch" in output
+    assert "1 row(s)" in output
+
+
+def test_comments_blank_lines_and_quit():
+    kb = KnowledgeBase(GAME_TEXT)
+    output = drive(kb, "", "% a comment", "quit", "query wins")
+    # quit stops processing: the query after it never runs
+    assert "row(s)" not in output
+
+
+def test_open_batch_at_eof_commits():
+    kb = KnowledgeBase(GAME_TEXT)
+    drive(kb, "begin", "assert move(d, e).")
+    assert kb.is_false("wins", "c")
+
+
+def test_cli_repl_command(tmp_path, monkeypatch, capsys):
+    from repro.cli import main
+
+    path = tmp_path / "game.lp"
+    path.write_text(GAME_TEXT, encoding="utf-8")
+    script = io.StringIO("assert move(d, e).\nquery wins\nstats\nquit\n")
+    monkeypatch.setattr("sys.stdin", script)
+    out = io.StringIO()
+    assert main(["repl", str(path)], out=out) == 0
+    text = out.getvalue()
+    assert "asserted" in text
+    assert "(b)" in text and "(d)" in text
+
+
+def test_cli_repl_without_program(monkeypatch):
+    from repro.cli import main
+
+    script = io.StringIO("assert color(red).\nquery color\nquit\n")
+    monkeypatch.setattr("sys.stdin", script)
+    out = io.StringIO()
+    assert main(["repl"], out=out) == 0
+    assert "(red)" in out.getvalue()
