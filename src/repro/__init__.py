@@ -60,6 +60,7 @@ from .engine import Solution, answers, ask, solve
 from .evaluation import DEFAULT_STRATEGY, EVALUATION_STRATEGIES
 from .fixpoint import PartialInterpretation, TruthValue
 from .session import KnowledgeBase, ResultSet, UpdateStats
+from .storage import FactStore, MemoryStore, SqliteStore, open_store
 
 __version__ = "1.1.0"
 
@@ -94,5 +95,9 @@ __all__ = [
     "EVALUATION_STRATEGIES",
     "PartialInterpretation",
     "TruthValue",
+    "FactStore",
+    "MemoryStore",
+    "SqliteStore",
+    "open_store",
     "__version__",
 ]

@@ -25,9 +25,12 @@
 
 Commands that evaluate fixpoints share one set of configuration options —
 ``--strategy``, ``--engine``, ``--grounder`` (and ``--semantics`` where a
-semantics choice makes sense) — which are folded into a single validated
-:class:`~repro.config.EngineConfig`; every command therefore rejects an
-unknown value with the same error message listing the accepted ones.
+semantics choice makes sense; ``--store memory|sqlite:PATH`` where EDB
+facts are consumed, so ``solve``/``query``/``explain`` can read a
+persistent fact base and ``repl`` can mutate one durably) — which are
+folded into a single validated :class:`~repro.config.EngineConfig`; every
+command therefore rejects an unknown value with the same error message
+listing the accepted ones.
 ``trace`` defaults to the monolithic engine because the Table I view *is*
 the global stage sequence (it prints per-component statistics instead when
 asked for the modular engine).
@@ -93,6 +96,7 @@ def build_parser() -> argparse.ArgumentParser:
         strategy: bool = True,
         engine: bool = True,
         grounder: bool = True,
+        store: bool = False,
         engine_default: str = DEFAULT_ENGINE,
     ) -> None:
         # Values are validated centrally by EngineConfig (not argparse
@@ -130,10 +134,19 @@ def build_parser() -> argparse.ArgumentParser:
                 metavar="NAME",
                 help=f"grounder: {', '.join(SUPPORTED_GROUNDERS)} (default: relevant)",
             )
+        if store:
+            sub.add_argument(
+                "--store",
+                default="memory",
+                metavar="SPEC",
+                help="fact-storage backend: 'memory' or 'sqlite:PATH' — with a "
+                "SQLite store, EDB facts come from (and, in the repl, persist "
+                "to) the database file (default: memory)",
+            )
 
     solve_parser = subparsers.add_parser("solve", help="compute a model and print it")
     add_program_arguments(solve_parser)
-    add_config_arguments(solve_parser, semantics=True)
+    add_config_arguments(solve_parser, semantics=True, store=True)
     solve_parser.add_argument("--predicate", help="restrict the printed model to one relation")
     solve_parser.add_argument("--json", metavar="OUT", help="also write the model as JSON")
 
@@ -141,7 +154,7 @@ def build_parser() -> argparse.ArgumentParser:
         "repl", help="interactive knowledge-base session (assert/retract/query)"
     )
     add_program_arguments(repl_parser, optional=True)
-    add_config_arguments(repl_parser, semantics=True)
+    add_config_arguments(repl_parser, semantics=True, store=True)
 
     trace_parser = subparsers.add_parser("trace", help="print the alternating-fixpoint iteration table")
     add_program_arguments(trace_parser)
@@ -153,7 +166,7 @@ def build_parser() -> argparse.ArgumentParser:
     query_parser = subparsers.add_parser("query", help="answer a conjunctive query")
     add_program_arguments(query_parser)
     query_parser.add_argument("query", help='e.g. "wins(X), not wins(Y)" or a ground query')
-    add_config_arguments(query_parser, semantics=True)
+    add_config_arguments(query_parser, semantics=True, store=True)
 
     bench_parser = subparsers.add_parser(
         "bench", help="time grounding, strategies and engines on the program"
@@ -185,7 +198,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     explain_parser = subparsers.add_parser("explain", help="justify an atom's well-founded verdict")
     add_program_arguments(explain_parser)
-    add_config_arguments(explain_parser)
+    add_config_arguments(explain_parser, store=True)
     explain_parser.add_argument("atom", help="ground atom, e.g. wins(c)")
 
     compare_parser = subparsers.add_parser("compare", help="verdicts under every semantics")
@@ -208,6 +221,7 @@ def _config_from_args(arguments) -> EngineConfig:
         strategy=getattr(arguments, "strategy", DEFAULT_STRATEGY),
         engine=getattr(arguments, "engine", DEFAULT_ENGINE),
         grounder=getattr(arguments, "grounder", "relevant"),
+        store=getattr(arguments, "store", "memory"),
     )
 
 

@@ -33,6 +33,7 @@ from .datalog.grounding import (
     GroundingLimits,
 )
 from .exceptions import EvaluationError, GroundingError
+from .storage import DEFAULT_STORE, SUPPORTED_STORES, open_store, parse_store_spec
 
 __all__ = [
     "SUPPORTED_SEMANTICS",
@@ -45,11 +46,14 @@ __all__ = [
     "DEFAULT_GROUNDER",
     "GROUNDING_MATCHERS",
     "DEFAULT_GROUNDING_MATCHER",
+    "SUPPORTED_STORES",
+    "DEFAULT_STORE",
     "validate_semantics",
     "validate_strategy",
     "validate_engine",
     "validate_grounder",
     "validate_matcher",
+    "validate_store",
     "EngineConfig",
     "resolve_config",
     "merge_entry_config",
@@ -132,6 +136,16 @@ def validate_matcher(matcher: str) -> str:
     return matcher
 
 
+def validate_store(store: str) -> str:
+    """Return the store spec if it is well-formed, raising otherwise.
+
+    Accepted shapes: ``"memory"`` (default) or ``"sqlite:PATH"`` — see
+    :func:`repro.storage.parse_store_spec`.
+    """
+    parse_store_spec(store)
+    return store
+
+
 @dataclass(frozen=True)
 class EngineConfig:
     """Every evaluation choice, validated together at construction.
@@ -153,6 +167,12 @@ class EngineConfig:
         (:data:`GROUNDING_MATCHERS`), or ``None`` for the default.  Only
         meaningful with ``grounder="relevant"`` — any other combination is
         rejected here, in the one place field combinations are checked.
+    store:
+        Fact-storage backend spec: ``"memory"`` (default) or
+        ``"sqlite:PATH"``.  A :class:`~repro.session.KnowledgeBase` built
+        with this config keeps its EDB in the named backend, and one-shot
+        :func:`~repro.engine.solver.solve` calls read their facts from it
+        (:meth:`create_store` opens the backend).
     limits:
         Optional :class:`~repro.datalog.grounding.GroundingLimits`.
     """
@@ -162,6 +182,7 @@ class EngineConfig:
     engine: str = DEFAULT_ENGINE
     grounder: str = DEFAULT_GROUNDER
     matcher: Optional[str] = None
+    store: str = DEFAULT_STORE
     limits: Optional[GroundingLimits] = None
 
     def __post_init__(self) -> None:
@@ -169,6 +190,7 @@ class EngineConfig:
         validate_strategy(self.strategy)
         validate_engine(self.engine)
         validate_grounder(self.grounder)
+        validate_store(self.store)
         if self.matcher is not None:
             validate_matcher(self.matcher)
             if self.grounder != "relevant":
@@ -194,6 +216,11 @@ class EngineConfig:
         """A copy with some fields changed (re-validated on construction)."""
         return dataclasses.replace(self, **changes)
 
+    def create_store(self):
+        """Open the :class:`~repro.storage.FactStore` the ``store`` spec
+        names (a fresh backend per call; the caller owns closing it)."""
+        return open_store(self.store)
+
     def describe(self) -> dict[str, object]:
         """The configuration as a plain dict (CLI/REPL ``config`` display)."""
         return {
@@ -201,6 +228,7 @@ class EngineConfig:
             "strategy": self.strategy,
             "engine": self.engine,
             "grounder": self.resolved_grounder,
+            "store": self.store,
             "limits": self.limits,
         }
 

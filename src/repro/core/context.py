@@ -38,6 +38,7 @@ from ..datalog.grounding import (
 from ..datalog.rules import Program, Rule
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..config import EngineConfig
+    from ..storage.base import FactStore
 
 __all__ = ["GroundRule", "GroundContext", "build_context"]
 
@@ -97,6 +98,7 @@ def build_context(
     extra_atoms: Iterable[Atom] = (),
     grounder: str | None = None,
     config: "EngineConfig | None" = None,
+    store: "FactStore | None" = None,
 ) -> GroundContext:
     """Ground *program* and build an evaluation context.
 
@@ -129,6 +131,15 @@ def build_context(
         An :class:`~repro.config.EngineConfig` supplying ``grounder`` (with
         the matcher folded in) and ``limits`` together; the per-field
         keywords, when given, take precedence.
+    store:
+        An optional :class:`~repro.storage.FactStore` supplying EDB facts
+        alongside the program's own fact rules.  With the default
+        ``"relevant"`` grounder and a non-ground program, the store's rows
+        and bound-position indexes are probed in place by the streaming
+        grounder — the per-solve copy of the fact base into a fresh
+        ``RelationStore`` disappears.  Ground programs and the other
+        grounders materialise the store's facts into the program instead
+        (preserving their exact historical rule sets and atom bases).
     """
     if config is not None:
         if grounder is None:
@@ -138,6 +149,9 @@ def build_context(
     validate_grounder(grounder if grounder is not None else DEFAULT_GROUNDER)
     if grounder is None:
         grounder = DEFAULT_GROUNDER
+    if store is not None and (program.is_ground or grounder != "relevant"):
+        program = Program.union(store.as_program(), program)
+        store = None
     grounded: Program | None
     if program.is_ground:
         grounded = program
@@ -151,7 +165,7 @@ def build_context(
     else:
         # Consume the indexed grounder's incremental stream directly.
         grounded = None
-        rule_stream = stream_relevant_ground(program, limits)
+        rule_stream = stream_relevant_ground(program, limits, store=store)
 
     collected: list[Rule] | None = [] if grounded is None else None
     facts: set[Atom] = set()

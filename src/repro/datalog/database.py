@@ -5,32 +5,57 @@ logic program defines a mapping from EDB instances to IDB instances.  This
 module provides the :class:`Database` container for EDB relations, so that
 the same rule set can be evaluated against different fact bases — which is
 exactly how the benchmark harness sweeps over workloads.
+
+Since the storage redesign, :class:`Database` is a thin façade over a
+:class:`~repro.storage.FactStore` (a fresh in-memory
+:class:`~repro.storage.MemoryStore` by default — pass ``store=`` to front
+an existing backend, including a durable
+:class:`~repro.storage.SqliteStore`).  The façade keeps the historical
+name-keyed convenience surface; underneath, relations are keyed on the
+full ``(predicate, arity)`` signature, so same-name/different-arity
+relations never collide, reads never mutate (the old ``defaultdict``
+container inserted empty relations on lookup miss), and relations emptied
+by ``remove`` drop out of :meth:`relations` instead of lingering.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import Iterable, Iterator, Mapping, Optional, Sequence
 
-from ..exceptions import NotGroundError
+from ..storage.base import FactStore
+from ..storage.memory import MemoryStore
 from .atoms import Atom
 from .rules import Program, Rule
-from .terms import Constant, Term
+from .terms import Term
 
 __all__ = ["Database"]
 
 
-@dataclass
 class Database:
     """A set of EDB facts, organised per relation.
 
     Tuples are stored as tuples of ground :class:`Term`.  Plain Python
     values are coerced to constants on insertion, so ``db.add("edge", 1, 2)``
     works directly.
+
+    Parameters
+    ----------
+    store:
+        The :class:`~repro.storage.FactStore` backend to front.  Defaults
+        to a fresh :class:`~repro.storage.MemoryStore`; the solver probes
+        this store's indexes directly when a database is passed to
+        :func:`repro.engine.solver.solve`.
     """
 
-    _relations: dict[str, set[tuple[Term, ...]]] = field(default_factory=lambda: defaultdict(set))
+    __slots__ = ("_store",)
+
+    def __init__(self, store: Optional[FactStore] = None):
+        self._store = store if store is not None else MemoryStore()
+
+    @property
+    def store(self) -> FactStore:
+        """The backing :class:`~repro.storage.FactStore`."""
+        return self._store
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -57,19 +82,15 @@ class Database:
     # ------------------------------------------------------------------ #
     def add(self, relation: str, *values: object) -> None:
         """Insert a tuple into a relation, coercing values to constants."""
-        row = tuple(value if isinstance(value, (Constant,)) else Constant(value) for value in values)
-        self._relations[relation].add(row)
+        self._store.add(relation, *values)
 
     def add_atom(self, fact: Atom) -> None:
         """Insert a ground atom as a fact."""
-        if not fact.is_ground:
-            raise NotGroundError(f"EDB fact {fact} is not ground")
-        self._relations[fact.predicate].add(fact.args)
+        self._store.add_atom(fact)
 
     def remove(self, relation: str, *values: object) -> None:
         """Remove a tuple if present (no error if absent)."""
-        row = tuple(value if isinstance(value, (Constant,)) else Constant(value) for value in values)
-        self._relations.get(relation, set()).discard(row)
+        self._store.remove(relation, *values)
 
     def remove_atom(self, fact: Atom) -> None:
         """Remove a ground atom if present (no error if absent).
@@ -77,40 +98,38 @@ class Database:
         Unlike :meth:`remove` this takes the argument terms verbatim, so
         compound terms survive the round trip with :meth:`add_atom`.
         """
-        self._relations.get(fact.predicate, set()).discard(fact.args)
+        self._store.remove_atom(fact)
 
     # ------------------------------------------------------------------ #
-    # Queries
+    # Queries (non-mutating: lookups of unknown relations change nothing)
     # ------------------------------------------------------------------ #
     def relations(self) -> set[str]:
-        return {name for name, rows in self._relations.items() if rows}
+        return self._store.relation_names()
 
     def tuples(self, relation: str) -> set[tuple[Term, ...]]:
-        return set(self._relations.get(relation, set()))
+        found: set[tuple[Term, ...]] = set()
+        for name, arity in self._store.signatures():
+            if name == relation:
+                found.update(self._store.tuples(name, arity))
+        return found
 
     def values(self, relation: str) -> set[tuple[object, ...]]:
         """Tuples of a relation with constants unwrapped to Python values."""
-        return {
-            tuple(term.value if isinstance(term, Constant) else term for term in row)
-            for row in self._relations.get(relation, set())
-        }
+        return self._store.values(relation)
 
     def contains(self, relation: str, *values: object) -> bool:
-        row = tuple(value if isinstance(value, (Constant,)) else Constant(value) for value in values)
-        return row in self._relations.get(relation, set())
+        return self._store.contains(relation, *values)
 
     def contains_atom(self, fact: Atom) -> bool:
         """Membership test for a ground atom (argument terms taken verbatim)."""
-        return fact.args in self._relations.get(fact.predicate, set())
+        return self._store.contains_atom(fact)
 
     def facts(self) -> Iterator[Atom]:
         """Yield every fact as a ground atom."""
-        for name, rows in self._relations.items():
-            for row in rows:
-                yield Atom(name, row)
+        return self._store.facts()
 
     def __len__(self) -> int:
-        return sum(len(rows) for rows in self._relations.values())
+        return len(self._store)
 
     def __iter__(self) -> Iterator[Atom]:
         return self.facts()
@@ -118,9 +137,10 @@ class Database:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Database):
             return NotImplemented
-        return {k: v for k, v in self._relations.items() if v} == {
-            k: v for k, v in other._relations.items() if v
-        }
+        return self._store.contents() == other._store.contents()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Database({len(self)} facts over {type(self._store).__name__})"
 
     # ------------------------------------------------------------------ #
     # Program integration
@@ -135,8 +155,4 @@ class Database:
 
     def constants(self) -> set[Term]:
         """Every constant appearing in some stored tuple."""
-        result: set[Term] = set()
-        for rows in self._relations.values():
-            for row in rows:
-                result.update(row)
-        return result
+        return self._store.constants()

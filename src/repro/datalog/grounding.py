@@ -54,13 +54,16 @@ from __future__ import annotations
 import itertools
 import time
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional, Sequence
 
 from ..exceptions import GroundingError, GroundingTimeout
 from .atoms import Atom, Literal
 from .joins import RelationStore, join_bindings
 from .rules import Program, Rule
 from .terms import Constant, Term, Variable, enumerate_ground_terms, term_constants, term_functions
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..storage.base import FactStore
 
 __all__ = [
     "GroundingLimits",
@@ -233,10 +236,102 @@ def _validate_matcher(matcher: str) -> None:
         raise GroundingError(f"unknown grounding matcher {matcher!r}; expected one of: {choices}")
 
 
+class _SplitRelation:
+    """One relation's joint row space: the frozen base store's rows in
+    ``[0, base_bound)`` followed by the run's overlay rows shifted up by
+    ``base_bound`` — presented through the ``candidate_rows`` probe shape
+    :func:`repro.datalog.joins.join_bindings` consumes."""
+
+    __slots__ = ("store", "predicate", "arity", "base_bound", "overlay")
+
+    def __init__(
+        self,
+        store: "FactStore",
+        predicate: str,
+        arity: int,
+        base_bound: int,
+        overlay: RelationStore,
+    ):
+        self.store = store
+        self.predicate = predicate
+        self.arity = arity
+        self.base_bound = base_bound
+        self.overlay = overlay
+
+    def candidate_rows(
+        self,
+        positions: tuple[int, ...],
+        key: tuple[Term, ...],
+        lo: int,
+        hi: int,
+    ) -> Iterator[tuple[int, tuple[Term, ...]]]:
+        bound = self.base_bound
+        if lo < bound:
+            yield from self.store.candidate_rows(
+                self.predicate, self.arity, positions, key, lo, min(hi, bound)
+            )
+        if hi > bound:
+            relation = self.overlay.relation(self.predicate, self.arity)
+            if relation is not None:
+                for sequence, row in relation.candidate_rows(
+                    positions, key, max(lo - bound, 0), hi - bound
+                ):
+                    yield sequence + bound, row
+
+
+class _EnvelopeSpace:
+    """The envelope fixpoint's atom space over an optional live base store.
+
+    Without a base this is exactly the per-run :class:`RelationStore` the
+    grounder has always used.  With one, the base's rows (and its lazily
+    built, *persistent* indexes) are probed in place — never copied or
+    re-indexed — and only the atoms derived during this run land in the
+    per-run overlay.  The base must not be mutated while the run's windows
+    are live.
+    """
+
+    __slots__ = ("base", "overlay", "base_bounds", "_views")
+
+    def __init__(self, base: "FactStore | None"):
+        self.base = base
+        self.overlay = RelationStore()
+        self.base_bounds: dict[tuple[str, int], int] = dict(base.sizes()) if base else {}
+        self._views: dict[tuple[str, int], _SplitRelation] = {}
+
+    def add_atom(self, atom: Atom) -> bool:
+        if self.base is not None and self.base.contains_atom(atom):
+            return False
+        return self.overlay.add_atom(atom)
+
+    def __contains__(self, atom: Atom) -> bool:
+        if self.base is not None and self.base.contains_atom(atom):
+            return True
+        return atom in self.overlay
+
+    def sizes(self) -> dict[tuple[str, int], int]:
+        sizes = dict(self.base_bounds)
+        for key, relation in self.overlay.relations.items():
+            sizes[key] = sizes.get(key, 0) + relation.sequence_bound
+        return sizes
+
+    def relation(self, predicate: str, arity: int):
+        key = (predicate, arity)
+        base_bound = self.base_bounds.get(key, 0)
+        if not base_bound:
+            return self.overlay.relation(predicate, arity)
+        view = self._views.get(key)
+        if view is None:
+            view = self._views[key] = _SplitRelation(
+                self.base, predicate, arity, base_bound, self.overlay
+            )
+        return view
+
+
 def relevant_ground(
     program: Program,
     limits: GroundingLimits | None = None,
     matcher: str = DEFAULT_GROUNDING_MATCHER,
+    store: "FactStore | None" = None,
 ) -> Program:
     """Instantiate rules only where their positive body is supportable.
 
@@ -262,15 +357,25 @@ def relevant_ground(
     ``"indexed"`` — the semi-naive hash-join grounder — or ``"scan"`` — the
     original linear-scan oracle.  Both produce the same rule set (the
     property suite asserts this), differing only in enumeration order.
+
+    *store*, when given, supplies EDB facts from a live
+    :class:`~repro.storage.FactStore` in addition to the program's own fact
+    rules; the indexed matcher probes the store's indexes in place (see
+    :func:`stream_relevant_ground`), the scan oracle materialises the
+    store's facts into the program first.
     """
     _validate_matcher(matcher)
     if matcher == "scan":
+        if store is not None:
+            program = Program.union(store.as_program(), program)
         return _scan_relevant_ground(program, limits)
-    return Program(stream_relevant_ground(program, limits))
+    return Program(stream_relevant_ground(program, limits, store=store))
 
 
 def stream_relevant_ground(
-    program: Program, limits: GroundingLimits | None = None
+    program: Program,
+    limits: GroundingLimits | None = None,
+    store: "FactStore | None" = None,
 ) -> Iterator[Rule]:
     """Stream the relevant grounding incrementally (indexed matcher).
 
@@ -280,6 +385,13 @@ def stream_relevant_ground(
     its last positive body atom completes its join.  Consumers such as
     :func:`repro.core.context.build_context` use the stream to build their
     own indexes in the same pass instead of waiting for the full program.
+
+    *store*, when given, is a live :class:`~repro.storage.FactStore` whose
+    facts join the program's own fact rules as the EDB.  Its rows are
+    probed **in place** through the store's bound-position indexes — the
+    store is never copied into a per-run ``RelationStore``, and for the
+    in-memory backend the indexes one run builds are reused by the next.
+    The store must not be mutated while the stream is being consumed.
     """
     limits = limits or GroundingLimits()
     budget = _Budget(limits)
@@ -288,21 +400,26 @@ def stream_relevant_ground(
     seen: set[Rule] = set()
     emitted = 0
 
-    store = RelationStore()
+    space = _EnvelopeSpace(store)
     pending: list[Atom] = []
     pending_set: set[Atom] = set()
 
     def derive(atom: Atom) -> None:
-        if atom not in pending_set and atom not in store:
+        if atom not in pending_set and atom not in space:
             pending_set.add(atom)
             pending.append(atom)
 
-    for fact in sorted(program.fact_atoms(), key=str):
+    facts = set(program.fact_atoms())
+    if store is not None:
+        facts.update(store.facts())
+    for fact in sorted(facts, key=str):
         rule = Rule(fact)
         if rule not in seen:
             seen.add(rule)
             emitted += 1
             yield rule
+        # Facts already present in the base store are part of round 0's
+        # delta windows by construction; `derive` skips them.
         derive(fact)
 
     decomposed: list[tuple[Rule, tuple[Atom, ...], tuple[tuple[str, int], ...]]] = []
@@ -333,14 +450,19 @@ def stream_relevant_ground(
     # before i to strictly older rows and conjuncts after i to all rows,
     # so no binding is enumerated twice.
     # ------------------------------------------------------------------ #
+    # With a base store, round 0 must also sweep the base rows: old_sizes
+    # starts all-zero, so the first round's delta windows cover them even
+    # when no program fact added anything to the overlay.
     old_sizes: dict[tuple[str, int], int] = {}
-    while pending:
+    base_round = bool(space.base_bounds)
+    while pending or base_round:
+        base_round = False
         batch = pending
         pending = []
         for atom in batch:
-            store.add_atom(atom)
+            space.add_atom(atom)
         pending_set.clear()
-        new_sizes = store.sizes()
+        new_sizes = space.sizes()
 
         for rule, positive, signatures in decomposed:
             if not positive:
@@ -359,7 +481,7 @@ def stream_relevant_ground(
                         windows.append((delta_lo, delta_hi))
                     else:
                         windows.append((0, new_sizes.get(signature, 0)))
-                for binding in join_bindings(positive, windows, store, seed=i):
+                for binding in join_bindings(positive, windows, space, seed=i):
                     ground = _instantiate_rule(rule, binding)
                     if ground not in seen:
                         seen.add(ground)

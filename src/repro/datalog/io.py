@@ -9,7 +9,10 @@ standard library:
   syntax of :mod:`repro.datalog.parser` (comments preserved as written on
   load in the sense that they are simply ignored);
 * :func:`load_facts_csv` / :func:`save_facts_csv` — one relation per file,
-  one tuple per line, comma-separated;
+  one tuple per line, comma-separated; both stream through any fact
+  container — a :class:`~repro.datalog.database.Database` or any
+  :class:`~repro.storage.FactStore` backend (so a CSV can be bulk-loaded
+  straight into a durable :class:`~repro.storage.SqliteStore`);
 * :func:`interpretation_to_dict` / :func:`interpretation_from_dict` and the
   JSON wrappers — a stable, documented serialisation of partial
   interpretations (true / false / optionally undefined atom lists), used by
@@ -25,11 +28,17 @@ from typing import Iterable, Mapping, Optional, Sequence
 
 from ..exceptions import ParseError
 from ..fixpoint.interpretations import PartialInterpretation
+from ..storage.base import FactStore
 from .atoms import Atom
 from .database import Database
 from .parser import parse_atom, parse_program
 from .rules import Program
 from .terms import Constant
+
+#: Containers the CSV helpers stream through: the historical Database
+#: façade or any FactStore backend.  Both expose the same value-coercing
+#: ``add(relation, *values)`` / ``values(relation)`` surface.
+FactSink = Database | FactStore
 
 __all__ = [
     "load_program",
@@ -71,14 +80,18 @@ def save_program(program: Program, path: str | Path, header: Optional[str] = Non
 def load_facts_csv(
     path: str | Path,
     relation: str,
-    database: Optional[Database] = None,
+    database: Optional[FactSink] = None,
     numeric: bool = True,
-) -> Database:
-    """Load one relation from a comma-separated file into a database.
+) -> FactSink:
+    """Load one relation from a comma-separated file into a fact container.
 
     Each row becomes one tuple of the relation; with ``numeric`` (default)
     cells that look like integers are stored as integers, everything else as
-    strings.  Appends to *database* when given, otherwise creates a new one.
+    strings.  Appends to *database* when given — a :class:`Database` or any
+    :class:`~repro.storage.FactStore` backend, which the rows stream into
+    one at a time (no intermediate materialisation, so a larger-than-memory
+    CSV can flow straight into a durable store) — otherwise creates and
+    returns a new :class:`Database`.
     """
     database = database if database is not None else Database()
     with open(path, newline="", encoding="utf-8") as handle:
@@ -90,8 +103,9 @@ def load_facts_csv(
     return database
 
 
-def save_facts_csv(database: Database, relation: str, path: str | Path) -> None:
-    """Write one relation of *database* as a comma-separated file."""
+def save_facts_csv(database: FactSink, relation: str, path: str | Path) -> None:
+    """Write one relation of a fact container (a :class:`Database` or any
+    :class:`~repro.storage.FactStore`) as a comma-separated file."""
     rows = sorted(database.values(relation), key=lambda row: tuple(str(v) for v in row))
     with open(path, "w", newline="", encoding="utf-8") as handle:
         writer = csv.writer(handle)

@@ -57,22 +57,35 @@ class Relation:
     been probed.  Indexes are built lazily from the current rows and then
     maintained incrementally on every :meth:`add`, so the cost of an index
     is only paid for patterns the workload's rules really use.
+
+    Removal (used by the long-lived :class:`repro.storage.MemoryStore`,
+    never by a grounding run) leaves a ``None`` tombstone in ``rows`` so
+    the sequence numbers of surviving rows — which delta windows and index
+    posting lists are keyed on — stay valid; probes skip tombstones, and
+    :meth:`compact` rebuilds once the garbage dominates.
     """
 
-    __slots__ = ("predicate", "arity", "rows", "row_ids", "indexes")
+    __slots__ = ("predicate", "arity", "rows", "row_ids", "indexes", "dead")
 
     def __init__(self, predicate: str, arity: int):
         self.predicate = predicate
         self.arity = arity
-        self.rows: list[tuple[Term, ...]] = []
+        self.rows: list[Optional[tuple[Term, ...]]] = []
         self.row_ids: dict[tuple[Term, ...], int] = {}
         self.indexes: dict[tuple[int, ...], dict[tuple[Term, ...], list[int]]] = {}
+        self.dead = 0
 
     def __len__(self) -> int:
-        return len(self.rows)
+        return len(self.rows) - self.dead
 
     def __contains__(self, args: tuple[Term, ...]) -> bool:
         return args in self.row_ids
+
+    @property
+    def sequence_bound(self) -> int:
+        """Exclusive upper bound on row sequence numbers (tombstones
+        included, so the bound is monotone under removal)."""
+        return len(self.rows)
 
     def add(self, args: tuple[Term, ...]) -> bool:
         """Append a row unless present; returns True when the row is new.
@@ -90,6 +103,33 @@ class Relation:
             index.setdefault(key, []).append(sequence)
         return True
 
+    def remove(self, args: tuple[Term, ...]) -> bool:
+        """Tombstone a row if present; returns True when a row was removed."""
+        sequence = self.row_ids.pop(args, None)
+        if sequence is None:
+            return False
+        self.rows[sequence] = None
+        self.dead += 1
+        return True
+
+    def compact(self) -> None:
+        """Drop tombstones, renumbering the surviving rows.
+
+        Invalidates every outstanding sequence number, so callers must only
+        compact between grounding runs — never while delta windows over
+        this relation are live.
+        """
+        if not self.dead:
+            return
+        survivors = [args for args in self.rows if args is not None]
+        probed = tuple(self.indexes)
+        self.rows = survivors
+        self.row_ids = {args: sequence for sequence, args in enumerate(survivors)}
+        self.dead = 0
+        self.indexes = {}
+        for positions in probed:
+            self.ensure_index(positions)
+
     def ensure_index(
         self, positions: tuple[int, ...]
     ) -> dict[tuple[Term, ...], list[int]]:
@@ -99,6 +139,8 @@ class Relation:
         if index is None:
             index = {}
             for sequence, args in enumerate(self.rows):
+                if args is None:
+                    continue
                 key = tuple(args[p] for p in positions)
                 index.setdefault(key, []).append(sequence)
             self.indexes[positions] = index
@@ -116,15 +158,18 @@ class Relation:
         Three probe shapes: all positions bound is a plain membership test
         on ``row_ids``; no position bound walks the whole window; otherwise
         the lazy hash index is consulted and its (ascending) posting list
-        cut to the window with a bisect.
+        cut to the window with a bisect.  Tombstoned rows never surface.
         """
+        rows = self.rows
         if len(positions) == self.arity:
             sequence = self.row_ids.get(key)
             if sequence is not None and lo <= sequence < hi:
                 yield sequence
             return
         if not positions:
-            yield from range(lo, min(hi, len(self.rows)))
+            for sequence in range(lo, min(hi, len(rows))):
+                if rows[sequence] is not None:
+                    yield sequence
             return
         postings = self.ensure_index(positions).get(key)
         if not postings:
@@ -134,11 +179,26 @@ class Relation:
             sequence = postings[position]
             if sequence >= hi:
                 break
-            yield sequence
+            if rows[sequence] is not None:
+                yield sequence
+
+    def candidate_rows(
+        self,
+        positions: tuple[int, ...],
+        key: tuple[Term, ...],
+        lo: int,
+        hi: int,
+    ) -> Iterator[tuple[int, tuple[Term, ...]]]:
+        """:meth:`candidates` paired with the rows themselves — the probe
+        shape shared with :class:`repro.storage.FactStore` backends, which
+        the join enumerator consumes."""
+        rows = self.rows
+        for sequence in self.candidates(positions, key, lo, hi):
+            yield sequence, rows[sequence]
 
     def statistics(self) -> dict[str, int]:
         return {
-            "rows": len(self.rows),
+            "rows": len(self),
             "indexes": len(self.indexes),
             "index_entries": sum(len(ix) for ix in self.indexes.values()),
         }
@@ -167,13 +227,19 @@ class RelationStore:
             relation = self.relations[key] = Relation(atom.predicate, atom.arity)
         return relation.add(atom.args)
 
+    def remove_atom(self, atom: Atom) -> bool:
+        """Remove a ground atom (tombstoning its row); True when present."""
+        relation = self.relations.get((atom.predicate, atom.arity))
+        return relation is not None and relation.remove(atom.args)
+
     def __contains__(self, atom: Atom) -> bool:
         relation = self.relations.get((atom.predicate, atom.arity))
         return relation is not None and atom.args in relation
 
     def sizes(self) -> dict[tuple[str, int], int]:
-        """Current row count per relation — a round boundary snapshot."""
-        return {key: len(relation) for key, relation in self.relations.items()}
+        """Sequence bound per relation — a round boundary snapshot.  Equal
+        to the row count under the grounder's add-only usage."""
+        return {key: relation.sequence_bound for key, relation in self.relations.items()}
 
     def statistics(self) -> dict[str, int]:
         return {
@@ -241,6 +307,12 @@ def join_bindings(
     pattern under the bindings accumulated so far, probes the matching
     hash index, and matches the remaining argument positions to extend the
     binding.  Yielded substitutions are independent dicts.
+
+    *store* need not be a :class:`RelationStore`: any object whose
+    ``relation(predicate, arity)`` returns ``None`` or a relation view with
+    a :meth:`Relation.candidate_rows`-shaped probe works — this is how the
+    grounder joins a live :class:`repro.storage.FactStore` EDB and its
+    per-run overlay of derived atoms through one enumerator.
     """
     order = greedy_join_order(conjuncts, windows, seed, binding.keys() if binding else ())
     count = len(order)
@@ -262,13 +334,12 @@ def join_bindings(
         key = tuple(args[p] for p in positions)
         if len(positions) == pattern.arity:
             # Fully bound probe: a membership test, no new bindings.
-            for _ in relation.candidates(positions, key, lo, hi):
+            for _ in relation.candidate_rows(positions, key, lo, hi):
                 yield from extend(step + 1, current)
             return
         free = tuple(p for p in range(pattern.arity) if p not in positions)
-        rows = relation.rows
-        for sequence in relation.candidates(positions, key, lo, hi):
-            extended = match_projected(args, rows[sequence], free, current)
+        for _, row in relation.candidate_rows(positions, key, lo, hi):
+            extended = match_projected(args, row, free, current)
             if extended is not None:
                 yield from extend(step + 1, extended)
 

@@ -42,6 +42,7 @@ from ..datalog.parser import parse_program
 from ..datalog.rules import Program
 from ..datalog.terms import Constant
 from ..exceptions import EvaluationError
+from ..storage import DEFAULT_STORE, FactStore
 from ..fixpoint.interpretations import PartialInterpretation, TruthValue
 from ..core.alternating import alternating_fixpoint
 from ..core.context import build_context
@@ -166,26 +167,69 @@ def solve_configured(
     program: Union[str, Program],
     config: EngineConfig,
     database: Optional[Database] = None,
+    store: Optional[FactStore] = None,
 ) -> Solution:
     """Solve *program* under an already-resolved :class:`EngineConfig`.
 
     This is the config-native core of :func:`solve`, also used by
     :class:`repro.session.KnowledgeBase` for the semantics its incremental
     engine does not cover.
+
+    EDB facts can arrive three ways, probed in this order: an explicit
+    *store* (any :class:`~repro.storage.FactStore`), a *database* (whose
+    backing store is used directly — the grounder probes its live
+    indexes), or the backend named by ``config.store`` (opened for this
+    call and closed afterwards).  In every case the returned solution's
+    ``program`` includes the facts as fact rules, exactly as the
+    historical ``database.attach`` path produced.
     """
     if isinstance(program, str):
         program = parse_program(program)
-    if database is not None:
-        program = database.attach(program)
+    if store is not None and database is not None:
+        raise EvaluationError("pass either database= or store=, not both")
+    owned: Optional[FactStore] = None
+    if store is None and database is not None:
+        store = database.store
+    if store is None and config.store != DEFAULT_STORE:
+        store = owned = config.create_store()
+    try:
+        return _solve_with_store(program, config, store)
+    finally:
+        if owned is not None:
+            owned.close()
 
+
+def _solve_with_store(
+    program: Program, config: EngineConfig, store: Optional[FactStore]
+) -> Solution:
     semantics = config.semantics
     if semantics == "auto":
+        # Classification is a function of the rules: facts are definite
+        # and add no dependency arcs, so the store need not be attached.
         semantics = resolve_auto_semantics(program)
 
     limits = config.limits
     strategy = config.strategy
     engine = config.engine
-    context = build_context(program, limits=limits, grounder=config.resolved_grounder)
+    if store is not None and (
+        program.is_ground or config.resolved_grounder != "relevant"
+    ):
+        # The naive/scan grounders and the ground-program passthrough need
+        # the facts materialised as fact rules up front.  Everything else
+        # leaves the facts in the store: the streaming grounder probes its
+        # live indexes and emits the fact rules into the context in one
+        # pass — no second enumeration of the EDB.
+        program = Program.union(store.as_program(), program)
+        store = None
+    context = build_context(
+        program, limits=limits, grounder=config.resolved_grounder, store=store
+    )
+    if store is not None:
+        # The grounded context records the store's facts as fact rules;
+        # use it as the solution's program so downstream consumers (the
+        # stratified evaluator below, stable-model re-solves, explainers)
+        # see the full program.
+        program = context.program
 
     if semantics in ("alternating-fixpoint", "well-founded"):
         if semantics == "alternating-fixpoint":
@@ -225,6 +269,7 @@ def solve(
     strategy: Optional[str] = None,
     engine: Optional[str] = None,
     *,
+    store: Optional[FactStore] = None,
     grounder: Optional[str] = None,
     matcher: Optional[str] = None,
     config: Optional[EngineConfig] = None,
@@ -243,7 +288,14 @@ def solve(
         is no stable model.  May be combined with ``config=``, overriding
         the config's semantics.
     database:
-        Optional EDB facts to attach to the rules before solving.
+        Optional EDB facts to attach to the rules before solving.  The
+        database's backing :class:`~repro.storage.FactStore` is probed in
+        place by the grounder, so repeated solves against the same
+        database reuse its indexes.
+    store:
+        Optional :class:`~repro.storage.FactStore` supplying the EDB
+        directly — everywhere a ``database`` is accepted, a store now is
+        too.  Passing both is rejected.
     config:
         An :class:`EngineConfig` carrying every evaluation choice
         (semantics / strategy / engine / grounder / matcher / limits),
@@ -270,4 +322,4 @@ def solve(
         warn=True,
         caller="solve",
     )
-    return solve_configured(program, resolved, database=database)
+    return solve_configured(program, resolved, database=database, store=store)

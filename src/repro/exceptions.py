@@ -85,6 +85,12 @@ class EvaluationError(ReproError):
     covered by the more specific exception classes."""
 
 
+class StorageError(ReproError):
+    """Raised by the :mod:`repro.storage` backends: unknown store
+    specifications, operations on a closed store, savepoint misuse, or a
+    value that the backend cannot serialise."""
+
+
 class FormulaError(ReproError):
     """Raised when a first-order formula (Section 8 of the paper) is
     malformed or used in a context where it is not supported."""

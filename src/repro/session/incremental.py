@@ -40,7 +40,10 @@ from __future__ import annotations
 import dataclasses
 import time
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Optional
+from typing import TYPE_CHECKING, Iterable, Mapping, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..storage.base import FactStore
 
 from ..analysis.dependency import build_atom_dependency_graph
 from ..config import DEFAULT_STRATEGY, validate_strategy
@@ -102,9 +105,23 @@ class UpdateStats:
 
 
 class IncrementalEngine:
-    """Keeps the modular well-founded model warm across EDB updates."""
+    """Keeps the modular well-founded model warm across EDB updates.
 
-    def __init__(self, rules: Program, strategy: str = DEFAULT_STRATEGY):
+    Pass a :class:`~repro.storage.FactStore` (or call :meth:`observe`) and
+    the engine subscribes to its change events: every mutation of the
+    store — from the owning session, a batch rollback's inverse replay, or
+    unrelated code holding the store — accumulates into the pending change
+    set that :meth:`refresh_pending` turns into component invalidation.
+    Without a store, callers hand the changed-atom set to :meth:`refresh`
+    themselves, as before.
+    """
+
+    def __init__(
+        self,
+        rules: Program,
+        strategy: str = DEFAULT_STRATEGY,
+        store: "FactStore | None" = None,
+    ):
         rules.require_ground()
         validate_strategy(strategy)
         self._strategy = strategy
@@ -140,6 +157,56 @@ class IncrementalEngine:
         self._facts: frozenset[Atom] = frozenset()
         self._solved = False
         self._last: Optional[UpdateStats] = None
+
+        # Store-event plumbing: pending atoms whose fact status flipped
+        # since the last successful refresh (symmetric toggle, so an
+        # assert+retract pair cancels).
+        self._pending: set[Atom] = set()
+        self._observed: "FactStore | None" = None
+        if store is not None:
+            self.observe(store)
+
+    # ------------------------------------------------------------------ #
+    # Store change events
+    # ------------------------------------------------------------------ #
+    def observe(self, store: "FactStore") -> None:
+        """Subscribe to *store*'s change events (replacing any previous
+        subscription); mutations accumulate for :meth:`refresh_pending`."""
+        if self._observed is not None:
+            self._observed.unsubscribe(self._record_change)
+        self._observed = store
+        store.subscribe(self._record_change)
+
+    def detach(self) -> None:
+        """Unsubscribe from the observed store, if any."""
+        if self._observed is not None:
+            self._observed.unsubscribe(self._record_change)
+            self._observed = None
+
+    def _record_change(self, atom: Atom, added: bool) -> None:
+        if atom in self._pending:
+            self._pending.discard(atom)
+        else:
+            self._pending.add(atom)
+
+    @property
+    def pending_changes(self) -> frozenset[Atom]:
+        """Atoms whose fact status flipped since the last refresh (as seen
+        through the observed store's events)."""
+        return frozenset(self._pending)
+
+    def refresh_pending(self, facts: frozenset[Atom]) -> UpdateStats:
+        """:meth:`refresh` driven by the observed store's change events.
+
+        Before the first solve the refresh is full; afterwards only the
+        components upstream of the pending changes are re-evaluated.  The
+        pending set is drained only on success — a failed refresh leaves
+        it queued so the next call retries the same delta.
+        """
+        changed = set(self._pending) if self._solved else None
+        stats = self.refresh(facts, changed)
+        self._pending.clear()
+        return stats
 
     # ------------------------------------------------------------------ #
     # Views

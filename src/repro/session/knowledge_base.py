@@ -50,6 +50,7 @@ from ..engine.solver import Solution, resolve_auto_semantics, solve_configured
 from ..exceptions import EvaluationError, NotGroundError
 from ..fixpoint.interpretations import PartialInterpretation, TruthValue
 from ..fixpoint.lattice import NegativeSet
+from ..storage import FactStore, open_store
 from .incremental import IncrementalEngine, UpdateStats
 
 __all__ = ["KnowledgeBase", "ResultSet"]
@@ -173,8 +174,17 @@ class KnowledgeBase:
         fact); the non-fact rules are fixed for the session's lifetime.
     facts:
         Optional initial EDB: a :class:`~repro.datalog.database.Database`,
-        a mapping ``{"edge": [(1, 2), ...]}``, or an iterable of ground
-        atoms.
+        a :class:`~repro.storage.FactStore`, a mapping
+        ``{"edge": [(1, 2), ...]}``, or an iterable of ground atoms.
+    store:
+        The :class:`~repro.storage.FactStore` backend holding the EDB — an
+        instance, or a spec string (``"memory"`` / ``"sqlite:PATH"``).
+        Defaults to the backend named by ``config.store``.  Facts already
+        in the backend (a reopened SQLite file) are part of the session
+        from the first read; ``facts=`` loads *into* the backend on top.
+        The session subscribes to the store's change events, so even
+        mutations performed directly on ``kb.store`` invalidate exactly
+        the affected model state.
     config:
         The :class:`~repro.config.EngineConfig` every evaluation runs
         under.  The legacy per-field keywords (``semantics=``,
@@ -186,7 +196,8 @@ class KnowledgeBase:
         self,
         rules: Union[str, Program, None] = "",
         *,
-        facts: Union[Database, Mapping, Iterable[Atom], None] = None,
+        facts: Union[Database, FactStore, Mapping, Iterable[Atom], None] = None,
+        store: Union[FactStore, str, None] = None,
         config: Optional[EngineConfig] = None,
         semantics: Optional[str] = None,
         strategy: Optional[str] = None,
@@ -212,14 +223,28 @@ class KnowledgeBase:
             rules = parse_program(rules)
         self._rules = Program(rule for rule in rules if not rule.is_fact)
 
-        self._edb = Database()
+        # A store the session opened itself (from a spec or the config) is
+        # closed by close(); a caller-supplied instance stays the caller's
+        # to close — it may back other sessions or Database façades.
+        self._owns_store = not isinstance(store, FactStore)
+        if store is None:
+            store = self._config.create_store()
+        elif isinstance(store, str):
+            store = open_store(store)
+        elif not isinstance(store, FactStore):
+            raise EvaluationError(
+                f"store must be a FactStore or a spec string, got {store!r}"
+            )
+        self._store = store
+        self._edb = Database(store=store)
         # Facts as an insertion-ordered map to their (cached) fact rules:
         # membership tests are O(1) and `_program()` reuses the Rule
-        # objects instead of re-wrapping every fact per refresh.
+        # objects instead of re-wrapping every fact per refresh.  The map
+        # is maintained by the store's change events (`_on_store_change`),
+        # so it tracks *every* mutation, not only the session's own.
         self._fact_rules: dict[Atom, Rule] = {}
         self._changed: set[Atom] = set()
-        self._journal: list[tuple[Atom, bool]] = []
-        self._batch_depth = 0
+        self._batch_tokens: list[object] = []
         self._dirty = True
         self._solution: Optional[Solution] = None
         self._attached: Optional[Program] = None
@@ -230,12 +255,48 @@ class KnowledgeBase:
         self._last_update: Optional[UpdateStats] = None
         self._update_count = 0
 
+        # Pre-existing backend contents (a reopened persistent store) seed
+        # the fact map before we start listening for changes.
+        for atom in self._store.facts():
+            self._fact_rules[atom] = Rule(atom)
+        self._store.subscribe(self._on_store_change)
+
         for rule in rules.facts():
             self._insert(rule.head)
         if facts is not None:
             self.load(facts)
         # Nothing asserted so far is a "change": the first solve is full.
         self._changed.clear()
+
+    @classmethod
+    def open(
+        cls,
+        path: str,
+        rules: Union[str, Program, None] = "",
+        *,
+        config: Optional[EngineConfig] = None,
+        **options,
+    ) -> "KnowledgeBase":
+        """Open (or create) a persistent knowledge base at *path*.
+
+        The EDB lives in a :class:`~repro.storage.SqliteStore`; facts
+        asserted through the session are durable, and reopening the same
+        path restores them:
+
+        .. code-block:: python
+
+            with KnowledgeBase.open("kb.db", RULES) as kb:
+                kb.assert_fact("edge", 1, 2)
+            # later, in another process:
+            with KnowledgeBase.open("kb.db", RULES) as kb:
+                list(kb.query("tc"))    # derived from the persisted EDB
+
+        Rules are *not* persisted — they parameterise the session, exactly
+        as with an in-memory knowledge base.
+        """
+        # A spec string (not an instance), so the session owns the store
+        # and close() releases the file.
+        return cls(rules, store=f"sqlite:{path}", config=config, **options)
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -248,6 +309,31 @@ class KnowledgeBase:
     def rules(self) -> Program:
         """The fixed (non-fact) rule set of the session."""
         return self._rules
+
+    @property
+    def store(self) -> FactStore:
+        """The :class:`~repro.storage.FactStore` holding the session's EDB."""
+        return self._store
+
+    def close(self) -> None:
+        """Detach from the store, closing it if the session opened it.
+
+        A store the session created (from a spec string, ``config.store``
+        or :meth:`open`) is flushed and closed; a caller-supplied instance
+        is only unsubscribed from, since it may back other sessions.
+        Idempotent.  The knowledge base must not be used afterwards.
+        """
+        self._store.unsubscribe(self._on_store_change)
+        if self._engine is not None:
+            self._engine.detach()
+        if self._owns_store:
+            self._store.close()
+
+    def __enter__(self) -> "KnowledgeBase":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def facts(self, predicate: Optional[str] = None) -> Iterator[Atom]:
         """The current EDB facts, optionally restricted to one predicate."""
@@ -287,6 +373,7 @@ class KnowledgeBase:
             "facts": len(self._fact_rules),
             "semantics": self.semantics,
             "incremental": self.is_incremental,
+            "store": type(self._store).__name__,
             "refreshes": self._update_count,
         }
         if self._last_update is not None:
@@ -310,27 +397,16 @@ class KnowledgeBase:
         """Remove an EDB fact; returns whether the database changed."""
         return self._remove(self._coerce(fact, values))
 
-    def load(self, source: Union[Database, Mapping, Iterable[Atom]]) -> int:
+    def load(self, source: Union[Database, FactStore, Mapping, Iterable[Atom]]) -> int:
         """Bulk-assert facts; returns how many were new.
 
-        Accepts a :class:`Database`, a mapping ``{relation: rows}``, or an
-        iterable of ground atoms.
+        Accepts a :class:`Database`, another
+        :class:`~repro.storage.FactStore`, a mapping ``{relation: rows}``,
+        or an iterable of ground atoms.  Delegates to the backing store's
+        own :meth:`~repro.storage.FactStore.load`; the session observes
+        the resulting change events as usual.
         """
-        if isinstance(source, Database):
-            atoms: Iterable[Atom] = source.facts()
-        elif isinstance(source, Mapping):
-            atoms = (
-                Atom(name, tuple(_make_constant(value) for value in row))
-                for name, rows in source.items()
-                for row in rows
-            )
-        else:
-            atoms = source
-        added = 0
-        for atom in atoms:
-            if self._insert(atom):
-                added += 1
-        return added
+        return self._store.load(source)
 
     @contextmanager
     def batch(self):
@@ -339,28 +415,23 @@ class KnowledgeBase:
         Inside the block mutations apply immediately (reads see them), but
         an exception rolls every mutation of the block back before
         propagating; on success the whole net delta is covered by one
-        model refresh at the next read.
+        model refresh at the next read.  The block is a store savepoint,
+        so on a durable backend an aborted batch never reaches disk.
         """
-        mark = len(self._journal)
-        self._batch_depth += 1
+        token = self._store.savepoint()
+        self._batch_tokens.append(token)
         try:
             yield self
         except BaseException:
-            while len(self._journal) > mark:
-                atom, was_present = self._journal.pop()
-                if was_present:
-                    self._edb.add_atom(atom)
-                    self._fact_rules[atom] = Rule(atom)
-                else:
-                    self._edb.remove_atom(atom)
-                    self._fact_rules.pop(atom, None)
-                self._note_change(atom)
+            # The rollback notifies the inverse of every undone mutation,
+            # which re-synchronises `_fact_rules` / `_changed` through
+            # `_on_store_change`.
+            self._store.rollback_to(token)
             raise
         else:
-            if self._batch_depth == 1:
-                self._journal.clear()
+            self._store.release(token)
         finally:
-            self._batch_depth -= 1
+            self._batch_tokens.pop()
 
     # -- mutation plumbing ----------------------------------------------- #
     def _coerce(self, fact: Union[Atom, str], values: Sequence[object]) -> Atom:
@@ -379,26 +450,22 @@ class KnowledgeBase:
         return atom
 
     def _insert(self, atom: Atom) -> bool:
-        if atom in self._fact_rules:
-            return False
         if not atom.is_ground:
             raise NotGroundError(f"EDB fact {atom} is not ground")
-        self._edb.add_atom(atom)
-        self._fact_rules[atom] = Rule(atom)
-        if self._batch_depth:
-            self._journal.append((atom, False))
-        self._note_change(atom)
-        return True
+        return self._store.add_atom(atom)
 
     def _remove(self, atom: Atom) -> bool:
-        if atom not in self._fact_rules:
-            return False
-        self._edb.remove_atom(atom)
-        del self._fact_rules[atom]
-        if self._batch_depth:
-            self._journal.append((atom, True))
+        return self._store.remove_atom(atom)
+
+    def _on_store_change(self, atom: Atom, added: bool) -> None:
+        """The store's change-notification hook: every successful mutation
+        (the session's own, a batch rollback's inverse replay, or a direct
+        mutation of :attr:`store` by other code) lands here."""
+        if added:
+            self._fact_rules[atom] = Rule(atom)
+        else:
+            self._fact_rules.pop(atom, None)
         self._note_change(atom)
-        return True
 
     def _note_change(self, atom: Atom) -> None:
         # A fact asserted then retracted (or vice versa) since the last
@@ -461,10 +528,12 @@ class KnowledgeBase:
             return
         if self._incremental:
             if self._engine is None:
-                self._engine = IncrementalEngine(self._rules, strategy=self._config.strategy)
-                stats = self._engine.refresh(frozenset(self._fact_rules), None)
-            else:
-                stats = self._engine.refresh(frozenset(self._fact_rules), set(changed))
+                # The engine subscribes to the store, so from here on it
+                # sees every mutation itself; its first refresh is full.
+                self._engine = IncrementalEngine(
+                    self._rules, strategy=self._config.strategy, store=self._store
+                )
+            stats = self._engine.refresh_pending(frozenset(self._fact_rules))
             solution = Solution(
                 program=self._program(),
                 semantics=self._resolved_semantics,
@@ -476,7 +545,10 @@ class KnowledgeBase:
             )
         else:
             started = time.perf_counter()
-            solution = solve_configured(self._program(), self._config)
+            # Rules only: the EDB travels as the live store, so the
+            # grounder probes its indexes instead of re-indexing the facts
+            # (the solution's program still records them as fact rules).
+            solution = solve_configured(self._rules, self._config, store=self._store)
             stats = UpdateStats(
                 mode="initial" if self._update_count == 0 else "rebuild",
                 changed=len(changed),

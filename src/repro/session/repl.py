@@ -18,6 +18,10 @@ Commands::
     explain ATOM            justify an atom's well-founded verdict
     model [PREDICATE]       print the current partial model
     facts [PREDICATE]       list the current EDB facts
+    open PATH               switch the session to the persistent SQLite
+                            store at PATH (rules kept, EDB from the file)
+    save PATH               snapshot the current EDB into the SQLite
+                            store at PATH
     stats                   refresh / component-reuse statistics
     config                  the session's EngineConfig
     help                    this text
@@ -47,6 +51,8 @@ commands:
   explain ATOM       justify an atom's well-founded verdict
   model [PREDICATE]  print the current partial model
   facts [PREDICATE]  list the current EDB facts
+  open PATH          switch to the persistent SQLite store at PATH
+  save PATH          snapshot the current EDB into the store at PATH
   stats              refresh / component-reuse statistics
   config             the session's EngineConfig
   help               this text
@@ -136,6 +142,21 @@ def run_repl(
                 for atom in facts:
                     print(f"  {atom}.", file=out)
                 print(f"{len(facts)} fact(s)", file=out)
+            elif command == "open":
+                if not rest:
+                    print("error: open expects a database path", file=out)
+                    continue
+                if batch is not None:
+                    print("error: commit or abort the open batch first", file=out)
+                    continue
+                kb = _reopen(kb, rest)
+                print(f"opened {rest} ({kb.fact_count()} fact(s))", file=out)
+            elif command == "save":
+                if not rest:
+                    print("error: save expects a database path", file=out)
+                    continue
+                saved = _save_snapshot(kb, rest)
+                print(f"saved {saved} fact(s) to {rest}", file=out)
             elif command == "stats":
                 for key, value in kb.statistics().items():
                     print(f"  {key:18s} {value}", file=out)
@@ -151,6 +172,25 @@ def run_repl(
         # heredoc ending mid-transaction.
         batch.__exit__(None, None, None)
     return 0
+
+
+def _reopen(kb: KnowledgeBase, path: str) -> KnowledgeBase:
+    """A new session over the SQLite store at *path*, keeping the current
+    rules and configuration.  The previous session is closed only once the
+    new one is up — a failed open leaves the current session untouched."""
+    replacement = KnowledgeBase.open(path, kb.rules, config=kb.config)
+    kb.close()
+    return replacement
+
+
+def _save_snapshot(kb: KnowledgeBase, path: str) -> int:
+    """Write the session's current EDB into the SQLite store at *path*
+    (facts are merged into whatever the file already holds); returns how
+    many facts were new there."""
+    from ..storage.sqlite import SqliteStore
+
+    with SqliteStore(path) as snapshot:
+        return snapshot.load(kb.facts())
 
 
 def _cmd_query(kb: KnowledgeBase, rest: str, out: TextIO) -> None:

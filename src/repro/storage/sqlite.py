@@ -1,0 +1,378 @@
+"""The durable, stdlib-``sqlite3`` :class:`FactStore` backend.
+
+:class:`SqliteStore` stores one SQL table per ``(predicate, arity)``
+relation (a catalogue table maps signatures to table names, so arbitrary
+predicate names never reach SQL identifiers).  Each row carries a
+monotonically increasing ``seq`` (``INTEGER PRIMARY KEY AUTOINCREMENT``,
+never reused) — the delta-window sequence number of the
+:class:`~repro.storage.FactStore` protocol — plus one encoded column per
+argument position, with a uniqueness constraint over the argument columns
+standing in for the hash-set semantics of the in-memory backend.
+
+Bound-position probes (:meth:`candidate_rows`) become ``SELECT`` statements
+over the argument columns and the ``seq`` window; a SQL index per probed
+position pattern is created lazily, mirroring the lazily built hash
+indexes of :class:`repro.datalog.joins.Relation`.  Savepoints map onto SQL
+``SAVEPOINT`` / ``ROLLBACK TO`` / ``RELEASE``, with a Python-side journal
+replayed on rollback so change listeners observe the inverse mutations.
+
+Because facts live on disk, a :class:`~repro.session.KnowledgeBase`
+opened over this backend (``KnowledgeBase.open("kb.db")``) survives
+process exit, and EDBs larger than memory stream through the same probe
+API the grounder uses for the in-memory backend.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from pathlib import Path
+from typing import Iterator, Optional
+
+from ..datalog.atoms import Atom
+from ..datalog.terms import Compound, Constant, Term
+from ..exceptions import StorageError
+from .base import FactStore
+
+__all__ = ["SqliteStore"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS repro_relations (
+    id        INTEGER PRIMARY KEY AUTOINCREMENT,
+    predicate TEXT    NOT NULL,
+    arity     INTEGER NOT NULL,
+    UNIQUE (predicate, arity)
+)
+"""
+
+
+# --------------------------------------------------------------------- #
+# Term encoding: a deterministic, order-stable text form per column, so
+# equality probes and SQL indexes work on the encoded values directly.
+# --------------------------------------------------------------------- #
+def encode_term(term: Term) -> str:
+    """Encode a ground term as deterministic JSON text."""
+    return json.dumps(_to_payload(term), separators=(",", ":"), ensure_ascii=False)
+
+
+def decode_term(text: str) -> Term:
+    """Invert :func:`encode_term`."""
+    return _from_payload(json.loads(text))
+
+
+def _to_payload(term: Term) -> list:
+    if isinstance(term, Constant):
+        value = term.value
+        # Numbers are canonicalised so that payloads that compare equal in
+        # Python (1 == True == 1.0) encode identically — otherwise the
+        # SQLite backend would store as distinct rows what MemoryStore's
+        # hash-set semantics treat as one fact.
+        if isinstance(value, (bool, int, float)):
+            if isinstance(value, float) and not value.is_integer():
+                return ["f", value]
+            return ["i", int(value)]
+        if isinstance(value, str):
+            return ["s", value]
+        if value is None:
+            return ["z"]
+        raise StorageError(
+            f"SqliteStore cannot serialise constant payload {value!r} "
+            f"of type {type(value).__name__}"
+        )
+    if isinstance(term, Compound):
+        if not term.is_ground:
+            raise StorageError(f"cannot store non-ground term {term}")
+        return ["c", term.functor, [_to_payload(arg) for arg in term.args]]
+    raise StorageError(f"cannot store non-ground term {term}")
+
+
+def _from_payload(payload: list) -> Term:
+    tag = payload[0]
+    if tag in ("i", "f", "s"):
+        return Constant(payload[1])
+    if tag == "z":
+        return Constant(None)
+    if tag == "c":
+        return Compound(payload[1], tuple(_from_payload(arg) for arg in payload[2]))
+    raise StorageError(f"malformed stored term payload {payload!r}")
+
+
+class SqliteStore(FactStore):
+    """Durable fact storage in a SQLite database file.
+
+    Parameters
+    ----------
+    path:
+        Database file path, or ``":memory:"`` for a private in-process
+        database (useful for tests and as a drop-in differential twin of
+        :class:`~repro.storage.MemoryStore`).
+    """
+
+    def __init__(self, path: str | Path = ":memory:"):
+        super().__init__()
+        self.path = str(path)
+        self._connection: Optional[sqlite3.Connection] = None
+        try:
+            # Autocommit mode: every statement is durable on its own, and
+            # SAVEPOINT opens an explicit transaction scope when needed.
+            # sqlite3.connect is lazy, so the schema bootstrap below is
+            # where a corrupt or non-database file actually fails — the
+            # whole sequence maps onto the library's error contract.
+            self._connection = sqlite3.connect(self.path, isolation_level=None)
+            cursor = self._connection.cursor()
+            if self.path != ":memory:":
+                cursor.execute("PRAGMA journal_mode=WAL")
+                cursor.execute("PRAGMA synchronous=NORMAL")
+            cursor.execute(_SCHEMA)
+            # (predicate, arity) -> catalogue id; tables are facts_<id>.
+            self._tables: dict[tuple[str, int], int] = {
+                (predicate, arity): table_id
+                for table_id, predicate, arity in cursor.execute(
+                    "SELECT id, predicate, arity FROM repro_relations"
+                )
+            }
+        except sqlite3.Error as error:
+            if self._connection is not None:
+                self._connection.close()
+                self._connection = None
+            raise StorageError(
+                f"cannot open SQLite store at {self.path!r}: {error}"
+            ) from error
+        self._sql_indexes: set[tuple[int, tuple[int, ...]]] = set()
+        self._journal: list[tuple[Atom, bool]] = []
+        self._savepoints: list[tuple[str, int]] = []
+        self._savepoint_counter = 0
+
+    # ------------------------------------------------------------------ #
+    # Plumbing
+    # ------------------------------------------------------------------ #
+    def _cursor(self) -> sqlite3.Cursor:
+        if self._connection is None:
+            raise StorageError(f"SQLite store {self.path!r} is closed")
+        return self._connection.cursor()
+
+    def _table(self, predicate: str, arity: int, create: bool = False) -> Optional[str]:
+        table_id = self._tables.get((predicate, arity))
+        if table_id is None:
+            if not create:
+                return None
+            cursor = self._cursor()
+            cursor.execute(
+                "INSERT INTO repro_relations (predicate, arity) VALUES (?, ?)",
+                (predicate, arity),
+            )
+            table_id = cursor.lastrowid
+            columns = ", ".join(f"c{i} TEXT NOT NULL" for i in range(arity))
+            unique = ", ".join(f"c{i}" for i in range(arity))
+            if arity:
+                cursor.execute(
+                    f"CREATE TABLE facts_{table_id} "
+                    f"(seq INTEGER PRIMARY KEY AUTOINCREMENT, {columns}, UNIQUE ({unique}))"
+                )
+            else:
+                # Propositional relation: at most one (argument-less) row.
+                cursor.execute(
+                    f"CREATE TABLE facts_{table_id} "
+                    f"(seq INTEGER PRIMARY KEY AUTOINCREMENT, present INTEGER UNIQUE)"
+                )
+            self._tables[(predicate, arity)] = table_id
+        return f"facts_{table_id}"
+
+    def _encode_row(self, atom: Atom) -> list[str]:
+        return [encode_term(term) for term in atom.args]
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def add_atom(self, atom: Atom) -> bool:
+        self._check_ground(atom)
+        table = self._table(atom.predicate, atom.arity, create=True)
+        cursor = self._cursor()
+        if atom.arity:
+            columns = ", ".join(f"c{i}" for i in range(atom.arity))
+            holes = ", ".join("?" for _ in range(atom.arity))
+            cursor.execute(
+                f"INSERT OR IGNORE INTO {table} ({columns}) VALUES ({holes})",
+                self._encode_row(atom),
+            )
+        else:
+            cursor.execute(f"INSERT OR IGNORE INTO {table} (present) VALUES (1)")
+        if cursor.rowcount <= 0:
+            return False
+        if self._savepoints:
+            self._journal.append((atom, True))
+        self._notify(atom, True)
+        return True
+
+    def remove_atom(self, atom: Atom) -> bool:
+        table = self._table(atom.predicate, atom.arity)
+        if table is None:
+            return False
+        cursor = self._cursor()
+        if atom.arity:
+            where = " AND ".join(f"c{i} = ?" for i in range(atom.arity))
+            cursor.execute(f"DELETE FROM {table} WHERE {where}", self._encode_row(atom))
+        else:
+            cursor.execute(f"DELETE FROM {table}")
+        if cursor.rowcount <= 0:
+            return False
+        if self._savepoints:
+            self._journal.append((atom, False))
+        self._notify(atom, False)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def contains_atom(self, atom: Atom) -> bool:
+        table = self._table(atom.predicate, atom.arity)
+        if table is None:
+            return False
+        cursor = self._cursor()
+        if atom.arity:
+            where = " AND ".join(f"c{i} = ?" for i in range(atom.arity))
+            cursor.execute(f"SELECT 1 FROM {table} WHERE {where}", self._encode_row(atom))
+        else:
+            cursor.execute(f"SELECT 1 FROM {table}")
+        return cursor.fetchone() is not None
+
+    def signatures(self) -> set[tuple[str, int]]:
+        return {
+            signature for signature in self._tables if self.count(*signature)
+        }
+
+    def tuples(self, predicate: str, arity: int) -> Iterator[tuple[Term, ...]]:
+        table = self._table(predicate, arity)
+        if table is None:
+            return
+        cursor = self._cursor()
+        if arity:
+            columns = ", ".join(f"c{i}" for i in range(arity))
+            rows = cursor.execute(f"SELECT {columns} FROM {table} ORDER BY seq")
+            for row in rows:
+                yield tuple(decode_term(text) for text in row)
+        else:
+            if cursor.execute(f"SELECT 1 FROM {table}").fetchone() is not None:
+                yield ()
+
+    def count(self, predicate: str, arity: int) -> int:
+        table = self._table(predicate, arity)
+        if table is None:
+            return 0
+        (count,) = self._cursor().execute(f"SELECT COUNT(*) FROM {table}").fetchone()
+        return count
+
+    # ------------------------------------------------------------------ #
+    # Grounding support
+    # ------------------------------------------------------------------ #
+    def sequence_bound(self, predicate: str, arity: int) -> int:
+        table = self._table(predicate, arity)
+        if table is None:
+            return 0
+        (bound,) = (
+            self._cursor().execute(f"SELECT COALESCE(MAX(seq), 0) FROM {table}").fetchone()
+        )
+        return bound  # AUTOINCREMENT seq starts at 1, so MAX is the bound + window hi.
+
+    def _ensure_sql_index(self, table_id: int, arity: int, positions: tuple[int, ...]) -> None:
+        if not positions or len(positions) == arity:
+            return  # full scans and unique-constraint probes need no extra index
+        key = (table_id, positions)
+        if key in self._sql_indexes:
+            return
+        name = f"ix_{table_id}_" + "_".join(str(p) for p in positions)
+        columns = ", ".join(f"c{p}" for p in positions)
+        self._cursor().execute(f"CREATE INDEX IF NOT EXISTS {name} ON facts_{table_id} ({columns})")
+        self._sql_indexes.add(key)
+
+    def candidate_rows(
+        self,
+        predicate: str,
+        arity: int,
+        positions: tuple[int, ...],
+        key: tuple[Term, ...],
+        lo: int,
+        hi: int,
+    ) -> Iterator[tuple[int, tuple[Term, ...]]]:
+        table_id = self._tables.get((predicate, arity))
+        if table_id is None:
+            return
+        self._ensure_sql_index(table_id, arity, positions)
+        # The protocol's windows are 0-based exclusive bounds over sequence
+        # numbers; AUTOINCREMENT seq is 1-based, so shift by one.
+        conditions = ["seq > ?", "seq <= ?"]
+        parameters: list[object] = [lo, hi]
+        for position, term in zip(positions, key):
+            conditions.append(f"c{position} = ?")
+            parameters.append(encode_term(term))
+        columns = ", ".join(["seq"] + [f"c{i}" for i in range(arity)])
+        rows = self._cursor().execute(
+            f"SELECT {columns} FROM facts_{table_id} "
+            f"WHERE {' AND '.join(conditions)} ORDER BY seq",
+            parameters,
+        )
+        for row in rows:
+            yield row[0] - 1, tuple(decode_term(text) for text in row[1:])
+
+    # ------------------------------------------------------------------ #
+    # Savepoints
+    # ------------------------------------------------------------------ #
+    def savepoint(self) -> object:
+        self._savepoint_counter += 1
+        name = f"repro_sp_{self._savepoint_counter}"
+        self._cursor().execute(f"SAVEPOINT {name}")
+        self._savepoints.append((name, len(self._journal)))
+        return name
+
+    def _pop_savepoint(self, token: object) -> int:
+        if not self._savepoints or self._savepoints[-1][0] != token:
+            raise StorageError(
+                f"unknown savepoint token {token!r} (savepoints resolve innermost-first)"
+            )
+        return self._savepoints.pop()[1]
+
+    def rollback_to(self, token: object) -> None:
+        mark = self._pop_savepoint(token)
+        cursor = self._cursor()
+        cursor.execute(f"ROLLBACK TO {token}")
+        cursor.execute(f"RELEASE {token}")
+        # The rollback may have undone CREATE TABLE / CREATE INDEX issued
+        # inside the savepoint: re-sync the catalogue caches from SQL truth.
+        self._tables = {
+            (predicate, arity): table_id
+            for table_id, predicate, arity in cursor.execute(
+                "SELECT id, predicate, arity FROM repro_relations"
+            )
+        }
+        # Index creations inside the savepoint were undone too; clearing
+        # the cache lets CREATE INDEX IF NOT EXISTS re-issue them cheaply.
+        self._sql_indexes.clear()
+        # Replay the journal inverse so listeners track the store.
+        while len(self._journal) > mark:
+            atom, added = self._journal.pop()
+            self._notify(atom, not added)
+        if not self._savepoints:
+            self._journal.clear()
+
+    def release(self, token: object) -> None:
+        self._pop_savepoint(token)
+        self._cursor().execute(f"RELEASE {token}")
+        if not self._savepoints:
+            self._journal.clear()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.commit()
+            self._connection.close()
+            self._connection = None
+
+    @property
+    def closed(self) -> bool:
+        return self._connection is None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self.closed else f"{len(self)} facts"
+        return f"SqliteStore({self.path!r}, {state})"

@@ -60,3 +60,57 @@ class TestDatabase:
     def test_constants(self):
         database = Database.from_tuples({"edge": [(1, 2)]})
         assert database.constants() == {Constant(1), Constant(2)}
+
+
+class TestDatabaseReadPathRegressions:
+    """The pre-storage container was a ``defaultdict``: lookups of unknown
+    relations inserted empty entries, and relations emptied by ``remove``
+    lingered.  Reads must be non-mutating and empty relations invisible."""
+
+    def test_reads_do_not_mutate(self):
+        database = Database()
+        assert database.tuples("ghost") == set()
+        assert not database.contains("ghost", 1)
+        assert database.values("ghost") == set()
+        assert not database.contains_atom(atom("ghost", 1))
+        assert database.relations() == set()
+        assert len(database) == 0
+        assert database == Database()
+
+    def test_emptied_relations_drop_out(self):
+        database = Database.from_tuples({"edge": [(1, 2)], "node": [(1,)]})
+        database.remove("edge", 1, 2)
+        assert database.relations() == {"node"}
+        assert database == Database.from_tuples({"node": [(1,)]})
+
+    def test_same_name_different_arity_do_not_collide(self):
+        database = Database()
+        database.add("p", 1)
+        database.add("p", 1, 2)
+        assert database.tuples("p") == {(Constant(1),), (Constant(1), Constant(2))}
+        database.remove("p", 1)
+        assert database.values("p") == {(1, 2)}
+        assert database.relations() == {"p"}
+
+
+class TestDatabaseStoreFacade:
+    def test_wraps_an_existing_store(self):
+        from repro.storage import MemoryStore
+
+        store = MemoryStore()
+        store.add("edge", 1, 2)
+        database = Database(store=store)
+        assert database.contains("edge", 1, 2)
+        database.add("edge", 2, 3)
+        assert store.contains("edge", 2, 3)
+        assert database.store is store
+
+    def test_equality_across_backends(self):
+        from repro.storage import SqliteStore
+
+        left = Database.from_tuples({"edge": [(1, 2)]})
+        right = Database(store=SqliteStore(":memory:"))
+        right.add("edge", 1, 2)
+        assert left == right
+        right.add("edge", 9, 9)
+        assert left != right

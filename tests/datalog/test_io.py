@@ -66,6 +66,29 @@ class TestFactsCsv:
         assert len(loaded.tuples("edge")) == 2
         assert loaded.contains("node", 9)
 
+    def test_round_trip_through_fact_stores(self, tmp_path):
+        """CSV load/save streams through any FactStore backend, and the two
+        backends plus the Database façade land on identical contents."""
+        from repro.storage import MemoryStore, SqliteStore
+
+        rows = {(1, 2), (2, 3), ("x", "y")}
+        source = tmp_path / "edge.csv"
+        save_facts_csv(Database.from_tuples({"edge": sorted(rows, key=str)}), "edge", source)
+
+        memory = load_facts_csv(source, "edge", MemoryStore())
+        durable = load_facts_csv(source, "edge", SqliteStore(tmp_path / "edge.db"))
+        facade = load_facts_csv(source, "edge")
+        assert memory.values("edge") == durable.values("edge") == facade.values("edge") == rows
+
+        # Saving back out of each container produces the identical file.
+        outputs = []
+        for index, container in enumerate((memory, durable, facade)):
+            out = tmp_path / f"out{index}.csv"
+            save_facts_csv(container, "edge", out)
+            outputs.append(out.read_text(encoding="utf-8"))
+        assert outputs[0] == outputs[1] == outputs[2]
+        durable.close()
+
 
 class TestInterpretationSerialisation:
     def test_dict_round_trip(self):

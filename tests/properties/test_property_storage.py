@@ -1,0 +1,114 @@
+"""Property: the storage backends are observationally identical.
+
+Random assert/retract/batch sequences driven against a
+:class:`MemoryStore`-backed and a :class:`SqliteStore`-backed session *in
+lockstep* must leave, after every step, byte-identical well-founded (and,
+for the final state, stable) models and identical store contents.  This is
+the pluggable-storage contract: a backend choice can change durability and
+cost, never answers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+try:
+    from hypothesis import HealthCheck, given, settings
+    from hypothesis import strategies as st
+except ImportError:  # pragma: no cover - environment guard
+    pytest.skip("hypothesis is not installed", allow_module_level=True)
+
+from repro.config import EngineConfig
+from repro.core import stable_models
+from repro.datalog.atoms import Atom
+from repro.datalog.terms import Constant
+from repro.session import KnowledgeBase
+from repro.storage import MemoryStore, SqliteStore
+from repro.workloads import random_propositional_program
+
+ATOM_POOL = 10
+
+#: One mutation step: (kind, atom) where kind is assert/retract, or a
+#: ("batch", [steps], commit?) group applied transactionally.
+_atoms = st.sampled_from(
+    [Atom(f"p{i}", ()) for i in range(ATOM_POOL)]
+    + [Atom("floating", (Constant(v),)) for v in (1, 2)]
+)
+_simple_steps = st.tuples(st.sampled_from(["assert", "retract"]), _atoms)
+_steps = st.lists(
+    st.one_of(
+        _simple_steps,
+        st.tuples(
+            st.just("batch"),
+            st.lists(_simple_steps, min_size=1, max_size=4),
+            st.booleans(),
+        ),
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+class _Abort(Exception):
+    pass
+
+
+def _apply(kb: KnowledgeBase, step) -> None:
+    if step[0] == "assert":
+        kb.assert_fact(step[1])
+    elif step[0] == "retract":
+        kb.retract_fact(step[1])
+    else:
+        _, inner, commit = step
+        try:
+            with kb.batch():
+                for sub in inner:
+                    _apply(kb, sub)
+                if not commit:
+                    raise _Abort()
+        except _Abort:
+            pass
+
+
+def _model_bytes(kb: KnowledgeBase) -> bytes:
+    solution = kb.solution
+    lines = sorted(str(atom) for atom in solution.interpretation.true_atoms)
+    lines.extend(sorted(f"not {atom}" for atom in solution.interpretation.false_atoms))
+    lines.extend(sorted(f"base {atom}" for atom in solution.base))
+    return "\n".join(lines).encode("utf-8")
+
+
+class TestLockstepBackends:
+    @given(seed=st.integers(min_value=0, max_value=30), steps=_steps)
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_wfs_models_and_contents_identical_after_every_step(self, seed, steps):
+        program = random_propositional_program(atoms=ATOM_POOL, rules=16, seed=seed)
+        config = EngineConfig(semantics="well-founded")
+        memory = KnowledgeBase(program, store=MemoryStore(), config=config)
+        durable = KnowledgeBase(program, store=SqliteStore(":memory:"), config=config)
+        try:
+            for step in steps:
+                _apply(memory, step)
+                _apply(durable, step)
+                assert memory.store.contents() == durable.store.contents()
+                assert _model_bytes(memory) == _model_bytes(durable)
+        finally:
+            durable.store.close()
+
+    @given(seed=st.integers(min_value=0, max_value=12), steps=_steps)
+    @settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_stable_models_identical_on_final_state(self, seed, steps):
+        program = random_propositional_program(atoms=ATOM_POOL, rules=12, seed=seed)
+        memory = KnowledgeBase(program, store=MemoryStore())
+        durable = KnowledgeBase(program, store=SqliteStore(":memory:"))
+        try:
+            for step in steps:
+                _apply(memory, step)
+                _apply(durable, step)
+            from repro.datalog.rules import Program
+
+            left = stable_models(Program.union(memory.store.as_program(), memory.rules))
+            right = stable_models(Program.union(durable.store.as_program(), durable.rules))
+            assert left == right
+        finally:
+            durable.store.close()
