@@ -14,6 +14,7 @@ equal, so the ablation also serves as a differential correctness check.
 
 import pytest
 
+from _metrics import emit, timed
 from repro.core import (
     alternating_fixpoint,
     build_context,
@@ -30,6 +31,23 @@ from repro.games.graphs import chain_edges
 PROGRAM = random_propositional_program(atoms=30, rules=90, seed=7)
 GAME = win_move_program(random_game_edges(20, 3, seed=7))
 
+# Best times seen so far this run, so the slow half of each ablation pair
+# can emit the pair's speedup (tests run in file order).
+_OBSERVED: dict[str, float] = {}
+
+
+def _record(label: str, workload: str, best: float, fast_counterpart: str | None = None) -> None:
+    _OBSERVED[label] = best
+    speedups = {}
+    if fast_counterpart is not None and fast_counterpart in _OBSERVED:
+        speedups[f"{fast_counterpart}_over_{label}"] = best / _OBSERVED[fast_counterpart]
+    emit(
+        "ablation_strategies",
+        workload=workload,
+        timings={label: best},
+        speedups=speedups,
+    )
+
 
 # --------------------------------------------------------------------- #
 # Ablation 1: S_P evaluation strategy.
@@ -38,15 +56,17 @@ GAME = win_move_program(random_game_edges(20, 3, seed=7))
 def test_sp_counting_propagation(benchmark):
     context = build_context(PROGRAM)
     negatives = NegativeSet(sorted(context.base, key=str)[::2])
-    fast = benchmark(lambda: eventual_consequence(context, negatives))
+    fast, best = timed(benchmark, lambda: eventual_consequence(context, negatives))
     assert fast == eventual_consequence_naive(context, negatives)
+    _record("sp_counting", "random_propositional:30x90", best)
 
 
 @pytest.mark.repro("E12")
 def test_sp_naive_iteration(benchmark):
     context = build_context(PROGRAM)
     negatives = NegativeSet(sorted(context.base, key=str)[::2])
-    benchmark(lambda: eventual_consequence_naive(context, negatives))
+    _, best = timed(benchmark, lambda: eventual_consequence_naive(context, negatives))
+    _record("sp_naive", "random_propositional:30x90", best, fast_counterpart="sp_counting")
 
 
 # --------------------------------------------------------------------- #
@@ -57,18 +77,20 @@ NTC = complement_of_transitive_closure_program(chain_edges(5))
 
 @pytest.mark.repro("E12")
 def test_grounding_relevant(benchmark):
-    context = benchmark(lambda: build_context(NTC, grounder="relevant"))
+    context, best = timed(benchmark, lambda: build_context(NTC, grounder="relevant"))
     assert context.rule_count > 0
+    _record("ground_relevant", "ntc_chain:5", best)
 
 
 @pytest.mark.repro("E12")
 def test_grounding_naive(benchmark):
-    context = benchmark(lambda: build_context(NTC, grounder="naive"))
+    context, best = timed(benchmark, lambda: build_context(NTC, grounder="naive"))
     # The naive instantiation is strictly larger but must give the same
     # derivable atoms.
     relevant = build_context(NTC, grounder="relevant")
     assert context.rule_count >= relevant.rule_count
     assert alternating_fixpoint(context).true_atoms() == alternating_fixpoint(relevant).true_atoms()
+    _record("ground_naive", "ntc_chain:5", best, fast_counterpart="ground_relevant")
 
 
 # --------------------------------------------------------------------- #
@@ -78,15 +100,17 @@ def test_grounding_naive(benchmark):
 @pytest.mark.parametrize("name,program", [("random-prop", PROGRAM), ("win-move", GAME)])
 def test_wfs_via_alternating_fixpoint(benchmark, name, program):
     context = build_context(program)
-    result = benchmark(lambda: alternating_fixpoint(context))
+    result, best = timed(benchmark, lambda: alternating_fixpoint(context))
     assert result.model is not None
+    _record(f"wfs_afp:{name}", name, best)
 
 
 @pytest.mark.repro("E12")
 @pytest.mark.parametrize("name,program", [("random-prop", PROGRAM), ("win-move", GAME)])
 def test_wfs_via_unfounded_sets(benchmark, name, program):
     context = build_context(program)
-    result = benchmark(lambda: well_founded_model(context))
+    result, best = timed(benchmark, lambda: well_founded_model(context))
     afp = alternating_fixpoint(context)
     assert result.model.true_atoms == afp.true_atoms()
     assert result.model.false_atoms == afp.false_atoms()
+    _record(f"wfs_unfounded:{name}", name, best, fast_counterpart=f"wfs_afp:{name}")

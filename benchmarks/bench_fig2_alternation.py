@@ -10,6 +10,7 @@ stage and measuring the computation.
 
 import pytest
 
+from _metrics import emit, timed
 from repro.core import alternating_fixpoint, well_founded_model
 from repro.datalog import parse_program
 from repro.games import lollipop_edges, win_move_program
@@ -49,12 +50,18 @@ def test_fig2_alternation_on_example_5_1(benchmark, report):
     program = parse_program(EXAMPLE_5_1)
     wfs = well_founded_model(program)
 
-    result = benchmark(lambda: alternating_fixpoint(program))
+    result, best = timed(benchmark, lambda: alternating_fixpoint(program))
 
     series = check_sandwich(result, wfs)
     report(
         "Figure 2 — |Ĩ_k| per stage (under/over alternation), Example 5.1",
         [(f"k={k}", f"|negatives|={size}") for k, size in series],
+    )
+    emit(
+        "fig2_alternation",
+        workload="example_5_1",
+        sizes={"stages": len(series)},
+        timings={"alternating_fixpoint": best},
     )
 
 
@@ -63,8 +70,14 @@ def test_fig2_alternation_on_example_5_1(benchmark, report):
 def test_fig2_alternation_on_choice_programs(benchmark, pairs, winners):
     program = two_player_choice_program(pairs, winners)
     wfs = well_founded_model(program)
-    result = benchmark(lambda: alternating_fixpoint(program))
+    result, best = timed(benchmark, lambda: alternating_fixpoint(program))
     check_sandwich(result, wfs)
+    emit(
+        "fig2_alternation",
+        workload=f"choice:{pairs}x{winners}",
+        sizes={"pairs": pairs, "winners": winners},
+        timings={"alternating_fixpoint": best},
+    )
 
 
 @pytest.mark.repro("E2")
@@ -72,8 +85,14 @@ def test_fig2_alternation_on_choice_programs(benchmark, pairs, winners):
 def test_fig2_alternation_on_game_graphs(benchmark, cycle, tail):
     program = win_move_program(lollipop_edges(cycle, tail))
     wfs = well_founded_model(program)
-    result = benchmark(lambda: alternating_fixpoint(program))
+    result, best = timed(benchmark, lambda: alternating_fixpoint(program))
     series = check_sandwich(result, wfs)
     # Longer tails force more alternation rounds: the number of stages grows
     # with the depth of the decided part of the game.
     assert len(series) >= 3
+    emit(
+        "fig2_alternation",
+        workload=f"win_move_lollipop:{cycle}x{tail}",
+        sizes={"cycle": cycle, "tail": tail, "stages": len(series)},
+        timings={"alternating_fixpoint": best},
+    )

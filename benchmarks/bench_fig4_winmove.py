@@ -13,6 +13,7 @@ Each benchmark times the alternating-fixpoint game analysis.
 
 import pytest
 
+from _metrics import emit, timed
 from repro.core import alternating_fixpoint, stable_models, unique_stable_model
 from repro.games import (
     figure4a_edges,
@@ -23,9 +24,22 @@ from repro.games import (
 )
 
 
+def _record(figure: str, solution, best: float) -> None:
+    emit(
+        "fig4_winmove",
+        workload=figure,
+        sizes={
+            "won": len(solution.won),
+            "lost": len(solution.lost),
+            "drawn": len(solution.drawn),
+        },
+        timings={"solve_game": best},
+    )
+
+
 @pytest.mark.repro("E3")
 def test_fig4a_acyclic_total_model(benchmark, report):
-    solution = benchmark(lambda: solve_game(figure4a_edges()))
+    solution, best = timed(benchmark, lambda: solve_game(figure4a_edges()))
     assert solution.won == {"b", "e", "g"}
     assert solution.lost == {"a", "c", "d", "f", "h", "i"}
     assert solution.drawn == set()
@@ -36,11 +50,12 @@ def test_fig4a_acyclic_total_model(benchmark, report):
     # Total AFP model => unique stable model (Section 5).
     program = win_move_program(figure4a_edges())
     assert unique_stable_model(program).true_atoms == alternating_fixpoint(program).true_atoms()
+    _record("figure4a", solution, best)
 
 
 @pytest.mark.repro("E3")
 def test_fig4b_cycle_partial_model(benchmark, report):
-    solution = benchmark(lambda: solve_game(figure4b_edges()))
+    solution, best = timed(benchmark, lambda: solve_game(figure4b_edges()))
     assert solution.won == {"c"}
     assert solution.lost == {"d"}
     assert solution.drawn == {"a", "b"}
@@ -59,11 +74,12 @@ def test_fig4b_cycle_partial_model(benchmark, report):
             ("stable models", [sorted(w) for w in winners]),
         ],
     )
+    _record("figure4b", solution, best)
 
 
 @pytest.mark.repro("E3")
 def test_fig4c_cycle_total_model(benchmark, report):
-    solution = benchmark(lambda: solve_game(figure4c_edges()))
+    solution, best = timed(benchmark, lambda: solve_game(figure4c_edges()))
     assert solution.won == {"b"}
     assert solution.lost == {"a", "c"}
     assert solution.drawn == set()
@@ -72,3 +88,4 @@ def test_fig4c_cycle_total_model(benchmark, report):
         "Figure 4(c) — cyclic game, total model",
         [("won", sorted(solution.won)), ("lost", sorted(solution.lost))],
     )
+    _record("figure4c", solution, best)

@@ -15,6 +15,7 @@ systems over graph workloads.
 
 import pytest
 
+from _metrics import emit, timed
 from repro.core import alternating_fixpoint
 from repro.datalog import Program
 from repro.datalog.atoms import Atom
@@ -64,6 +65,14 @@ GRAPHS = [
 SYSTEMS = [("reachability", tc_system, "tc"), ("well-foundedness", wf_system, "w")]
 
 
+def _record(pipeline: str, system_name: str, graph_name: str, best: float) -> None:
+    emit(
+        "fp_simulation",
+        workload=f"{system_name}:{graph_name}",
+        timings={pipeline: best},
+    )
+
+
 def normal_program_for(system: GeneralProgram, structure: FiniteStructure) -> Program:
     transformed = lloyd_topor_transform(system)
     pieces = [transformed.program, structure.edb.as_program()]
@@ -78,8 +87,9 @@ def normal_program_for(system: GeneralProgram, structure: FiniteStructure) -> Pr
 def test_fp_least_fixpoint(benchmark, graph_name, edges, system_name, system_factory, relation):
     structure = FiniteStructure.from_edges(edges, relation="e")
     system = system_factory()
-    result = benchmark(lambda: fixpoint_logic_model(system, structure))
+    result, best = timed(benchmark, lambda: fixpoint_logic_model(system, structure))
     assert result.of_predicate(relation) == result.true_atoms
+    _record("fp_least_fixpoint", system_name, graph_name, best)
 
 
 @pytest.mark.repro("E9")
@@ -91,9 +101,10 @@ def test_afp_logic_agrees_with_fp(benchmark, graph_name, edges, system_name, sys
     system = system_factory()
     fp = fixpoint_logic_model(system, structure)
 
-    afp = benchmark(lambda: general_alternating_fixpoint(system, structure))
+    afp, best = timed(benchmark, lambda: general_alternating_fixpoint(system, structure))
 
     assert afp.positive_fixpoint == fp.true_atoms
+    _record("general_afp", system_name, graph_name, best)
 
 
 @pytest.mark.repro("E9")
@@ -109,7 +120,8 @@ def test_lloyd_topor_normal_program_agrees_with_fp(
     fp = fixpoint_logic_model(system, structure)
     program = normal_program_for(system, structure)
 
-    result = benchmark(lambda: alternating_fixpoint(program))
+    result, best = timed(benchmark, lambda: alternating_fixpoint(program))
 
     original = {a for a in result.true_atoms() if a.predicate == relation}
     assert original == fp.true_atoms
+    _record("lloyd_topor_afp", system_name, graph_name, best)

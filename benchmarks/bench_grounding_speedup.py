@@ -28,6 +28,7 @@ import time
 
 import pytest
 
+from _metrics import emit
 from _smoke import trim
 from repro.datalog.grounding import GroundingLimits, relevant_ground
 from repro.exceptions import GroundingTimeout
@@ -73,6 +74,13 @@ def test_transitive_closure_chain_speedup(report):
         program = transitive_closure_program(chain_edges(size))
         scan, indexed = _compare(program)
         timings[size] = (scan, indexed)
+        emit(
+            "grounding_speedup",
+            workload=f"transitive_closure_chain:{size}",
+            sizes={"nodes": size},
+            timings={"scan": scan, "indexed": indexed},
+            speedups={"indexed_over_scan": scan / indexed},
+        )
         rows.append((size, f"scan {scan * 1000:9.2f} ms", f"indexed {indexed * 1000:9.2f} ms",
                      f"speedup {scan / indexed:7.1f}x"))
     report("transitive closure chains: scan vs indexed grounding", rows)
@@ -116,6 +124,14 @@ def test_transitive_closure_chain300_acceptance(report):
             (f"speedup ≥ {scan / indexed:6.1f}x",),
         ],
     )
+    emit(
+        "grounding_speedup",
+        workload=f"transitive_closure_chain:{ACCEPTANCE_CHAIN_SIZE}",
+        sizes={"nodes": ACCEPTANCE_CHAIN_SIZE, "ground_rules": len(grounded)},
+        timings={"scan": scan, "indexed": indexed},
+        speedups={"indexed_over_scan": scan / indexed},
+        extra={"scan_aborted_at_budget": timed_out},
+    )
     assert scan >= 5 * indexed, (
         f"indexed grounding must be ≥5× faster on the "
         f"{ACCEPTANCE_CHAIN_SIZE}-node chain: indexed {indexed:.2f}s, "
@@ -134,6 +150,13 @@ def test_same_generation_speedup(report):
         program = same_generation_program(binary_tree_edges(depth))
         scan, indexed = _compare(program)
         timings[depth] = (scan, indexed)
+        emit(
+            "grounding_speedup",
+            workload=f"same_generation_tree:{depth}",
+            sizes={"depth": depth},
+            timings={"scan": scan, "indexed": indexed},
+            speedups={"indexed_over_scan": scan / indexed},
+        )
         rows.append((f"depth {depth}", f"scan {scan * 1000:9.2f} ms",
                      f"indexed {indexed * 1000:9.2f} ms", f"speedup {scan / indexed:7.1f}x"))
     report("same-generation on binary trees: scan vs indexed grounding", rows)
@@ -157,6 +180,13 @@ def test_win_move_no_regression(report):
         program = win_move_program(random_game_edges(size, out_degree=4, seed=size))
         scan, indexed = _compare(program)
         timings[size] = (scan, indexed)
+        emit(
+            "grounding_speedup",
+            workload=f"win_move_random:{size}",
+            sizes={"positions": size},
+            timings={"scan": scan, "indexed": indexed},
+            speedups={"indexed_over_scan": scan / indexed},
+        )
         rows.append((size, f"scan {scan * 1000:9.2f} ms", f"indexed {indexed * 1000:9.2f} ms",
                      f"ratio {indexed / scan:6.2f}"))
     report("win-move random games: scan vs indexed grounding", rows)

@@ -25,6 +25,7 @@ import time
 
 import pytest
 
+from _metrics import emit
 from _smoke import trim
 from repro.config import EngineConfig
 from repro.core.context import build_context
@@ -118,6 +119,17 @@ def test_single_fact_update_acceptance(report):
             (f"speedup    {scratch / update:9.1f}x",),
         ],
     )
+    emit(
+        "incremental",
+        workload=f"layered:{ACCEPTANCE_LAYERS}x{ACCEPTANCE_SIZE}",
+        sizes={
+            "components": total,
+            "components_recomputed": stats.components_recomputed,
+        },
+        timings={"incremental_update": update, "from_scratch": scratch},
+        speedups={"incremental_over_scratch": scratch / update},
+        extra={"reuse_fraction": round(stats.reuse_fraction, 4)},
+    )
     assert scratch >= 5 * update, (
         f"incremental refresh must be ≥5× faster than from-scratch: "
         f"update {update * 1000:.3f} ms, scratch {scratch * 1000:.3f} ms "
@@ -139,6 +151,13 @@ def test_update_latency_sublinear(report):
         update = _best_update(kb, fact)
         scratch = _best_scratch(program)
         ratios.append(scratch / update)
+        emit(
+            "incremental",
+            workload=f"layered:{layers}x{size}",
+            sizes={"layers": layers, "layer_size": size},
+            timings={"incremental_update": update, "from_scratch": scratch},
+            speedups={"incremental_over_scratch": scratch / update},
+        )
         rows.append(
             (
                 f"{layers:3d} layers x {size:3d}",

@@ -27,6 +27,7 @@ import time
 
 import pytest
 
+from _metrics import emit
 from _smoke import trim
 from repro.core.alternating import alternating_fixpoint
 from repro.core.context import build_context
@@ -99,6 +100,21 @@ def test_layered_acceptance(report):
             (f"speedup    {monolithic / modular:9.1f}x",),
         ],
     )
+    emit(
+        "modular_wfs",
+        workload=f"layered:{ACCEPTANCE_LAYERS}x{ACCEPTANCE_SIZE}",
+        sizes={
+            "atoms": stats["atoms"],
+            "ground_rules": stats["ground_rules"],
+            "components": stats["components"],
+        },
+        timings={"modular": modular, "monolithic": monolithic},
+        speedups={"modular_over_monolithic": monolithic / modular},
+        extra={
+            "methods": stats["methods"],
+            "monolithic_stages": monolithic_result.iterations,
+        },
+    )
     assert monolithic >= 5 * modular, (
         f"modular engine must be ≥5× faster on the layered workload: "
         f"modular {modular * 1000:.2f} ms, monolithic {monolithic * 1000:.2f} ms "
@@ -118,6 +134,13 @@ def test_layer_scaling(report):
         modular = _best_time(lambda: modular_well_founded(context))
         monolithic = _best_time(lambda: alternating_fixpoint(context, keep_stages=False))
         ratios.append(monolithic / modular)
+        emit(
+            "modular_wfs",
+            workload=f"layered:{layers}x{size}",
+            sizes={"layers": layers, "layer_size": size},
+            timings={"modular": modular, "monolithic": monolithic},
+            speedups={"modular_over_monolithic": monolithic / modular},
+        )
         rows.append(
             (
                 f"{layers:3d} layers x {size:3d}",

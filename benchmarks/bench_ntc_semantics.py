@@ -11,6 +11,7 @@ pattern of agreement and failure.
 
 import pytest
 
+from _metrics import emit, timed
 from repro.core import alternating_fixpoint, build_context
 from repro.datalog.atoms import Atom
 from repro.datalog.terms import Constant
@@ -38,6 +39,10 @@ def reachable_pairs(edges):
     return {(s, t) for s in nodes for t in nodes} - closure, closure
 
 
+def _record(semantics: str, workload: str, best: float) -> None:
+    emit("ntc_semantics", workload=workload, timings={semantics: best})
+
+
 def ntc_atoms(interpretation_true_atoms):
     return {
         (a.args[0].value, a.args[1].value)
@@ -58,10 +63,11 @@ def test_ntc_well_founded_matches_true_complement(benchmark, edges_name, edges):
     program = complement_of_transitive_closure_program(edges)
     expected_complement, _ = reachable_pairs(edges)
 
-    result = benchmark(lambda: alternating_fixpoint(program))
+    result, best = timed(benchmark, lambda: alternating_fixpoint(program))
 
     assert result.is_total
     assert ntc_atoms(result.true_atoms()) == expected_complement
+    _record("well_founded", edges_name, best)
 
 
 @pytest.mark.repro("E4")
@@ -72,8 +78,9 @@ def test_ntc_well_founded_matches_true_complement(benchmark, edges_name, edges):
 def test_ntc_stratified_agrees_with_wfs(benchmark, edges_name, edges):
     program = complement_of_transitive_closure_program(edges)
     expected_complement, _ = reachable_pairs(edges)
-    result = benchmark(lambda: stratified_model(program))
+    result, best = timed(benchmark, lambda: stratified_model(program))
     assert ntc_atoms(result.true_atoms) == expected_complement
+    _record("stratified", edges_name, best)
 
 
 @pytest.mark.repro("E4")
@@ -86,7 +93,7 @@ def test_ntc_inflationary_overshoots(benchmark, report, edges_name, edges):
     program = complement_of_transitive_closure_program(edges)
     expected_complement, closure = reachable_pairs(edges)
 
-    result = benchmark(lambda: inflationary_model(program))
+    result, best = timed(benchmark, lambda: inflationary_model(program))
 
     ifp_ntc = ntc_atoms(result.true_atoms)
     assert ifp_ntc >= expected_complement
@@ -99,6 +106,7 @@ def test_ntc_inflationary_overshoots(benchmark, report, edges_name, edges):
             ("wrongly included pairs", len(ifp_ntc & closure)),
         ],
     )
+    _record("inflationary", edges_name, best)
 
 
 @pytest.mark.repro("E4")
@@ -107,10 +115,11 @@ def test_ntc_fitting_undefined_on_cycles(benchmark):
     edges = cycle_edges(3) + [("m", "m2")]  # a cycle plus a detached edge
     program = complement_of_transitive_closure_program(edges)
 
-    result = benchmark(lambda: fitting_model(program))
+    result, best = timed(benchmark, lambda: fitting_model(program))
 
     probe = Atom("ntc", (Constant("n0"), Constant("m")))  # not reachable, via cycle
     assert result.model.value_of_atom(probe).value == "undefined"
     # The well-founded semantics decides the same pair.
     afp = alternating_fixpoint(build_context(program))
     assert afp.value_of(probe) == "true"
+    _record("fitting", "cycle3_plus_edge", best)

@@ -12,6 +12,7 @@ EXPERIMENTS.md.
 
 import pytest
 
+from _metrics import emit, timed
 from repro.core import alternating_fixpoint, build_context
 from repro.games import chain_edges, random_game_edges, win_move_program
 from repro.workloads import random_propositional_program
@@ -20,17 +21,27 @@ GAME_SIZES = [8, 16, 32, 64, 128]
 PROGRAM_SIZES = [(10, 30), (20, 60), (40, 120), (80, 240)]
 
 
+def _record(workload: str, context, result, best: float) -> None:
+    emit(
+        "polytime_scaling",
+        workload=workload,
+        sizes={"atoms": len(context.base), "stages": result.iterations},
+        timings={"alternating_fixpoint": best},
+    )
+
+
 @pytest.mark.repro("E7")
 @pytest.mark.parametrize("nodes", GAME_SIZES)
 def test_scaling_win_move_random_games(benchmark, nodes):
     program = win_move_program(random_game_edges(nodes, out_degree=3, seed=nodes))
     context = build_context(program)
 
-    result = benchmark(lambda: alternating_fixpoint(context))
+    result, best = timed(benchmark, lambda: alternating_fixpoint(context))
 
     # Each application of A_P adds at least one new negative conclusion
     # until the fixpoint, so the number of stages is linearly bounded.
     assert result.iterations <= 2 * len(context.base) + 2
+    _record(f"win_move_random:{nodes}", context, result, best)
 
 
 @pytest.mark.repro("E7")
@@ -40,9 +51,10 @@ def test_scaling_win_move_chain_games(benchmark, nodes):
     propagates one position per A_P application."""
     program = win_move_program(chain_edges(nodes))
     context = build_context(program)
-    result = benchmark(lambda: alternating_fixpoint(context))
+    result, best = timed(benchmark, lambda: alternating_fixpoint(context))
     assert result.is_total
     assert result.iterations <= 2 * len(context.base) + 2
+    _record(f"win_move_chain:{nodes}", context, result, best)
 
 
 @pytest.mark.repro("E7")
@@ -50,5 +62,6 @@ def test_scaling_win_move_chain_games(benchmark, nodes):
 def test_scaling_random_propositional_programs(benchmark, atoms, rules):
     program = random_propositional_program(atoms=atoms, rules=rules, seed=atoms)
     context = build_context(program)
-    result = benchmark(lambda: alternating_fixpoint(context))
+    result, best = timed(benchmark, lambda: alternating_fixpoint(context))
     assert result.iterations <= 2 * len(context.base) + 2
+    _record(f"random_propositional:{atoms}x{rules}", context, result, best)

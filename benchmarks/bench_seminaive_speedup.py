@@ -21,6 +21,7 @@ import time
 
 import pytest
 
+from _metrics import emit
 from repro.core import alternating_fixpoint, build_context
 from repro.games import chain_edges, random_game_edges, win_move_program
 from repro.workloads import random_propositional_program
@@ -65,6 +66,13 @@ def test_win_move_chain_speedup(report):
         context = build_context(win_move_program(chain_edges(size)))
         naive, seminaive = _compare(context)
         timings[size] = (naive, seminaive)
+        emit(
+            "seminaive_speedup",
+            workload=f"win_move_chain:{size}",
+            sizes={"positions": size},
+            timings={"naive": naive, "seminaive": seminaive},
+            speedups={"seminaive_over_naive": naive / seminaive},
+        )
         rows.append((size, f"naive {naive * 1000:8.2f} ms", f"seminaive {seminaive * 1000:8.2f} ms",
                      f"speedup {naive / seminaive:6.1f}x"))
     report("win-move chain: naive vs seminaive", rows)
@@ -83,6 +91,13 @@ def test_win_move_random_game_speedup(report):
         context = build_context(win_move_program(random_game_edges(size, out_degree=3, seed=size)))
         naive, seminaive = _compare(context)
         timings[size] = (naive, seminaive)
+        emit(
+            "seminaive_speedup",
+            workload=f"win_move_random:{size}",
+            sizes={"positions": size},
+            timings={"naive": naive, "seminaive": seminaive},
+            speedups={"seminaive_over_naive": naive / seminaive},
+        )
         rows.append((size, f"naive {naive * 1000:8.2f} ms", f"seminaive {seminaive * 1000:8.2f} ms",
                      f"speedup {naive / seminaive:6.1f}x"))
     report("win-move random games: naive vs seminaive", rows)
@@ -99,6 +114,13 @@ def test_polytime_scaling_speedup(report):
         context = build_context(random_propositional_program(atoms=atoms, rules=rules, seed=atoms))
         naive, seminaive = _compare(context)
         timings[(atoms, rules)] = (naive, seminaive)
+        emit(
+            "seminaive_speedup",
+            workload=f"random_propositional:{atoms}x{rules}",
+            sizes={"atoms": atoms, "rules": rules},
+            timings={"naive": naive, "seminaive": seminaive},
+            speedups={"seminaive_over_naive": naive / seminaive},
+        )
         rows.append(((atoms, rules), f"naive {naive * 1000:8.2f} ms",
                      f"seminaive {seminaive * 1000:8.2f} ms", f"speedup {naive / seminaive:6.1f}x"))
     report("random propositional programs: naive vs seminaive", rows)

@@ -12,10 +12,20 @@ programs, asserting the containment relations throughout.
 
 import pytest
 
+from _metrics import emit, timed
 from repro.core import alternating_fixpoint, build_context, stable_models
 from repro.workloads import random_negative_loop_program, random_propositional_program
 
 LOOP_SIZES = [2, 4, 6, 8]
+
+
+def _record(computation: str, workload: str, best: float, **extra) -> None:
+    emit(
+        "stable_vs_wfs",
+        workload=workload,
+        timings={computation: best},
+        extra=extra or None,
+    )
 
 
 @pytest.mark.repro("E8")
@@ -24,11 +34,12 @@ def test_wfs_cost_stays_flat_on_choice_programs(benchmark, pairs):
     program = random_negative_loop_program(pairs, seed=pairs)
     context = build_context(program)
 
-    result = benchmark(lambda: alternating_fixpoint(context))
+    result, best = timed(benchmark, lambda: alternating_fixpoint(context))
 
     # The well-founded model decides nothing here: all 2k atoms undefined.
     assert len(result.undefined_atoms) == 2 * pairs
     assert result.iterations <= 4
+    _record("well_founded", f"negative_loops:{pairs}", best)
 
 
 @pytest.mark.repro("E8")
@@ -38,9 +49,10 @@ def test_stable_enumeration_cost_doubles_per_choice(benchmark, pairs):
     context = build_context(program)
     afp = alternating_fixpoint(context)
 
-    models = benchmark(lambda: stable_models(context, afp=afp))
+    models, best = timed(benchmark, lambda: stable_models(context, afp=afp))
 
     assert len(models) == 2 ** pairs
+    _record("stable_enumeration", f"negative_loops:{pairs}", best, models=len(models))
 
 
 @pytest.mark.repro("E8")
@@ -50,10 +62,11 @@ def test_stable_models_extend_wfs_on_random_programs(benchmark, seed):
     context = build_context(program)
     afp = alternating_fixpoint(context)
 
-    models = benchmark(lambda: stable_models(context, afp=afp))
+    models, best = timed(benchmark, lambda: stable_models(context, afp=afp))
 
     for model in models:
         assert afp.true_atoms() <= model.true_atoms
         assert frozenset(afp.negative_fixpoint.atoms) <= model.false_atoms
     if afp.is_total:
         assert len(models) == 1
+    _record("stable_enumeration", f"random_propositional:10x24:seed{seed}", best, models=len(models))

@@ -27,6 +27,7 @@ import time
 
 import pytest
 
+from _metrics import emit
 from _smoke import trim
 from repro.datalog.grounding import stream_relevant_ground
 from repro.datalog.parser import parse_program
@@ -103,6 +104,13 @@ def test_chain_transitive_closure_parity(report):
         program = transitive_closure_program(chain_edges(size))
         legacy, shared, sqlite = _compare(program)
         timings[size] = (legacy, shared)
+        emit(
+            "storage",
+            workload=f"transitive_closure_chain:{size}",
+            sizes={"nodes": size},
+            timings={"rebuild": legacy, "shared_memory": shared, "sqlite": sqlite},
+            speedups={"shared_over_rebuild": legacy / shared},
+        )
         rows.append(
             (
                 f"chain-{size}",
@@ -129,6 +137,13 @@ def test_layered_bulk_edb(report):
         program = _layered_reachability(layers, width)
         legacy, shared, sqlite = _compare(program)
         timings[(layers, width)] = (legacy, shared)
+        emit(
+            "storage",
+            workload=f"layered_reachability:{layers}x{width}",
+            sizes={"layers": layers, "width": width},
+            timings={"rebuild": legacy, "shared_memory": shared, "sqlite": sqlite},
+            speedups={"shared_over_rebuild": legacy / shared},
+        )
         rows.append(
             (
                 f"layered {layers}x{width}",

@@ -10,6 +10,7 @@ record in EXPERIMENTS.md.
 
 import pytest
 
+from _metrics import emit, timed
 from repro.analysis import classify
 from repro.core import alternating_fixpoint, build_context, stable_models
 from repro.games.graphs import chain_edges, complete_dag_edges, random_digraph_edges
@@ -30,12 +31,17 @@ WORKLOADS = list(workloads())
 IDS = [name for name, _ in WORKLOADS]
 
 
+def _record(evaluator: str, workload: str, best: float) -> None:
+    emit("stratified_agreement", workload=workload, timings={evaluator: best})
+
+
 @pytest.mark.repro("E11")
 @pytest.mark.parametrize("name,program", WORKLOADS, ids=IDS)
 def test_stratified_evaluator(benchmark, name, program):
     assert classify(program, check_local=False).is_stratified
-    result = benchmark(lambda: stratified_model(program))
+    result, best = timed(benchmark, lambda: stratified_model(program))
     assert result.true_atoms
+    _record("stratified", name, best)
 
 
 @pytest.mark.repro("E11")
@@ -43,10 +49,11 @@ def test_stratified_evaluator(benchmark, name, program):
 def test_alternating_fixpoint_is_total_and_agrees(benchmark, name, program):
     stratified = stratified_model(program)
 
-    afp = benchmark(lambda: alternating_fixpoint(program))
+    afp, best = timed(benchmark, lambda: alternating_fixpoint(program))
 
     assert afp.is_total
     assert afp.true_atoms() == stratified.true_atoms
+    _record("alternating_fixpoint", name, best)
 
 
 @pytest.mark.repro("E11")
@@ -55,7 +62,8 @@ def test_unique_stable_model_agrees(benchmark, name, program):
     context = build_context(program)
     afp = alternating_fixpoint(context)
 
-    models = benchmark(lambda: stable_models(context, afp=afp))
+    models, best = timed(benchmark, lambda: stable_models(context, afp=afp))
 
     assert len(models) == 1
     assert models[0].true_atoms == afp.true_atoms()
+    _record("stable_enumeration", name, best)

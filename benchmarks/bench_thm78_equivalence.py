@@ -11,6 +11,7 @@ trade-off an implementor of the paper would care about.
 
 import pytest
 
+from _metrics import emit, timed
 from repro.core import alternating_fixpoint, build_context, well_founded_model
 from repro.games import random_game_edges, win_move_program
 from repro.workloads import random_propositional_program, well_founded_nodes_program
@@ -33,12 +34,13 @@ WORKLOADS = list(workloads())
 def test_afp_model_equals_wfs_model(benchmark, name, program):
     context = build_context(program)
 
-    afp = benchmark(lambda: alternating_fixpoint(context))
+    afp, best = timed(benchmark, lambda: alternating_fixpoint(context))
 
     wfs = well_founded_model(context)
     assert afp.model.true_atoms == wfs.model.true_atoms
     assert afp.model.false_atoms == wfs.model.false_atoms
     assert afp.undefined_atoms == wfs.undefined_atoms
+    emit("thm78_equivalence", workload=name, timings={"alternating_fixpoint": best})
 
 
 @pytest.mark.repro("E6")
@@ -46,5 +48,6 @@ def test_afp_model_equals_wfs_model(benchmark, name, program):
 def test_wfs_via_unfounded_sets_baseline(benchmark, name, program):
     """Timing baseline: the same models computed with the W_P iteration."""
     context = build_context(program)
-    result = benchmark(lambda: well_founded_model(context))
+    result, best = timed(benchmark, lambda: well_founded_model(context))
     assert result.model is not None
+    emit("thm78_equivalence", workload=name, timings={"unfounded_sets": best})

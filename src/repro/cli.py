@@ -21,7 +21,14 @@
   grounder versus the scan oracle, for non-ground programs), the naive
   versus semi-naive evaluation strategies, and the modular versus
   monolithic well-founded engines on the program, with per-component
-  statistics for the modular run.
+  statistics for the modular run;
+* ``profile [FILE]``  — run one traced solve (``repro.obs``) and print
+  the hierarchical span tree, counter totals and phase coverage; with
+  ``--workload layered:12x200`` a generated workload replaces the file.
+
+``solve``, ``query``, ``bench`` and ``profile`` accept
+``--trace-out PATH`` to dump the recorded spans and counters as JSONL
+(see :mod:`repro.obs.export` for the schema).
 
 Commands that evaluate fixpoints share one set of configuration options —
 ``--strategy``, ``--engine``, ``--grounder`` (and ``--semantics`` where a
@@ -63,6 +70,7 @@ from .engine.query import query_has_variables
 from .evaluation import DEFAULT_STRATEGY
 from .exceptions import ReproError
 from .fixpoint.interpretations import TruthValue
+from .obs import TraceRecorder, phase_coverage, render_counters, render_span_tree, write_trace_jsonl
 from .reporting import render_comparison, render_model, render_trace
 from .semantics import compare_semantics
 from .session import KnowledgeBase, run_repl
@@ -144,11 +152,20 @@ def build_parser() -> argparse.ArgumentParser:
                 "to) the database file (default: memory)",
             )
 
+    def add_trace_argument(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--trace-out",
+            metavar="PATH",
+            default=None,
+            help="record the run with repro.obs and write the span/counter trace as JSONL",
+        )
+
     solve_parser = subparsers.add_parser("solve", help="compute a model and print it")
     add_program_arguments(solve_parser)
     add_config_arguments(solve_parser, semantics=True, store=True)
     solve_parser.add_argument("--predicate", help="restrict the printed model to one relation")
     solve_parser.add_argument("--json", metavar="OUT", help="also write the model as JSON")
+    add_trace_argument(solve_parser)
 
     repl_parser = subparsers.add_parser(
         "repl", help="interactive knowledge-base session (assert/retract/query)"
@@ -167,6 +184,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_program_arguments(query_parser)
     query_parser.add_argument("query", help='e.g. "wins(X), not wins(Y)" or a ground query')
     add_config_arguments(query_parser, semantics=True, store=True)
+    add_trace_argument(query_parser)
 
     bench_parser = subparsers.add_parser(
         "bench", help="time grounding, strategies and engines on the program"
@@ -184,6 +202,21 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument(
         "--repeat", type=int, default=3, help="timing repetitions per strategy (best is kept)"
     )
+    add_trace_argument(bench_parser)
+
+    profile_parser = subparsers.add_parser(
+        "profile", help="run one traced solve and print its span tree and counters"
+    )
+    add_program_arguments(profile_parser, optional=True)
+    add_config_arguments(profile_parser, semantics=True, store=True)
+    profile_parser.add_argument(
+        "--workload",
+        metavar="SPEC",
+        default=None,
+        help="profile a generated workload instead of a file: layered:LxS "
+        "(repro.workloads.layered_program), negloop:N, choice:N",
+    )
+    add_trace_argument(profile_parser)
 
     stable_parser = subparsers.add_parser("stable", help="enumerate stable models")
     add_program_arguments(stable_parser)
@@ -241,6 +274,31 @@ def _load(arguments) -> Program:
     return program
 
 
+def _workload_program(spec: str) -> Program:
+    """Build a generated workload from ``kind:params`` (e.g. ``layered:12x200``)."""
+    from .workloads import generators
+
+    kind, _, params = spec.partition(":")
+    try:
+        if kind == "layered":
+            layers_text, _, size_text = params.partition("x")
+            return generators.layered_program(int(layers_text), int(size_text))
+        if kind == "negloop":
+            return generators.random_negative_loop_program(int(params))
+        if kind == "choice":
+            return generators.two_player_choice_program(int(params))
+    except ValueError as error:
+        raise ReproError(f"bad --workload parameters in {spec!r}: {error}") from None
+    raise ReproError(
+        f"unknown workload {spec!r}; expected layered:LxS, negloop:N or choice:N"
+    )
+
+
+def _write_trace(recorder: TraceRecorder, path: str, out, **metadata: object) -> None:
+    count = write_trace_jsonl(recorder, path, metadata=metadata)
+    print(f"trace written to {path} ({count} records)", file=out)
+
+
 # --------------------------------------------------------------------- #
 # Subcommand implementations
 # --------------------------------------------------------------------- #
@@ -270,7 +328,8 @@ def _render_component_stats(result) -> str:
 def _cmd_solve(arguments, out) -> int:
     config = _config_from_args(arguments)
     program = _load(arguments)
-    solution = solve(program, config=config)
+    recorder = TraceRecorder() if arguments.trace_out else None
+    solution = solve(program, config=config, recorder=recorder)
     print(f"semantics: {solution.semantics}", file=out)
     print(render_model(solution.interpretation, solution.base, arguments.predicate), file=out)
     if arguments.json:
@@ -281,6 +340,8 @@ def _cmd_solve(arguments, out) -> int:
             metadata={"semantics": solution.semantics},
         )
         print(f"model written to {arguments.json}", file=out)
+    if recorder is not None:
+        _write_trace(recorder, arguments.trace_out, out, command="solve", program=arguments.program)
     return 0
 
 
@@ -313,7 +374,10 @@ def _cmd_trace(arguments, out) -> int:
 def _cmd_query(arguments, out) -> int:
     config = _config_from_args(arguments)
     program = _load(arguments)
-    solution = solve(program, config=config)
+    recorder = TraceRecorder() if arguments.trace_out else None
+    solution = solve(program, config=config, recorder=recorder)
+    if recorder is not None:
+        _write_trace(recorder, arguments.trace_out, out, command="query", program=arguments.program)
     text = arguments.query
     if query_has_variables(text):
         results = list(answers(solution, text))
@@ -473,7 +537,53 @@ def _cmd_bench(arguments, out) -> int:
         )
     print(_render_component_stats(modular_result), file=out)
     print(f"models agree: {'yes' if engines_agree else 'NO'}", file=out)
+    if arguments.trace_out:
+        # One extra traced modular run over the already-built context —
+        # the timed runs above stay recorder-free.
+        recorder = TraceRecorder()
+        modular_well_founded(context, recorder=recorder)
+        _write_trace(recorder, arguments.trace_out, out, command="bench", program=arguments.program)
     return 0 if agree and engines_agree else 1
+
+
+def _cmd_profile(arguments, out) -> int:
+    import time
+
+    config = _config_from_args(arguments)
+    if arguments.workload and arguments.program:
+        raise ReproError("profile takes either a program file or --workload, not both")
+    if arguments.workload:
+        program = _workload_program(arguments.workload)
+        source = arguments.workload
+    elif arguments.program:
+        program = _load(arguments)
+        source = arguments.program
+    else:
+        raise ReproError("profile needs a program file or --workload SPEC")
+
+    recorder = TraceRecorder()
+    start = time.perf_counter()
+    solution = solve(program, config=config, recorder=recorder)
+    wall = time.perf_counter() - start
+
+    print(f"workload: {source}", file=out)
+    print(f"semantics: {solution.semantics}", file=out)
+    print(file=out)
+    print(render_span_tree(recorder), file=out)
+    print(file=out)
+    print(render_counters(recorder), file=out)
+    root = recorder.find("solve")
+    coverage = phase_coverage(recorder)
+    if root is not None and coverage is not None:
+        print(file=out)
+        print(
+            f"phase coverage: {coverage:.1%} of the {root.elapsed * 1000:.2f} ms 'solve' span "
+            f"({wall * 1000:.2f} ms wall-clock) is inside a named phase",
+            file=out,
+        )
+    if arguments.trace_out:
+        _write_trace(recorder, arguments.trace_out, out, command="profile", workload=source)
+    return 0
 
 
 _COMMANDS = {
@@ -486,6 +596,7 @@ _COMMANDS = {
     "explain": _cmd_explain,
     "compare": _cmd_compare,
     "bench": _cmd_bench,
+    "profile": _cmd_profile,
 }
 
 

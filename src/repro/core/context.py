@@ -36,6 +36,7 @@ from ..datalog.grounding import (
     stream_relevant_ground,
 )
 from ..datalog.rules import Program, Rule
+from ..obs.recorder import NULL_RECORDER, Recorder
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..config import EngineConfig
     from ..storage.base import FactStore
@@ -99,6 +100,7 @@ def build_context(
     grounder: str | None = None,
     config: "EngineConfig | None" = None,
     store: "FactStore | None" = None,
+    recorder: Recorder | None = None,
 ) -> GroundContext:
     """Ground *program* and build an evaluation context.
 
@@ -140,6 +142,11 @@ def build_context(
         ``RelationStore`` disappears.  Ground programs and the other
         grounders materialise the store's facts into the program instead
         (preserving their exact historical rule sets and atom bases).
+    recorder:
+        Optional :class:`~repro.obs.Recorder`; a tracing recorder captures
+        the whole grounding-plus-context pass as one ``ground`` span
+        (annotated with the resulting rule/fact/atom counts) and the
+        grounder's round/delta counters.
     """
     if config is not None:
         if grounder is None:
@@ -149,65 +156,77 @@ def build_context(
     validate_grounder(grounder if grounder is not None else DEFAULT_GROUNDER)
     if grounder is None:
         grounder = DEFAULT_GROUNDER
-    if store is not None and (program.is_ground or grounder != "relevant"):
-        program = Program.union(store.as_program(), program)
-        store = None
-    grounded: Program | None
-    if program.is_ground:
-        grounded = program
-        rule_stream: Iterable[Rule] = program
-    elif grounder == "naive":
-        grounded = naive_ground(program, limits)
-        rule_stream = grounded
-    elif grounder == "relevant-scan":
-        grounded = relevant_ground(program, limits, matcher="scan")
-        rule_stream = grounded
-    else:
-        # Consume the indexed grounder's incremental stream directly.
-        grounded = None
-        rule_stream = stream_relevant_ground(program, limits, store=store)
+    recorder = recorder if recorder is not None else NULL_RECORDER
+    with recorder.span("ground", grounder=grounder) as ground_span:
+        if store is not None and (program.is_ground or grounder != "relevant"):
+            program = Program.union(store.as_program(), program)
+            store = None
+        grounded: Program | None
+        if program.is_ground:
+            grounded = program
+            rule_stream: Iterable[Rule] = program
+        elif grounder == "naive":
+            grounded = naive_ground(program, limits)
+            rule_stream = grounded
+        elif grounder == "relevant-scan":
+            grounded = relevant_ground(program, limits, matcher="scan")
+            rule_stream = grounded
+        else:
+            # Consume the indexed grounder's incremental stream directly.
+            grounded = None
+            rule_stream = stream_relevant_ground(
+                program, limits, store=store, recorder=recorder
+            )
 
-    collected: list[Rule] | None = [] if grounded is None else None
-    facts: set[Atom] = set()
-    ground_rules: list[GroundRule] = []
-    occurring: set[Atom] = set()
-    for rule in rule_stream:
-        if collected is not None:
-            collected.append(rule)
-        if rule.is_fact:
-            facts.add(rule.head)
+        collected: list[Rule] | None = [] if grounded is None else None
+        facts: set[Atom] = set()
+        ground_rules: list[GroundRule] = []
+        occurring: set[Atom] = set()
+        for rule in rule_stream:
+            if collected is not None:
+                collected.append(rule)
+            if rule.is_fact:
+                facts.add(rule.head)
+                occurring.add(rule.head)
+                continue
+            positive = tuple(lit.atom for lit in rule.body if lit.positive)
+            negative = tuple(lit.atom for lit in rule.body if lit.negative)
+            ground_rules.append(GroundRule(rule.head, positive, negative, rule))
             occurring.add(rule.head)
-            continue
-        positive = tuple(lit.atom for lit in rule.body if lit.positive)
-        negative = tuple(lit.atom for lit in rule.body if lit.negative)
-        ground_rules.append(GroundRule(rule.head, positive, negative, rule))
-        occurring.add(rule.head)
-        occurring.update(positive)
-        occurring.update(negative)
-    if grounded is None:
-        grounded = Program(collected)
+            occurring.update(positive)
+            occurring.update(negative)
+        if grounded is None:
+            grounded = Program(collected)
 
-    base: set[Atom] = set(occurring)
-    base.update(extra_atoms)
-    if full_base:
-        # Widen with the Herbrand base of the *original* program so that the
-        # reported models mention every instantiable IDB atom.
-        base.update(herbrand_base(program, max_depth=(limits.max_depth if limits else 0)))
+        base: set[Atom] = set(occurring)
+        base.update(extra_atoms)
+        if full_base:
+            # Widen with the Herbrand base of the *original* program so that the
+            # reported models mention every instantiable IDB atom.
+            base.update(herbrand_base(program, max_depth=(limits.max_depth if limits else 0)))
 
-    by_positive: dict[Atom, list[int]] = {}
-    by_head: dict[Atom, list[int]] = {}
-    for index, ground_rule in enumerate(ground_rules):
-        by_head.setdefault(ground_rule.head, []).append(index)
-        # Deduplicate so a rule is listed once per *distinct* body atom; the
-        # counting propagation in repro.core.eventual relies on this.
-        for atom in set(ground_rule.positive_body):
-            by_positive.setdefault(atom, []).append(index)
+        by_positive: dict[Atom, list[int]] = {}
+        by_head: dict[Atom, list[int]] = {}
+        for index, ground_rule in enumerate(ground_rules):
+            by_head.setdefault(ground_rule.head, []).append(index)
+            # Deduplicate so a rule is listed once per *distinct* body atom; the
+            # counting propagation in repro.core.eventual relies on this.
+            for atom in set(ground_rule.positive_body):
+                by_positive.setdefault(atom, []).append(index)
 
-    return GroundContext(
-        program=grounded,
-        rules=tuple(ground_rules),
-        facts=frozenset(facts),
-        base=frozenset(base),
-        rules_by_positive_atom={atom: tuple(ids) for atom, ids in by_positive.items()},
-        rules_by_head={atom: tuple(ids) for atom, ids in by_head.items()},
-    )
+        context = GroundContext(
+            program=grounded,
+            rules=tuple(ground_rules),
+            facts=frozenset(facts),
+            base=frozenset(base),
+            rules_by_positive_atom={atom: tuple(ids) for atom, ids in by_positive.items()},
+            rules_by_head={atom: tuple(ids) for atom, ids in by_head.items()},
+        )
+    if recorder.enabled:
+        ground_span.annotate(
+            rules=len(context.rules), facts=len(context.facts), atoms=len(context.base)
+        )
+        recorder.count("ground.rules", len(context.rules))
+        recorder.count("ground.facts", len(context.facts))
+        recorder.count("ground.atoms", len(context.base))
+    return context

@@ -60,6 +60,7 @@ from ..datalog.atoms import Atom, Literal
 from ..datalog.grounding import GroundingLimits
 from ..datalog.rules import Program, Rule
 from ..fixpoint.interpretations import PartialInterpretation
+from ..obs.recorder import NULL_RECORDER, Recorder
 from .context import GroundContext, build_context
 
 __all__ = [
@@ -87,6 +88,11 @@ class ComponentReport:
     ``stages`` counts fixpoint passes: the number of counter closures for
     the ``horn``/``stratified`` methods, the number of ``S̃_P`` applications
     for ``alternating``.
+
+    When a tracing :class:`~repro.obs.Recorder` is attached, every field of
+    this report is also emitted as the attributes of the per-``component``
+    span — the report is the *derived*, API-stable view of the same
+    per-component record the :mod:`repro.obs` trace captures.
     """
 
     index: int
@@ -159,6 +165,7 @@ def _component_closure(
     local_rules: list[tuple[Atom, tuple[Atom, ...], tuple[Atom, ...], bool]],
     seed: Iterable[Atom],
     fire_markers: bool,
+    recorder: Recorder = NULL_RECORDER,
 ) -> set[Atom]:
     """Least set containing *seed* closed under the definite local rules,
     by counter propagation (Dowling–Gallier, mirroring
@@ -207,6 +214,14 @@ def _component_closure(
                 if head not in derived:
                     derived.add(head)
                     frontier.append(head)
+    if recorder.enabled:
+        # Every derived atom is popped from the frontier exactly once and
+        # decrements each rule watching it, so the Dowling–Gallier work is
+        # reconstructible after the fact — the hot loop stays untouched.
+        recorder.count(
+            "dg.decrements",
+            sum(len(watchers.get(atom, ())) for atom in derived),
+        )
     return derived
 
 
@@ -229,6 +244,8 @@ def solve_component(
     false_atoms: set[Atom],
     undef_atom: Atom,
     strategy: str = DEFAULT_STRATEGY,
+    *,
+    recorder: Recorder = NULL_RECORDER,
 ) -> tuple[set[Atom], set[Atom], ComponentReport]:
     """Solve one strongly connected component against its solved context.
 
@@ -310,11 +327,17 @@ def solve_component(
         comp_true, comp_false, stages = _solve_alternating(
             component, local_rules, local_facts, undef_atom, strategy
         )
+        if recorder.enabled:
+            recorder.count("alternating.stages", stages)
     else:
-        definite = _component_closure(local_rules, local_facts, fire_markers=False)
+        definite = _component_closure(
+            local_rules, local_facts, fire_markers=False, recorder=recorder
+        )
         if any(marker for (_, _, _, marker) in local_rules):
             method = "stratified"
-            envelope = _component_closure(local_rules, local_facts, fire_markers=True)
+            envelope = _component_closure(
+                local_rules, local_facts, fire_markers=True, recorder=recorder
+            )
             stages = 2
         else:
             method = "horn"
@@ -349,6 +372,7 @@ def modular_well_founded(
     strategy: str | None = None,
     config: Optional[EngineConfig] = None,
     grounder: str | None = None,
+    recorder: Recorder | None = None,
 ) -> ModularResult:
     """Compute the well-founded partial model component by component.
 
@@ -356,18 +380,32 @@ def modular_well_founded(
     or a pre-built :class:`GroundContext`.  *strategy* selects the engine
     used inside the per-component alternating fixpoints; a *config* supplies
     ``strategy``/``limits`` together (the two spellings are exclusive).
+
+    A tracing *recorder* (see :mod:`repro.obs`) captures the evaluation's
+    phase structure: a ``condense`` span around the SCC condensation, one
+    ``component`` span per SCC (annotated with the fields of its
+    :class:`ComponentReport`), and an ``assemble`` span around the final
+    model construction, plus per-method component counters.
     """
     strategy, _, limits, grounder = merge_entry_config(
         config, strategy=strategy, limits=limits, grounder=grounder
     )
+    recorder = recorder if recorder is not None else NULL_RECORDER
     if isinstance(program, GroundContext):
         context = program
     else:
         context = build_context(
-            program, limits=limits, full_base=full_base, extra_atoms=extra_atoms, grounder=grounder
+            program,
+            limits=limits,
+            full_base=full_base,
+            extra_atoms=extra_atoms,
+            grounder=grounder,
+            recorder=recorder,
         )
 
-    graph = build_atom_dependency_graph(context)
+    with recorder.span("condense") as condense_span:
+        graph = build_atom_dependency_graph(context)
+        components = graph.condensation_order()
     undef_atom = fresh_undef_atom(context.base)
 
     rules = context.rules
@@ -378,24 +416,64 @@ def modular_well_founded(
     false_atoms: set[Atom] = set()
     reports: list[ComponentReport] = []
 
-    for comp_index, component in enumerate(graph.condensation_order()):
-        comp_true, comp_false, report = solve_component(
-            component,
-            comp_index,
-            rules,
-            rules_by_head,
-            facts,
-            true_atoms,
-            false_atoms,
-            undef_atom,
-            strategy,
-        )
-        true_atoms.update(comp_true)
-        false_atoms.update(comp_false)
-        reports.append(report)
+    tracing = recorder.enabled
+    if tracing:
+        condense_span.annotate(components=len(components))
+        recorder.count("components.total", len(components))
+        # Trace path: one `components` group span holding a `component`
+        # child per SCC, so the loop's own bookkeeping is accounted to the
+        # phase rather than falling between spans.
+        with recorder.span("components"):
+            for comp_index, component in enumerate(components):
+                with recorder.span("component") as comp_span:
+                    comp_true, comp_false, report = solve_component(
+                        component,
+                        comp_index,
+                        rules,
+                        rules_by_head,
+                        facts,
+                        true_atoms,
+                        false_atoms,
+                        undef_atom,
+                        strategy,
+                        recorder=recorder,
+                    )
+                    comp_span.annotate(
+                        index=comp_index,
+                        method=report.method,
+                        size=report.size,
+                        rules=report.rules,
+                        stages=report.stages,
+                        true=report.true_count,
+                        false=report.false_count,
+                    )
+                    recorder.count(f"components.{report.method}")
+                true_atoms.update(comp_true)
+                false_atoms.update(comp_false)
+                reports.append(report)
+    else:
+        for comp_index, component in enumerate(components):
+            comp_true, comp_false, report = solve_component(
+                component,
+                comp_index,
+                rules,
+                rules_by_head,
+                facts,
+                true_atoms,
+                false_atoms,
+                undef_atom,
+                strategy,
+            )
+            true_atoms.update(comp_true)
+            false_atoms.update(comp_false)
+            reports.append(report)
 
-    model = PartialInterpretation(true_atoms, false_atoms)
-    return ModularResult(context=context, model=model, components=tuple(reports))
+    with recorder.span("assemble") as assemble_span:
+        model = PartialInterpretation(true_atoms, false_atoms)
+        result = ModularResult(context=context, model=model, components=tuple(reports))
+    if tracing:
+        assemble_span.annotate(true=len(true_atoms), false=len(false_atoms))
+    return result
 
 
 def _solve_singleton(

@@ -28,6 +28,7 @@ from ..datalog.rules import Program
 from ..evaluation.engine import get_engine
 from ..fixpoint.interpretations import PartialInterpretation
 from ..fixpoint.lattice import NegativeSet
+from ..obs.recorder import NULL_RECORDER, Recorder
 from .consequence import tp_step
 from .context import GroundContext, build_context
 
@@ -138,6 +139,7 @@ def well_founded_model(
     strategy: str | None = None,
     engine: str | None = None,
     config: "EngineConfig | None" = None,
+    recorder: Recorder | None = None,
 ) -> WellFoundedResult:
     """The well-founded partial model: the least fixpoint of ``W_P``.
 
@@ -155,6 +157,7 @@ def well_founded_model(
     strategy, engine, limits, grounder = merge_entry_config(
         config, strategy=strategy, engine=engine, limits=limits, default_engine="monolithic"
     )
+    recorder = recorder if recorder is not None else NULL_RECORDER
     if engine != "monolithic":
         from .modular import modular_well_founded
 
@@ -165,6 +168,7 @@ def well_founded_model(
             extra_atoms=extra_atoms,
             strategy=strategy,
             grounder=grounder,
+            recorder=recorder,
         )
         return WellFoundedResult(
             context=result.context,
@@ -176,18 +180,27 @@ def well_founded_model(
         context = program
     else:
         context = build_context(
-            program, limits=limits, full_base=full_base, extra_atoms=extra_atoms, grounder=grounder
+            program,
+            limits=limits,
+            full_base=full_base,
+            extra_atoms=extra_atoms,
+            grounder=grounder,
+            recorder=recorder,
         )
 
-    stages: list[PartialInterpretation] = [PartialInterpretation.empty()]
-    current = stages[0]
-    while True:
-        following = well_founded_transform(context, current, strategy=strategy)
-        stages.append(following)
-        if (
-            following.true_atoms == current.true_atoms
-            and following.false_atoms == current.false_atoms
-        ):
-            break
-        current = following
+    with recorder.span("evaluate", method="unfounded-sets") as evaluate_span:
+        stages: list[PartialInterpretation] = [PartialInterpretation.empty()]
+        current = stages[0]
+        while True:
+            following = well_founded_transform(context, current, strategy=strategy)
+            stages.append(following)
+            if (
+                following.true_atoms == current.true_atoms
+                and following.false_atoms == current.false_atoms
+            ):
+                break
+            current = following
+    if recorder.enabled:
+        evaluate_span.annotate(iterations=len(stages) - 1)
+        recorder.count("unfounded.iterations", len(stages) - 1)
     return WellFoundedResult(context=context, model=stages[-1], stages=tuple(stages))

@@ -57,6 +57,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Iterator, Optional, Sequence
 
 from ..exceptions import GroundingError, GroundingTimeout
+from ..obs.recorder import NULL_RECORDER, Recorder
 from .atoms import Atom, Literal
 from .joins import RelationStore, join_bindings
 from .rules import Program, Rule
@@ -376,6 +377,7 @@ def stream_relevant_ground(
     program: Program,
     limits: GroundingLimits | None = None,
     store: "FactStore | None" = None,
+    recorder: Recorder | None = None,
 ) -> Iterator[Rule]:
     """Stream the relevant grounding incrementally (indexed matcher).
 
@@ -392,9 +394,14 @@ def stream_relevant_ground(
     store is never copied into a per-run ``RelationStore``, and for the
     in-memory backend the indexes one run builds are reused by the next.
     The store must not be mutated while the stream is being consumed.
+
+    *recorder*, when tracing (see :mod:`repro.obs`), accumulates the
+    ``ground.rounds`` / ``ground.delta_atoms`` / ``ground.rules_emitted``
+    counters — one tally per envelope round, never per row.
     """
     limits = limits or GroundingLimits()
     budget = _Budget(limits)
+    recorder = recorder if recorder is not None else NULL_RECORDER
     program.check_safety()
 
     seen: set[Rule] = set()
@@ -463,6 +470,9 @@ def stream_relevant_ground(
             space.add_atom(atom)
         pending_set.clear()
         new_sizes = space.sizes()
+        if recorder.enabled:
+            recorder.count("ground.rounds")
+            recorder.count("ground.delta_atoms", len(batch))
 
         for rule, positive, signatures in decomposed:
             if not positive:
@@ -494,6 +504,8 @@ def stream_relevant_ground(
                     derive(ground.head)
                     budget.tick()
         old_sizes = new_sizes
+    if recorder.enabled:
+        recorder.count("ground.rules_emitted", emitted)
 
 
 def _instantiate_rule(rule: Rule, binding: dict[Variable, Term]) -> Rule:

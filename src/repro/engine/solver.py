@@ -42,6 +42,7 @@ from ..datalog.parser import parse_program
 from ..datalog.rules import Program
 from ..datalog.terms import Constant
 from ..exceptions import EvaluationError
+from ..obs.recorder import Recorder, ensure_recorder
 from ..storage import DEFAULT_STORE, FactStore
 from ..fixpoint.interpretations import PartialInterpretation, TruthValue
 from ..core.alternating import alternating_fixpoint
@@ -168,6 +169,7 @@ def solve_configured(
     config: EngineConfig,
     database: Optional[Database] = None,
     store: Optional[FactStore] = None,
+    recorder: Optional[Recorder] = None,
 ) -> Solution:
     """Solve *program* under an already-resolved :class:`EngineConfig`.
 
@@ -182,6 +184,12 @@ def solve_configured(
     call and closed afterwards).  In every case the returned solution's
     ``program`` includes the facts as fact rules, exactly as the
     historical ``database.attach`` path produced.
+
+    *recorder* (see :mod:`repro.obs`) instruments the whole call as one
+    ``solve`` span whose children are the pipeline phases (``ground``,
+    then ``condense``/``component``/``assemble`` under the modular engine
+    or a single ``evaluate`` span otherwise); the default
+    :class:`~repro.obs.NullRecorder` records nothing at near-zero cost.
     """
     if isinstance(program, str):
         program = parse_program(program)
@@ -193,72 +201,109 @@ def solve_configured(
     if store is None and config.store != DEFAULT_STORE:
         store = owned = config.create_store()
     try:
-        return _solve_with_store(program, config, store)
+        return _solve_with_store(program, config, store, ensure_recorder(recorder))
     finally:
         if owned is not None:
             owned.close()
 
 
 def _solve_with_store(
-    program: Program, config: EngineConfig, store: Optional[FactStore]
+    program: Program,
+    config: EngineConfig,
+    store: Optional[FactStore],
+    recorder: Recorder,
 ) -> Solution:
-    semantics = config.semantics
-    if semantics == "auto":
-        # Classification is a function of the rules: facts are definite
-        # and add no dependency arcs, so the store need not be attached.
-        semantics = resolve_auto_semantics(program)
+    with recorder.span(
+        "solve",
+        semantics=config.semantics,
+        engine=config.engine,
+        strategy=config.strategy,
+    ) as solve_span:
+        semantics = config.semantics
+        if semantics == "auto":
+            # Classification is a function of the rules: facts are definite
+            # and add no dependency arcs, so the store need not be attached.
+            with recorder.span("classify") as classify_span:
+                semantics = resolve_auto_semantics(program)
+            if recorder.enabled:
+                classify_span.annotate(semantics=semantics)
 
-    limits = config.limits
-    strategy = config.strategy
-    engine = config.engine
-    if store is not None and (
-        program.is_ground or config.resolved_grounder != "relevant"
-    ):
-        # The naive/scan grounders and the ground-program passthrough need
-        # the facts materialised as fact rules up front.  Everything else
-        # leaves the facts in the store: the streaming grounder probes its
-        # live indexes and emits the fact rules into the context in one
-        # pass — no second enumeration of the EDB.
-        program = Program.union(store.as_program(), program)
-        store = None
-    context = build_context(
-        program, limits=limits, grounder=config.resolved_grounder, store=store
-    )
-    if store is not None:
-        # The grounded context records the store's facts as fact rules;
-        # use it as the solution's program so downstream consumers (the
-        # stratified evaluator below, stable-model re-solves, explainers)
-        # see the full program.
-        program = context.program
+        limits = config.limits
+        strategy = config.strategy
+        engine = config.engine
+        if store is not None and (
+            program.is_ground or config.resolved_grounder != "relevant"
+        ):
+            # The naive/scan grounders and the ground-program passthrough need
+            # the facts materialised as fact rules up front.  Everything else
+            # leaves the facts in the store: the streaming grounder probes its
+            # live indexes and emits the fact rules into the context in one
+            # pass — no second enumeration of the EDB.
+            program = Program.union(store.as_program(), program)
+            store = None
+        probes_before = store.probes if store is not None else 0
+        context = build_context(
+            program,
+            limits=limits,
+            grounder=config.resolved_grounder,
+            store=store,
+            recorder=recorder,
+        )
+        if store is not None:
+            # The grounded context records the store's facts as fact rules;
+            # use it as the solution's program so downstream consumers (the
+            # stratified evaluator below, stable-model re-solves, explainers)
+            # see the full program.
+            program = context.program
+            if recorder.enabled:
+                recorder.count("store.candidate_probes", store.probes - probes_before)
 
-    if semantics in ("alternating-fixpoint", "well-founded"):
-        if semantics == "alternating-fixpoint":
-            interpretation = alternating_fixpoint(context, strategy=strategy, engine=engine).model
-        else:
-            interpretation = well_founded_model(context, strategy=strategy, engine=engine).model
-    elif semantics == "stratified":
-        interpretation = stratified_model(program, limits=limits, strategy=strategy).interpretation
-    elif semantics == "horn":
-        interpretation = horn_minimum_model(context, strategy=strategy).interpretation
-    elif semantics == "fitting":
-        interpretation = fitting_model(context).model
-    elif semantics == "inflationary":
-        interpretation = inflationary_model(context).interpretation
-    elif semantics == "stable":
-        interpretation = stable_consequences(context, limits=limits, strategy=strategy)
-    else:  # pragma: no cover - guarded by EngineConfig validation
-        raise EvaluationError(f"unhandled semantics {semantics!r}")
+        if semantics in ("alternating-fixpoint", "well-founded"):
+            if semantics == "alternating-fixpoint":
+                interpretation = alternating_fixpoint(
+                    context, strategy=strategy, engine=engine, recorder=recorder
+                ).model
+            else:
+                interpretation = well_founded_model(
+                    context, strategy=strategy, engine=engine, recorder=recorder
+                ).model
+        elif semantics == "stratified":
+            with recorder.span("evaluate", method="stratified"):
+                interpretation = stratified_model(
+                    program, limits=limits, strategy=strategy
+                ).interpretation
+        elif semantics == "horn":
+            with recorder.span("evaluate", method="horn"):
+                interpretation = horn_minimum_model(context, strategy=strategy).interpretation
+        elif semantics == "fitting":
+            with recorder.span("evaluate", method="fitting"):
+                interpretation = fitting_model(context).model
+        elif semantics == "inflationary":
+            with recorder.span("evaluate", method="inflationary"):
+                interpretation = inflationary_model(context).interpretation
+        elif semantics == "stable":
+            with recorder.span("evaluate", method="stable"):
+                interpretation = stable_consequences(
+                    context, limits=limits, strategy=strategy
+                )
+        else:  # pragma: no cover - guarded by EngineConfig validation
+            raise EvaluationError(f"unhandled semantics {semantics!r}")
 
-    return Solution(
-        program=program,
-        semantics=semantics,
-        interpretation=interpretation,
-        base=frozenset(context.base),
-        strategy=strategy,
-        engine=engine,
-        config=config,
-        context=context,
-    )
+        solution = Solution(
+            program=program,
+            semantics=semantics,
+            interpretation=interpretation,
+            base=frozenset(context.base),
+            strategy=strategy,
+            engine=engine,
+            config=config,
+            context=context,
+        )
+    if recorder.enabled:
+        solve_span.annotate(
+            semantics=semantics, atoms=len(context.base), rules=len(context.rules)
+        )
+    return solution
 
 
 def solve(
@@ -273,6 +318,7 @@ def solve(
     grounder: Optional[str] = None,
     matcher: Optional[str] = None,
     config: Optional[EngineConfig] = None,
+    recorder: Optional[Recorder] = None,
 ) -> Solution:
     """Solve *program* under the requested semantics, one-shot.
 
@@ -322,4 +368,6 @@ def solve(
         warn=True,
         caller="solve",
     )
-    return solve_configured(program, resolved, database=database, store=store)
+    return solve_configured(
+        program, resolved, database=database, store=store, recorder=recorder
+    )

@@ -1,0 +1,178 @@
+"""Trace exporters: JSONL dumps and human-readable span trees.
+
+Two consumers, two formats:
+
+* :func:`write_trace_jsonl` / :func:`trace_records` — one JSON object per
+  line, machine-readable.  The first line is a ``meta`` record, then one
+  ``span`` record per span (pre-order, with ``id``/``parent`` links), and
+  a final ``counters`` record with the aggregated totals:
+
+  .. code-block:: text
+
+     {"type": "meta", "schema": 1, ...caller metadata...}
+     {"type": "span", "id": 0, "parent": null, "depth": 0, "name": "solve",
+      "start": 0.0, "elapsed": 0.0123, "attributes": {...}, "counters": {...}}
+     {"type": "counters", "totals": {"ground.rules": 2612, ...}}
+
+* :func:`render_span_tree` / :func:`render_counters` — fixed-width tables
+  via :func:`repro.reporting.format_table` (imported lazily so the
+  storage/core layers can import :mod:`repro.obs` without cycles).
+  Sibling spans sharing a name are aggregated into one row (count, total,
+  mean, share of parent), so a 2000-component solve prints a handful of
+  lines rather than a scroll of per-component noise.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, Iterator
+
+from .recorder import SpanRecord, TraceRecorder
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "REQUIRED_SPAN_KEYS",
+    "trace_records",
+    "write_trace_jsonl",
+    "render_span_tree",
+    "render_counters",
+    "phase_coverage",
+]
+
+#: Bump when the JSONL record shape changes.
+TRACE_SCHEMA_VERSION = 1
+
+#: Keys every ``span`` record carries — what CI's smoke step validates.
+REQUIRED_SPAN_KEYS = (
+    "type",
+    "id",
+    "parent",
+    "depth",
+    "name",
+    "start",
+    "elapsed",
+    "attributes",
+    "counters",
+)
+
+
+def trace_records(
+    recorder: TraceRecorder, metadata: dict[str, object] | None = None
+) -> Iterator[dict[str, object]]:
+    """Yield the JSONL records of a trace: meta, spans, counter totals."""
+    meta: dict[str, object] = {"type": "meta", "schema": TRACE_SCHEMA_VERSION}
+    if metadata:
+        meta.update(metadata)
+    yield meta
+    next_id = 0
+    # Pre-order walk carrying parent ids.
+    stack: list[tuple[SpanRecord, int | None, int]] = [
+        (span, None, 0) for span in reversed(recorder.spans)
+    ]
+    while stack:
+        span, parent, depth = stack.pop()
+        span_id = next_id
+        next_id += 1
+        yield {
+            "type": "span",
+            "id": span_id,
+            "parent": parent,
+            "depth": depth,
+            "name": span.name,
+            "start": round(span.start, 9),
+            "elapsed": round(span.elapsed, 9),
+            "attributes": dict(span.attributes),
+            "counters": dict(span.counters),
+        }
+        for child in reversed(span.children):
+            stack.append((child, span_id, depth + 1))
+    yield {"type": "counters", "totals": recorder.counter_totals()}
+
+
+def write_trace_jsonl(
+    recorder: TraceRecorder,
+    destination: "str | IO[str]",
+    metadata: dict[str, object] | None = None,
+) -> int:
+    """Write the trace as JSON Lines to a path or text stream; returns the
+    number of records written."""
+    written = 0
+
+    def _dump(stream: IO[str]) -> int:
+        count = 0
+        for record in trace_records(recorder, metadata):
+            stream.write(json.dumps(record, sort_keys=True, default=str))
+            stream.write("\n")
+            count += 1
+        return count
+
+    if hasattr(destination, "write"):
+        written = _dump(destination)  # type: ignore[arg-type]
+    else:
+        with open(destination, "w", encoding="utf-8") as stream:  # type: ignore[arg-type]
+            written = _dump(stream)
+    return written
+
+
+def _aggregate_rows(
+    spans: Iterable[SpanRecord],
+    parent_elapsed: float,
+    depth: int,
+    rows: list[tuple[str, str, str, str, str]],
+) -> None:
+    """Group sibling spans by name into one table row each, recursing into
+    the grouped children."""
+    groups: dict[str, list[SpanRecord]] = {}
+    for span in spans:
+        groups.setdefault(span.name, []).append(span)
+    for name, group in groups.items():
+        total = sum(span.elapsed for span in group)
+        share = (total / parent_elapsed * 100.0) if parent_elapsed > 0 else 100.0
+        rows.append(
+            (
+                "  " * depth + name,
+                str(len(group)),
+                f"{total * 1000:.2f}",
+                f"{total * 1000 / len(group):.3f}",
+                f"{share:.1f}",
+            )
+        )
+        children = [child for span in group for child in span.children]
+        if children:
+            _aggregate_rows(children, total, depth + 1, rows)
+
+
+def render_span_tree(recorder: TraceRecorder) -> str:
+    """The trace as an indented fixed-width table, siblings aggregated by
+    name: span, count, total ms, mean ms, share of parent time."""
+    from ..reporting import format_table  # lazy: avoids an import cycle
+
+    rows: list[tuple[str, str, str, str, str]] = []
+    wall = sum(span.elapsed for span in recorder.spans)
+    _aggregate_rows(recorder.spans, wall, 0, rows)
+    if not rows:
+        return "(no spans recorded)"
+    return format_table(("span", "count", "total ms", "mean ms", "% parent"), rows)
+
+
+def render_counters(recorder: TraceRecorder) -> str:
+    """The aggregated counter totals as a two-column table."""
+    from ..reporting import format_table  # lazy: avoids an import cycle
+
+    totals = recorder.counter_totals()
+    if not totals:
+        return "(no counters recorded)"
+    rows = [
+        (name, f"{value:g}" if isinstance(value, float) else str(value))
+        for name, value in totals.items()
+    ]
+    return format_table(("counter", "value"), rows)
+
+
+def phase_coverage(recorder: TraceRecorder, root: str = "solve") -> float | None:
+    """Fraction of the *root* span's wall-clock accounted for by its direct
+    child phases — ``None`` when the root span is missing or instant."""
+    span = recorder.find(root)
+    if span is None or span.elapsed <= 0:
+        return None
+    return span.child_elapsed / span.elapsed

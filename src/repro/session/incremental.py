@@ -57,6 +57,7 @@ from ..core.modular import (
 from ..datalog.atoms import Atom
 from ..datalog.rules import Program
 from ..fixpoint.interpretations import PartialInterpretation
+from ..obs.recorder import NULL_RECORDER, Recorder
 
 __all__ = ["UpdateStats", "IncrementalEngine"]
 
@@ -73,6 +74,11 @@ class UpdateStats:
     ``components_reused`` quantify the reuse — the acceptance benchmark
     asserts ``components_recomputed`` stays proportional to the affected
     region, not to the program.
+
+    When a tracing :class:`~repro.obs.Recorder` is attached to the engine,
+    the same quantities are emitted as the attributes and counters of the
+    ``refresh`` span (``refresh.cache_hits`` is ``components_reused``) —
+    this dataclass is the derived, API-stable view of that record.
     """
 
     mode: str
@@ -121,10 +127,12 @@ class IncrementalEngine:
         rules: Program,
         strategy: str = DEFAULT_STRATEGY,
         store: "FactStore | None" = None,
+        recorder: Recorder | None = None,
     ):
         rules.require_ground()
         validate_strategy(strategy)
         self._strategy = strategy
+        self._recorder = recorder if recorder is not None else NULL_RECORDER
         # The rule-only context: decomposed rules, head index and the atom
         # universe the rules span.  Facts are attached per refresh.
         self._rule_context = build_context(rules)
@@ -258,23 +266,34 @@ class IncrementalEngine:
         :class:`UpdateStats` describing the work done.
         """
         started = time.perf_counter()
-        try:
-            if not self._solved or changed is None:
-                stats = self._solve_all(facts)
-            else:
-                stats = self._solve_delta(facts, set(changed))
-        except BaseException:
-            # A failure mid-delta leaves affected components subtracted
-            # from the aggregates but not re-added: drop to unsolved so
-            # the next refresh rebuilds from scratch instead of serving
-            # the torn state.
-            self._solved = False
-            raise
-        self._facts = facts
-        self._solved = True
-        self._last = dataclasses.replace(
-            stats, elapsed=time.perf_counter() - started
-        )
+        recorder = self._recorder
+        with recorder.span("refresh") as refresh_span:
+            try:
+                if not self._solved or changed is None:
+                    stats = self._solve_all(facts)
+                else:
+                    stats = self._solve_delta(facts, set(changed))
+            except BaseException:
+                # A failure mid-delta leaves affected components subtracted
+                # from the aggregates but not re-added: drop to unsolved so
+                # the next refresh rebuilds from scratch instead of serving
+                # the torn state.
+                self._solved = False
+                raise
+            self._facts = facts
+            self._solved = True
+            self._last = dataclasses.replace(
+                stats, elapsed=time.perf_counter() - started
+            )
+        if recorder.enabled:
+            refresh_span.annotate(
+                mode=self._last.mode,
+                changed=self._last.changed,
+                components_recomputed=self._last.components_recomputed,
+                components_reused=self._last.components_reused,
+            )
+            recorder.count("refresh.cache_hits", self._last.components_reused)
+            recorder.count("refresh.changed_atoms", self._last.changed)
         return self._last
 
     def _solve_all(self, facts: frozenset[Atom]) -> UpdateStats:
@@ -283,17 +302,7 @@ class IncrementalEngine:
         self._floating = set(facts - self._rule_atoms)
         methods: dict[str, int] = {}
         for index, component in enumerate(self._components):
-            comp_true, comp_false, report = solve_component(
-                component,
-                index,
-                self._rule_context.rules,
-                self._rule_context.rules_by_head,
-                facts,
-                self._true,
-                self._false,
-                self._undef_atom,
-                self._strategy,
-            )
+            comp_true, comp_false, report = self._solve_one(index, component, facts)
             self._comp_true[index] = comp_true
             self._comp_false[index] = comp_false
             self._reports[index] = report
@@ -310,41 +319,80 @@ class IncrementalEngine:
             methods=methods,
         )
 
+    def _solve_one(
+        self, index: int, component: set[Atom], facts: frozenset[Atom]
+    ) -> tuple[set[Atom], set[Atom], ComponentReport]:
+        """Dispatch one component, wrapping it in a ``component`` span when
+        a tracing recorder is attached (the null path adds no calls)."""
+        recorder = self._recorder
+        if recorder.enabled:
+            with recorder.span("component") as comp_span:
+                comp_true, comp_false, report = solve_component(
+                    component,
+                    index,
+                    self._rule_context.rules,
+                    self._rule_context.rules_by_head,
+                    facts,
+                    self._true,
+                    self._false,
+                    self._undef_atom,
+                    self._strategy,
+                    recorder=recorder,
+                )
+                comp_span.annotate(
+                    index=index,
+                    method=report.method,
+                    size=report.size,
+                    rules=report.rules,
+                    stages=report.stages,
+                )
+                recorder.count(f"components.{report.method}")
+            return comp_true, comp_false, report
+        return solve_component(
+            component,
+            index,
+            self._rule_context.rules,
+            self._rule_context.rules_by_head,
+            facts,
+            self._true,
+            self._false,
+            self._undef_atom,
+            self._strategy,
+        )
+
     def _solve_delta(self, facts: frozenset[Atom], changed: set[Atom]) -> UpdateStats:
-        changed_rule_atoms = changed & self._rule_atoms
-        floating_changed = 0
-        for atom in changed - self._rule_atoms:
-            floating_changed += 1
-            if atom in facts:
-                self._floating.add(atom)
-            else:
-                self._floating.discard(atom)
+        recorder = self._recorder
+        with recorder.span("affected") as affected_span:
+            changed_rule_atoms = changed & self._rule_atoms
+            floating_changed = 0
+            for atom in changed - self._rule_atoms:
+                floating_changed += 1
+                if atom in facts:
+                    self._floating.add(atom)
+                else:
+                    self._floating.discard(atom)
 
-        # Forward closure of the changed components under `dependents`.
-        affected: set[int] = {self._component_of[atom] for atom in changed_rule_atoms}
-        frontier = list(affected)
-        while frontier:
-            for reader in self._dependents[frontier.pop()]:
-                if reader not in affected:
-                    affected.add(reader)
-                    frontier.append(reader)
+            # Forward closure of the changed components under `dependents`.
+            affected: set[int] = {
+                self._component_of[atom] for atom in changed_rule_atoms
+            }
+            frontier = list(affected)
+            while frontier:
+                for reader in self._dependents[frontier.pop()]:
+                    if reader not in affected:
+                        affected.add(reader)
+                        frontier.append(reader)
 
-        order = sorted(affected)
+            order = sorted(affected)
+        if recorder.enabled:
+            affected_span.annotate(changed=len(changed), components=len(order))
         for index in order:
             self._true -= self._comp_true[index]
             self._false -= self._comp_false[index]
         methods: dict[str, int] = {}
         for index in order:
-            comp_true, comp_false, report = solve_component(
-                self._components[index],
-                index,
-                self._rule_context.rules,
-                self._rule_context.rules_by_head,
-                facts,
-                self._true,
-                self._false,
-                self._undef_atom,
-                self._strategy,
+            comp_true, comp_false, report = self._solve_one(
+                index, self._components[index], facts
             )
             self._comp_true[index] = comp_true
             self._comp_false[index] = comp_false

@@ -50,6 +50,7 @@ from ..engine.solver import Solution, resolve_auto_semantics, solve_configured
 from ..exceptions import EvaluationError, NotGroundError
 from ..fixpoint.interpretations import PartialInterpretation, TruthValue
 from ..fixpoint.lattice import NegativeSet
+from ..obs.recorder import NULL_RECORDER, Recorder
 from ..storage import FactStore, open_store
 from .incremental import IncrementalEngine, UpdateStats
 
@@ -190,6 +191,11 @@ class KnowledgeBase:
         under.  The legacy per-field keywords (``semantics=``,
         ``strategy=``, ...) keep working through the same deprecation shim
         as :func:`repro.engine.solver.solve`.
+    recorder:
+        Optional :class:`~repro.obs.Recorder` instrumenting the session:
+        every solve and incremental refresh the knowledge base performs is
+        traced through it (``solve`` / ``refresh`` spans and their phase
+        children).  Defaults to the zero-cost null recorder.
     """
 
     def __init__(
@@ -199,6 +205,7 @@ class KnowledgeBase:
         facts: Union[Database, FactStore, Mapping, Iterable[Atom], None] = None,
         store: Union[FactStore, str, None] = None,
         config: Optional[EngineConfig] = None,
+        recorder: Optional[Recorder] = None,
         semantics: Optional[str] = None,
         strategy: Optional[str] = None,
         engine: Optional[str] = None,
@@ -254,6 +261,10 @@ class KnowledgeBase:
         self._incremental: Optional[bool] = None
         self._last_update: Optional[UpdateStats] = None
         self._update_count = 0
+        self._recorder = recorder if recorder is not None else NULL_RECORDER
+        # Cumulative refresh history (drives `statistics()` / repl `stats`).
+        self._refresh_elapsed = 0.0
+        self._refresh_modes: dict[str, int] = {}
 
         # Pre-existing backend contents (a reopened persistent store) seed
         # the fact map before we start listening for changes.
@@ -365,8 +376,15 @@ class KnowledgeBase:
         """Statistics of the most recent model refresh."""
         return self._last_update
 
+    @property
+    def recorder(self) -> Recorder:
+        """The :class:`~repro.obs.Recorder` the session's evaluations run
+        under (the null recorder unless one was passed at construction)."""
+        return self._recorder
+
     def statistics(self) -> dict[str, object]:
-        """Session counters plus, when incremental, component statistics."""
+        """Session counters plus cumulative refresh history, store stats
+        and — when incremental — component statistics."""
         self._refresh()
         stats: dict[str, object] = {
             "rules": len(self._rules),
@@ -376,8 +394,19 @@ class KnowledgeBase:
             "store": type(self._store).__name__,
             "refreshes": self._update_count,
         }
+        if self._update_count:
+            stats["refresh_total_s"] = round(self._refresh_elapsed, 6)
+            stats["refresh_mean_s"] = round(
+                self._refresh_elapsed / self._update_count, 6
+            )
+            stats["refresh_modes"] = dict(self._refresh_modes)
         if self._last_update is not None:
+            stats["last_mode"] = self._last_update.mode
             stats["last_update"] = self._last_update.describe()
+        store_stats = self._store.stats()
+        stats["store_rows"] = store_stats["rows"]
+        stats["store_indexes"] = store_stats["indexes"]
+        stats["store_probes"] = store_stats["probes"]
         if self._engine is not None:
             stats.update(self._engine.modular_result().statistics())
         return stats
@@ -531,7 +560,10 @@ class KnowledgeBase:
                 # The engine subscribes to the store, so from here on it
                 # sees every mutation itself; its first refresh is full.
                 self._engine = IncrementalEngine(
-                    self._rules, strategy=self._config.strategy, store=self._store
+                    self._rules,
+                    strategy=self._config.strategy,
+                    store=self._store,
+                    recorder=self._recorder,
                 )
             stats = self._engine.refresh_pending(frozenset(self._fact_rules))
             solution = Solution(
@@ -548,7 +580,9 @@ class KnowledgeBase:
             # Rules only: the EDB travels as the live store, so the
             # grounder probes its indexes instead of re-indexing the facts
             # (the solution's program still records them as fact rules).
-            solution = solve_configured(self._rules, self._config, store=self._store)
+            solution = solve_configured(
+                self._rules, self._config, store=self._store, recorder=self._recorder
+            )
             stats = UpdateStats(
                 mode="initial" if self._update_count == 0 else "rebuild",
                 changed=len(changed),
@@ -562,6 +596,8 @@ class KnowledgeBase:
         self._solution = solution
         self._last_update = stats
         self._update_count += 1
+        self._refresh_elapsed += stats.elapsed
+        self._refresh_modes[stats.mode] = self._refresh_modes.get(stats.mode, 0) + 1
         self._dirty = False
 
     @property

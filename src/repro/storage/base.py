@@ -71,6 +71,10 @@ class FactStore(ABC):
 
     def __init__(self) -> None:
         self._listeners: list[ChangeListener] = []
+        #: Number of :meth:`candidate_rows` index probes served since the
+        #: store was created — the cheap per-backend tally surfaced by
+        #: :meth:`stats` and sampled by the :mod:`repro.obs` recorders.
+        self.probes: int = 0
 
     # ------------------------------------------------------------------ #
     # Change notification
@@ -244,6 +248,34 @@ class FactStore(ABC):
         """Sequence bounds per relation — a delta-window snapshot."""
         return {
             signature: self.sequence_bound(*signature) for signature in self.signatures()
+        }
+
+    def index_count(self) -> int:
+        """Number of auxiliary bound-position indexes the backend currently
+        maintains (lazily created by :meth:`candidate_rows` probing)."""
+        return 0
+
+    def stats(self) -> dict[str, object]:
+        """Uniform backend statistics, identical in shape for every backend.
+
+        Returns the backend name, a per-relation map of row counts and
+        sequence bounds (``"pred/arity" -> {"rows", "sequence_bound"}``),
+        the total row count, the number of auxiliary indexes, and the
+        cumulative :meth:`candidate_rows` probe count.
+        """
+        relations = {
+            f"{name}/{arity}": {
+                "rows": self.count(name, arity),
+                "sequence_bound": self.sequence_bound(name, arity),
+            }
+            for name, arity in sorted(self.signatures())
+        }
+        return {
+            "backend": type(self).__name__,
+            "relations": relations,
+            "rows": sum(info["rows"] for info in relations.values()),
+            "indexes": self.index_count(),
+            "probes": self.probes,
         }
 
     def as_program(self) -> Program:

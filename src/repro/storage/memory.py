@@ -121,11 +121,17 @@ class MemoryStore(FactStore):
     ) -> Iterator[tuple[int, tuple[Term, ...]]]:
         relation = self._relations.relation(predicate, arity)
         if relation is None:
-            return
-        yield from relation.candidate_rows(positions, key, lo, hi)
+            return iter(())
+        self.probes += 1
+        return relation.candidate_rows(positions, key, lo, hi)
 
     def statistics(self) -> dict[str, int]:
         return self._relations.statistics()
+
+    def index_count(self) -> int:
+        return sum(
+            len(relation.indexes) for relation in self._relations.relations.values()
+        )
 
     # ------------------------------------------------------------------ #
     # Savepoints

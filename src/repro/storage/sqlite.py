@@ -296,7 +296,8 @@ class SqliteStore(FactStore):
     ) -> Iterator[tuple[int, tuple[Term, ...]]]:
         table_id = self._tables.get((predicate, arity))
         if table_id is None:
-            return
+            return iter(())
+        self.probes += 1
         self._ensure_sql_index(table_id, arity, positions)
         # The protocol's windows are 0-based exclusive bounds over sequence
         # numbers; AUTOINCREMENT seq is 1-based, so shift by one.
@@ -311,8 +312,9 @@ class SqliteStore(FactStore):
             f"WHERE {' AND '.join(conditions)} ORDER BY seq",
             parameters,
         )
-        for row in rows:
-            yield row[0] - 1, tuple(decode_term(text) for text in row[1:])
+        return (
+            (row[0] - 1, tuple(decode_term(text) for text in row[1:])) for row in rows
+        )
 
     # ------------------------------------------------------------------ #
     # Savepoints
@@ -359,6 +361,9 @@ class SqliteStore(FactStore):
         self._cursor().execute(f"RELEASE {token}")
         if not self._savepoints:
             self._journal.clear()
+
+    def index_count(self) -> int:
+        return len(self._sql_indexes)
 
     # ------------------------------------------------------------------ #
     # Lifecycle

@@ -1,0 +1,138 @@
+"""Unit tests for the trace exporters (:mod:`repro.obs.export`).
+
+The JSONL dump is the machine contract CI's smoke step validates
+(:data:`REQUIRED_SPAN_KEYS`), so its shape — meta first, pre-order span
+records with parent/depth links, counter totals last — is pinned here.
+The table renderers only promise aggregate rows, checked structurally.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    REQUIRED_SPAN_KEYS,
+    TRACE_SCHEMA_VERSION,
+    TraceRecorder,
+    phase_coverage,
+    render_counters,
+    render_span_tree,
+    trace_records,
+    write_trace_jsonl,
+)
+
+from .test_recorder import FakeClock
+
+
+def sample_trace() -> TraceRecorder:
+    clock = FakeClock()
+    recorder = TraceRecorder(clock=clock)
+    with recorder.span("solve", semantics="well-founded"):
+        with recorder.span("ground"):
+            clock.tick(0.25)
+            recorder.count("ground.rules", 7)
+        with recorder.span("components"):
+            for _ in range(3):
+                with recorder.span("component"):
+                    clock.tick(0.125)
+                    recorder.count("components.horn")
+        clock.tick(0.125)
+    return recorder
+
+
+class TestTraceRecords:
+    def test_meta_first_with_schema_and_metadata(self):
+        records = list(trace_records(sample_trace(), {"command": "profile"}))
+        assert records[0] == {
+            "type": "meta",
+            "schema": TRACE_SCHEMA_VERSION,
+            "command": "profile",
+        }
+        assert records[-1]["type"] == "counters"
+
+    def test_span_records_carry_required_keys(self):
+        spans = [r for r in trace_records(sample_trace()) if r["type"] == "span"]
+        assert len(spans) == 6  # solve, ground, components, 3 × component
+        for record in spans:
+            assert set(REQUIRED_SPAN_KEYS) <= set(record)
+
+    def test_parent_and_depth_links_reconstruct_the_tree(self):
+        spans = [r for r in trace_records(sample_trace()) if r["type"] == "span"]
+        by_id = {record["id"]: record for record in spans}
+        roots = [r for r in spans if r["parent"] is None]
+        assert [r["name"] for r in roots] == ["solve"]
+        for record in spans:
+            if record["parent"] is None:
+                assert record["depth"] == 0
+            else:
+                parent = by_id[record["parent"]]
+                assert record["depth"] == parent["depth"] + 1
+                # Pre-order: a child is emitted after its parent.
+                assert record["id"] > parent["id"]
+        assert sorted(r["name"] for r in spans if r["depth"] == 2) == ["component"] * 3
+
+    def test_counter_totals_record(self):
+        recorder = sample_trace()
+        *_, totals = trace_records(recorder)
+        assert totals == {"type": "counters", "totals": recorder.counter_totals()}
+        assert totals["totals"] == {"components.horn": 3, "ground.rules": 7}
+
+
+class TestWriteTraceJsonl:
+    def test_writes_parseable_lines_to_a_path(self, tmp_path):
+        destination = tmp_path / "trace.jsonl"
+        written = write_trace_jsonl(sample_trace(), str(destination), {"command": "solve"})
+        lines = destination.read_text(encoding="utf-8").splitlines()
+        assert written == len(lines) == 8  # meta + 6 spans + counters
+        records = [json.loads(line) for line in lines]
+        assert records[0]["type"] == "meta"
+        assert records[-1]["type"] == "counters"
+
+    def test_writes_to_an_open_stream(self):
+        stream = io.StringIO()
+        written = write_trace_jsonl(sample_trace(), stream)
+        assert written == len(stream.getvalue().splitlines())
+
+    def test_non_json_attributes_stringified(self, tmp_path):
+        recorder = TraceRecorder()
+        with recorder.span("solve", base=frozenset({"a"})):
+            pass
+        destination = tmp_path / "trace.jsonl"
+        write_trace_jsonl(recorder, str(destination))
+        for line in destination.read_text(encoding="utf-8").splitlines():
+            json.loads(line)  # must not raise
+
+
+class TestRenderers:
+    def test_span_tree_aggregates_same_named_siblings(self):
+        rendered = render_span_tree(sample_trace())
+        # The three component spans collapse into one row with count 3.
+        (component_row,) = [
+            line for line in rendered.splitlines() if "component" in line and "components" not in line
+        ]
+        assert component_row.split()[1] == "3"
+        assert "solve" in rendered and "ground" in rendered
+
+    def test_empty_trace_placeholders(self):
+        recorder = TraceRecorder()
+        assert render_span_tree(recorder) == "(no spans recorded)"
+        assert render_counters(recorder) == "(no counters recorded)"
+
+    def test_counters_table_lists_totals(self):
+        rendered = render_counters(sample_trace())
+        assert "ground.rules" in rendered
+        assert "components.horn" in rendered
+
+
+class TestPhaseCoverage:
+    def test_fraction_of_root_covered_by_children(self):
+        # ground 0.25s + components 0.375s out of a 0.75s solve span.
+        assert phase_coverage(sample_trace()) == pytest.approx((0.25 + 0.375) / 0.75)
+
+    def test_missing_or_instant_root(self):
+        recorder = TraceRecorder(clock=FakeClock())
+        assert phase_coverage(recorder) is None
+        with recorder.span("solve"):
+            pass  # zero elapsed on the fake clock
+        assert phase_coverage(recorder) is None

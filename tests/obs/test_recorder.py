@@ -1,0 +1,170 @@
+"""Unit tests for the recorder protocol (:mod:`repro.obs.recorder`).
+
+The contract has two halves: the :class:`NullRecorder` must be free of
+observable state (the engine leans on that for its zero-overhead
+guarantee), and the :class:`TraceRecorder` must capture a well-nested
+span tree with counters attached to the innermost open span.  A fake
+clock makes every timing assertion deterministic.
+"""
+
+import pytest
+
+from repro.obs import (
+    NULL_RECORDER,
+    NullRecorder,
+    Recorder,
+    TraceRecorder,
+    ensure_recorder,
+)
+
+
+class FakeClock:
+    """A manually advanced perf-counter stand-in."""
+
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def tick(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestNullRecorder:
+    def test_disabled_and_shared_default(self):
+        assert NullRecorder.enabled is False
+        assert Recorder.enabled is False
+        assert isinstance(NULL_RECORDER, NullRecorder)
+
+    def test_span_is_a_reusable_noop(self):
+        recorder = NullRecorder()
+        first = recorder.span("solve", semantics="auto")
+        second = recorder.span("ground")
+        # One shared no-op object: no per-span allocation on the hot path.
+        assert first is second
+        with first as span:
+            span.annotate(atoms=3)  # discarded, not an error
+        recorder.count("ground.rules", 42)
+
+    def test_records_nothing(self):
+        recorder = NullRecorder()
+        with recorder.span("solve"):
+            with recorder.span("ground"):
+                recorder.count("ground.rules", 5)
+        # __slots__ leaves no room for captured state.
+        assert not hasattr(recorder, "spans")
+        assert not hasattr(recorder, "counters")
+
+    def test_ensure_recorder(self):
+        assert ensure_recorder(None) is NULL_RECORDER
+        tracing = TraceRecorder()
+        assert ensure_recorder(tracing) is tracing
+
+
+class TestTraceRecorder:
+    def test_nesting_builds_a_tree(self):
+        recorder = TraceRecorder()
+        with recorder.span("solve"):
+            with recorder.span("ground"):
+                pass
+            with recorder.span("components"):
+                with recorder.span("component"):
+                    pass
+                with recorder.span("component"):
+                    pass
+        (solve,) = recorder.spans
+        assert solve.name == "solve"
+        assert [child.name for child in solve.children] == ["ground", "components"]
+        assert [c.name for c in solve.children[1].children] == ["component", "component"]
+
+    def test_walk_is_preorder_with_depths(self):
+        recorder = TraceRecorder()
+        with recorder.span("a"):
+            with recorder.span("b"):
+                with recorder.span("c"):
+                    pass
+            with recorder.span("d"):
+                pass
+        assert [(depth, span.name) for depth, span in recorder.walk()] == [
+            (0, "a"),
+            (1, "b"),
+            (2, "c"),
+            (1, "d"),
+        ]
+
+    def test_timings_against_a_fake_clock(self):
+        clock = FakeClock()
+        recorder = TraceRecorder(clock=clock)
+        with recorder.span("solve"):
+            clock.tick(1.0)
+            with recorder.span("ground"):
+                clock.tick(2.0)
+            clock.tick(0.5)
+        (solve,) = recorder.spans
+        assert solve.start == pytest.approx(0.0)
+        assert solve.elapsed == pytest.approx(3.5)
+        (ground,) = solve.children
+        assert ground.start == pytest.approx(1.0)
+        assert ground.elapsed == pytest.approx(2.0)
+        assert solve.child_elapsed == pytest.approx(2.0)
+        assert recorder.elapsed == pytest.approx(3.5)
+
+    def test_counters_attach_to_innermost_open_span(self):
+        recorder = TraceRecorder()
+        recorder.count("outside")
+        with recorder.span("solve"):
+            recorder.count("solve.steps", 2)
+            with recorder.span("ground"):
+                recorder.count("ground.rules", 5)
+                recorder.count("ground.rules", 3)
+        (solve,) = recorder.spans
+        assert recorder.counters == {"outside": 1}
+        assert solve.counters == {"solve.steps": 2}
+        assert solve.children[0].counters == {"ground.rules": 8}
+
+    def test_counter_totals_aggregate_the_whole_trace(self):
+        recorder = TraceRecorder()
+        recorder.count("x")
+        with recorder.span("a"):
+            recorder.count("x", 2)
+            with recorder.span("b"):
+                recorder.count("x", 3)
+                recorder.count("y", 1.5)
+        assert recorder.counter_totals() == {"x": 6, "y": 1.5}
+
+    def test_annotate_after_exit(self):
+        recorder = TraceRecorder()
+        with recorder.span("ground", grounder="relevant") as span:
+            pass
+        span.annotate(rules=12)
+        assert recorder.spans[0].attributes == {"grounder": "relevant", "rules": 12}
+
+    def test_find_first_match(self):
+        recorder = TraceRecorder()
+        with recorder.span("solve"):
+            with recorder.span("component"):
+                pass
+            with recorder.span("component"):
+                pass
+        assert recorder.find("component") is recorder.spans[0].children[0]
+        assert recorder.find("missing") is None
+
+    def test_exception_unwinding_keeps_stack_well_nested(self):
+        recorder = TraceRecorder()
+        with pytest.raises(RuntimeError):
+            with recorder.span("solve"):
+                with recorder.span("ground"):
+                    raise RuntimeError("boom")
+        # Both spans closed despite the exception; new spans nest at top level.
+        assert recorder._stack == []
+        with recorder.span("after"):
+            pass
+        assert [span.name for span in recorder.spans] == ["solve", "after"]
+
+    def test_sibling_traces_stay_independent(self):
+        first, second = TraceRecorder(), TraceRecorder()
+        with first.span("only-in-first"):
+            first.count("n")
+        assert second.spans == []
+        assert second.counter_totals() == {}

@@ -1,0 +1,98 @@
+"""Property tests: instrumentation never changes results, traces stay sane.
+
+Across random programs (ground and non-ground, with and without
+negation), a traced solve must produce the same partial model as an
+untraced one, the captured span tree must be well-nested — every child
+interval lies inside its parent's, and sibling time never exceeds the
+parent's elapsed — and every counter must be a non-negative tally.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.config import EngineConfig
+from repro.engine.solver import solve
+from repro.obs import NullRecorder, TraceRecorder
+from repro.workloads import random_nonground_program, random_propositional_program
+
+SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+#: Slack for float round-off when comparing sums of child timings.
+EPSILON = 1e-9
+
+
+def assert_well_nested(recorder: TraceRecorder) -> int:
+    """Structural sanity of a captured trace; returns the span count."""
+    count = 0
+    for _, span in recorder.walk():
+        count += 1
+        assert span.elapsed >= 0
+        assert span.start >= -EPSILON
+        assert span.child_elapsed <= span.elapsed + EPSILON
+        previous_end = span.start
+        for child in span.children:
+            # Children run inside the parent's interval, in order.
+            assert child.start + EPSILON >= previous_end
+            previous_end = child.start + child.elapsed
+            assert previous_end <= span.start + span.elapsed + EPSILON
+    return count
+
+
+def assert_counters_non_negative(recorder: TraceRecorder) -> None:
+    for name, value in recorder.counter_totals().items():
+        assert value >= 0, name
+    for _, span in recorder.walk():
+        for name, value in span.counters.items():
+            assert value >= 0, (span.name, name)
+
+
+def model_key(solution):
+    interpretation = solution.interpretation
+    return (interpretation.true_atoms, interpretation.false_atoms, solution.base)
+
+
+class TestTracedSolveMatchesUntraced:
+    @SETTINGS
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        atoms=st.integers(min_value=1, max_value=12),
+        rules=st.integers(min_value=1, max_value=36),
+        semantics=st.sampled_from(["auto", "well-founded"]),
+    )
+    def test_random_propositional_programs(self, seed, atoms, rules, semantics):
+        program = random_propositional_program(atoms=atoms, rules=rules, seed=seed)
+        config = EngineConfig(semantics=semantics)
+        recorder = TraceRecorder()
+
+        plain = solve(program, config=config, recorder=NullRecorder())
+        traced = solve(program, config=config, recorder=recorder)
+
+        assert model_key(traced) == model_key(plain)
+        assert assert_well_nested(recorder) >= 1
+        assert recorder.find("solve") is not None
+        assert_counters_non_negative(recorder)
+
+    @SETTINGS
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        rules=st.integers(min_value=2, max_value=8),
+        negation=st.sampled_from([0.0, 0.4]),
+    )
+    def test_random_nonground_programs(self, seed, rules, negation):
+        program = random_nonground_program(
+            seed=seed, rules=rules, negation_probability=negation
+        )
+        recorder = TraceRecorder()
+
+        plain = solve(program, recorder=NullRecorder())
+        traced = solve(program, recorder=recorder)
+
+        assert model_key(traced) == model_key(plain)
+        assert_well_nested(recorder)
+        assert_counters_non_negative(recorder)

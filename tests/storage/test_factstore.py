@@ -133,6 +133,52 @@ class TestProbes:
         assert rows == [(Constant(1), Constant(2)), (Constant(5), Constant(6))]
 
 
+class TestStats:
+    def test_empty_store(self, store):
+        stats = store.stats()
+        assert stats["backend"] == type(store).__name__
+        assert stats["relations"] == {}
+        assert stats["rows"] == 0
+        assert stats["indexes"] == 0
+        assert stats["probes"] == 0
+
+    def test_per_relation_rows_and_sequence_bounds(self, store):
+        store.load({"edge": [(1, 2), (2, 3)], "node": [(1,), (2,), (3,)]})
+        store.add("flag")
+        stats = store.stats()
+        assert set(stats["relations"]) == {"edge/2", "node/1", "flag/0"}
+        assert stats["relations"]["edge/2"]["rows"] == 2
+        assert stats["relations"]["node/1"]["rows"] == 3
+        assert stats["rows"] == 6
+        for info in stats["relations"].values():
+            # Sequences are allocated per row and never reused, so the
+            # bound covers at least the live rows.
+            assert info["sequence_bound"] >= info["rows"]
+
+    def test_probe_and_index_counters_advance(self, store):
+        store.load({"edge": [(1, 2), (1, 3), (2, 3)]})
+        assert store.stats()["probes"] == 0
+        hi = store.sequence_bound("edge", 2)
+        list(store.candidate_rows("edge", 2, (0,), (Constant(1),), 0, hi))
+        stats = store.stats()
+        assert stats["probes"] == 1
+        # The bound-position probe lazily built one auxiliary index.
+        assert stats["indexes"] >= 1
+        list(store.candidate_rows("edge", 2, (0,), (Constant(2),), 0, hi))
+        assert store.stats()["probes"] == 2
+
+    def test_stats_shape_identical_across_backends(self):
+        with MemoryStore() as memory, SqliteStore(":memory:") as sqlite:
+            for backend in (memory, sqlite):
+                backend.load({"edge": [(1, 2), (2, 3)]})
+                hi = backend.sequence_bound("edge", 2)
+                list(backend.candidate_rows("edge", 2, (0,), (Constant(1),), 0, hi))
+            memory_stats, sqlite_stats = memory.stats(), sqlite.stats()
+            assert set(memory_stats) == set(sqlite_stats)
+            for field in ("relations", "rows", "probes"):
+                assert memory_stats[field] == sqlite_stats[field]
+
+
 class TestSavepoints:
     def test_rollback_undoes_mutations(self, store):
         store.add("edge", 1, 2)
