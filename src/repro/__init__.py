@@ -59,10 +59,11 @@ from .config import EngineConfig
 from .engine import Solution, answers, ask, solve
 from .evaluation import DEFAULT_STRATEGY, EVALUATION_STRATEGIES
 from .fixpoint import PartialInterpretation, TruthValue
+from .resilience import Budget, CancelToken
 from .session import KnowledgeBase, ResultSet, UpdateStats
 from .storage import FactStore, MemoryStore, SqliteStore, open_store
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Atom",
@@ -84,6 +85,8 @@ __all__ = [
     "stable_models",
     "well_founded_model",
     "EngineConfig",
+    "Budget",
+    "CancelToken",
     "KnowledgeBase",
     "ResultSet",
     "UpdateStats",

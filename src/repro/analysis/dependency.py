@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, Hashable, Iterable, Iterator, Mapping, Sequenc
 
 from ..datalog.atoms import Atom
 from ..datalog.rules import Program, Rule
+from ..resilience.budget import current_meter
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from ..core.context import GroundContext
@@ -66,11 +67,17 @@ def tarjan_scc(
     on_stack: set[Node] = set()
     components: list[set[Node]] = []
 
+    # Condensation runs between the grounding and evaluation checkpoints
+    # of a budgeted solve; ticking the ambient meter keeps the longest
+    # checkpoint-free stretch bounded on graphs with many nodes.
+    meter = current_meter()
     for root in nodes:
+        meter.tick("condense", stride=512)
         if root in index:
             continue
         work: list[tuple[Node, int]] = [(root, 0)]
         while work:
+            meter.tick("condense", stride=1024)
             node, child_index = work.pop()
             if child_index == 0:
                 index[node] = index_counter
@@ -372,7 +379,9 @@ def build_atom_dependency_graph(
 
     positive: dict[Atom, set[Atom]] = {}
     negative: dict[Atom, set[Atom]] = {}
+    meter = current_meter()
     for rule in source.rules:
+        meter.tick("condense", stride=512)
         head = rule.head
         if rule.positive_body:
             targets = positive.get(head)

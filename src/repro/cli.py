@@ -68,9 +68,10 @@ from .datalog.rules import Program
 from .engine import answers, ask, solve
 from .engine.query import query_has_variables
 from .evaluation import DEFAULT_STRATEGY
-from .exceptions import ReproError
+from .exceptions import BudgetError, ReproError
 from .fixpoint.interpretations import TruthValue
 from .obs import TraceRecorder, phase_coverage, render_counters, render_span_tree, write_trace_jsonl
+from .resilience import Budget, metered
 from .reporting import render_comparison, render_model, render_trace
 from .semantics import compare_semantics
 from .session import KnowledgeBase, run_repl
@@ -151,6 +152,14 @@ def build_parser() -> argparse.ArgumentParser:
                 "SQLite store, EDB facts come from (and, in the repl, persist "
                 "to) the database file (default: memory)",
             )
+        sub.add_argument(
+            "--timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="wall-clock budget for the evaluation; exceeding it aborts "
+            "with exit code 3 (default: unlimited)",
+        )
 
     def add_trace_argument(sub: argparse.ArgumentParser) -> None:
         sub.add_argument(
@@ -249,12 +258,14 @@ def build_parser() -> argparse.ArgumentParser:
 def _config_from_args(arguments) -> EngineConfig:
     """Fold the command's options into one validated EngineConfig; bad
     values raise through EngineConfig with the shared message format."""
+    timeout = getattr(arguments, "timeout", None)
     return EngineConfig(
         semantics=getattr(arguments, "semantics", "auto"),
         strategy=getattr(arguments, "strategy", DEFAULT_STRATEGY),
         engine=getattr(arguments, "engine", DEFAULT_ENGINE),
         grounder=getattr(arguments, "grounder", "relevant"),
         store=getattr(arguments, "store", "memory"),
+        budget=Budget(max_seconds=timeout) if timeout is not None else None,
     )
 
 
@@ -450,100 +461,105 @@ def _cmd_bench(arguments, out) -> int:
     program = _load(arguments)
     repeat = max(1, arguments.repeat)
 
-    # Grounding phase: indexed semi-naive hash joins vs the scan oracle.
-    if not program.is_ground:
-        grounding_timings: dict[str, float] = {}
-        grounded_rule_sets: dict[str, frozenset] = {}
-        indexed_grounding = None
-        for matcher in GROUNDING_MATCHERS:
+    # The bench drives relevant_ground / alternating_fixpoint directly
+    # (no config plumbed through), so the budget is installed as the
+    # ambient meter for every timed phase below.
+    with metered(config.budget):
+
+        # Grounding phase: indexed semi-naive hash joins vs the scan oracle.
+        if not program.is_ground:
+            grounding_timings: dict[str, float] = {}
+            grounded_rule_sets: dict[str, frozenset] = {}
+            indexed_grounding = None
+            for matcher in GROUNDING_MATCHERS:
+                best = float("inf")
+                for _ in range(repeat):
+                    start = time.perf_counter()
+                    grounded = relevant_ground(program, matcher=matcher)
+                    best = min(best, time.perf_counter() - start)
+                grounding_timings[matcher] = best
+                grounded_rule_sets[matcher] = frozenset(grounded.rules)
+                if matcher == "indexed":
+                    indexed_grounding = grounded
+            grounders_agree = len(set(grounded_rule_sets.values())) == 1
+            print("grounding phase (relevant_ground):", file=out)
+            for matcher in GROUNDING_MATCHERS:
+                print(
+                    f"  {matcher:10s} {grounding_timings[matcher] * 1000:10.3f} ms  (best of {repeat})",
+                    file=out,
+                )
+            if grounding_timings["indexed"] > 0:
+                speedup = grounding_timings["scan"] / grounding_timings["indexed"]
+                print(f"  speedup    {speedup:10.2f}x", file=out)
+            print(f"  ground programs agree: {'yes' if grounders_agree else 'NO'}", file=out)
+            if not grounders_agree:
+                return 1
+            # Already ground, so build_context is a pass-through — no third
+            # grounding pass.
+            program = indexed_grounding
+
+        context = build_context(program)
+
+        timings: dict[str, float] = {}
+        results: dict[str, object] = {}
+        for strategy in EVALUATION_STRATEGIES:
             best = float("inf")
             for _ in range(repeat):
                 start = time.perf_counter()
-                grounded = relevant_ground(program, matcher=matcher)
+                result = alternating_fixpoint(context, strategy=strategy, engine=config.engine)
                 best = min(best, time.perf_counter() - start)
-            grounding_timings[matcher] = best
-            grounded_rule_sets[matcher] = frozenset(grounded.rules)
-            if matcher == "indexed":
-                indexed_grounding = grounded
-        grounders_agree = len(set(grounded_rule_sets.values())) == 1
-        print("grounding phase (relevant_ground):", file=out)
-        for matcher in GROUNDING_MATCHERS:
-            print(
-                f"  {matcher:10s} {grounding_timings[matcher] * 1000:10.3f} ms  (best of {repeat})",
-                file=out,
-            )
-        if grounding_timings["indexed"] > 0:
-            speedup = grounding_timings["scan"] / grounding_timings["indexed"]
-            print(f"  speedup    {speedup:10.2f}x", file=out)
-        print(f"  ground programs agree: {'yes' if grounders_agree else 'NO'}", file=out)
-        if not grounders_agree:
-            return 1
-        # Already ground, so build_context is a pass-through — no third
-        # grounding pass.
-        program = indexed_grounding
+            timings[strategy] = best
+            results[strategy] = (result.true_atoms(), result.false_atoms())
 
-    context = build_context(program)
-
-    timings: dict[str, float] = {}
-    results: dict[str, object] = {}
-    for strategy in EVALUATION_STRATEGIES:
-        best = float("inf")
-        for _ in range(repeat):
-            start = time.perf_counter()
-            result = alternating_fixpoint(context, strategy=strategy, engine=config.engine)
-            best = min(best, time.perf_counter() - start)
-        timings[strategy] = best
-        results[strategy] = (result.true_atoms(), result.false_atoms())
-
-    agree = len(set(results.values())) == 1
-    stats = context.statistics()
-    print(f"evaluation phase (alternating fixpoint, {config.engine} engine):", file=out)
-    print(
-        f"program: {stats['ground_rules']} ground rules, {stats['facts']} facts, "
-        f"{stats['atoms']} atoms",
-        file=out,
-    )
-    for strategy in EVALUATION_STRATEGIES:
-        print(f"{strategy:10s} {timings[strategy] * 1000:10.3f} ms  (best of {repeat})", file=out)
-    if timings["seminaive"] > 0:
-        print(f"speedup    {timings['naive'] / timings['seminaive']:10.2f}x", file=out)
-    print(f"models agree: {'yes' if agree else 'NO'}", file=out)
-
-    # Engine phase: component-wise modular evaluation against the
-    # monolithic alternating fixpoint, both on the default strategy.
-    engine_timings: dict[str, float] = {}
-    modular_result = None
-    for engine in EVALUATION_ENGINES:
-        best = float("inf")
-        for _ in range(repeat):
-            start = time.perf_counter()
-            if engine == "modular":
-                modular_result = modular_well_founded(context)
-            else:
-                monolithic_result = alternating_fixpoint(context, keep_stages=False)
-            best = min(best, time.perf_counter() - start)
-        engine_timings[engine] = best
-    engines_agree = (
-        modular_result.model.true_atoms == monolithic_result.positive_fixpoint
-        and modular_result.model.false_atoms == frozenset(monolithic_result.negative_fixpoint.atoms)
-    )
-    print("\nengine phase (well-founded model, modular vs monolithic):", file=out)
-    for engine in EVALUATION_ENGINES:
-        print(f"{engine:10s} {engine_timings[engine] * 1000:10.3f} ms  (best of {repeat})", file=out)
-    if engine_timings["modular"] > 0:
+        agree = len(set(results.values())) == 1
+        stats = context.statistics()
+        print(f"evaluation phase (alternating fixpoint, {config.engine} engine):", file=out)
         print(
-            f"speedup    {engine_timings['monolithic'] / engine_timings['modular']:10.2f}x",
+            f"program: {stats['ground_rules']} ground rules, {stats['facts']} facts, "
+            f"{stats['atoms']} atoms",
             file=out,
         )
-    print(_render_component_stats(modular_result), file=out)
-    print(f"models agree: {'yes' if engines_agree else 'NO'}", file=out)
-    if arguments.trace_out:
-        # One extra traced modular run over the already-built context —
-        # the timed runs above stay recorder-free.
-        recorder = TraceRecorder()
-        modular_well_founded(context, recorder=recorder)
-        _write_trace(recorder, arguments.trace_out, out, command="bench", program=arguments.program)
-    return 0 if agree and engines_agree else 1
+        for strategy in EVALUATION_STRATEGIES:
+            print(f"{strategy:10s} {timings[strategy] * 1000:10.3f} ms  (best of {repeat})", file=out)
+        if timings["seminaive"] > 0:
+            print(f"speedup    {timings['naive'] / timings['seminaive']:10.2f}x", file=out)
+        print(f"models agree: {'yes' if agree else 'NO'}", file=out)
+
+        # Engine phase: component-wise modular evaluation against the
+        # monolithic alternating fixpoint, both on the default strategy.
+        engine_timings: dict[str, float] = {}
+        modular_result = None
+        for engine in EVALUATION_ENGINES:
+            best = float("inf")
+            for _ in range(repeat):
+                start = time.perf_counter()
+                if engine == "modular":
+                    modular_result = modular_well_founded(context)
+                else:
+                    monolithic_result = alternating_fixpoint(context, keep_stages=False)
+                best = min(best, time.perf_counter() - start)
+            engine_timings[engine] = best
+        engines_agree = (
+            modular_result.model.true_atoms == monolithic_result.positive_fixpoint
+            and modular_result.model.false_atoms == frozenset(monolithic_result.negative_fixpoint.atoms)
+        )
+        print("\nengine phase (well-founded model, modular vs monolithic):", file=out)
+        for engine in EVALUATION_ENGINES:
+            print(f"{engine:10s} {engine_timings[engine] * 1000:10.3f} ms  (best of {repeat})", file=out)
+        if engine_timings["modular"] > 0:
+            print(
+                f"speedup    {engine_timings['monolithic'] / engine_timings['modular']:10.2f}x",
+                file=out,
+            )
+        print(_render_component_stats(modular_result), file=out)
+        print(f"models agree: {'yes' if engines_agree else 'NO'}", file=out)
+        if arguments.trace_out:
+            # One extra traced modular run over the already-built context —
+            # the timed runs above stay recorder-free.
+            recorder = TraceRecorder()
+            modular_well_founded(context, recorder=recorder)
+            _write_trace(recorder, arguments.trace_out, out, command="bench", program=arguments.program)
+        return 0 if agree and engines_agree else 1
 
 
 def _cmd_profile(arguments, out) -> int:
@@ -607,6 +623,11 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     arguments = parser.parse_args(argv)
     try:
         return _COMMANDS[arguments.command](arguments, out)
+    except BudgetError as error:
+        # Uniform one-line diagnostic + dedicated exit code for resource
+        # exhaustion, so scripts can tell "over budget" from "bad input".
+        print(f"error: {error}", file=sys.stderr)
+        return 3
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -33,6 +33,7 @@ from .datalog.grounding import (
     GroundingLimits,
 )
 from .exceptions import EvaluationError, GroundingError
+from .resilience.budget import Budget
 from .storage import DEFAULT_STORE, SUPPORTED_STORES, open_store, parse_store_spec
 
 __all__ = [
@@ -175,6 +176,12 @@ class EngineConfig:
         (:meth:`create_store` opens the backend).
     limits:
         Optional :class:`~repro.datalog.grounding.GroundingLimits`.
+    budget:
+        Optional :class:`~repro.resilience.Budget` — wall-clock deadline,
+        fixpoint-step cap, and/or cooperative cancel token, enforced at
+        checkpoints in every evaluation phase.  Each solve or refresh that
+        honours the config starts the budget afresh (a per-operation
+        deadline, not a lifetime allowance).
     """
 
     semantics: str = DEFAULT_SEMANTICS
@@ -184,6 +191,7 @@ class EngineConfig:
     matcher: Optional[str] = None
     store: str = DEFAULT_STORE
     limits: Optional[GroundingLimits] = None
+    budget: Optional[Budget] = None
 
     def __post_init__(self) -> None:
         validate_semantics(self.semantics)
@@ -201,6 +209,10 @@ class EngineConfig:
         if self.limits is not None and not isinstance(self.limits, GroundingLimits):
             raise EvaluationError(
                 f"limits must be a GroundingLimits instance, got {self.limits!r}"
+            )
+        if self.budget is not None and not isinstance(self.budget, Budget):
+            raise EvaluationError(
+                f"budget must be a repro.resilience.Budget instance, got {self.budget!r}"
             )
 
     # ------------------------------------------------------------------ #
@@ -230,6 +242,7 @@ class EngineConfig:
             "grounder": self.resolved_grounder,
             "store": self.store,
             "limits": self.limits,
+            "budget": self.budget.describe() if self.budget is not None else None,
         }
 
 
@@ -241,19 +254,23 @@ def merge_entry_config(
     limits: Optional[GroundingLimits] = None,
     grounder: Optional[str] = None,
     default_engine: str = DEFAULT_ENGINE,
-) -> tuple[str, str, Optional[GroundingLimits], Optional[str]]:
-    """Resolve the ``(strategy, engine, limits, grounder)`` tuple a
+) -> tuple[str, str, Optional[GroundingLimits], Optional[str], Optional[Budget]]:
+    """Resolve the ``(strategy, engine, limits, grounder, budget)`` tuple a
     ``core`` or ``semantics`` entry point runs with.
 
     With a *config*, the legacy ``strategy=``/``engine=`` keywords must not
     also be given (``limits=`` may still override the config's), and the
     returned grounder is the config's resolved one — entry points forward
     it to :func:`~repro.core.context.build_context` so a config's grounder
-    choice is honoured everywhere, not only by ``solve``.  Without a
-    config, the keywords are validated individually, unset fields fall
-    back to the defaults (*default_engine* lets entry points whose
-    historical default is the monolithic engine keep it), and the grounder
-    is ``None`` (i.e. ``build_context``'s own default).
+    choice is honoured everywhere, not only by ``solve``.  The budget is
+    always the config's (there is no legacy keyword spelling); entry
+    points activate it with :func:`repro.resilience.metered`, which also
+    inherits an ambient meter when the budget is ``None`` — so nested
+    calls made inside a governed solve stay governed.  Without a config,
+    the keywords are validated individually, unset fields fall back to
+    the defaults (*default_engine* lets entry points whose historical
+    default is the monolithic engine keep it), and the grounder is
+    ``None`` (i.e. ``build_context``'s own default).
     """
     if config is not None:
         conflicts = [
@@ -275,12 +292,14 @@ def merge_entry_config(
             config.engine,
             limits if limits is not None else config.limits,
             config.resolved_grounder,
+            config.budget,
         )
     return (
         validate_strategy(strategy if strategy is not None else DEFAULT_STRATEGY),
         validate_engine(engine if engine is not None else default_engine),
         limits,
         validate_grounder(grounder) if grounder is not None else None,
+        None,
     )
 
 

@@ -31,6 +31,7 @@ from ..exceptions import EvaluationError
 from ..fixpoint.interpretations import PartialInterpretation
 from ..fixpoint.lattice import NegativeSet, conjugate_of_positive
 from ..obs.recorder import NULL_RECORDER, Recorder
+from ..resilience.budget import metered
 from .context import GroundContext, build_context
 from .eventual import eventual_consequence
 from .stability import stability_transform
@@ -195,75 +196,79 @@ def alternating_fixpoint(
     still override).  Called directly without either, the engine defaults
     to monolithic — this function *is* the monolithic oracle's home.
     """
-    strategy, engine, limits, grounder = merge_entry_config(
+    strategy, engine, limits, grounder, budget = merge_entry_config(
         config, strategy=strategy, engine=engine, limits=limits, default_engine="monolithic"
     )
     recorder = recorder if recorder is not None else NULL_RECORDER
-    if engine != "monolithic":
-        from .modular import modular_well_founded  # deferred: cycle with engine dispatch
+    with metered(budget) as meter:
+        if engine != "monolithic":
+            from .modular import modular_well_founded  # deferred: cycle with engine dispatch
 
-        modular = modular_well_founded(
-            program,
-            limits=limits,
-            full_base=full_base,
-            extra_atoms=extra_atoms,
-            strategy=strategy,
-            grounder=grounder,
-            recorder=recorder,
-        )
-        negative = NegativeSet(modular.model.false_atoms)
-        positive = modular.model.true_atoms
-        return AlternatingFixpointResult(
-            context=modular.context,
-            negative_fixpoint=negative,
-            positive_fixpoint=positive,
-            stages=(AlternatingStage(0, negative, positive),),
-        )
+            # The delegated call inherits the meter ambiently, so the
+            # budget governs the component dispatch as well.
+            modular = modular_well_founded(
+                program,
+                limits=limits,
+                full_base=full_base,
+                extra_atoms=extra_atoms,
+                strategy=strategy,
+                grounder=grounder,
+                recorder=recorder,
+            )
+            negative = NegativeSet(modular.model.false_atoms)
+            positive = modular.model.true_atoms
+            return AlternatingFixpointResult(
+                context=modular.context,
+                negative_fixpoint=negative,
+                positive_fixpoint=positive,
+                stages=(AlternatingStage(0, negative, positive),),
+            )
 
-    if isinstance(program, GroundContext):
-        context = program
-    else:
-        context = build_context(
-            program,
-            limits=limits,
-            full_base=full_base,
-            extra_atoms=extra_atoms,
-            grounder=grounder,
-            recorder=recorder,
-        )
+        if isinstance(program, GroundContext):
+            context = program
+        else:
+            context = build_context(
+                program,
+                limits=limits,
+                full_base=full_base,
+                extra_atoms=extra_atoms,
+                grounder=grounder,
+                recorder=recorder,
+            )
 
-    with recorder.span("evaluate", method="alternating") as evaluate_span:
-        stages: list[AlternatingStage] = []
-        current = NegativeSet.empty()
-        positive = eventual_consequence(context, current, strategy=strategy)
-        stages.append(AlternatingStage(0, current, positive))
-
-        previous_even: Optional[NegativeSet] = current
-        index = 0
-        while True:
-            index += 1
-            if index > _MAX_STAGES:
-                raise EvaluationError("alternating fixpoint did not converge")
-            # S̃_P(Ĩ_k) is the conjugate of the S_P(Ĩ_k) already computed for the
-            # previous stage, so each stage needs exactly one S_P evaluation.
-            current = conjugate_of_positive(positive, context.base)
+        with recorder.span("evaluate", method="alternating") as evaluate_span:
+            stages: list[AlternatingStage] = []
+            current = NegativeSet.empty()
             positive = eventual_consequence(context, current, strategy=strategy)
-            stage = AlternatingStage(index, current, positive)
-            if keep_stages:
-                stages.append(stage)
-            if index % 2 == 0:
-                # Even stages form an ascending chain, so unequal sizes decide
-                # inequality without comparing the sets element-wise.
-                if (
-                    previous_even is not None
-                    and len(current) == len(previous_even)
-                    and current == previous_even
-                ):
-                    break
-                previous_even = current
+            stages.append(AlternatingStage(0, current, positive))
 
-        if not keep_stages:
-            stages.append(stage)
+            previous_even: Optional[NegativeSet] = current
+            index = 0
+            while True:
+                index += 1
+                meter.step("alternating")
+                if index > _MAX_STAGES:
+                    raise EvaluationError("alternating fixpoint did not converge")
+                # S̃_P(Ĩ_k) is the conjugate of the S_P(Ĩ_k) already computed for the
+                # previous stage, so each stage needs exactly one S_P evaluation.
+                current = conjugate_of_positive(positive, context.base)
+                positive = eventual_consequence(context, current, strategy=strategy)
+                stage = AlternatingStage(index, current, positive)
+                if keep_stages:
+                    stages.append(stage)
+                if index % 2 == 0:
+                    # Even stages form an ascending chain, so unequal sizes decide
+                    # inequality without comparing the sets element-wise.
+                    if (
+                        previous_even is not None
+                        and len(current) == len(previous_even)
+                        and current == previous_even
+                    ):
+                        break
+                    previous_even = current
+
+            if not keep_stages:
+                stages.append(stage)
     if recorder.enabled:
         evaluate_span.annotate(stages=index)
         recorder.count("alternating.stages", index)

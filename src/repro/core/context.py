@@ -37,6 +37,7 @@ from ..datalog.grounding import (
 )
 from ..datalog.rules import Program, Rule
 from ..obs.recorder import NULL_RECORDER, Recorder
+from ..resilience.budget import current_meter
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..config import EngineConfig
     from ..storage.base import FactStore
@@ -182,7 +183,11 @@ def build_context(
         facts: set[Atom] = set()
         ground_rules: list[GroundRule] = []
         occurring: set[Atom] = set()
+        # Already-ground programs bypass the grounder's own budget ticks,
+        # so the collection loop checkpoints the ambient meter itself.
+        meter = current_meter()
         for rule in rule_stream:
+            meter.tick("ground", stride=256)
             if collected is not None:
                 collected.append(rule)
             if rule.is_fact:
@@ -208,6 +213,7 @@ def build_context(
         by_positive: dict[Atom, list[int]] = {}
         by_head: dict[Atom, list[int]] = {}
         for index, ground_rule in enumerate(ground_rules):
+            meter.tick("ground", stride=512)
             by_head.setdefault(ground_rule.head, []).append(index)
             # Deduplicate so a rule is listed once per *distinct* body atom; the
             # counting propagation in repro.core.eventual relies on this.

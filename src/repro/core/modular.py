@@ -61,6 +61,7 @@ from ..datalog.grounding import GroundingLimits
 from ..datalog.rules import Program, Rule
 from ..fixpoint.interpretations import PartialInterpretation
 from ..obs.recorder import NULL_RECORDER, Recorder
+from ..resilience.budget import metered
 from .context import GroundContext, build_context
 
 __all__ = [
@@ -387,86 +388,91 @@ def modular_well_founded(
     :class:`ComponentReport`), and an ``assemble`` span around the final
     model construction, plus per-method component counters.
     """
-    strategy, _, limits, grounder = merge_entry_config(
+    strategy, _, limits, grounder, budget = merge_entry_config(
         config, strategy=strategy, limits=limits, grounder=grounder
     )
     recorder = recorder if recorder is not None else NULL_RECORDER
-    if isinstance(program, GroundContext):
-        context = program
-    else:
-        context = build_context(
-            program,
-            limits=limits,
-            full_base=full_base,
-            extra_atoms=extra_atoms,
-            grounder=grounder,
-            recorder=recorder,
-        )
+    with metered(budget) as meter:
+        if isinstance(program, GroundContext):
+            context = program
+        else:
+            context = build_context(
+                program,
+                limits=limits,
+                full_base=full_base,
+                extra_atoms=extra_atoms,
+                grounder=grounder,
+                recorder=recorder,
+            )
 
-    with recorder.span("condense") as condense_span:
-        graph = build_atom_dependency_graph(context)
-        components = graph.condensation_order()
-    undef_atom = fresh_undef_atom(context.base)
+        with recorder.span("condense") as condense_span:
+            graph = build_atom_dependency_graph(context)
+            meter.check("component")
+            components = graph.condensation_order()
+            meter.check("component")
+        undef_atom = fresh_undef_atom(context.base)
 
-    rules = context.rules
-    rules_by_head: Mapping[Atom, tuple[int, ...]] = context.rules_by_head
-    facts = context.facts
+        rules = context.rules
+        rules_by_head: Mapping[Atom, tuple[int, ...]] = context.rules_by_head
+        facts = context.facts
 
-    true_atoms: set[Atom] = set()
-    false_atoms: set[Atom] = set()
-    reports: list[ComponentReport] = []
+        true_atoms: set[Atom] = set()
+        false_atoms: set[Atom] = set()
+        reports: list[ComponentReport] = []
 
-    tracing = recorder.enabled
-    if tracing:
-        condense_span.annotate(components=len(components))
-        recorder.count("components.total", len(components))
-        # Trace path: one `components` group span holding a `component`
-        # child per SCC, so the loop's own bookkeeping is accounted to the
-        # phase rather than falling between spans.
-        with recorder.span("components"):
+        tracing = recorder.enabled
+        if tracing:
+            condense_span.annotate(components=len(components))
+            recorder.count("components.total", len(components))
+            # Trace path: one `components` group span holding a `component`
+            # child per SCC, so the loop's own bookkeeping is accounted to the
+            # phase rather than falling between spans.
+            with recorder.span("components"):
+                for comp_index, component in enumerate(components):
+                    meter.step("component")
+                    with recorder.span("component") as comp_span:
+                        comp_true, comp_false, report = solve_component(
+                            component,
+                            comp_index,
+                            rules,
+                            rules_by_head,
+                            facts,
+                            true_atoms,
+                            false_atoms,
+                            undef_atom,
+                            strategy,
+                            recorder=recorder,
+                        )
+                        comp_span.annotate(
+                            index=comp_index,
+                            method=report.method,
+                            size=report.size,
+                            rules=report.rules,
+                            stages=report.stages,
+                            true=report.true_count,
+                            false=report.false_count,
+                        )
+                        recorder.count(f"components.{report.method}")
+                    true_atoms.update(comp_true)
+                    false_atoms.update(comp_false)
+                    reports.append(report)
+        else:
             for comp_index, component in enumerate(components):
-                with recorder.span("component") as comp_span:
-                    comp_true, comp_false, report = solve_component(
-                        component,
-                        comp_index,
-                        rules,
-                        rules_by_head,
-                        facts,
-                        true_atoms,
-                        false_atoms,
-                        undef_atom,
-                        strategy,
-                        recorder=recorder,
-                    )
-                    comp_span.annotate(
-                        index=comp_index,
-                        method=report.method,
-                        size=report.size,
-                        rules=report.rules,
-                        stages=report.stages,
-                        true=report.true_count,
-                        false=report.false_count,
-                    )
-                    recorder.count(f"components.{report.method}")
+                meter.step("component")
+                comp_true, comp_false, report = solve_component(
+                    component,
+                    comp_index,
+                    rules,
+                    rules_by_head,
+                    facts,
+                    true_atoms,
+                    false_atoms,
+                    undef_atom,
+                    strategy,
+                )
                 true_atoms.update(comp_true)
                 false_atoms.update(comp_false)
                 reports.append(report)
-    else:
-        for comp_index, component in enumerate(components):
-            comp_true, comp_false, report = solve_component(
-                component,
-                comp_index,
-                rules,
-                rules_by_head,
-                facts,
-                true_atoms,
-                false_atoms,
-                undef_atom,
-                strategy,
-            )
-            true_atoms.update(comp_true)
-            false_atoms.update(comp_false)
-            reports.append(report)
 
     with recorder.span("assemble") as assemble_span:
         model = PartialInterpretation(true_atoms, false_atoms)

@@ -36,6 +36,7 @@ from ..config import DEFAULT_STRATEGY, EngineConfig, merge_entry_config
 from ..exceptions import EvaluationError
 from ..fixpoint.interpretations import PartialInterpretation
 from ..fixpoint.lattice import NegativeSet, conjugate_of_positive
+from ..resilience.budget import metered
 from .alternating import AlternatingFixpointResult, alternating_fixpoint
 from .context import GroundContext, build_context
 from .eventual import eventual_consequence
@@ -147,43 +148,49 @@ def stable_models(
     existence or a sample is needed).  A *config* supplies
     ``strategy``/``limits`` together.
     """
-    strategy, _, limits, grounder = merge_entry_config(config, strategy=strategy, limits=limits)
-    context = _as_context(program, limits, grounder)
-    afp_result = afp if afp is not None else alternating_fixpoint(context, strategy=strategy)
-    wf_true = afp_result.positive_fixpoint
-    wf_false = frozenset(afp_result.negative_fixpoint.atoms)
-    undefined = sorted(afp_result.undefined_atoms, key=str)
+    strategy, _, limits, grounder, budget = merge_entry_config(
+        config, strategy=strategy, limits=limits
+    )
+    with metered(budget) as meter:
+        context = _as_context(program, limits, grounder)
+        afp_result = afp if afp is not None else alternating_fixpoint(context, strategy=strategy)
+        wf_true = afp_result.positive_fixpoint
+        wf_false = frozenset(afp_result.negative_fixpoint.atoms)
+        undefined = sorted(afp_result.undefined_atoms, key=str)
 
-    models: list[StableModel] = []
+        models: list[StableModel] = []
 
-    def candidate_is_new(candidate: frozenset[Atom]) -> bool:
-        return all(model.true_atoms != candidate for model in models)
+        def candidate_is_new(candidate: frozenset[Atom]) -> bool:
+            return all(model.true_atoms != candidate for model in models)
 
-    def search(position: int, decided_true: set[Atom], decided_false: set[Atom]) -> None:
-        if limit is not None and len(models) >= limit:
-            return
-        neg_lower = NegativeSet(wf_false | decided_false)
-        neg_upper = NegativeSet(
-            frozenset(context.base) - wf_true - decided_true
-        )
-        derivable_floor = eventual_consequence(context, neg_lower, strategy=strategy)
-        derivable_ceiling = eventual_consequence(context, neg_upper, strategy=strategy)
-        # Pruning: a decided-false atom already derivable from the floor can
-        # only become "more derivable" as further atoms are decided false.
-        if decided_false & derivable_floor:
-            return
-        if not set(decided_true) <= derivable_ceiling:
-            return
-        if position == len(undefined):
-            candidate = frozenset(wf_true | decided_true)
-            if is_stable_set(context, candidate, strategy=strategy) and candidate_is_new(candidate):
-                models.append(StableModel(context, candidate))
-            return
-        atom = undefined[position]
-        search(position + 1, decided_true, decided_false | {atom})
-        search(position + 1, decided_true | {atom}, decided_false)
+        def search(position: int, decided_true: set[Atom], decided_false: set[Atom]) -> None:
+            if limit is not None and len(models) >= limit:
+                return
+            meter.tick("evaluate", stride=8)
+            neg_lower = NegativeSet(wf_false | decided_false)
+            neg_upper = NegativeSet(
+                frozenset(context.base) - wf_true - decided_true
+            )
+            derivable_floor = eventual_consequence(context, neg_lower, strategy=strategy)
+            derivable_ceiling = eventual_consequence(context, neg_upper, strategy=strategy)
+            # Pruning: a decided-false atom already derivable from the floor can
+            # only become "more derivable" as further atoms are decided false.
+            if decided_false & derivable_floor:
+                return
+            if not set(decided_true) <= derivable_ceiling:
+                return
+            if position == len(undefined):
+                candidate = frozenset(wf_true | decided_true)
+                if is_stable_set(context, candidate, strategy=strategy) and candidate_is_new(
+                    candidate
+                ):
+                    models.append(StableModel(context, candidate))
+                return
+            atom = undefined[position]
+            search(position + 1, decided_true, decided_false | {atom})
+            search(position + 1, decided_true | {atom}, decided_false)
 
-    search(0, set(), set())
+        search(0, set(), set())
     return models
 
 
@@ -225,9 +232,12 @@ def stable_consequences(
     no stable model, where this semantics is undefined.  A *config*
     supplies ``strategy``/``limits`` together.
     """
-    strategy, _, limits, grounder = merge_entry_config(config, strategy=strategy, limits=limits)
-    context = _as_context(program, limits, grounder)
-    models = stable_models(context, strategy=strategy)
+    strategy, _, limits, grounder, budget = merge_entry_config(
+        config, strategy=strategy, limits=limits
+    )
+    with metered(budget):
+        context = _as_context(program, limits, grounder)
+        models = stable_models(context, strategy=strategy)
     if not models:
         raise EvaluationError(
             "the stable model semantics is undefined: the program has no stable model"

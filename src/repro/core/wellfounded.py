@@ -29,6 +29,7 @@ from ..evaluation.engine import get_engine
 from ..fixpoint.interpretations import PartialInterpretation
 from ..fixpoint.lattice import NegativeSet
 from ..obs.recorder import NULL_RECORDER, Recorder
+from ..resilience.budget import metered
 from .consequence import tp_step
 from .context import GroundContext, build_context
 
@@ -154,52 +155,56 @@ def well_founded_model(
     independent unfounded-set oracle of Theorem 7.8.  A *config* supplies
     ``strategy``/``engine``/``limits`` together.
     """
-    strategy, engine, limits, grounder = merge_entry_config(
+    strategy, engine, limits, grounder, budget = merge_entry_config(
         config, strategy=strategy, engine=engine, limits=limits, default_engine="monolithic"
     )
     recorder = recorder if recorder is not None else NULL_RECORDER
-    if engine != "monolithic":
-        from .modular import modular_well_founded
+    with metered(budget) as meter:
+        if engine != "monolithic":
+            from .modular import modular_well_founded
 
-        result = modular_well_founded(
-            program,
-            limits=limits,
-            full_base=full_base,
-            extra_atoms=extra_atoms,
-            strategy=strategy,
-            grounder=grounder,
-            recorder=recorder,
-        )
-        return WellFoundedResult(
-            context=result.context,
-            model=result.model,
-            stages=(PartialInterpretation.empty(), result.model),
-        )
+            # Inherits the meter ambiently — the budget governs the
+            # delegated component dispatch too.
+            result = modular_well_founded(
+                program,
+                limits=limits,
+                full_base=full_base,
+                extra_atoms=extra_atoms,
+                strategy=strategy,
+                grounder=grounder,
+                recorder=recorder,
+            )
+            return WellFoundedResult(
+                context=result.context,
+                model=result.model,
+                stages=(PartialInterpretation.empty(), result.model),
+            )
 
-    if isinstance(program, GroundContext):
-        context = program
-    else:
-        context = build_context(
-            program,
-            limits=limits,
-            full_base=full_base,
-            extra_atoms=extra_atoms,
-            grounder=grounder,
-            recorder=recorder,
-        )
+        if isinstance(program, GroundContext):
+            context = program
+        else:
+            context = build_context(
+                program,
+                limits=limits,
+                full_base=full_base,
+                extra_atoms=extra_atoms,
+                grounder=grounder,
+                recorder=recorder,
+            )
 
-    with recorder.span("evaluate", method="unfounded-sets") as evaluate_span:
-        stages: list[PartialInterpretation] = [PartialInterpretation.empty()]
-        current = stages[0]
-        while True:
-            following = well_founded_transform(context, current, strategy=strategy)
-            stages.append(following)
-            if (
-                following.true_atoms == current.true_atoms
-                and following.false_atoms == current.false_atoms
-            ):
-                break
-            current = following
+        with recorder.span("evaluate", method="unfounded-sets") as evaluate_span:
+            stages: list[PartialInterpretation] = [PartialInterpretation.empty()]
+            current = stages[0]
+            while True:
+                meter.step("unfounded")
+                following = well_founded_transform(context, current, strategy=strategy)
+                stages.append(following)
+                if (
+                    following.true_atoms == current.true_atoms
+                    and following.false_atoms == current.false_atoms
+                ):
+                    break
+                current = following
     if recorder.enabled:
         evaluate_span.annotate(iterations=len(stages) - 1)
         recorder.count("unfounded.iterations", len(stages) - 1)

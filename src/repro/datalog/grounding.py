@@ -52,12 +52,12 @@ function-free).
 from __future__ import annotations
 
 import itertools
-import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Iterator, Optional, Sequence
 
-from ..exceptions import GroundingError, GroundingTimeout
+from ..exceptions import GroundingError
 from ..obs.recorder import NULL_RECORDER, Recorder
+from ..resilience.budget import Budget, current_meter
 from .atoms import Atom, Literal
 from .joins import RelationStore, join_bindings
 from .rules import Program, Rule
@@ -105,35 +105,24 @@ class GroundingLimits:
     max_seconds: float | None = None
 
 
-class _Budget:
-    """Wall-clock budget tracking for one grounding run."""
+def _grounding_meter(limits: GroundingLimits):
+    """The budget meter one grounding run checks against.
 
-    __slots__ = ("start", "deadline", "counter")
-
-    def __init__(self, limits: GroundingLimits):
-        self.start = time.monotonic()
-        self.deadline = (
-            self.start + limits.max_seconds if limits.max_seconds is not None else None
-        )
-        self.counter = 0
-
-    def check(self) -> None:
-        if self.deadline is not None and time.monotonic() > self.deadline:
-            elapsed = time.monotonic() - self.start
-            raise GroundingTimeout(
-                f"grounding exceeded its wall-clock budget after {elapsed:.3f}s",
-                elapsed=elapsed,
-            )
-
-    def tick(self, stride: int = 64) -> None:
-        """A cheap periodic check for tight loops: only consults the clock
-        every *stride* calls."""
-        if self.deadline is None:
-            return
-        self.counter += 1
-        if self.counter >= stride:
-            self.counter = 0
-            self.check()
+    The legacy per-grounding ``limits.max_seconds`` starts a local
+    :class:`~repro.resilience.BudgetMeter` chained to the ambient one (a
+    solve-level :class:`~repro.resilience.Budget`, when active), so
+    whichever deadline is tighter trips first; without a grounding-local
+    deadline the ambient meter (or the no-op null meter) is used directly.
+    Either way, a wall-clock trip inside grounding raises the legacy
+    :class:`~repro.exceptions.GroundingTimeout`.
+    """
+    ambient = current_meter()
+    if limits.max_seconds is not None:
+        # The legacy contract admits max_seconds=0 as "already expired";
+        # Budget requires a positive deadline, so clamp to one tick.
+        seconds = max(limits.max_seconds, 1e-9)
+        return Budget(max_seconds=seconds).start(parent=ambient)
+    return ambient
 
 
 def herbrand_universe(program: Program, max_depth: int = 0) -> list[Term]:
@@ -210,7 +199,7 @@ def naive_ground(program: Program, limits: GroundingLimits | None = None) -> Pro
     exceed ``limits.max_rules``.
     """
     limits = limits or GroundingLimits()
-    budget = _Budget(limits)
+    budget = _grounding_meter(limits)
     universe = herbrand_universe(program, limits.max_depth)
     ground_rules: list[Rule] = []
     for rule in program:
@@ -227,7 +216,7 @@ def naive_ground(program: Program, limits: GroundingLimits | None = None) -> Pro
         for combination in itertools.product(universe, repeat=len(variables)):
             binding = dict(zip(variables, combination))
             ground_rules.append(rule.substitute(binding))
-            budget.tick()
+            budget.tick("ground")
     return Program(ground_rules)
 
 
@@ -400,7 +389,7 @@ def stream_relevant_ground(
     counters — one tally per envelope round, never per row.
     """
     limits = limits or GroundingLimits()
-    budget = _Budget(limits)
+    budget = _grounding_meter(limits)
     recorder = recorder if recorder is not None else NULL_RECORDER
     program.check_safety()
 
@@ -477,7 +466,7 @@ def stream_relevant_ground(
         for rule, positive, signatures in decomposed:
             if not positive:
                 continue
-            budget.check()
+            budget.check("ground")
             for i, delta_signature in enumerate(signatures):
                 delta_lo = old_sizes.get(delta_signature, 0)
                 delta_hi = new_sizes.get(delta_signature, 0)
@@ -502,7 +491,7 @@ def stream_relevant_ground(
                             )
                         yield ground
                     derive(ground.head)
-                    budget.tick()
+                    budget.tick("ground")
         old_sizes = new_sizes
     if recorder.enabled:
         recorder.count("ground.rules_emitted", emitted)
@@ -537,7 +526,7 @@ def _scan_relevant_ground(program: Program, limits: GroundingLimits | None = Non
     from .unification import match_atom  # local import to avoid a cycle at import time
 
     limits = limits or GroundingLimits()
-    budget = _Budget(limits)
+    budget = _grounding_meter(limits)
     program.check_safety()
 
     facts = set(program.fact_atoms())
@@ -551,10 +540,10 @@ def _scan_relevant_ground(program: Program, limits: GroundingLimits | None = Non
     while changed:
         changed = False
         for rule in non_facts:
-            budget.check()
+            budget.check("ground")
             positive = [lit.atom for lit in rule.body if lit.positive]
             for binding in _match_body(positive, derivable, match_atom):
-                budget.tick()
+                budget.tick("ground")
                 head = rule.head.substitute(binding)
                 if not head.is_ground:
                     raise GroundingError(
@@ -571,10 +560,10 @@ def _scan_relevant_ground(program: Program, limits: GroundingLimits | None = Non
     ground_rules: list[Rule] = [Rule(fact) for fact in sorted(facts, key=str)]
     seen: set[Rule] = set(ground_rules)
     for rule in non_facts:
-        budget.check()
+        budget.check("ground")
         positive = [lit.atom for lit in rule.body if lit.positive]
         for binding in _match_body(positive, derivable, match_atom):
-            budget.tick()
+            budget.tick("ground")
             head = rule.head.substitute(binding)
             body: list[Literal] = []
             for lit in rule.body:

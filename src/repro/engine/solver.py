@@ -43,6 +43,7 @@ from ..datalog.rules import Program
 from ..datalog.terms import Constant
 from ..exceptions import EvaluationError
 from ..obs.recorder import Recorder, ensure_recorder
+from ..resilience.budget import metered
 from ..storage import DEFAULT_STORE, FactStore
 from ..fixpoint.interpretations import PartialInterpretation, TruthValue
 from ..core.alternating import alternating_fixpoint
@@ -200,8 +201,17 @@ def solve_configured(
         store = database.store
     if store is None and config.store != DEFAULT_STORE:
         store = owned = config.create_store()
+    recorder = ensure_recorder(recorder)
+    # The owned-store close is the outermost finally: whatever escapes the
+    # solve — including budget aborts — never leaks the backend connection.
     try:
-        return _solve_with_store(program, config, store, ensure_recorder(recorder))
+        with metered(config.budget) as meter:
+            try:
+                return _solve_with_store(program, config, store, recorder)
+            finally:
+                if recorder.enabled and meter.active:
+                    recorder.count("budget.steps", meter.steps)
+                    recorder.count("budget.elapsed_ms", int(meter.elapsed() * 1000))
     finally:
         if owned is not None:
             owned.close()

@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, AbstractSet, Iterable, Sequence
 
 from ..datalog.atoms import Atom
 from ..fixpoint.lattice import NegativeSet
+from ..resilience.budget import current_meter
 from .indexes import RuleIndex, get_index
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
@@ -84,6 +85,10 @@ def _propagate(
     remaining = index.fresh_counters()
     heads = index.heads
     watchers = index.watchers
+    # Ambient budget meter, fetched once per propagation: one strided
+    # checkpoint per frontier round bounds how long a runaway closure can
+    # outlive its deadline without taxing the per-atom inner loop.
+    meter = current_meter()
 
     derived: set[Atom] = set()
     frontier: list[Atom] = []
@@ -100,6 +105,7 @@ def _propagate(
 
     rounds: list[frozenset[Atom]] = []
     while frontier:
+        meter.tick("evaluate", stride=16)
         if record_rounds:
             rounds.append(frozenset(frontier))
         current, frontier = frontier, []

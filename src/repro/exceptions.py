@@ -51,18 +51,65 @@ class GroundingError(ReproError):
     """
 
 
-class GroundingTimeout(GroundingError):
-    """Raised when grounding exceeds the ``max_seconds`` wall-clock budget
-    of its :class:`~repro.datalog.grounding.GroundingLimits`.
+class BudgetError(ReproError):
+    """Base class for resource-governance aborts (:mod:`repro.resilience`).
 
-    Carries ``elapsed``, the seconds actually spent before aborting, so
-    callers (benchmark harnesses, request handlers with deadlines) can use
-    the aborted run as a lower bound on the true cost.
+    Attributes
+    ----------
+    phase:
+        Pipeline phase that tripped the limit (``"ground"``, ``"evaluate"``,
+        ``"alternating"``, ``"unfounded"``, ``"component"``, ``"refresh"``),
+        when known.
+    elapsed:
+        Seconds actually spent before aborting — a lower bound on the true
+        cost of the aborted computation.
+    steps:
+        Fixpoint steps counted by the active meter before aborting.
     """
 
-    def __init__(self, message: str, elapsed: float | None = None):
+    def __init__(
+        self,
+        message: str,
+        phase: str | None = None,
+        elapsed: float | None = None,
+        steps: int | None = None,
+    ):
         super().__init__(message)
+        self.phase = phase
         self.elapsed = elapsed
+        self.steps = steps
+
+
+class BudgetExceeded(BudgetError):
+    """Raised when evaluation exhausts its wall-clock or step budget."""
+
+
+class Cancelled(BudgetError):
+    """Raised when a cooperative :class:`~repro.resilience.CancelToken`
+    was cancelled (typically from another thread) and the evaluation
+    noticed at its next budget checkpoint."""
+
+
+class GroundingTimeout(BudgetExceeded, GroundingError):
+    """Raised when grounding exceeds its wall-clock budget — either the
+    legacy ``max_seconds`` of :class:`~repro.datalog.grounding.GroundingLimits`
+    or a deadline from a :class:`~repro.resilience.Budget` that trips while
+    the grounding phase is running.
+
+    Kept as a distinct class for backward compatibility (it predates the
+    unified :class:`BudgetError` hierarchy); it is both a
+    :class:`GroundingError` and a :class:`BudgetExceeded`, so old and new
+    ``except`` clauses each keep working.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        elapsed: float | None = None,
+        phase: str | None = "ground",
+        steps: int | None = None,
+    ):
+        super().__init__(message, phase=phase, elapsed=elapsed, steps=steps)
 
 
 class NotStratifiedError(ReproError):
@@ -89,6 +136,13 @@ class StorageError(ReproError):
     """Raised by the :mod:`repro.storage` backends: unknown store
     specifications, operations on a closed store, savepoint misuse, or a
     value that the backend cannot serialise."""
+
+
+class StoreCorrupt(StorageError):
+    """Raised when opening a persistent store whose on-disk state fails
+    validation — a file that is not a database, a failed
+    ``integrity_check``, or catalogue entries whose backing tables are
+    missing or have the wrong shape."""
 
 
 class FormulaError(ReproError):

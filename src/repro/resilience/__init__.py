@@ -1,0 +1,38 @@
+"""Resource governance and failure recovery (PR 7).
+
+Two halves:
+
+* :mod:`repro.resilience.budget` — the :class:`Budget` /
+  :class:`CancelToken` / :class:`BudgetMeter` machinery giving every
+  fixpoint phase (grounding, semi-naive rounds, alternation stages,
+  unfounded-set iterations, modular component dispatch, incremental
+  refresh) a wall-clock deadline, a step cap, and cooperative
+  cancellation, raising the :class:`~repro.exceptions.BudgetExceeded` /
+  :class:`~repro.exceptions.Cancelled` hierarchy;
+* :mod:`repro.resilience.faults` — :class:`FaultInjectingStore`, a
+  deterministic storage-fault harness backing the crash-consistency and
+  lockstep-oracle test suites.
+"""
+
+from .budget import (
+    NULL_METER,
+    Budget,
+    BudgetMeter,
+    CancelToken,
+    NullMeter,
+    current_meter,
+    metered,
+)
+from .faults import FaultInjectingStore, InjectedFault
+
+__all__ = [
+    "Budget",
+    "BudgetMeter",
+    "CancelToken",
+    "FaultInjectingStore",
+    "InjectedFault",
+    "NULL_METER",
+    "NullMeter",
+    "current_meter",
+    "metered",
+]

@@ -19,6 +19,7 @@ from ..exceptions import EvaluationError
 from ..fixpoint.interpretations import PartialInterpretation
 from ..fixpoint.lattice import NegativeSet
 from ..fixpoint.operators import FixpointTrace, iterate_to_fixpoint
+from ..resilience.budget import metered
 from ..core.context import GroundContext, build_context
 from ..core.eventual import eventual_consequence
 
@@ -60,14 +61,17 @@ def horn_minimum_model(
     Raises :class:`EvaluationError` when the program contains negation.
     A *config* supplies ``strategy``/``limits`` together.
     """
-    strategy, _, limits, grounder = merge_entry_config(config, strategy=strategy, limits=limits)
-    if isinstance(program, GroundContext):
-        context = program
-        _require_definite(context.program)
-    else:
-        _require_definite(program)
-        context = build_context(program, limits=limits, grounder=grounder)
-    true_atoms = eventual_consequence(context, NegativeSet.empty(), strategy=strategy)
+    strategy, _, limits, grounder, budget = merge_entry_config(
+        config, strategy=strategy, limits=limits
+    )
+    with metered(budget):
+        if isinstance(program, GroundContext):
+            context = program
+            _require_definite(context.program)
+        else:
+            _require_definite(program)
+            context = build_context(program, limits=limits, grounder=grounder)
+        true_atoms = eventual_consequence(context, NegativeSet.empty(), strategy=strategy)
     return HornModelResult(context, true_atoms)
 
 

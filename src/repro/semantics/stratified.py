@@ -19,6 +19,7 @@ from ..datalog.grounding import GroundingLimits
 from ..datalog.rules import Program
 from ..evaluation.engine import get_engine
 from ..fixpoint.interpretations import PartialInterpretation
+from ..resilience.budget import metered
 from ..core.context import GroundContext, build_context
 
 __all__ = ["StratifiedModelResult", "stratified_model"]
@@ -60,29 +61,32 @@ def stratified_model(
     stratified (e.g. the win–move program of Example 5.2).  A *config*
     supplies ``strategy``/``limits`` together.
     """
-    strategy, _, limits, grounder = merge_entry_config(config, strategy=strategy, limits=limits)
-    stratification = stratify(program)
-    context = build_context(program, limits=limits, grounder=grounder)
-    engine = get_engine(strategy)
+    strategy, _, limits, grounder, budget = merge_entry_config(
+        config, strategy=strategy, limits=limits
+    )
+    with metered(budget):
+        stratification = stratify(program)
+        context = build_context(program, limits=limits, grounder=grounder)
+        engine = get_engine(strategy)
 
-    # Atoms confirmed true so far (across completed strata).
-    true_atoms: set[Atom] = set(context.facts)
-    # Atoms of completed strata confirmed false.
-    false_atoms: set[Atom] = set()
+        # Atoms confirmed true so far (across completed strata).
+        true_atoms: set[Atom] = set(context.facts)
+        # Atoms of completed strata confirmed false.
+        false_atoms: set[Atom] = set()
 
-    for level in range(stratification.depth):
-        predicates = stratification.predicates_at(level)
-        active = bytearray(len(context.rules))
-        for index, rule in enumerate(context.rules):
-            if stratification.stratum_of(rule.head.predicate) != level:
-                continue
-            if any(atom in true_atoms for atom in rule.negative_body):
-                continue
-            active[index] = 1
-        true_atoms = set(engine.closure(context, true_atoms, active))
-        # Close the stratum: everything of its predicates not derived is false.
-        for atom in context.base:
-            if atom.predicate in predicates and atom not in true_atoms:
-                false_atoms.add(atom)
+        for level in range(stratification.depth):
+            predicates = stratification.predicates_at(level)
+            active = bytearray(len(context.rules))
+            for index, rule in enumerate(context.rules):
+                if stratification.stratum_of(rule.head.predicate) != level:
+                    continue
+                if any(atom in true_atoms for atom in rule.negative_body):
+                    continue
+                active[index] = 1
+            true_atoms = set(engine.closure(context, true_atoms, active))
+            # Close the stratum: everything of its predicates not derived is false.
+            for atom in context.base:
+                if atom.predicate in predicates and atom not in true_atoms:
+                    false_atoms.add(atom)
 
     return StratifiedModelResult(context, stratification, frozenset(true_atoms))

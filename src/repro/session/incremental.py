@@ -58,6 +58,7 @@ from ..datalog.atoms import Atom
 from ..datalog.rules import Program
 from ..fixpoint.interpretations import PartialInterpretation
 from ..obs.recorder import NULL_RECORDER, Recorder
+from ..resilience.budget import Budget, current_meter, metered
 
 __all__ = ["UpdateStats", "IncrementalEngine"]
 
@@ -128,19 +129,31 @@ class IncrementalEngine:
         strategy: str = DEFAULT_STRATEGY,
         store: "FactStore | None" = None,
         recorder: Recorder | None = None,
+        budget: Budget | None = None,
     ):
         rules.require_ground()
         validate_strategy(strategy)
         self._strategy = strategy
         self._recorder = recorder if recorder is not None else NULL_RECORDER
+        # Started afresh by every refresh: the budget is a per-operation
+        # deadline, so a long-lived session never "uses up" its allowance.
+        self._budget = budget
         # The rule-only context: decomposed rules, head index and the atom
         # universe the rules span.  Facts are attached per refresh.
+        # Construction may run under an ambient budget meter (a session
+        # refresh constructing its engine), so each build stage ends with
+        # a checkpoint — a deadline elapsing mid-construction aborts here
+        # rather than after the whole condensation.
+        meter = current_meter()
         self._rule_context = build_context(rules)
+        meter.check("refresh")
         self._rule_atoms: frozenset[Atom] = self._rule_context.base
         self._undef_atom = fresh_undef_atom(self._rule_atoms)
 
         graph = build_atom_dependency_graph(self._rule_context)
+        meter.check("refresh")
         self._components: list[set[Atom]] = graph.condensation_order()
+        meter.check("refresh")
         self._component_of: dict[Atom, int] = {}
         for index, component in enumerate(self._components):
             for atom in component:
@@ -267,19 +280,23 @@ class IncrementalEngine:
         """
         started = time.perf_counter()
         recorder = self._recorder
-        with recorder.span("refresh") as refresh_span:
+        with recorder.span("refresh") as refresh_span, metered(self._budget) as meter:
             try:
                 if not self._solved or changed is None:
                     stats = self._solve_all(facts)
                 else:
                     stats = self._solve_delta(facts, set(changed))
             except BaseException:
-                # A failure mid-delta leaves affected components subtracted
-                # from the aggregates but not re-added: drop to unsolved so
-                # the next refresh rebuilds from scratch instead of serving
-                # the torn state.
+                # A failure mid-delta (including a budget abort) leaves
+                # affected components subtracted from the aggregates but
+                # not re-added: drop to unsolved so the next refresh
+                # rebuilds from scratch instead of serving the torn state.
                 self._solved = False
                 raise
+            finally:
+                if recorder.enabled and meter.active:
+                    recorder.count("budget.steps", meter.steps)
+                    recorder.count("budget.elapsed_ms", int(meter.elapsed() * 1000))
             self._facts = facts
             self._solved = True
             self._last = dataclasses.replace(
@@ -301,7 +318,9 @@ class IncrementalEngine:
         self._false.clear()
         self._floating = set(facts - self._rule_atoms)
         methods: dict[str, int] = {}
+        meter = current_meter()
         for index, component in enumerate(self._components):
+            meter.step("refresh")
             comp_true, comp_false, report = self._solve_one(index, component, facts)
             self._comp_true[index] = comp_true
             self._comp_false[index] = comp_false
@@ -390,7 +409,9 @@ class IncrementalEngine:
             self._true -= self._comp_true[index]
             self._false -= self._comp_false[index]
         methods: dict[str, int] = {}
+        meter = current_meter()
         for index in order:
+            meter.step("refresh")
             comp_true, comp_false, report = self._solve_one(
                 index, self._components[index], facts
             )

@@ -51,6 +51,7 @@ from ..exceptions import EvaluationError, NotGroundError
 from ..fixpoint.interpretations import PartialInterpretation, TruthValue
 from ..fixpoint.lattice import NegativeSet
 from ..obs.recorder import NULL_RECORDER, Recorder
+from ..resilience.budget import metered
 from ..storage import FactStore, open_store
 from .incremental import IncrementalEngine, UpdateStats
 
@@ -545,7 +546,17 @@ class KnowledgeBase:
     def _refresh(self) -> None:
         if not self._dirty:
             return
-        self._resolve_mode()
+        # The whole refresh — semantics resolution, engine construction,
+        # the solve itself — is one budget-metered operation; the nested
+        # metered() blocks downstream (solve_configured, the incremental
+        # engine's refresh) recognise the same Budget and reuse this
+        # meter, so the deadline covers the operation end to end.
+        with metered(self._config.budget) as meter:
+            self._resolve_mode()
+            meter.check("refresh")
+            self._refresh_inner()
+
+    def _refresh_inner(self) -> None:
         # The pending delta is cleared only after a successful solve: a
         # refresh that raises (no stable model, grounding limit, ...) must
         # leave the changes queued so the next read retries instead of
@@ -564,6 +575,7 @@ class KnowledgeBase:
                     strategy=self._config.strategy,
                     store=self._store,
                     recorder=self._recorder,
+                    budget=self._config.budget,
                 )
             stats = self._engine.refresh_pending(frozenset(self._fact_rules))
             solution = Solution(

@@ -75,6 +75,11 @@ class FactStore(ABC):
         #: store was created — the cheap per-backend tally surfaced by
         #: :meth:`stats` and sampled by the :mod:`repro.obs` recorders.
         self.probes: int = 0
+        #: Number of transient-failure retries the backend performed (e.g.
+        #: :class:`~repro.storage.sqlite.SqliteStore` re-attempting a
+        #: statement after ``database is locked``).  Always 0 for backends
+        #: without a retry path.
+        self.retries: int = 0
 
     # ------------------------------------------------------------------ #
     # Change notification
@@ -260,8 +265,9 @@ class FactStore(ABC):
 
         Returns the backend name, a per-relation map of row counts and
         sequence bounds (``"pred/arity" -> {"rows", "sequence_bound"}``),
-        the total row count, the number of auxiliary indexes, and the
-        cumulative :meth:`candidate_rows` probe count.
+        the total row count, the number of auxiliary indexes, the
+        cumulative :meth:`candidate_rows` probe count, and the transient
+        retry count.
         """
         relations = {
             f"{name}/{arity}": {
@@ -276,6 +282,7 @@ class FactStore(ABC):
             "rows": sum(info["rows"] for info in relations.values()),
             "indexes": self.index_count(),
             "probes": self.probes,
+            "retries": self.retries,
         }
 
     def as_program(self) -> Program:

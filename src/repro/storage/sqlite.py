@@ -26,15 +26,36 @@ from __future__ import annotations
 
 import json
 import sqlite3
+import time
 from pathlib import Path
 from typing import Iterator, Optional
 
 from ..datalog.atoms import Atom
 from ..datalog.terms import Compound, Constant, Term
-from ..exceptions import StorageError
+from ..exceptions import StorageError, StoreCorrupt
 from .base import FactStore
 
 __all__ = ["SqliteStore"]
+
+#: Base delay of the exponential lock-retry backoff (seconds); attempt *n*
+#: sleeps ``_RETRY_BASE_DELAY * 2**(n-1)``.
+_RETRY_BASE_DELAY = 0.002
+
+
+def _is_busy(error: sqlite3.OperationalError) -> bool:
+    """Whether *error* is the transient lock/busy contention SQLite raises
+    when another connection holds a conflicting lock past ``busy_timeout``."""
+    message = str(error).lower()
+    return "locked" in message or "busy" in message
+
+
+def _is_corruption(error: sqlite3.Error) -> bool:
+    message = str(error).lower()
+    return (
+        "not a database" in message
+        or "malformed" in message
+        or "corrupt" in message
+    )
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS repro_relations (
@@ -106,11 +127,32 @@ class SqliteStore(FactStore):
         Database file path, or ``":memory:"`` for a private in-process
         database (useful for tests and as a drop-in differential twin of
         :class:`~repro.storage.MemoryStore`).
+    busy_timeout_ms:
+        SQLite's own in-connection wait for conflicting locks
+        (``PRAGMA busy_timeout``) — the first line of defence against
+        "database is locked" under concurrent writers.
+    max_retries:
+        Bounded statement-level retries with exponential backoff after the
+        busy timeout itself gives up; the count of performed retries is
+        surfaced as ``stats()["retries"]``.  Exhausting the retries raises
+        :class:`~repro.exceptions.StorageError`.
+
+    Opening a file-backed store validates the on-disk state — a
+    ``PRAGMA integrity_check`` plus a catalogue/table shape check — and
+    raises :class:`~repro.exceptions.StoreCorrupt` on damage, so a corrupt
+    database fails loudly at ``open()`` instead of mid-query.
     """
 
-    def __init__(self, path: str | Path = ":memory:"):
+    def __init__(
+        self,
+        path: str | Path = ":memory:",
+        busy_timeout_ms: int = 5000,
+        max_retries: int = 5,
+    ):
         super().__init__()
         self.path = str(path)
+        self.busy_timeout_ms = int(busy_timeout_ms)
+        self.max_retries = int(max_retries)
         self._connection: Optional[sqlite3.Connection] = None
         try:
             # Autocommit mode: every statement is durable on its own, and
@@ -120,9 +162,11 @@ class SqliteStore(FactStore):
             # whole sequence maps onto the library's error contract.
             self._connection = sqlite3.connect(self.path, isolation_level=None)
             cursor = self._connection.cursor()
+            cursor.execute(f"PRAGMA busy_timeout={self.busy_timeout_ms}")
             if self.path != ":memory:":
                 cursor.execute("PRAGMA journal_mode=WAL")
                 cursor.execute("PRAGMA synchronous=NORMAL")
+                self._verify_integrity(cursor)
             cursor.execute(_SCHEMA)
             # (predicate, arity) -> catalogue id; tables are facts_<id>.
             self._tables: dict[tuple[str, int], int] = {
@@ -131,17 +175,56 @@ class SqliteStore(FactStore):
                     "SELECT id, predicate, arity FROM repro_relations"
                 )
             }
+            if self.path != ":memory:":
+                self._verify_schema(cursor)
         except sqlite3.Error as error:
             if self._connection is not None:
                 self._connection.close()
                 self._connection = None
+            if _is_corruption(error):
+                raise StoreCorrupt(
+                    f"SQLite store at {self.path!r} is corrupt: {error}"
+                ) from error
             raise StorageError(
                 f"cannot open SQLite store at {self.path!r}: {error}"
             ) from error
+        except StoreCorrupt:
+            if self._connection is not None:
+                self._connection.close()
+                self._connection = None
+            raise
         self._sql_indexes: set[tuple[int, tuple[int, ...]]] = set()
         self._journal: list[tuple[Atom, bool]] = []
         self._savepoints: list[tuple[str, int]] = []
         self._savepoint_counter = 0
+
+    def _verify_integrity(self, cursor: sqlite3.Cursor) -> None:
+        """Fail fast on a damaged database file (``integrity_check``)."""
+        rows = cursor.execute("PRAGMA integrity_check").fetchall()
+        findings = [row[0] for row in rows if row[0] != "ok"]
+        if findings:
+            raise StoreCorrupt(
+                f"SQLite store at {self.path!r} failed integrity_check: "
+                f"{'; '.join(str(f) for f in findings[:3])}"
+            )
+
+    def _verify_schema(self, cursor: sqlite3.Cursor) -> None:
+        """Every catalogued relation must have its backing ``facts_<id>``
+        table with the expected column shape (``seq`` + one encoded column
+        per argument position, or ``seq`` + ``present`` for arity 0)."""
+        for (predicate, arity), table_id in self._tables.items():
+            info = cursor.execute(f"PRAGMA table_info(facts_{table_id})").fetchall()
+            if not info:
+                raise StoreCorrupt(
+                    f"SQLite store at {self.path!r} is missing table "
+                    f"facts_{table_id} for relation {predicate}/{arity}"
+                )
+            expected = arity + 1 if arity else 2
+            if len(info) != expected:
+                raise StoreCorrupt(
+                    f"SQLite store at {self.path!r}: table facts_{table_id} for "
+                    f"{predicate}/{arity} has {len(info)} columns, expected {expected}"
+                )
 
     # ------------------------------------------------------------------ #
     # Plumbing
@@ -151,13 +234,40 @@ class SqliteStore(FactStore):
             raise StorageError(f"SQLite store {self.path!r} is closed")
         return self._connection.cursor()
 
+    def _execute(self, sql: str, parameters: tuple | list = ()) -> sqlite3.Cursor:
+        """Execute one statement with bounded retry on transient lock
+        contention.
+
+        ``PRAGMA busy_timeout`` already makes SQLite wait in-line; this
+        layer retries the statement itself (with exponential backoff) for
+        the cases the timeout cannot cover, counting each retry into
+        :attr:`~repro.storage.base.FactStore.retries`.  Non-busy errors
+        propagate unchanged; exhausted retries raise a
+        :class:`~repro.exceptions.StorageError` naming the retry budget.
+        """
+        attempt = 0
+        while True:
+            cursor = self._cursor()
+            try:
+                return cursor.execute(sql, parameters)
+            except sqlite3.OperationalError as error:
+                if not _is_busy(error):
+                    raise
+                if attempt >= self.max_retries:
+                    raise StorageError(
+                        f"SQLite store {self.path!r} stayed locked after "
+                        f"{attempt} retries: {error}"
+                    ) from error
+                attempt += 1
+                self.retries += 1
+                time.sleep(_RETRY_BASE_DELAY * (2 ** (attempt - 1)))
+
     def _table(self, predicate: str, arity: int, create: bool = False) -> Optional[str]:
         table_id = self._tables.get((predicate, arity))
         if table_id is None:
             if not create:
                 return None
-            cursor = self._cursor()
-            cursor.execute(
+            cursor = self._execute(
                 "INSERT INTO repro_relations (predicate, arity) VALUES (?, ?)",
                 (predicate, arity),
             )
@@ -165,13 +275,13 @@ class SqliteStore(FactStore):
             columns = ", ".join(f"c{i} TEXT NOT NULL" for i in range(arity))
             unique = ", ".join(f"c{i}" for i in range(arity))
             if arity:
-                cursor.execute(
+                self._execute(
                     f"CREATE TABLE facts_{table_id} "
                     f"(seq INTEGER PRIMARY KEY AUTOINCREMENT, {columns}, UNIQUE ({unique}))"
                 )
             else:
                 # Propositional relation: at most one (argument-less) row.
-                cursor.execute(
+                self._execute(
                     f"CREATE TABLE facts_{table_id} "
                     f"(seq INTEGER PRIMARY KEY AUTOINCREMENT, present INTEGER UNIQUE)"
                 )
@@ -187,16 +297,15 @@ class SqliteStore(FactStore):
     def add_atom(self, atom: Atom) -> bool:
         self._check_ground(atom)
         table = self._table(atom.predicate, atom.arity, create=True)
-        cursor = self._cursor()
         if atom.arity:
             columns = ", ".join(f"c{i}" for i in range(atom.arity))
             holes = ", ".join("?" for _ in range(atom.arity))
-            cursor.execute(
+            cursor = self._execute(
                 f"INSERT OR IGNORE INTO {table} ({columns}) VALUES ({holes})",
                 self._encode_row(atom),
             )
         else:
-            cursor.execute(f"INSERT OR IGNORE INTO {table} (present) VALUES (1)")
+            cursor = self._execute(f"INSERT OR IGNORE INTO {table} (present) VALUES (1)")
         if cursor.rowcount <= 0:
             return False
         if self._savepoints:
@@ -208,12 +317,13 @@ class SqliteStore(FactStore):
         table = self._table(atom.predicate, atom.arity)
         if table is None:
             return False
-        cursor = self._cursor()
         if atom.arity:
             where = " AND ".join(f"c{i} = ?" for i in range(atom.arity))
-            cursor.execute(f"DELETE FROM {table} WHERE {where}", self._encode_row(atom))
+            cursor = self._execute(
+                f"DELETE FROM {table} WHERE {where}", self._encode_row(atom)
+            )
         else:
-            cursor.execute(f"DELETE FROM {table}")
+            cursor = self._execute(f"DELETE FROM {table}")
         if cursor.rowcount <= 0:
             return False
         if self._savepoints:
@@ -228,12 +338,13 @@ class SqliteStore(FactStore):
         table = self._table(atom.predicate, atom.arity)
         if table is None:
             return False
-        cursor = self._cursor()
         if atom.arity:
             where = " AND ".join(f"c{i} = ?" for i in range(atom.arity))
-            cursor.execute(f"SELECT 1 FROM {table} WHERE {where}", self._encode_row(atom))
+            cursor = self._execute(
+                f"SELECT 1 FROM {table} WHERE {where}", self._encode_row(atom)
+            )
         else:
-            cursor.execute(f"SELECT 1 FROM {table}")
+            cursor = self._execute(f"SELECT 1 FROM {table}")
         return cursor.fetchone() is not None
 
     def signatures(self) -> set[tuple[str, int]]:
@@ -245,21 +356,20 @@ class SqliteStore(FactStore):
         table = self._table(predicate, arity)
         if table is None:
             return
-        cursor = self._cursor()
         if arity:
             columns = ", ".join(f"c{i}" for i in range(arity))
-            rows = cursor.execute(f"SELECT {columns} FROM {table} ORDER BY seq")
+            rows = self._execute(f"SELECT {columns} FROM {table} ORDER BY seq")
             for row in rows:
                 yield tuple(decode_term(text) for text in row)
         else:
-            if cursor.execute(f"SELECT 1 FROM {table}").fetchone() is not None:
+            if self._execute(f"SELECT 1 FROM {table}").fetchone() is not None:
                 yield ()
 
     def count(self, predicate: str, arity: int) -> int:
         table = self._table(predicate, arity)
         if table is None:
             return 0
-        (count,) = self._cursor().execute(f"SELECT COUNT(*) FROM {table}").fetchone()
+        (count,) = self._execute(f"SELECT COUNT(*) FROM {table}").fetchone()
         return count
 
     # ------------------------------------------------------------------ #
@@ -269,9 +379,7 @@ class SqliteStore(FactStore):
         table = self._table(predicate, arity)
         if table is None:
             return 0
-        (bound,) = (
-            self._cursor().execute(f"SELECT COALESCE(MAX(seq), 0) FROM {table}").fetchone()
-        )
+        (bound,) = self._execute(f"SELECT COALESCE(MAX(seq), 0) FROM {table}").fetchone()
         return bound  # AUTOINCREMENT seq starts at 1, so MAX is the bound + window hi.
 
     def _ensure_sql_index(self, table_id: int, arity: int, positions: tuple[int, ...]) -> None:
@@ -282,7 +390,7 @@ class SqliteStore(FactStore):
             return
         name = f"ix_{table_id}_" + "_".join(str(p) for p in positions)
         columns = ", ".join(f"c{p}" for p in positions)
-        self._cursor().execute(f"CREATE INDEX IF NOT EXISTS {name} ON facts_{table_id} ({columns})")
+        self._execute(f"CREATE INDEX IF NOT EXISTS {name} ON facts_{table_id} ({columns})")
         self._sql_indexes.add(key)
 
     def candidate_rows(
@@ -307,7 +415,7 @@ class SqliteStore(FactStore):
             conditions.append(f"c{position} = ?")
             parameters.append(encode_term(term))
         columns = ", ".join(["seq"] + [f"c{i}" for i in range(arity)])
-        rows = self._cursor().execute(
+        rows = self._execute(
             f"SELECT {columns} FROM facts_{table_id} "
             f"WHERE {' AND '.join(conditions)} ORDER BY seq",
             parameters,
@@ -322,7 +430,7 @@ class SqliteStore(FactStore):
     def savepoint(self) -> object:
         self._savepoint_counter += 1
         name = f"repro_sp_{self._savepoint_counter}"
-        self._cursor().execute(f"SAVEPOINT {name}")
+        self._execute(f"SAVEPOINT {name}")
         self._savepoints.append((name, len(self._journal)))
         return name
 
@@ -335,14 +443,13 @@ class SqliteStore(FactStore):
 
     def rollback_to(self, token: object) -> None:
         mark = self._pop_savepoint(token)
-        cursor = self._cursor()
-        cursor.execute(f"ROLLBACK TO {token}")
-        cursor.execute(f"RELEASE {token}")
+        self._execute(f"ROLLBACK TO {token}")
+        self._execute(f"RELEASE {token}")
         # The rollback may have undone CREATE TABLE / CREATE INDEX issued
         # inside the savepoint: re-sync the catalogue caches from SQL truth.
         self._tables = {
             (predicate, arity): table_id
-            for table_id, predicate, arity in cursor.execute(
+            for table_id, predicate, arity in self._execute(
                 "SELECT id, predicate, arity FROM repro_relations"
             )
         }
@@ -358,7 +465,7 @@ class SqliteStore(FactStore):
 
     def release(self, token: object) -> None:
         self._pop_savepoint(token)
-        self._cursor().execute(f"RELEASE {token}")
+        self._execute(f"RELEASE {token}")
         if not self._savepoints:
             self._journal.clear()
 

@@ -1,0 +1,169 @@
+"""Property: storage faults never corrupt the maintained model.
+
+Hypothesis drives random assert/retract sequences against a
+:class:`KnowledgeBase` whose store is wrapped in a deterministic
+:class:`FaultInjectingStore`, with the fault schedule itself drawn by the
+strategy.  A shadow fact set is updated only when an operation succeeds;
+after the sequence the injector is disarmed and the KB must hold exactly
+the shadow facts and serve a model byte-identical to a freshly solved
+oracle of the same program.  This is the lockstep contract: a fault can
+make an operation fail, but never make the session lie.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+try:
+    from hypothesis import HealthCheck, given, settings
+    from hypothesis import strategies as st
+except ImportError:  # pragma: no cover - environment guard
+    pytest.skip("hypothesis is not installed", allow_module_level=True)
+
+from repro.config import EngineConfig
+from repro.datalog.atoms import Atom
+from repro.engine.solver import solve_configured
+from repro.resilience import FaultInjectingStore, InjectedFault
+from repro.session import KnowledgeBase
+from repro.storage import MemoryStore
+from repro.workloads import random_propositional_program
+
+pytestmark = pytest.mark.faultinject
+
+ATOM_POOL = 12
+
+
+def _model_bytes(solution) -> bytes:
+    lines = sorted(str(atom) for atom in solution.interpretation.true_atoms)
+    lines.extend(sorted(f"not {atom}" for atom in solution.interpretation.false_atoms))
+    lines.extend(sorted(f"base {atom}" for atom in solution.base))
+    return "\n".join(lines).encode("utf-8")
+
+
+def _faulted_kb(seed, script):
+    """A well-founded KB over a random program, with an armed injector.
+
+    The injector is disarmed while the session bootstraps (constructor
+    loads the program's own facts into the store) so the drawn schedule
+    applies only to the operations under test.
+    """
+    program = random_propositional_program(atoms=ATOM_POOL, rules=18, seed=seed)
+    store = FaultInjectingStore(MemoryStore(), script=script)
+    store.armed = False
+    kb = KnowledgeBase(
+        program, store=store, config=EngineConfig(semantics="well-founded")
+    )
+    shadow = {str(atom) for atom in kb.facts()}
+    store.armed = True
+    return kb, store, shadow
+
+
+_atoms = st.sampled_from(
+    [f"p{i}" for i in range(ATOM_POOL)] + ["fresh_a", "fresh_b"]
+).map(lambda name: Atom(name, ()))
+
+_operations = st.lists(st.tuples(st.booleans(), _atoms), min_size=1, max_size=8)
+
+# Drawn fault schedules: which storage operations fail, at which 1-based
+# occurrence counts.  Occurrences past the sequence length simply never fire.
+_scripts = st.dictionaries(
+    st.sampled_from(["add", "remove", "savepoint"]),
+    st.sets(st.integers(min_value=1, max_value=10), min_size=1, max_size=3),
+    max_size=3,
+)
+
+
+def _check_against_oracle(kb, store, shadow):
+    store.armed = False
+    assert {str(atom) for atom in kb.facts()} == shadow
+    oracle = solve_configured(kb._program(), kb.config)
+    assert _model_bytes(kb.solution) == _model_bytes(oracle)
+
+
+class TestLockstep:
+    @given(
+        seed=st.integers(min_value=0, max_value=30),
+        operations=_operations,
+        script=_scripts,
+    )
+    @settings(
+        max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    def test_per_operation_faults_match_oracle(self, seed, operations, script):
+        """Each operation applies fully or not at all; the surviving set
+        solves to exactly the oracle model."""
+        kb, store, shadow = _faulted_kb(seed, script)
+        for insert, atom in operations:
+            try:
+                if insert:
+                    kb.assert_fact(atom)
+                else:
+                    kb.retract_fact(atom)
+            except InjectedFault:
+                continue
+            if insert:
+                shadow.add(str(atom))
+            else:
+                shadow.discard(str(atom))
+        _check_against_oracle(kb, store, shadow)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=20),
+        operations=_operations,
+        script=_scripts,
+    )
+    @settings(
+        max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    def test_faulted_batch_is_all_or_nothing(self, seed, operations, script):
+        """A fault escaping a batch rolls the whole batch back; a clean
+        batch applies the whole sequence.  Either way the model matches
+        the oracle for whatever state survived."""
+        kb, store, shadow = _faulted_kb(seed, script)
+        attempted = set(shadow)
+        try:
+            with kb.batch():
+                for insert, atom in operations:
+                    if insert:
+                        kb.assert_fact(atom)
+                        attempted.add(str(atom))
+                    else:
+                        kb.retract_fact(atom)
+                        attempted.discard(str(atom))
+        except InjectedFault:
+            pass  # rolled back: shadow keeps the pre-batch state
+        else:
+            shadow = attempted
+        _check_against_oracle(kb, store, shadow)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=20),
+        operations=_operations,
+        fault_seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(
+        max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    def test_seeded_fault_schedule_matches_oracle(self, seed, operations, fault_seed):
+        """Same contract under the seeded (rate-driven) injector mode."""
+        program = random_propositional_program(atoms=ATOM_POOL, rules=18, seed=seed)
+        store = FaultInjectingStore(MemoryStore(), seed=fault_seed, rate=0.25)
+        store.armed = False
+        kb = KnowledgeBase(
+            program, store=store, config=EngineConfig(semantics="well-founded")
+        )
+        shadow = {str(atom) for atom in kb.facts()}
+        store.armed = True
+        for insert, atom in operations:
+            try:
+                if insert:
+                    kb.assert_fact(atom)
+                else:
+                    kb.retract_fact(atom)
+            except InjectedFault:
+                continue
+            if insert:
+                shadow.add(str(atom))
+            else:
+                shadow.discard(str(atom))
+        _check_against_oracle(kb, store, shadow)

@@ -1,0 +1,129 @@
+"""Exception-path hygiene: owned stores close, the CLI exits uniformly.
+
+Covers the two operational contracts around budget aborts: (1)
+``solve_configured`` never leaks a store it opened itself, whatever
+escapes the solve; (2) every CLI subcommand maps a tripped budget to the
+same one-line stderr diagnostic and exit code 3 — distinct from exit 2
+(domain errors) so scripts can tell "over budget" from "bad input".
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro import Budget, CancelToken
+from repro.cli import main
+from repro.config import EngineConfig
+from repro.engine.solver import solve_configured
+from repro.exceptions import BudgetExceeded, Cancelled
+from repro.storage import SqliteStore
+
+GAME_TEXT = """
+move(a, b). move(b, a). move(b, c). move(c, d).
+wins(X) :- move(X, Y), not wins(Y).
+"""
+
+
+@pytest.fixture
+def game_file(tmp_path):
+    path = tmp_path / "game.lp"
+    path.write_text(GAME_TEXT, encoding="utf-8")
+    return str(path)
+
+
+class TestOwnedStoreClose:
+    def _watched(self, monkeypatch, config):
+        """Intercept the store the config opens so the test can observe it."""
+        opened = []
+        original = EngineConfig.create_store
+
+        def create_store(self):
+            store = original(self)
+            opened.append(store)
+            return store
+
+        monkeypatch.setattr(EngineConfig, "create_store", create_store)
+        return opened
+
+    def test_store_closed_on_success(self, monkeypatch, tmp_path):
+        config = EngineConfig(store=f"sqlite:{tmp_path / 'owned.db'}")
+        opened = self._watched(monkeypatch, config)
+        solve_configured(GAME_TEXT, config)
+        assert len(opened) == 1 and opened[0].closed
+
+    def test_store_closed_when_budget_trips(self, monkeypatch, tmp_path):
+        token = CancelToken()
+        token.cancel()
+        config = EngineConfig(
+            store=f"sqlite:{tmp_path / 'owned.db'}",
+            budget=Budget(token=token),
+        )
+        opened = self._watched(monkeypatch, config)
+        with pytest.raises(Cancelled):
+            solve_configured(GAME_TEXT, config)
+        assert len(opened) == 1 and opened[0].closed
+
+    def test_caller_store_not_closed_on_abort(self, tmp_path):
+        store = SqliteStore(str(tmp_path / "mine.db"))
+        token = CancelToken()
+        token.cancel()
+        config = EngineConfig(budget=Budget(token=token))
+        with pytest.raises(Cancelled):
+            solve_configured(GAME_TEXT, config, store=store)
+        assert not store.closed
+        store.close()
+
+
+class TestCliBudgetExit:
+    def _run(self, *argv, capsys=None):
+        buffer = io.StringIO()
+        code = main(list(argv), out=buffer)
+        return code, buffer.getvalue()
+
+    @pytest.mark.parametrize("command", ["solve", "trace", "query", "bench"])
+    def test_timeout_maps_to_exit_3(self, command, game_file, capsys):
+        argv = [command, game_file, "--timeout", "1e-9"]
+        if command == "query":
+            argv = ["query", game_file, "wins(X)", "--timeout", "1e-9"]
+        elif command == "bench":
+            argv += ["--repeat", "1"]
+        code, _ = self._run(*argv)
+        assert code == 3
+        captured = capsys.readouterr()
+        lines = [line for line in captured.err.splitlines() if line]
+        assert len(lines) == 1
+        assert lines[0].startswith("error: ")
+
+    def test_generous_timeout_still_succeeds(self, game_file, capsys):
+        code, output = self._run("solve", game_file, "--timeout", "3600")
+        assert code == 0
+        assert "wins" in output
+        assert capsys.readouterr().err == ""
+
+    def test_budget_exit_distinct_from_domain_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.lp"
+        bad.write_text("wins(X :- broken", encoding="utf-8")
+        code, _ = self._run("solve", str(bad))
+        capsys.readouterr()
+        assert code == 2
+
+    def test_timeout_diagnostic_names_budget(self, game_file, capsys):
+        code, _ = self._run("solve", game_file, "--timeout", "1e-9")
+        assert code == 3
+        message = capsys.readouterr().err
+        assert "budget" in message or "deadline" in message or "timeout" in message
+
+    def test_exception_type_reports_phase(self, game_file):
+        # The same error surface the CLI prints: a BudgetExceeded from a
+        # tripped deadline names the phase it interrupted.
+        from repro import solve
+        from repro.config import EngineConfig
+
+        with pytest.raises(BudgetExceeded) as excinfo:
+            solve(
+                GAME_TEXT,
+                config=EngineConfig(budget=Budget(max_seconds=1e-9)),
+            )
+        assert excinfo.value.phase
