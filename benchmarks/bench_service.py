@@ -1,0 +1,212 @@
+"""Experiment E18 — query-service throughput under concurrent churn.
+
+The query service promises that concurrency never costs correctness:
+readers are snapshot-isolated while one writer churns the EDB, so every
+response must be exactly the model of the epoch it is stamped with.  This
+benchmark drives the full HTTP stack (stdlib ``http.server`` + urllib
+clients) with several reader threads hammering ``/query/wins`` while a
+writer thread alternates an ``assert``/``retract`` pair, and
+
+* reports sustained requests/sec plus p50/p99 latency for the reads that
+  ran *during* writer churn;
+* **asserts snapshot consistency on every single response**: the churn is
+  an alternating pair, so the well-founded model of each epoch is known in
+  closed form (odd epoch → ``wins = {b}``, even epoch → ``wins = {c}``) and
+  any torn read — rows from one epoch stamped with another — fails the run;
+* times the in-process ``QueryService.query`` path on the same churn for
+  comparison, separating HTTP-stack cost from snapshot-read cost.
+
+Run with ``pytest benchmarks/bench_service.py -s``; smoke mode
+(``REPRO_BENCH_SMOKE=1``) trims the request counts.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.request
+
+from _metrics import emit
+from _smoke import SMOKE
+from repro.datalog import parse_atom
+from repro.service import QueryService, ServiceHTTPServer
+from repro.session import KnowledgeBase
+
+RULES = "wins(X) :- move(X, Y), not wins(Y)."
+MOVES = {"move": [("a", "b"), ("b", "a"), ("b", "c")]}
+CHURN_ATOM = "move(c, d)"
+
+READERS = 2 if SMOKE else 4
+REQUESTS_PER_READER = 40 if SMOKE else 300
+IN_PROCESS_READS = 500 if SMOKE else 5000
+
+#: Closed-form oracle for the churn: epoch 1 is the seed model (wins={b});
+#: each assert of move(c, d) flips wins to {c}, each retract flips it back.
+EXPECTED = {0: [["b"]], 1: [["c"]]}
+EXPECTED_TUPLES = {0: [("b",)], 1: [("c",)]}
+
+
+def _expected_rows(epoch: int, table: dict) -> list:
+    return table[(epoch - 1) % 2]
+
+
+def _percentile(samples: list[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+class _Churn:
+    """Background writer alternating assert/retract of the churn atom."""
+
+    def __init__(self, service: QueryService):
+        self.service = service
+        self.stop = threading.Event()
+        self.writes = 0
+        self.thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        atom = parse_atom(CHURN_ATOM)
+        asserted = False
+        while not self.stop.is_set():
+            if asserted:
+                self.service.retract_fact(atom)
+            else:
+                self.service.assert_fact(atom)
+            asserted = not asserted
+            self.writes += 1
+
+    def __enter__(self) -> "_Churn":
+        self.thread.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop.set()
+        self.thread.join(30)
+
+
+def test_http_throughput_with_consistency_asserted_per_response(report):
+    kb = KnowledgeBase(RULES, facts=MOVES)
+    service = QueryService(kb, max_readers=READERS + 2).start()
+    httpd = ServiceHTTPServer(("127.0.0.1", 0), service)
+    host, port = httpd.server_address[:2]
+    url = f"http://{host}:{port}/query/wins"
+    server_thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    server_thread.start()
+
+    latencies: list[list[float]] = [[] for _ in range(READERS)]
+    violations: list[str] = []
+
+    def reader(slot: int) -> None:
+        for _ in range(REQUESTS_PER_READER):
+            start = time.perf_counter()
+            with urllib.request.urlopen(url, timeout=30) as response:
+                payload = json.loads(response.read())
+            latencies[slot].append(time.perf_counter() - start)
+            expected = _expected_rows(payload["epoch"], EXPECTED)
+            if payload["rows"] != expected:
+                violations.append(
+                    f"epoch {payload['epoch']}: rows {payload['rows']} != {expected}"
+                )
+                return
+
+    try:
+        with _Churn(service) as churn:
+            threads = [
+                threading.Thread(target=reader, args=(slot,))
+                for slot in range(READERS)
+            ]
+            wall_start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            wall = time.perf_counter() - wall_start
+        writes = churn.writes
+    finally:
+        httpd.shutdown()
+        server_thread.join(10)
+        httpd.server_close()
+        service.stop()
+        kb.close()
+
+    assert not violations, f"snapshot consistency violated: {violations[0]}"
+    samples = [sample for slot in latencies for sample in slot]
+    assert len(samples) == READERS * REQUESTS_PER_READER
+    throughput = len(samples) / wall
+    p50 = _percentile(samples, 0.50)
+    p99 = _percentile(samples, 0.99)
+    assert writes > 0, "writer churn never ran"
+    # Robustness floor, not a perf claim: the service must sustain
+    # concurrent readers during churn without collapsing.
+    assert throughput > 20, f"service collapsed to {throughput:.1f} req/s"
+
+    report(
+        "service HTTP throughput under writer churn",
+        [
+            ("readers", READERS, "requests", len(samples)),
+            ("writes applied during run", writes),
+            ("req/s", f"{throughput:.0f}"),
+            ("p50", f"{p50 * 1e3:.2f} ms", "p99", f"{p99 * 1e3:.2f} ms"),
+        ],
+    )
+    emit(
+        "service",
+        workload="http-query-under-churn",
+        sizes={
+            "readers": READERS,
+            "requests": len(samples),
+            "writes_during_run": writes,
+        },
+        timings={"p50": p50, "p99": p99, "wall": wall},
+        extra={
+            "requests_per_second": round(throughput, 1),
+            "consistency_checked_responses": len(samples),
+            "consistency_violations": 0,
+        },
+    )
+
+
+def test_in_process_snapshot_read_throughput(report):
+    kb = KnowledgeBase(RULES, facts=MOVES)
+    service = QueryService(kb).start()
+    violations: list[str] = []
+    latencies: list[float] = []
+    try:
+        with _Churn(service) as churn:
+            start_wall = time.perf_counter()
+            for _ in range(IN_PROCESS_READS):
+                start = time.perf_counter()
+                result = service.query("wins")
+                latencies.append(time.perf_counter() - start)
+                expected = _expected_rows(result["epoch"], EXPECTED_TUPLES)
+                if result["rows"] != expected:
+                    violations.append(
+                        f"epoch {result['epoch']}: {result['rows']} != {expected}"
+                    )
+                    break
+            wall = time.perf_counter() - start_wall
+        writes = churn.writes
+    finally:
+        service.stop()
+        kb.close()
+
+    assert not violations, f"snapshot consistency violated: {violations[0]}"
+    throughput = IN_PROCESS_READS / wall
+    p99 = _percentile(latencies, 0.99)
+    assert writes > 0
+    report(
+        "in-process snapshot reads under writer churn",
+        [
+            ("reads", IN_PROCESS_READS, "writes during run", writes),
+            ("reads/s", f"{throughput:.0f}", "p99", f"{p99 * 1e6:.1f} us"),
+        ],
+    )
+    emit(
+        "service",
+        workload="in-process-query-under-churn",
+        sizes={"reads": IN_PROCESS_READS, "writes_during_run": writes},
+        timings={"p99": p99, "wall": wall},
+        extra={"reads_per_second": round(throughput, 1)},
+    )

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Driving the knowledge-base HTTP service end to end.
+
+``repro serve`` exposes a live :class:`repro.KnowledgeBase` as a JSON API:
+snapshot-isolated paginated queries, ground asks, explanations, and
+serialized ``assert``/``retract``/``batch`` writes — every response
+stamped with the model *epoch* it was served at, so a client can tell
+exactly which version of the world it is looking at.
+
+This example starts the server in-process on an ephemeral port (the same
+:func:`repro.service.run_server` the CLI uses), then walks the whole API
+with plain :mod:`urllib`:
+
+1. paginated and filtered queries (``/query/<predicate>?a0=...``),
+2. three-valued asks and answer enumeration (``/ask?q=...``),
+3. a proof tree over HTTP (``/explain?atom=...``),
+4. single writes and an atomic batch, watching the epoch advance,
+5. the error surface: a 404 route and a 400 malformed write,
+6. health/readiness probes and the service counters.
+
+Run with:  python examples/serve_client.py
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+from repro import KnowledgeBase
+from repro.service import QueryService, ServiceHTTPServer
+
+RULES = """
+wins(X) :- move(X, Y), not wins(Y).
+reach(X, Y) :- move(X, Y).
+reach(X, Z) :- reach(X, Y), move(Y, Z).
+"""
+
+MOVES = [("a", "b"), ("b", "a"), ("b", "c"), ("c", "d")]
+
+
+def call(base: str, path: str, body: dict | None = None) -> tuple[int, dict]:
+    """One JSON request; returns (status, payload) without raising."""
+    data = None if body is None else json.dumps(body).encode()
+    request = urllib.request.Request(base + path, data=data)
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def main() -> None:
+    kb = KnowledgeBase(RULES, facts={"move": MOVES})
+    service = QueryService(kb).start()
+    httpd = ServiceHTTPServer(("127.0.0.1", 0), service)
+    host, port = httpd.server_address[:2]
+    base = f"http://{host}:{port}"
+    threading.Thread(target=httpd.serve_forever, daemon=True).start()
+    print(f"serving on {base}")
+
+    # ------------------------------------------------------------------ #
+    # 1. Queries: paginated rows, positional filters, the undefined stratum.
+    # ------------------------------------------------------------------ #
+    status, wins = call(base, "/query/wins")
+    print(f"\nwins at epoch {wins['epoch']}: {wins['rows']}")
+
+    status, page = call(base, "/query/reach?per_page=3&page=2")
+    meta = page["pagination"]
+    print(f"reach page {meta['page']}/{meta['pages']} of {meta['total']}: {page['rows']}")
+
+    status, from_b = call(base, "/query/reach?a0=b")
+    print(f"reach from b: {from_b['rows']}")
+
+    status, undefined = call(base, "/query/wins?truth=undefined")
+    print(f"undefined wins: {undefined['rows']}  (a<->b cycle is unresolved)")
+
+    # ------------------------------------------------------------------ #
+    # 2. Asks: ground verdicts and answer substitutions.
+    # ------------------------------------------------------------------ #
+    status, verdict = call(base, "/ask?q=wins(c)")
+    print(f"\nwins(c)? {verdict['verdict']}")
+    status, answers = call(base, "/ask?q=reach(a,%20X)")
+    print(f"reach(a, X) answers: {answers['answers']}")
+
+    # ------------------------------------------------------------------ #
+    # 3. Explanations travel over HTTP too.
+    # ------------------------------------------------------------------ #
+    status, explanation = call(base, "/explain?atom=wins(c)")
+    print(f"\nwhy wins(c) is {explanation['verdict']}:")
+    for line in explanation["explanation"][:4]:
+        print(f"  {line}")
+
+    # ------------------------------------------------------------------ #
+    # 4. Writes: single mutations and an atomic batch bump the epoch.
+    # ------------------------------------------------------------------ #
+    status, written = call(base, "/assert", {"fact": "move(d, e)"})
+    print(f"\nasserted move(d, e): changed={written['changed']} epoch={written['epoch']}")
+    status, batch = call(
+        base,
+        "/batch",
+        {
+            "operations": [
+                {"op": "retract", "fact": "move(d, e)"},
+                {"op": "assert", "fact": "move(d, a)"},
+            ]
+        },
+    )
+    print(f"batch applied={batch['applied']} changed={batch['changed']} epoch={batch['epoch']}")
+    status, wins = call(base, "/query/wins")
+    print(f"wins at epoch {wins['epoch']}: {wins['rows']}")
+
+    # ------------------------------------------------------------------ #
+    # 5. The uniform error payload: {"error": {code, message, status}}.
+    # ------------------------------------------------------------------ #
+    status, missing = call(base, "/no-such-route")
+    print(f"\nGET /no-such-route -> {status} {missing['error']['code']}")
+    status, invalid = call(base, "/assert", {"fact": "move(X, b)"})
+    print(f"POST non-ground fact -> {status} {invalid['error']['code']}")
+
+    # ------------------------------------------------------------------ #
+    # 6. Operational surface: probes and counters.
+    # ------------------------------------------------------------------ #
+    status, health = call(base, "/healthz")
+    status, ready = call(base, "/readyz")
+    status, stats = call(base, "/stats")
+    print(f"\nhealthz: {health['status']}  readyz: {ready['status']}")
+    interesting = {k: v for k, v in stats["counters"].items() if "service." in k}
+    print(f"counters: {interesting}")
+
+    httpd.shutdown()
+    httpd.server_close()
+    service.stop()
+    kb.close()
+    print("\nserver drained and stopped")
+
+
+if __name__ == "__main__":
+    main()

@@ -7,6 +7,10 @@
 * ``repl [FILE]``     — interactive knowledge-base session: assert and
   retract facts against a live :class:`~repro.session.KnowledgeBase` and
   query the incrementally maintained model;
+* ``serve [FILE]``    — long-running HTTP JSON API over a live
+  :class:`~repro.session.KnowledgeBase`: snapshot-isolated concurrent
+  reads, one serialized writer, bounded admission (see
+  :mod:`repro.service`);
 * ``trace FILE``      — print the alternating-fixpoint iteration table
   (the Table I view) for the program;
 * ``query FILE Q``    — answer a conjunctive query against the computed
@@ -227,6 +231,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_trace_argument(profile_parser)
 
+    serve_parser = subparsers.add_parser(
+        "serve", help="serve the knowledge base as a concurrent JSON HTTP API"
+    )
+    add_program_arguments(serve_parser, optional=True)
+    add_config_arguments(serve_parser, semantics=True, store=True)
+    serve_parser.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    serve_parser.add_argument(
+        "--port", type=int, default=8080, help="bind port; 0 picks a free one (default: 8080)"
+    )
+    serve_parser.add_argument(
+        "--queue-size",
+        type=int,
+        default=64,
+        metavar="N",
+        help="write admission queue bound; a full queue sheds with 503 (default: 64)",
+    )
+    serve_parser.add_argument(
+        "--max-readers",
+        type=int,
+        default=64,
+        metavar="N",
+        help="concurrent read requests admitted before shedding (default: 64)",
+    )
+    serve_parser.add_argument(
+        "--request-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default per-request wall-clock budget; tripping it returns the "
+        "504 budget payload (default: unlimited)",
+    )
+
     stable_parser = subparsers.add_parser("stable", help="enumerate stable models")
     add_program_arguments(stable_parser)
     # The enumerator prunes with the (engine-independent) alternating
@@ -402,6 +438,28 @@ def _cmd_query(arguments, out) -> int:
     print(verdict.value, file=out)
     # grep-style exit status so shell scripts can branch on the verdict
     return 0 if verdict is TruthValue.TRUE else 1
+
+
+def _cmd_serve(arguments, out) -> int:
+    # Imported here so the other subcommands do not pay the http.server
+    # import; everything is stdlib either way.
+    from .service.http import run_server
+
+    config = _config_from_args(arguments)
+    program = _load(arguments)
+    kb = KnowledgeBase(program, config=config)
+    try:
+        return run_server(
+            kb,
+            arguments.host,
+            arguments.port,
+            queue_size=arguments.queue_size,
+            max_readers=arguments.max_readers,
+            request_timeout=arguments.request_timeout,
+            out=out,
+        )
+    finally:
+        kb.close()
 
 
 def _cmd_stable(arguments, out) -> int:
@@ -605,6 +663,7 @@ def _cmd_profile(arguments, out) -> int:
 _COMMANDS = {
     "solve": _cmd_solve,
     "repl": _cmd_repl,
+    "serve": _cmd_serve,
     "trace": _cmd_trace,
     "query": _cmd_query,
     "stable": _cmd_stable,

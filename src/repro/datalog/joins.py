@@ -31,6 +31,7 @@ the grounder needs.
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left
 from typing import Iterable, Iterator, Mapping, Optional, Sequence
 
@@ -65,7 +66,7 @@ class Relation:
     :meth:`compact` rebuilds once the garbage dominates.
     """
 
-    __slots__ = ("predicate", "arity", "rows", "row_ids", "indexes", "dead")
+    __slots__ = ("predicate", "arity", "rows", "row_ids", "indexes", "dead", "_index_lock")
 
     def __init__(self, predicate: str, arity: int):
         self.predicate = predicate
@@ -74,6 +75,12 @@ class Relation:
         self.row_ids: dict[tuple[Term, ...], int] = {}
         self.indexes: dict[tuple[int, ...], dict[tuple[Term, ...], list[int]]] = {}
         self.dead = 0
+        # Serialises index *registration* against row insertion: a reader
+        # thread lazily building an index while the single writer appends
+        # could otherwise register a posting list missing the new row (the
+        # writer's maintenance loop only sees already-registered indexes).
+        # Probes take the lock-free fast path once the index exists.
+        self._index_lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self.rows) - self.dead
@@ -95,12 +102,13 @@ class Relation:
         """
         if args in self.row_ids:
             return False
-        sequence = len(self.rows)
-        self.rows.append(args)
-        self.row_ids[args] = sequence
-        for positions, index in self.indexes.items():
-            key = tuple(args[p] for p in positions)
-            index.setdefault(key, []).append(sequence)
+        with self._index_lock:
+            sequence = len(self.rows)
+            self.rows.append(args)
+            self.row_ids[args] = sequence
+            for positions, index in self.indexes.items():
+                key = tuple(args[p] for p in positions)
+                index.setdefault(key, []).append(sequence)
         return True
 
     def remove(self, args: tuple[Term, ...]) -> bool:
@@ -121,29 +129,44 @@ class Relation:
         """
         if not self.dead:
             return
-        survivors = [args for args in self.rows if args is not None]
-        probed = tuple(self.indexes)
-        self.rows = survivors
-        self.row_ids = {args: sequence for sequence, args in enumerate(survivors)}
-        self.dead = 0
-        self.indexes = {}
-        for positions in probed:
-            self.ensure_index(positions)
+        with self._index_lock:
+            survivors = [args for args in self.rows if args is not None]
+            probed = tuple(self.indexes)
+            self.rows = survivors
+            self.row_ids = {args: sequence for sequence, args in enumerate(survivors)}
+            self.dead = 0
+            self.indexes = {
+                positions: self._build_index(positions) for positions in probed
+            }
+
+    def _build_index(
+        self, positions: tuple[int, ...]
+    ) -> dict[tuple[Term, ...], list[int]]:
+        index: dict[tuple[Term, ...], list[int]] = {}
+        for sequence, args in enumerate(self.rows):
+            if args is None:
+                continue
+            key = tuple(args[p] for p in positions)
+            index.setdefault(key, []).append(sequence)
+        return index
 
     def ensure_index(
         self, positions: tuple[int, ...]
     ) -> dict[tuple[Term, ...], list[int]]:
         """The hash index keyed on the given argument positions, built on
-        first use from the current rows."""
+        first use from the current rows.
+
+        The existing-index fast path is lock-free; building takes the
+        relation's index lock so a concurrent writer cannot slip a row in
+        between the scan and the registration.
+        """
         index = self.indexes.get(positions)
         if index is None:
-            index = {}
-            for sequence, args in enumerate(self.rows):
-                if args is None:
-                    continue
-                key = tuple(args[p] for p in positions)
-                index.setdefault(key, []).append(sequence)
-            self.indexes[positions] = index
+            with self._index_lock:
+                index = self.indexes.get(positions)
+                if index is None:
+                    index = self._build_index(positions)
+                    self.indexes[positions] = index
         return index
 
     def candidates(

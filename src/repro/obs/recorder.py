@@ -37,6 +37,7 @@ cycles.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
@@ -147,7 +148,10 @@ class _Span:
         recorder = self._recorder
         record = self.record
         stack = recorder._stack
-        (stack[-1].children if stack else recorder.spans).append(record)
+        if stack:
+            stack[-1].children.append(record)
+        else:
+            recorder._adopt_root(record)
         stack.append(record)
         record.start = recorder._clock() - recorder._epoch
         return self
@@ -177,6 +181,16 @@ class TraceRecorder(Recorder):
     tallies incremented outside any span.  Spans are well-nested by
     construction: they are context managers pushed onto a stack, so a
     child always opens after and closes before its parent.
+
+    The recorder is **thread-safe**: the span stack is *per thread*
+    (:class:`threading.local`), so concurrent readers sharing one
+    recorder — the query service traces every request through the
+    session's recorder — each build their own well-nested span tree, and
+    a span opened in one thread never becomes the accidental parent of
+    another thread's work.  The shared structures (the top-level
+    ``spans`` list and the span-less ``counters`` map) are guarded by one
+    lock; per-span counter/attribute mutation needs no lock because a
+    span's innermost-open window belongs to exactly one thread.
     """
 
     enabled = True
@@ -184,16 +198,38 @@ class TraceRecorder(Recorder):
     def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
         self._clock = clock
         self._epoch = clock()
-        self._stack: list[SpanRecord] = []
+        self._local = threading.local()
+        self._lock = threading.Lock()
         self.spans: list[SpanRecord] = []
         self.counters: dict[str, float] = {}
+
+    @property
+    def _stack(self) -> list[SpanRecord]:
+        """The calling thread's open-span stack (created on first use)."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _adopt_root(self, record: SpanRecord) -> None:
+        """Append a top-level span to the shared list (lock-guarded: many
+        threads may open root spans concurrently)."""
+        with self._lock:
+            self.spans.append(record)
 
     def span(self, name: str, **attributes: object) -> _Span:
         return _Span(self, SpanRecord(name, 0.0, attributes=attributes))
 
     def count(self, name: str, amount: float = 1) -> None:
-        target = self._stack[-1].counters if self._stack else self.counters
-        target[name] = target.get(name, 0) + amount
+        stack = self._stack
+        if stack:
+            # The innermost open span of *this* thread: single-owner by
+            # construction, so plain dict mutation is safe.
+            counters = stack[-1].counters
+            counters[name] = counters.get(name, 0) + amount
+            return
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + amount
 
     @property
     def elapsed(self) -> float:
@@ -202,12 +238,15 @@ class TraceRecorder(Recorder):
 
     def walk(self) -> Iterator[tuple[int, SpanRecord]]:
         """Yield ``(depth, span)`` over every recorded span, pre-order."""
-        for span in self.spans:
+        with self._lock:
+            roots = list(self.spans)
+        for span in roots:
             yield from span.walk()
 
     def counter_totals(self) -> dict[str, float]:
         """All counters aggregated across the whole trace, sorted by name."""
-        totals = dict(self.counters)
+        with self._lock:
+            totals = dict(self.counters)
         for _, span in self.walk():
             for name, amount in span.counters.items():
                 totals[name] = totals.get(name, 0) + amount

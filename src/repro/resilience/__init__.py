@@ -11,7 +11,11 @@ Two halves:
   :class:`~repro.exceptions.Cancelled` hierarchy;
 * :mod:`repro.resilience.faults` — :class:`FaultInjectingStore`, a
   deterministic storage-fault harness backing the crash-consistency and
-  lockstep-oracle test suites.
+  lockstep-oracle test suites;
+* :mod:`repro.resilience.retry` — the shared bounded exponential-backoff
+  helper (:class:`RetryPolicy` / :func:`retry_call`, with jitter) used by
+  the SQLite backend's statement retries and the query service's
+  writer-apply path.
 """
 
 from .budget import (
@@ -24,6 +28,7 @@ from .budget import (
     metered,
 )
 from .faults import FaultInjectingStore, InjectedFault
+from .retry import RetryExhausted, RetryPolicy, retry_call
 
 __all__ = [
     "Budget",
@@ -33,6 +38,9 @@ __all__ = [
     "InjectedFault",
     "NULL_METER",
     "NullMeter",
+    "RetryExhausted",
+    "RetryPolicy",
     "current_meter",
     "metered",
+    "retry_call",
 ]

@@ -1,0 +1,125 @@
+"""Shared bounded-retry helper: exponential backoff with jitter.
+
+Two callers historically needed the same discipline and implemented it
+independently: :class:`~repro.storage.sqlite.SqliteStore` re-attempting a
+statement after ``database is locked``, and (new with the query service)
+the single-writer apply loop re-attempting a transiently failing storage
+mutation before rolling the request back.  This module is the one shared
+implementation both lean on.
+
+:class:`RetryPolicy` is declarative and immutable — attempts, base delay,
+cap, jitter fraction — so a policy can live on a config object and be
+reused across calls; :func:`retry_call` executes a callable under a
+policy, retrying only the exceptions a predicate classifies as transient.
+Jitter decorrelates concurrent retriers (two writers that collided once
+should not collide again on the same backoff schedule); it is drawn from
+:mod:`random` but bounded, so the delay for attempt *n* always lies in
+``[delay_n, delay_n * (1 + jitter)]`` with ``delay_n = base * 2**(n-1)``
+clamped to ``max_delay``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, TypeVar
+
+__all__ = ["RetryPolicy", "RetryExhausted", "retry_call"]
+
+T = TypeVar("T")
+
+
+class RetryExhausted(Exception):
+    """Internal signal that a :func:`retry_call` ran out of attempts.
+
+    Callers normally never see this class: :func:`retry_call` re-raises
+    the *last transient error* once the budget is spent, so the caller's
+    existing ``except`` clauses keep working.  It exists for the
+    ``reraise=False`` mode used when the final error must be wrapped
+    (e.g. the SQLite backend converting exhaustion into a
+    :class:`~repro.exceptions.StorageError` naming the retry budget).
+    """
+
+    def __init__(self, message: str, attempts: int, last_error: BaseException):
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Declarative bounded-backoff schedule.
+
+    ``max_retries`` counts *re*-attempts: a call governed by
+    ``max_retries=3`` runs at most four times.  ``jitter`` is the maximum
+    extra fraction added to each sleep (``0.25`` → up to 25% longer), and
+    ``sleep`` is injectable so tests can run schedules without waiting.
+    """
+
+    max_retries: int = 5
+    base_delay: float = 0.002
+    max_delay: float = 0.25
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries!r}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {self.jitter!r}")
+
+    def delay(self, attempt: int, rng: Optional[random.Random] = None) -> float:
+        """The sleep before retry *attempt* (1-based): exponential in the
+        attempt number, clamped to ``max_delay``, plus bounded jitter."""
+        base = min(self.base_delay * (2 ** (attempt - 1)), self.max_delay)
+        if not self.jitter:
+            return base
+        draw = (rng or random).random()
+        return base * (1.0 + self.jitter * draw)
+
+
+def retry_call(
+    function: Callable[[], T],
+    *,
+    retryable: Callable[[BaseException], bool],
+    policy: RetryPolicy = RetryPolicy(),
+    on_retry: Optional[Callable[[int, BaseException], None]] = None,
+    sleep: Callable[[float], None] = time.sleep,
+    rng: Optional[random.Random] = None,
+    reraise: bool = True,
+) -> T:
+    """Call *function*, retrying transient failures under *policy*.
+
+    *retryable* classifies exceptions: a failure it rejects propagates
+    immediately (a syntax error is not contention).  *on_retry* is invoked
+    as ``on_retry(attempt, error)`` before each backoff sleep — the hook
+    the storage backend uses to bump its ``retries`` counter and the
+    service uses to emit ``service.write_retries``.
+
+    When the budget is exhausted the last transient error is re-raised
+    unchanged (``reraise=True``, the default) or wrapped in
+    :class:`RetryExhausted` carrying the attempt count (``reraise=False``).
+    """
+    attempt = 0
+    while True:
+        try:
+            return function()
+        except BaseException as error:
+            if not retryable(error):
+                raise
+            if attempt >= policy.max_retries:
+                if reraise:
+                    raise
+                raise RetryExhausted(
+                    f"gave up after {attempt} retries: {error}",
+                    attempts=attempt,
+                    last_error=error,
+                ) from error
+            attempt += 1
+            if on_retry is not None:
+                on_retry(attempt, error)
+            delay = policy.delay(attempt, rng)
+            if delay > 0:
+                sleep(delay)

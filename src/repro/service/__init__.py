@@ -1,0 +1,30 @@
+"""Concurrency-safe query service over a :class:`~repro.session.KnowledgeBase`.
+
+The ROADMAP's top open item made concrete: serve well-founded-model
+queries to many concurrent clients while a single serialized writer keeps
+mutating the store.  Two layers:
+
+* :mod:`repro.service.core` — :class:`QueryService`, the framework-free
+  engine: snapshot-isolated reads off an atomically published
+  :class:`~repro.session.SessionSnapshot`, a bounded write-admission
+  queue feeding one writer thread (shed with :class:`AdmissionRejected`
+  when full), per-request :class:`~repro.resilience.Budget` deadlines,
+  and savepoint-rollback on writer faults so readers keep serving the
+  last good epoch;
+* :mod:`repro.service.http` — the stdlib ``http.server`` JSON API
+  (``repro serve``): paginated/filtered endpoints, uniform error
+  payloads, ``503 + Retry-After`` shedding, ``/healthz``/``/readyz``,
+  and SIGTERM draining in-flight requests before the store closes.
+"""
+
+from .core import AdmissionRejected, QueryService, ServiceClosed, WriteOutcome
+from .http import ServiceHTTPServer, run_server
+
+__all__ = [
+    "AdmissionRejected",
+    "QueryService",
+    "ServiceClosed",
+    "ServiceHTTPServer",
+    "WriteOutcome",
+    "run_server",
+]

@@ -3,6 +3,9 @@
 * :class:`KnowledgeBase` — rules plus a mutable EDB, a fluent query
   surface, and a solved model kept warm across updates;
 * :class:`ResultSet` — lazy, predicate-indexed relation views;
+* :class:`SessionSnapshot` — an immutable, thread-safe view of one model
+  epoch (solution + pinned store window), the read unit of
+  :mod:`repro.service`;
 * :class:`IncrementalEngine` / :class:`UpdateStats` — the component-level
   invalidation machinery behind incremental refreshes;
 * :func:`run_repl` — the interactive loop behind ``python -m repro repl``;
@@ -12,7 +15,7 @@
 
 from ..config import EngineConfig
 from .incremental import IncrementalEngine, UpdateStats
-from .knowledge_base import KnowledgeBase, ResultSet
+from .knowledge_base import KnowledgeBase, ResultSet, SessionSnapshot
 from .repl import run_repl
 
 __all__ = [
@@ -20,6 +23,7 @@ __all__ = [
     "IncrementalEngine",
     "KnowledgeBase",
     "ResultSet",
+    "SessionSnapshot",
     "UpdateStats",
     "run_repl",
 ]

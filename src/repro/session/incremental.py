@@ -178,6 +178,11 @@ class IncrementalEngine:
         self._facts: frozenset[Atom] = frozenset()
         self._solved = False
         self._last: Optional[UpdateStats] = None
+        # Monotone model-version counter: bumped once per *successful*
+        # refresh, so two reads observing the same epoch are guaranteed to
+        # observe the same model.  The query service stamps every response
+        # with the epoch its snapshot was pinned at.
+        self._epoch = 0
 
         # Store-event plumbing: pending atoms whose fact status flipped
         # since the last successful refresh (symmetric toggle, so an
@@ -260,6 +265,13 @@ class IncrementalEngine:
     def last_update(self) -> Optional[UpdateStats]:
         return self._last
 
+    @property
+    def epoch(self) -> int:
+        """Number of successful refreshes so far — the warm model's
+        version.  0 means no model has been solved yet; a failed refresh
+        leaves the epoch (like the model) unchanged."""
+        return self._epoch
+
     def modular_result(self) -> ModularResult:
         """The solved state as a :class:`~repro.core.modular.ModularResult`
         (per-component reports over the current context)."""
@@ -299,6 +311,7 @@ class IncrementalEngine:
                     recorder.count("budget.elapsed_ms", int(meter.elapsed() * 1000))
             self._facts = facts
             self._solved = True
+            self._epoch += 1
             self._last = dataclasses.replace(
                 stats, elapsed=time.perf_counter() - started
             )

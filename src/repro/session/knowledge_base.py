@@ -33,6 +33,7 @@ re-solve per refresh, with the same observable results.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from typing import Iterable, Iterator, Mapping, Optional, Sequence, Union
@@ -53,9 +54,10 @@ from ..fixpoint.lattice import NegativeSet
 from ..obs.recorder import NULL_RECORDER, Recorder
 from ..resilience.budget import metered
 from ..storage import FactStore, open_store
+from ..storage.snapshot import StoreSnapshot
 from .incremental import IncrementalEngine, UpdateStats
 
-__all__ = ["KnowledgeBase", "ResultSet"]
+__all__ = ["KnowledgeBase", "ResultSet", "SessionSnapshot"]
 
 #: Semantics whose model the incremental engine maintains (it computes the
 #: well-founded partial model, which these two name interchangeably).
@@ -163,6 +165,139 @@ class ResultSet:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         qualifier = ".undefined" if self._truth is TruthValue.UNDEFINED else ""
         return f"ResultSet({self._predicate!r}{qualifier}, {len(self)} rows)"
+
+
+class SessionSnapshot:
+    """A consistent, immutable view of one model epoch — the read-side
+    half of the epoch/refresh handoff the query service is built on.
+
+    A snapshot bundles the *epoch* (monotone refresh counter), the
+    refreshed :class:`~repro.engine.solver.Solution` at that epoch (an
+    immutable object: frozen atom sets, predicate-indexed row caches), and
+    a pinned :class:`~repro.storage.StoreSnapshot` over the EDB's
+    ``[0, seq)`` windows.  Everything a read needs is reachable from the
+    snapshot alone, so any number of threads can serve from it while the
+    owning knowledge base keeps mutating — and two responses stamped with
+    the same epoch are guaranteed to have read the same model.
+
+    Query helpers mirror the :class:`KnowledgeBase` read surface
+    (:meth:`relation`, :meth:`ask`, :meth:`answers`, :meth:`explain`,
+    :meth:`value_of`) but never touch the live session.  The explainer is
+    built lazily from the snapshot's own solution, guarded by a
+    per-snapshot lock (its derivation cache is the one mutable corner).
+    """
+
+    __slots__ = (
+        "epoch",
+        "solution",
+        "store_view",
+        "fact_count",
+        "created",
+        "_lock",
+        "_explainer",
+    )
+
+    def __init__(
+        self,
+        epoch: int,
+        solution: Solution,
+        store_view: StoreSnapshot,
+        fact_count: int,
+    ) -> None:
+        self.epoch = epoch
+        self.solution = solution
+        self.store_view = store_view
+        self.fact_count = fact_count
+        self.created = time.time()
+        self._lock = threading.Lock()
+        self._explainer: Optional[Explainer] = None
+
+    # -- reads ----------------------------------------------------------- #
+    @property
+    def semantics(self) -> str:
+        return self.solution.semantics
+
+    def relation(self, predicate: str) -> set[tuple[object, ...]]:
+        """True tuples of *predicate* at this epoch."""
+        return self.solution.relation(predicate)
+
+    def undefined_relation(self, predicate: str) -> set[tuple[object, ...]]:
+        """Undefined tuples of *predicate* at this epoch."""
+        return self.solution.undefined_relation(predicate)
+
+    def rows(
+        self,
+        predicate: str,
+        pattern: Optional[Sequence[object]] = None,
+        truth: TruthValue = TruthValue.TRUE,
+    ) -> list[tuple[object, ...]]:
+        """Sorted, optionally pattern-filtered tuples of one relation —
+        the deterministic ordering pagination relies on.
+
+        The pattern matches as a *prefix*: a caller filtering on the
+        first argument positions need not know the relation's arity (the
+        HTTP layer builds patterns from positional ``a0=..`` parameters).
+        """
+        if truth is TruthValue.UNDEFINED:
+            found = self.solution.undefined_relation(predicate)
+        else:
+            found = self.solution.relation(predicate)
+        if pattern is not None:
+            probe = tuple(pattern)
+            found = {
+                row
+                for row in found
+                if len(row) >= len(probe) and _match_row(row[: len(probe)], probe)
+            }
+        return sorted(found, key=repr)
+
+    def ask(self, query: str) -> TruthValue:
+        """Three-valued verdict of a ground conjunctive query."""
+        return query_ask(self.solution, query)
+
+    def answers(self, query: str) -> Iterator[QueryAnswer]:
+        """Substitutions satisfying a conjunctive query with variables."""
+        return query_answers(self.solution, query)
+
+    def value_of(self, atom: Union[Atom, str]) -> TruthValue:
+        if isinstance(atom, str):
+            atom = parse_atom(atom)
+        return self.solution.value_of(atom)
+
+    def explain(self, atom: Union[Atom, str]) -> Explanation:
+        """Justify an atom's verdict in this epoch's model (thread-safe)."""
+        if isinstance(atom, str):
+            atom = parse_atom(atom)
+        with self._lock:
+            if self._explainer is None:
+                self._explainer = Explainer(self._alternating_result())
+            return self._explainer.explain(atom)
+
+    def _alternating_result(self) -> AlternatingFixpointResult:
+        solution = self.solution
+        if solution.semantics in _WFS_FAMILY:
+            context = solution.context
+            if context is None:
+                from ..core.context import build_context
+
+                context = build_context(solution.program, config=solution.config)
+            model = solution.interpretation
+            negative = NegativeSet(model.false_atoms)
+            return AlternatingFixpointResult(
+                context=context,
+                negative_fixpoint=negative,
+                positive_fixpoint=model.true_atoms,
+                stages=(AlternatingStage(0, negative, model.true_atoms),),
+            )
+        from ..core.alternating import alternating_fixpoint
+
+        return alternating_fixpoint(solution.program, config=solution.config)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SessionSnapshot(epoch={self.epoch}, {self.fact_count} facts, "
+            f"semantics={self.semantics!r})"
+        )
 
 
 class KnowledgeBase:
@@ -586,6 +721,12 @@ class KnowledgeBase:
                 strategy=self._config.strategy,
                 engine=self._config.engine,
                 config=self._config,
+                # The engine's context is a cheap frozen view over its
+                # cached rule grounding: carrying it lets a detached
+                # SessionSnapshot build an explainer without re-grounding
+                # (and without touching the live engine from reader
+                # threads).
+                context=self._engine.context,
             )
         else:
             started = time.perf_counter()
@@ -628,6 +769,31 @@ class KnowledgeBase:
     def base(self) -> frozenset[Atom]:
         """The current atom universe."""
         return self.solution.base
+
+    @property
+    def epoch(self) -> int:
+        """Number of successful model refreshes so far — the monotone
+        counter :meth:`snapshot` stamps on its views.  Two reads under the
+        same epoch saw the same model."""
+        return self._update_count
+
+    def snapshot(self) -> SessionSnapshot:
+        """Publish a :class:`SessionSnapshot` of the current model epoch.
+
+        Refreshes first (so the snapshot is never stale relative to the
+        EDB), then captures the immutable solution, the store's pinned
+        ``[0, seq)`` read-view and the epoch counter.  The snapshot is safe
+        to read from any number of threads while this session — which is
+        itself *not* thread-safe — keeps mutating; the query service takes
+        one after every applied write and swaps it in atomically.
+        """
+        self._refresh()
+        return SessionSnapshot(
+            epoch=self._update_count,
+            solution=self._solution,
+            store_view=self._store.snapshot(),
+            fact_count=len(self._fact_rules),
+        )
 
     # ------------------------------------------------------------------ #
     # Queries

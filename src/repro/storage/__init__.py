@@ -17,6 +17,7 @@ from __future__ import annotations
 from ..exceptions import StorageError
 from .base import ChangeListener, FactStore
 from .memory import MemoryStore
+from .snapshot import StoreSnapshot
 from .sqlite import SqliteStore
 
 __all__ = [
@@ -24,6 +25,7 @@ __all__ = [
     "ChangeListener",
     "MemoryStore",
     "SqliteStore",
+    "StoreSnapshot",
     "SUPPORTED_STORES",
     "DEFAULT_STORE",
     "parse_store_spec",

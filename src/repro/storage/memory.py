@@ -60,9 +60,12 @@ class MemoryStore(FactStore):
         # Compact eagerly when garbage dominates — but never while a
         # savepoint is open, whose rollback replays journal entries that
         # assume stable sequence numbers are irrelevant (it re-adds by
-        # value), yet an open grounding run may still hold windows.
+        # value), yet an open grounding run may still hold windows; and
+        # never while a snapshot lease is outstanding, whose pinned
+        # ``[0, seq)`` windows renumbering would silently corrupt.
         if (
             not self._savepoints
+            and not self._pinned()
             and relation.dead > _COMPACT_THRESHOLD
             and relation.dead > len(relation)
         ):

@@ -1,0 +1,144 @@
+"""Explicit read-views over a :class:`~repro.storage.FactStore`.
+
+The delta-windowed probe API of PR 5 (``candidate_rows`` over ``[lo, hi)``
+sequence windows) is already most of an MVCC read-view: sequence numbers
+are assigned monotonically and never reused, so pinning the per-relation
+``[0, sequence_bound)`` window at one instant yields a view that *later
+insertions can never leak into*.  :class:`StoreSnapshot` makes that view a
+first-class object — ``store.snapshot()`` — so many reader threads can
+serve consistent results against it while a single serialized writer keeps
+mutating the live store.
+
+Scope of the guarantee: the window excludes rows inserted after the
+snapshot was taken, which is exactly the isolation a *single-writer*
+service needs — the query service publishes a fresh snapshot after every
+applied write, so no snapshot is ever read concurrently with an in-place
+mutation of its own rows.  Removals are not versioned (a row deleted after
+the snapshot disappears from it too); multi-writer backends wanting full
+MVCC would layer tombstone visibility on top of the same window contract.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import TYPE_CHECKING, Iterator, Mapping
+
+from ..datalog.atoms import Atom
+from ..datalog.terms import Term
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .base import FactStore, Signature
+
+__all__ = ["StoreSnapshot"]
+
+
+class StoreSnapshot:
+    """A pinned ``[0, seq)`` window over every relation of a store.
+
+    Construction is O(#relations): it records each relation's current
+    sequence bound (and row count, for cheap ``len``); no rows are copied.
+    All reads clamp their window to the pinned bound, so facts inserted
+    after the snapshot are invisible through it.
+    """
+
+    __slots__ = ("_store", "_bounds", "_counts", "_lease", "__weakref__")
+
+    def __init__(self, store: "FactStore") -> None:
+        self._store = store
+        self._bounds: dict["Signature", int] = {}
+        self._counts: dict["Signature", int] = {}
+        for signature in store.signatures():
+            self._bounds[signature] = store.sequence_bound(*signature)
+            self._counts[signature] = store.count(*signature)
+        # The lease keeps the store's sequence numbers valid (MemoryStore
+        # defers compaction while pinned).  A GC finalizer backs close(),
+        # so a dropped snapshot cannot block compaction forever; finalizers
+        # run at most once, making close() idempotent for free.
+        store._acquire_pin()
+        self._lease = weakref.finalize(self, store._release_pin)
+
+    def close(self) -> None:
+        """Release the snapshot's lease on the store (idempotent).  Reads
+        after close still work, but their windows are no longer protected
+        against backend compaction."""
+        self._lease()
+
+    def __enter__(self) -> "StoreSnapshot":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Window introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def windows(self) -> Mapping["Signature", int]:
+        """The pinned exclusive sequence bound per relation — the
+        ``[0, bound)`` windows this snapshot reads through."""
+        return dict(self._bounds)
+
+    def sequence_bound(self, predicate: str, arity: int) -> int:
+        """The pinned bound of one relation (0 when the relation did not
+        exist at snapshot time)."""
+        return self._bounds.get((predicate, arity), 0)
+
+    def signatures(self) -> set["Signature"]:
+        """The relation signatures that existed (non-empty) at snapshot
+        time."""
+        return set(self._bounds)
+
+    # ------------------------------------------------------------------ #
+    # Reads (window-clamped)
+    # ------------------------------------------------------------------ #
+    def candidate_rows(
+        self,
+        predicate: str,
+        arity: int,
+        positions: tuple[int, ...],
+        key: tuple[Term, ...],
+        lo: int = 0,
+        hi: int | None = None,
+    ) -> Iterator[tuple[int, tuple[Term, ...]]]:
+        """The store's index probe, clamped to the pinned window."""
+        bound = self._bounds.get((predicate, arity), 0)
+        hi = bound if hi is None else min(hi, bound)
+        if hi <= lo:
+            return iter(())
+        return self._store.candidate_rows(predicate, arity, positions, key, lo, hi)
+
+    def tuples(self, predicate: str, arity: int) -> Iterator[tuple[Term, ...]]:
+        """The rows of one relation that were live inside the window."""
+        for _, row in self.candidate_rows(predicate, arity, (), ()):
+            yield row
+
+    def contains_atom(self, atom: Atom) -> bool:
+        """Membership within the window (an atom inserted after the
+        snapshot is *not* contained, even though the live store has it)."""
+        for _ in self.candidate_rows(
+            atom.predicate, atom.arity, tuple(range(atom.arity)), atom.args
+        ):
+            return True
+        return False
+
+    def facts(self) -> Iterator[Atom]:
+        """Every fact visible through the window, relation by relation."""
+        for predicate, arity in sorted(self._bounds):
+            for row in self.tuples(predicate, arity):
+                yield Atom(predicate, row)
+
+    def count(self, predicate: str, arity: int) -> int:
+        """Row count of one relation at snapshot time."""
+        return self._counts.get((predicate, arity), 0)
+
+    def __len__(self) -> int:
+        return sum(self._counts.values())
+
+    def __contains__(self, atom: object) -> bool:
+        return isinstance(atom, Atom) and self.contains_atom(atom)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StoreSnapshot({len(self._bounds)} relations, "
+            f"{len(self)} rows pinned)"
+        )

@@ -26,19 +26,21 @@ from __future__ import annotations
 
 import json
 import sqlite3
-import time
+import threading
 from pathlib import Path
 from typing import Iterator, Optional
 
 from ..datalog.atoms import Atom
 from ..datalog.terms import Compound, Constant, Term
 from ..exceptions import StorageError, StoreCorrupt
+from ..resilience.retry import RetryExhausted, RetryPolicy, retry_call
 from .base import FactStore
 
 __all__ = ["SqliteStore"]
 
 #: Base delay of the exponential lock-retry backoff (seconds); attempt *n*
-#: sleeps ``_RETRY_BASE_DELAY * 2**(n-1)``.
+#: sleeps roughly ``_RETRY_BASE_DELAY * 2**(n-1)`` (plus bounded jitter —
+#: see :class:`repro.resilience.retry.RetryPolicy`).
 _RETRY_BASE_DELAY = 0.002
 
 
@@ -153,14 +155,26 @@ class SqliteStore(FactStore):
         self.path = str(path)
         self.busy_timeout_ms = int(busy_timeout_ms)
         self.max_retries = int(max_retries)
+        self._retry_policy = RetryPolicy(
+            max_retries=self.max_retries, base_delay=_RETRY_BASE_DELAY
+        )
         self._connection: Optional[sqlite3.Connection] = None
+        # One connection shared across threads: the query service mutates
+        # from a dedicated writer thread and probes snapshots from HTTP
+        # handler threads.  check_same_thread=False permits the sharing;
+        # the mutex serialises statement execution at the Python level so
+        # catalogue caches, the probe counter and cursor materialisation
+        # stay consistent regardless of the compiled SQLite thread mode.
+        self._mutex = threading.RLock()
         try:
             # Autocommit mode: every statement is durable on its own, and
             # SAVEPOINT opens an explicit transaction scope when needed.
             # sqlite3.connect is lazy, so the schema bootstrap below is
             # where a corrupt or non-database file actually fails — the
             # whole sequence maps onto the library's error contract.
-            self._connection = sqlite3.connect(self.path, isolation_level=None)
+            self._connection = sqlite3.connect(
+                self.path, isolation_level=None, check_same_thread=False
+            )
             cursor = self._connection.cursor()
             cursor.execute(f"PRAGMA busy_timeout={self.busy_timeout_ms}")
             if self.path != ":memory:":
@@ -239,32 +253,67 @@ class SqliteStore(FactStore):
         contention.
 
         ``PRAGMA busy_timeout`` already makes SQLite wait in-line; this
-        layer retries the statement itself (with exponential backoff) for
-        the cases the timeout cannot cover, counting each retry into
-        :attr:`~repro.storage.base.FactStore.retries`.  Non-busy errors
-        propagate unchanged; exhausted retries raise a
+        layer retries the statement itself (exponential backoff with
+        jitter, via the shared :func:`repro.resilience.retry.retry_call`
+        helper) for the cases the timeout cannot cover, counting each
+        retry into :attr:`~repro.storage.base.FactStore.retries`.
+        Non-busy errors propagate unchanged; exhausted retries raise a
         :class:`~repro.exceptions.StorageError` naming the retry budget.
         """
-        attempt = 0
-        while True:
-            cursor = self._cursor()
-            try:
-                return cursor.execute(sql, parameters)
-            except sqlite3.OperationalError as error:
-                if not _is_busy(error):
-                    raise
-                if attempt >= self.max_retries:
-                    raise StorageError(
-                        f"SQLite store {self.path!r} stayed locked after "
-                        f"{attempt} retries: {error}"
-                    ) from error
-                attempt += 1
-                self.retries += 1
-                time.sleep(_RETRY_BASE_DELAY * (2 ** (attempt - 1)))
+
+        def _attempt() -> sqlite3.Cursor:
+            # The mutex covers one statement, not the backoff sleeps, so a
+            # retrying writer never starves concurrent snapshot readers.
+            with self._mutex:
+                return self._cursor().execute(sql, parameters)
+
+        def _transient(error: BaseException) -> bool:
+            return isinstance(error, sqlite3.OperationalError) and _is_busy(error)
+
+        def _count(attempt: int, error: BaseException) -> None:
+            self.retries += 1
+
+        try:
+            return retry_call(
+                _attempt,
+                retryable=_transient,
+                policy=self._retry_policy,
+                on_retry=_count,
+                reraise=False,
+            )
+        except RetryExhausted as exhausted:
+            raise StorageError(
+                f"SQLite store {self.path!r} stayed locked after "
+                f"{exhausted.attempts} retries: {exhausted.last_error}"
+            ) from exhausted.last_error
+
+    def _query_all(self, sql: str, parameters: tuple | list = ()) -> list:
+        """Execute one read statement and materialise its rows atomically.
+
+        Execution *and* fetch happen under the store mutex, so a reader's
+        result set can never interleave with (or be aborted by) a writer
+        statement or savepoint rollback on the shared connection — each
+        probe observes a point-in-time state.
+        """
+        with self._mutex:
+            return self._execute(sql, parameters).fetchall()
 
     def _table(self, predicate: str, arity: int, create: bool = False) -> Optional[str]:
         table_id = self._tables.get((predicate, arity))
         if table_id is None:
+            # The catalogue cache was loaded at open; under WAL another
+            # connection on the same file may have created the relation
+            # since.  Re-probe the on-disk catalogue before concluding the
+            # relation does not exist, so reader stores follow writer
+            # connections instead of serving an eternally empty relation.
+            found = self._query_all(
+                "SELECT id FROM repro_relations WHERE predicate = ? AND arity = ?",
+                (predicate, arity),
+            )
+            if found:
+                table_id = found[0][0]
+                self._tables[(predicate, arity)] = table_id
+                return f"facts_{table_id}"
             if not create:
                 return None
             cursor = self._execute(
@@ -340,14 +389,20 @@ class SqliteStore(FactStore):
             return False
         if atom.arity:
             where = " AND ".join(f"c{i} = ?" for i in range(atom.arity))
-            cursor = self._execute(
-                f"SELECT 1 FROM {table} WHERE {where}", self._encode_row(atom)
+            rows = self._query_all(
+                f"SELECT 1 FROM {table} WHERE {where} LIMIT 1", self._encode_row(atom)
             )
         else:
-            cursor = self._execute(f"SELECT 1 FROM {table}")
-        return cursor.fetchone() is not None
+            rows = self._query_all(f"SELECT 1 FROM {table} LIMIT 1")
+        return bool(rows)
 
     def signatures(self) -> set[tuple[str, int]]:
+        # Fold in relations other connections catalogued since open (the
+        # cross-connection counterpart of the ``_table`` re-probe).
+        for table_id, predicate, arity in self._query_all(
+            "SELECT id, predicate, arity FROM repro_relations"
+        ):
+            self._tables.setdefault((predicate, arity), table_id)
         return {
             signature for signature in self._tables if self.count(*signature)
         }
@@ -358,18 +413,18 @@ class SqliteStore(FactStore):
             return
         if arity:
             columns = ", ".join(f"c{i}" for i in range(arity))
-            rows = self._execute(f"SELECT {columns} FROM {table} ORDER BY seq")
+            rows = self._query_all(f"SELECT {columns} FROM {table} ORDER BY seq")
             for row in rows:
                 yield tuple(decode_term(text) for text in row)
         else:
-            if self._execute(f"SELECT 1 FROM {table}").fetchone() is not None:
+            if self._query_all(f"SELECT 1 FROM {table} LIMIT 1"):
                 yield ()
 
     def count(self, predicate: str, arity: int) -> int:
         table = self._table(predicate, arity)
         if table is None:
             return 0
-        (count,) = self._execute(f"SELECT COUNT(*) FROM {table}").fetchone()
+        [(count,)] = self._query_all(f"SELECT COUNT(*) FROM {table}")
         return count
 
     # ------------------------------------------------------------------ #
@@ -379,7 +434,7 @@ class SqliteStore(FactStore):
         table = self._table(predicate, arity)
         if table is None:
             return 0
-        (bound,) = self._execute(f"SELECT COALESCE(MAX(seq), 0) FROM {table}").fetchone()
+        [(bound,)] = self._query_all(f"SELECT COALESCE(MAX(seq), 0) FROM {table}")
         return bound  # AUTOINCREMENT seq starts at 1, so MAX is the bound + window hi.
 
     def _ensure_sql_index(self, table_id: int, arity: int, positions: tuple[int, ...]) -> None:
@@ -415,7 +470,10 @@ class SqliteStore(FactStore):
             conditions.append(f"c{position} = ?")
             parameters.append(encode_term(term))
         columns = ", ".join(["seq"] + [f"c{i}" for i in range(arity)])
-        rows = self._execute(
+        # Materialised atomically (_query_all): a lazily-stepped cursor
+        # could otherwise be aborted by a concurrent writer's rollback on
+        # the shared connection; decoding stays lazy.
+        rows = self._query_all(
             f"SELECT {columns} FROM facts_{table_id} "
             f"WHERE {' AND '.join(conditions)} ORDER BY seq",
             parameters,

@@ -168,3 +168,52 @@ class TestTraceRecorder:
             first.count("n")
         assert second.spans == []
         assert second.counter_totals() == {}
+
+
+class TestThreadSafety:
+    def test_concurrent_counters_lose_no_increments(self):
+        import threading
+
+        recorder = TraceRecorder()
+        per_thread, threads = 2000, 8
+
+        def bump():
+            for _ in range(per_thread):
+                recorder.count("hits")
+
+        workers = [threading.Thread(target=bump) for _ in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert recorder.counter_totals() == {"hits": per_thread * threads}
+
+    def test_spans_from_many_threads_stay_well_nested(self):
+        import threading
+
+        recorder = TraceRecorder()
+        errors = []
+
+        def trace(index):
+            try:
+                for _ in range(200):
+                    with recorder.span(f"outer-{index}"):
+                        with recorder.span(f"inner-{index}"):
+                            recorder.count(f"work-{index}")
+            except Exception as error:  # pragma: no cover - failure detail
+                errors.append(error)
+
+        workers = [threading.Thread(target=trace, args=(i,)) for i in range(6)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert not errors
+        # Span stacks are per-thread: every root belongs to exactly one
+        # thread's trace, each with its own child — never a sibling from
+        # another thread spliced into the wrong parent.
+        assert len(recorder.spans) == 6 * 200
+        for root in recorder.spans:
+            index = root.name.split("-")[1]
+            assert len(root.children) == 1
+            assert root.children[0].name == f"inner-{index}"

@@ -1,0 +1,159 @@
+"""The shared bounded-retry helper (``repro.resilience.retry``)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.resilience import RetryExhausted, RetryPolicy, retry_call
+
+
+class _Flaky:
+    """Fails the first *failures* calls with *error_type*, then returns."""
+
+    def __init__(self, failures: int, error_type: type[Exception] = OSError):
+        self.failures = failures
+        self.error_type = error_type
+        self.calls = 0
+
+    def __call__(self) -> str:
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.error_type(f"transient #{self.calls}")
+        return "ok"
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.5)
+
+    def test_delay_schedule_is_exponential_and_clamped(self):
+        policy = RetryPolicy(base_delay=0.01, max_delay=0.05, jitter=0.0)
+        assert policy.delay(1) == pytest.approx(0.01)
+        assert policy.delay(2) == pytest.approx(0.02)
+        assert policy.delay(3) == pytest.approx(0.04)
+        assert policy.delay(4) == pytest.approx(0.05)  # clamped
+        assert policy.delay(10) == pytest.approx(0.05)
+
+    def test_jitter_stays_within_bound(self):
+        policy = RetryPolicy(base_delay=0.01, max_delay=1.0, jitter=0.25)
+        rng = random.Random(42)
+        for attempt in range(1, 8):
+            base = min(0.01 * 2 ** (attempt - 1), 1.0)
+            for _ in range(50):
+                delay = policy.delay(attempt, rng)
+                assert base <= delay <= base * 1.25
+
+    def test_jitter_decorrelates(self):
+        policy = RetryPolicy(base_delay=0.01, jitter=0.25)
+        rng = random.Random(7)
+        draws = {policy.delay(1, rng) for _ in range(20)}
+        assert len(draws) > 1
+
+
+class TestRetryCall:
+    def test_transient_failures_are_retried_to_success(self):
+        flaky = _Flaky(failures=2)
+        sleeps: list[float] = []
+        result = retry_call(
+            flaky,
+            retryable=lambda e: isinstance(e, OSError),
+            policy=RetryPolicy(max_retries=5, base_delay=0.01, jitter=0.0),
+            sleep=sleeps.append,
+        )
+        assert result == "ok"
+        assert flaky.calls == 3
+        assert sleeps == [pytest.approx(0.01), pytest.approx(0.02)]
+
+    def test_non_retryable_error_propagates_immediately(self):
+        flaky = _Flaky(failures=5, error_type=ValueError)
+        with pytest.raises(ValueError, match="transient #1"):
+            retry_call(
+                flaky,
+                retryable=lambda e: isinstance(e, OSError),
+                sleep=lambda _: None,
+            )
+        assert flaky.calls == 1
+
+    def test_exhaustion_reraises_last_error_by_default(self):
+        flaky = _Flaky(failures=10)
+        with pytest.raises(OSError, match="transient #4"):
+            retry_call(
+                flaky,
+                retryable=lambda e: isinstance(e, OSError),
+                policy=RetryPolicy(max_retries=3, base_delay=0.0),
+                sleep=lambda _: None,
+            )
+        assert flaky.calls == 4  # initial call + three retries
+
+    def test_exhaustion_wraps_when_reraise_disabled(self):
+        flaky = _Flaky(failures=10)
+        with pytest.raises(RetryExhausted) as caught:
+            retry_call(
+                flaky,
+                retryable=lambda e: isinstance(e, OSError),
+                policy=RetryPolicy(max_retries=2, base_delay=0.0),
+                sleep=lambda _: None,
+                reraise=False,
+            )
+        assert caught.value.attempts == 2
+        assert isinstance(caught.value.last_error, OSError)
+        assert "transient #3" in str(caught.value.last_error)
+
+    def test_on_retry_hook_sees_each_attempt(self):
+        flaky = _Flaky(failures=3)
+        seen: list[tuple[int, str]] = []
+        retry_call(
+            flaky,
+            retryable=lambda e: isinstance(e, OSError),
+            policy=RetryPolicy(max_retries=5, base_delay=0.0),
+            on_retry=lambda attempt, error: seen.append((attempt, str(error))),
+            sleep=lambda _: None,
+        )
+        assert seen == [
+            (1, "transient #1"),
+            (2, "transient #2"),
+            (3, "transient #3"),
+        ]
+
+    def test_zero_retries_means_one_attempt(self):
+        flaky = _Flaky(failures=1)
+        with pytest.raises(OSError):
+            retry_call(
+                flaky,
+                retryable=lambda e: True,
+                policy=RetryPolicy(max_retries=0),
+                sleep=lambda _: None,
+            )
+        assert flaky.calls == 1
+
+    def test_success_without_failure_never_sleeps(self):
+        sleeps: list[float] = []
+        assert (
+            retry_call(lambda: 42, retryable=lambda e: True, sleep=sleeps.append) == 42
+        )
+        assert sleeps == []
+
+    def test_deterministic_with_injected_rng(self):
+        policy = RetryPolicy(base_delay=0.01, jitter=0.5)
+
+        def schedule(seed: int) -> list[float]:
+            flaky = _Flaky(failures=3)
+            sleeps: list[float] = []
+            retry_call(
+                flaky,
+                retryable=lambda e: isinstance(e, OSError),
+                policy=policy,
+                sleep=sleeps.append,
+                rng=random.Random(seed),
+            )
+            return sleeps
+
+        assert schedule(123) == schedule(123)
+        assert schedule(123) != schedule(321)

@@ -1,0 +1,313 @@
+"""QueryService unit tests: snapshot isolation, admission control,
+budget mapping, writer-fault rollback, shutdown drain."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.datalog import parse_atom
+from repro.exceptions import BudgetError, NotGroundError, ReproError
+from repro.fixpoint.interpretations import TruthValue
+from repro.resilience import Budget, CancelToken, FaultInjectingStore, RetryPolicy
+from repro.service import AdmissionRejected, QueryService, ServiceClosed
+from repro.session import KnowledgeBase
+from repro.storage import MemoryStore
+
+WIN_MOVE = "wins(X) :- move(X, Y), not wins(Y)."
+MOVES = {"move": [("a", "b"), ("b", "a"), ("b", "c")]}
+
+
+@pytest.fixture()
+def service():
+    kb = KnowledgeBase(WIN_MOVE, facts=MOVES)
+    with QueryService(kb, queue_size=4, max_readers=4) as svc:
+        yield svc
+    kb.close()
+
+
+class TestReads:
+    def test_query_serves_published_epoch(self, service):
+        result = service.query("wins")
+        assert result["rows"] == [("b",)]
+        assert result["epoch"] == 1
+        assert result["pagination"]["total"] == 1
+
+    def test_query_pagination_is_deterministic(self, service):
+        service.submit(
+            tuple(("assert", parse_atom(f"fact({i})")) for i in range(10))
+        )
+        page1 = service.query("fact", page=1, per_page=4)
+        page2 = service.query("fact", page=2, per_page=4)
+        page3 = service.query("fact", page=3, per_page=4)
+        rows = page1["rows"] + page2["rows"] + page3["rows"]
+        assert sorted(rows) == sorted((i,) for i in range(10))
+        assert len(set(rows)) == 10, "pages must not overlap"
+        assert page1["pagination"]["pages"] == 3
+
+    def test_per_page_is_capped(self, service):
+        result = service.query("wins", per_page=100000, max_page_size=100)
+        assert result["pagination"]["per_page"] == 100
+
+    def test_query_prefix_filter(self, service):
+        result = service.query("move", ["b"])
+        assert result["rows"] == [("b", "a"), ("b", "c")]
+
+    def test_query_rejects_bad_truth(self, service):
+        with pytest.raises(ReproError):
+            service.query("wins", truth="maybe")
+
+    def test_ask_and_answers(self, service):
+        assert service.ask("wins(b)")["verdict"] == "true"
+        answers = service.answers("wins(X)")
+        assert answers["answers"] == [{"X": "b"}]
+
+    def test_explain_matches_verdict(self, service):
+        report = service.explain("wins(b)")
+        assert report["verdict"] == "true"
+        assert any("wins(b)" in line for line in report["explanation"])
+
+    def test_read_gate_sheds_when_exhausted(self, service):
+        tickets = [service.admit_read() for _ in range(service.max_readers)]
+        with pytest.raises(AdmissionRejected):
+            service.admit_read()
+        for ticket in tickets:
+            ticket.__exit__(None, None, None)
+        with service.admit_read():
+            pass
+        assert service.stats()["counters"]["service.shed_reads"] == 1
+
+
+class TestWrites:
+    def test_write_bumps_epoch_and_is_visible(self, service):
+        before = service.snapshot()
+        outcome = service.assert_fact(parse_atom("move(c, d)"))
+        assert outcome.changed == 1
+        assert outcome.epoch == before.epoch + 1
+        after = service.snapshot()
+        assert after.epoch == outcome.epoch
+        # The old snapshot still serves its own epoch's model (isolation).
+        assert before.rows("wins") == [("b",)]
+        # New graph a<->b plus b->c->d: c wins outright, a/b go undefined.
+        assert after.rows("wins") == [("c",)]
+        assert after.rows("wins", truth=TruthValue.UNDEFINED) == [("a",), ("b",)]
+        assert ("c", "d") in set(after.rows("move"))
+
+    def test_batch_is_atomic(self, service):
+        outcome = service.submit(
+            (
+                ("assert", parse_atom("move(c, d)")),
+                ("assert", parse_atom("move(d, e)")),
+                ("retract", parse_atom("move(c, d)")),
+            )
+        )
+        assert outcome.applied == 3
+        rows = set(service.query("move")["rows"])
+        assert ("d", "e") in rows and ("c", "d") not in rows
+
+    def test_rejects_non_ground_and_unknown_ops(self, service):
+        with pytest.raises(NotGroundError):
+            service.submit((("assert", parse_atom("move(X, b)")),))
+        with pytest.raises(ReproError):
+            service.submit((("upsert", parse_atom("move(a, b)")),))
+
+    def test_queue_full_sheds_with_retry_after(self):
+        kb = KnowledgeBase(WIN_MOVE, facts=MOVES)
+        service = QueryService(kb, queue_size=1)
+        service.start()
+        try:
+            # Park the writer on a slow request so later ones pile up.
+            release = threading.Event()
+            slow = threading.Event()
+
+            original = service._apply
+
+            def stalled_apply(request):
+                slow.set()
+                release.wait(5)
+                return original(request)
+
+            service._apply = stalled_apply
+            first = threading.Thread(
+                target=lambda: service.assert_fact(parse_atom("move(x, y)"))
+            )
+            first.start()
+            assert slow.wait(5)
+            # Queue slot 1 fills; the next submit must shed immediately.
+            second = threading.Thread(
+                target=lambda: service.assert_fact(parse_atom("move(y, z)"))
+            )
+            second.start()
+            deadline = time.monotonic() + 5
+            while service._queue.qsize() < 1 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            with pytest.raises(AdmissionRejected) as shed:
+                service.assert_fact(parse_atom("move(z, w)"))
+            assert shed.value.retry_after >= 1
+            release.set()
+            first.join(5)
+            second.join(5)
+            assert service.stats()["counters"]["service.shed_writes"] == 1
+        finally:
+            release.set()
+            service.stop()
+            kb.close()
+
+    def test_budget_deadline_maps_to_budget_error(self, service):
+        budget = Budget(max_seconds=1e-9, token=CancelToken())
+        with pytest.raises(BudgetError):
+            service.submit((("assert", parse_atom("move(p, q)")),), budget=budget)
+        # The service recovered: the next write applies normally and the
+        # deadline-tripped one never reached the published model.
+        assert ("p", "q") not in set(service.query("move")["rows"])
+        outcome = service.assert_fact(parse_atom("move(q, r)"))
+        assert ("q", "r") in set(service.query("move")["rows"])
+        assert outcome.epoch == service.snapshot().epoch
+
+
+class TestWriterFaults:
+    def _faulting_service(self, script, retries=0):
+        inner = MemoryStore()
+        store = FaultInjectingStore(inner, script=script)
+        store.armed = False
+        kb = KnowledgeBase(WIN_MOVE, facts=MOVES, store=store)
+        service = QueryService(
+            kb,
+            retry_policy=RetryPolicy(max_retries=retries, base_delay=0.0, jitter=0.0),
+        )
+        service.start()
+        store.armed = True
+        return kb, store, service
+
+    def test_persistent_fault_rolls_back_and_keeps_epoch(self):
+        # Every future add fails: the write must fail cleanly and the
+        # published snapshot must stay at the last good epoch.
+        kb, store, service = self._faulting_service(
+            {"add": set(range(4, 40))}, retries=1
+        )
+        try:
+            before = service.snapshot()
+            oracle = before.rows("wins")
+            with pytest.raises(Exception) as caught:
+                service.assert_fact(parse_atom("move(c, d)"))
+            assert "injected" in str(caught.value)
+            after = service.snapshot()
+            assert after is before, "failed write must not publish a new epoch"
+            assert after.rows("wins") == oracle
+            # Recovery: disarm and write again.
+            store.armed = False
+            outcome = service.assert_fact(parse_atom("move(c, d)"))
+            assert outcome.epoch == before.epoch + 1
+            stats = service.stats()["counters"]
+            assert stats["service.write_failures"] == 1
+            assert stats["service.write_retries"] == 1
+        finally:
+            service.stop()
+            kb.close()
+
+    def test_transient_fault_is_retried_to_success(self):
+        # One scripted fault, one retry budget: the write succeeds on the
+        # second attempt without the client ever seeing the fault.
+        kb, store, service = self._faulting_service({"add": {4}}, retries=2)
+        try:
+            outcome = service.assert_fact(parse_atom("move(c, d)"))
+            assert outcome.changed == 1
+            assert ("c", "d") in set(service.query("move")["rows"])
+            counters = service.stats()["counters"]
+            assert counters["service.write_retries"] == 1
+            assert "service.write_failures" not in counters
+        finally:
+            service.stop()
+            kb.close()
+
+
+class TestLifecycle:
+    def test_stop_drains_admitted_writes(self):
+        kb = KnowledgeBase(WIN_MOVE, facts=MOVES)
+        service = QueryService(kb).start()
+        results = []
+        thread = threading.Thread(
+            target=lambda: results.append(service.assert_fact(parse_atom("move(m, n)")))
+        )
+        thread.start()
+        thread.join(5)
+        service.stop(drain=True)
+        assert results and results[0].changed == 1
+        # After the writer exits, the KB is the caller's again.
+        assert ("m", "n") in {tuple(r) for r in kb.query("move")}
+        kb.close()
+
+    def test_closed_service_rejects_submissions(self, service):
+        service.stop()
+        with pytest.raises(ServiceClosed):
+            service.submit((("assert", parse_atom("move(z, z)")),))
+        with pytest.raises(ServiceClosed):
+            service.admit_read()
+
+    def test_health_and_readiness(self, service):
+        healthy, health = service.health()
+        assert healthy and health["store"] == "ok" and health["writer"] == "alive"
+        ready, readiness = service.readiness()
+        assert ready and readiness["backlog"] == 0
+        service.stop()
+        ready, readiness = service.readiness()
+        assert not ready and readiness["draining"]
+
+
+class TestSnapshotConsistency:
+    def test_concurrent_readers_never_observe_torn_snapshots(self):
+        """The acceptance property, in-process: reader threads hammering
+        the service during writer churn always see a (epoch, model) pair
+        that matches the oracle solve for that epoch's EDB."""
+        kb = KnowledgeBase(WIN_MOVE, facts=MOVES)
+        service = QueryService(kb).start()
+        # Writer thread: grow then shrink a chain; record each epoch's
+        # expected 'wins' relation from the returned outcome + a fresh
+        # oracle KB solved over the same facts.
+        oracles: dict[int, list] = {1: service.snapshot().rows("wins")}
+        oracle_lock = threading.Lock()
+        stop = threading.Event()
+        errors: list[str] = []
+
+        def writer():
+            nodes = ["c", "d", "e", "f", "g"]
+            facts = [tuple(pair) for pair in MOVES["move"]]
+            for i in range(len(nodes) - 1):
+                atom = parse_atom(f"move({nodes[i]}, {nodes[i + 1]})")
+                outcome = service.assert_fact(atom)
+                facts.append((nodes[i], nodes[i + 1]))
+                oracle_kb = KnowledgeBase(WIN_MOVE, facts={"move": list(facts)})
+                with oracle_lock:
+                    oracles[outcome.epoch] = oracle_kb.snapshot().rows("wins")
+                oracle_kb.close()
+                time.sleep(0.005)
+            stop.set()
+
+        def reader():
+            while not stop.is_set():
+                result = service.query("wins")
+                with oracle_lock:
+                    expected = oracles.get(result["epoch"])
+                if expected is None:
+                    continue  # oracle not recorded yet for a brand-new epoch
+                if result["rows"] != expected:
+                    errors.append(
+                        f"epoch {result['epoch']}: got {result['rows']}, "
+                        f"expected {expected}"
+                    )
+                    return
+
+        writer_thread = threading.Thread(target=writer)
+        reader_threads = [threading.Thread(target=reader) for _ in range(4)]
+        writer_thread.start()
+        for thread in reader_threads:
+            thread.start()
+        writer_thread.join(30)
+        stop.set()
+        for thread in reader_threads:
+            thread.join(10)
+        service.stop()
+        kb.close()
+        assert not errors, errors[0]

@@ -1,0 +1,341 @@
+"""HTTP façade tests: endpoint surface, uniform error payloads,
+admission shedding, budget mapping, fault-injection acceptance, and the
+SIGTERM drain of the ``repro serve`` subprocess."""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.resilience import FaultInjectingStore, RetryPolicy
+from repro.service import QueryService, ServiceHTTPServer
+from repro.session import KnowledgeBase
+from repro.storage import MemoryStore
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = str(REPO_ROOT / "src")
+
+WIN_MOVE = "wins(X) :- move(X, Y), not wins(Y)."
+MOVES = {"move": [("a", "b"), ("b", "a"), ("b", "c")]}
+
+
+def _request(base: str, path: str, *, method: str = "GET", body: dict | None = None):
+    """Return (status, decoded-json, headers, raw-bytes) without raising."""
+    data = None if body is None else json.dumps(body).encode()
+    request = urllib.request.Request(f"{base}{path}", data=data, method=method)
+    if data is not None:
+        request.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            raw = response.read()
+            return response.status, json.loads(raw), dict(response.headers), raw
+    except urllib.error.HTTPError as error:
+        raw = error.read()
+        payload = json.loads(raw) if raw else {}
+        return error.code, payload, dict(error.headers), raw
+
+
+class _Server:
+    """In-process ServiceHTTPServer on an ephemeral port."""
+
+    def __init__(self, service: QueryService):
+        self.service = service
+        self.httpd = ServiceHTTPServer(("127.0.0.1", 0), service)
+        host, port = self.httpd.server_address[:2]
+        self.base = f"http://{host}:{port}"
+        self.thread = threading.Thread(target=self.httpd.serve_forever, daemon=True)
+        self.thread.start()
+
+    def close(self):
+        self.httpd.shutdown()
+        self.thread.join(10)
+        self.httpd.server_close()
+
+
+@pytest.fixture()
+def server():
+    kb = KnowledgeBase(WIN_MOVE, facts=MOVES)
+    service = QueryService(kb, max_readers=8).start()
+    srv = _Server(service)
+    yield srv
+    srv.close()
+    service.stop()
+    kb.close()
+
+
+class TestReadEndpoints:
+    def test_query_envelope(self, server):
+        status, payload, _, _ = _request(server.base, "/query/wins")
+        assert status == 200
+        assert payload["rows"] == [["b"]]
+        assert payload["pagination"] == {
+            "page": 1,
+            "per_page": 50,
+            "total": 1,
+            "pages": 1,
+        }
+        assert payload["epoch"] == 1
+        assert "semantics" in payload
+
+    def test_query_positional_filters_json_decoded(self, server):
+        _request(server.base, "/assert", method="POST", body={"fact": "edge(1, 2)"})
+        _request(server.base, "/assert", method="POST", body={"fact": "edge(1, 3)"})
+        _request(server.base, "/assert", method="POST", body={"fact": "edge(2, 3)"})
+        status, payload, _, _ = _request(server.base, "/query/edge?a0=1")
+        assert status == 200
+        assert payload["rows"] == [[1, 2], [1, 3]]
+        # String filters stay strings.
+        status, payload, _, _ = _request(server.base, "/query/move?a0=b")
+        assert payload["rows"] == [["b", "a"], ["b", "c"]]
+
+    def test_query_pagination_caps_and_pages(self, server):
+        ops = [{"op": "assert", "fact": f"fact({i})"} for i in range(7)]
+        _request(server.base, "/batch", method="POST", body={"operations": ops})
+        status, payload, _, _ = _request(
+            server.base, "/query/fact?per_page=100000&page=2"
+        )
+        assert payload["pagination"]["per_page"] == 100  # capped
+        status, payload, _, _ = _request(server.base, "/query/fact?per_page=3&page=3")
+        assert payload["pagination"]["pages"] == 3
+        assert len(payload["rows"]) == 1
+
+    def test_query_bad_truth_is_400(self, server):
+        status, payload, _, _ = _request(server.base, "/query/wins?truth=maybe")
+        assert status == 400
+        error = payload["error"]
+        assert error["status"] == 400 and "truth" in error["message"]
+
+    def test_ask_ground_and_with_variables(self, server):
+        status, payload, _, _ = _request(server.base, "/ask?q=wins(b)")
+        assert status == 200 and payload["verdict"] == "true"
+        status, payload, _, _ = _request(server.base, "/ask?q=wins(X)")
+        assert status == 200
+        assert payload["answers"] == [{"X": "b"}]
+        assert payload["pagination"]["total"] == 1
+
+    def test_ask_without_query_is_400(self, server):
+        status, payload, _, _ = _request(server.base, "/ask")
+        assert status == 400
+        assert payload["error"]["status"] == 400
+
+    def test_explain(self, server):
+        status, payload, _, _ = _request(server.base, "/explain?atom=wins(b)")
+        assert status == 200
+        assert payload["verdict"] == "true"
+        assert isinstance(payload["explanation"], list) and payload["explanation"]
+
+    def test_unknown_route_is_404(self, server):
+        status, payload, _, _ = _request(server.base, "/nope")
+        assert status == 404
+        assert payload["error"]["code"] == "not_found"
+
+    def test_health_and_readiness(self, server):
+        status, payload, _, _ = _request(server.base, "/healthz")
+        assert status == 200 and payload["status"] == "ok"
+        status, payload, _, _ = _request(server.base, "/readyz")
+        assert status == 200 and payload["status"] == "ready"
+        status, payload, _, _ = _request(server.base, "/stats")
+        assert status == 200
+        assert payload["counters"]["service.requests"] >= 1
+
+    def test_read_shed_maps_to_503_with_retry_after(self, server):
+        tickets = [server.service.admit_read() for _ in range(server.service.max_readers)]
+        try:
+            status, payload, headers, _ = _request(server.base, "/query/wins")
+        finally:
+            for ticket in tickets:
+                ticket.__exit__(None, None, None)
+        assert status == 503
+        assert payload["error"]["code"] == "admission_rejected"
+        assert headers.get("Retry-After") == "1"
+
+
+class TestWriteEndpoints:
+    def test_assert_retract_roundtrip(self, server):
+        status, payload, _, _ = _request(
+            server.base, "/assert", method="POST", body={"fact": "move(c, d)"}
+        )
+        assert status == 200 and payload["changed"] is True
+        epoch = payload["epoch"]
+        status, payload, _, _ = _request(server.base, "/query/wins")
+        assert payload["epoch"] == epoch and payload["rows"] == [["c"]]
+        status, payload, _, _ = _request(
+            server.base, "/retract", method="POST", body={"fact": "move(c, d)"}
+        )
+        assert status == 200 and payload["epoch"] == epoch + 1
+        status, payload, _, _ = _request(server.base, "/query/wins")
+        assert payload["rows"] == [["b"]]
+
+    def test_batch_applies_atomically(self, server):
+        body = {
+            "operations": [
+                {"op": "assert", "fact": "move(c, d)"},
+                {"op": "assert", "fact": "move(d, e)"},
+                {"op": "retract", "fact": "move(c, d)"},
+            ]
+        }
+        status, payload, _, _ = _request(server.base, "/batch", method="POST", body=body)
+        assert status == 200 and payload["applied"] == 3
+        status, payload, _, _ = _request(server.base, "/query/move")
+        rows = [tuple(row) for row in payload["rows"]]
+        assert ("d", "e") in rows and ("c", "d") not in rows
+
+    def test_malformed_bodies_are_400(self, server):
+        for path, body in (
+            ("/assert", {}),
+            ("/assert", {"fact": 7}),
+            ("/batch", {"operations": []}),
+            ("/batch", {"operations": [{"op": "upsert", "fact": "x(1)"}]}),
+        ):
+            status, payload, _, _ = _request(server.base, path, method="POST", body=body)
+            assert status == 400, (path, body)
+            assert payload["error"]["status"] == 400
+
+    def test_non_ground_fact_is_400(self, server):
+        status, payload, _, _ = _request(
+            server.base, "/assert", method="POST", body={"fact": "move(X, b)"}
+        )
+        assert status == 400
+        assert "ground" in payload["error"]["message"]
+
+    def test_write_deadline_maps_to_504_budget_payload(self, server):
+        status, payload, _, _ = _request(
+            server.base,
+            "/assert?timeout=0.000000001",
+            method="POST",
+            body={"fact": "move(p, q)"},
+        )
+        assert status == 504
+        error = payload["error"]
+        assert error["code"] == "budget_exceeded"
+        assert error["phase"] == "service.write"
+        assert error["elapsed_s"] is not None
+        # The deadline-tripped write never reached the published model.
+        status, payload, _, _ = _request(server.base, "/query/move?a0=p")
+        assert payload["rows"] == []
+
+
+@pytest.mark.faultinject
+class TestFaultAcceptance:
+    def test_readers_serve_pinned_epoch_byte_identical_through_writer_fault(self):
+        """The acceptance test: a scripted storage fault fails a write;
+        concurrent readers keep getting responses byte-identical to the
+        pinned epoch's, and the next good write moves the epoch on."""
+        inner = MemoryStore()
+        store = FaultInjectingStore(inner, script={"add": set(range(4, 50))})
+        store.armed = False
+        kb = KnowledgeBase(WIN_MOVE, facts=MOVES, store=store)
+        service = QueryService(
+            kb, retry_policy=RetryPolicy(max_retries=1, base_delay=0.0, jitter=0.0)
+        ).start()
+        srv = _Server(service)
+        try:
+            store.armed = True
+            status, oracle_payload, _, oracle_bytes = _request(srv.base, "/query/wins")
+            assert status == 200 and oracle_payload["epoch"] == 1
+
+            # Concurrent readers hammer the endpoint while the write fails.
+            stop = threading.Event()
+            mismatches: list[bytes] = []
+
+            def reader():
+                while not stop.is_set():
+                    _, _, _, raw = _request(srv.base, "/query/wins")
+                    if raw != oracle_bytes:
+                        mismatches.append(raw)
+                        return
+
+            threads = [threading.Thread(target=reader) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+
+            status, payload, _, _ = _request(
+                srv.base, "/assert", method="POST", body={"fact": "move(c, d)"}
+            )
+            assert status == 400  # InjectedFault is a storage-layer ReproError
+            assert "injected" in payload["error"]["message"]
+
+            time.sleep(0.1)  # let readers observe the post-fault world
+            stop.set()
+            for thread in threads:
+                thread.join(10)
+            assert not mismatches, f"reader saw a torn response: {mismatches[0]!r}"
+
+            # Recovery: disarm, write, and the epoch moves on exactly once.
+            store.armed = False
+            status, payload, _, _ = _request(
+                srv.base, "/assert", method="POST", body={"fact": "move(c, d)"}
+            )
+            assert status == 200 and payload["epoch"] == 2
+            status, payload, _, _ = _request(srv.base, "/query/wins")
+            assert payload["epoch"] == 2 and payload["rows"] == [["c"]]
+            counters = service.stats()["counters"]
+            assert counters["service.write_retries"] == 1
+            assert counters["service.write_failures"] == 1
+        finally:
+            srv.close()
+            service.stop()
+            kb.close()
+
+
+@pytest.mark.faultinject
+class TestServeSubprocess:
+    def test_sigterm_drains_and_exits_zero(self, tmp_path):
+        program = tmp_path / "wins.lp"
+        program.write_text(
+            "move(a, b). move(b, a). move(b, c).\n"
+            "wins(X) :- move(X, Y), not wins(Y).\n"
+        )
+        db = tmp_path / "serve.db"
+        env = dict(os.environ, PYTHONPATH=SRC, PYTHONUNBUFFERED="1")
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                str(program),
+                "--port",
+                "0",
+                "--store",
+                f"sqlite:{db}",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            env=env,
+            text=True,
+            cwd=str(tmp_path),
+        )
+        try:
+            banner = process.stdout.readline().strip()
+            assert banner.startswith("serving on http://"), banner
+            base = banner.split("serving on ", 1)[1]
+
+            status, payload, _, _ = _request(base, "/query/wins")
+            assert status == 200 and payload["rows"] == [["b"]]
+            status, payload, _, _ = _request(
+                base, "/assert", method="POST", body={"fact": "move(c, d)"}
+            )
+            assert status == 200
+            status, payload, _, _ = _request(base, "/healthz")
+            assert status == 200
+
+            process.send_signal(signal.SIGTERM)
+            out, _ = process.communicate(timeout=30)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
+        assert process.returncode == 0, out
+        assert "draining..." in out
+        assert "drained, shut down cleanly" in out
