@@ -187,6 +187,11 @@ class QueryService:
         self._recorder = recorder if recorder is not None else kb.recorder
         self._snapshot: Optional[SessionSnapshot] = None
         self._writer: Optional[threading.Thread] = None
+        # Serializes the closed-check-then-enqueue in submit() against
+        # stop() flipping ``_closed`` and enqueueing the shutdown
+        # sentinel: without it a request could land *after* the sentinel
+        # and never be dequeued, blocking its submitter forever.
+        self._admission_lock = threading.Lock()
         self._closed = False
         self._started = False
         self._start_time: Optional[float] = None
@@ -221,10 +226,11 @@ class QueryService:
         The knowledge base (and its store) remain the caller's to close —
         after the writer has exited, doing so is safe again.
         """
-        if not self._started or self._closed:
+        with self._admission_lock:
+            already_stopped = not self._started or self._closed
             self._closed = True
+        if already_stopped:
             return
-        self._closed = True
         if not drain:
             # Fail whatever is still queued; the writer then only sees the
             # sentinel.
@@ -432,17 +438,24 @@ class QueryService:
         }
 
     def health(self) -> tuple[bool, dict]:
-        """Liveness: the store answers and the writer thread is running.
-        Returns ``(healthy, report)``."""
+        """Liveness: a snapshot is published and the writer thread is
+        running.  Returns ``(healthy, report)``.
+
+        The store probe reads the *published snapshot's* pinned view —
+        never the live store, which the writer thread mutates
+        concurrently; probing it from handler threads produced spurious
+        503s under write load (``dictionary changed size during
+        iteration``), exactly what a liveness probe must not do.
+        """
         report: dict[str, object] = {}
         healthy = True
-        try:
-            store_stats = self._kb.store.stats()
-            report["store"] = "ok"
-            report["store_rows"] = store_stats["rows"]
-        except Exception as error:  # noqa: BLE001 - health must not raise
+        snapshot = self._snapshot
+        if snapshot is None:
             healthy = False
-            report["store"] = f"error: {error}"
+            report["store"] = "error: no snapshot published"
+        else:
+            report["store"] = "ok"
+            report["store_rows"] = len(snapshot.store_view)
         writer_ok = self._writer is not None and self._writer.is_alive()
         report["writer"] = "alive" if writer_ok else "stopped"
         if not self._closed and not writer_ok:
@@ -492,21 +505,25 @@ class QueryService:
         deadline that trips while queued or mid-apply cancels the request
         and raises the budget error.
         """
-        if self._closed:
-            raise ServiceClosed("service is shutting down")
         for kind, atom in operations:
             if kind not in ("assert", "retract"):
                 raise ReproError(f"unknown operation {kind!r}")
             if not atom.is_ground:
                 raise NotGroundError(f"EDB fact {atom} is not ground")
         request = _WriteRequest(tuple(operations), budget)
-        try:
-            self._queue.put_nowait(request)
-        except queue.Full:
-            self.count("service.shed_writes")
-            raise AdmissionRejected(
-                f"write queue full ({self.queue_size} pending)"
-            ) from None
+        # Check-then-enqueue under the admission lock: once stop() has
+        # set ``_closed`` (same lock) the sentinel is the queue's last
+        # element and nothing may be enqueued behind it.
+        with self._admission_lock:
+            if self._closed:
+                raise ServiceClosed("service is shutting down")
+            try:
+                self._queue.put_nowait(request)
+            except queue.Full:
+                self.count("service.shed_writes")
+                raise AdmissionRejected(
+                    f"write queue full ({self.queue_size} pending)"
+                ) from None
         self.count("service.writes")
 
         deadline = None
@@ -553,6 +570,18 @@ class QueryService:
         while True:
             item = self._queue.get()
             if item is _SHUTDOWN:
+                # Backstop: the admission lock means nothing should sit
+                # behind the sentinel, but fail rather than strand any
+                # straggler so its submitter is always woken.
+                while True:
+                    try:
+                        leftover = self._queue.get_nowait()
+                    except queue.Empty:
+                        break
+                    if isinstance(leftover, _WriteRequest):
+                        leftover.finish(
+                            None, ServiceClosed("service stopped before apply")
+                        )
                 break
             request = item
             if request.abandoned:

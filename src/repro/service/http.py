@@ -85,9 +85,6 @@ class ServiceHTTPServer(ThreadingHTTPServer):
 
     daemon_threads = False
     block_on_close = True
-    # Drop a half-open connection quickly during shutdown instead of
-    # blocking a handler thread forever on a silent peer.
-    timeout = 5
 
     def __init__(self, address: tuple[str, int], service: QueryService):
         super().__init__(address, ServiceRequestHandler)
@@ -97,6 +94,13 @@ class ServiceHTTPServer(ThreadingHTTPServer):
 class ServiceRequestHandler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
     server: ServiceHTTPServer
+    # Connection timeout (socketserver applies the *handler's* timeout to
+    # the socket).  With keep-alive, an idle client would otherwise park
+    # its handler thread in ``rfile.readline()`` forever — and the
+    # ``block_on_close`` drain joins handler threads, so SIGTERM would
+    # hang until every pooled client hung up.  On timeout,
+    # ``handle_one_request`` treats the connection as closed.
+    timeout = 5
 
     # ------------------------------------------------------------------ #
     # Response plumbing
@@ -227,16 +231,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     # Read endpoints
     # ------------------------------------------------------------------ #
     def _timeout_param(self, params: dict[str, str]) -> Optional[float]:
-        raw = params.get("timeout")
-        if raw is None:
-            return None
-        try:
-            value = float(raw)
-        except ValueError:
-            raise ReproError(f"timeout must be a number, got {raw!r}") from None
-        if value <= 0:
-            raise ReproError(f"timeout must be positive, got {raw!r}")
-        return value
+        return _coerce_timeout(params.get("timeout"))
 
     def _handle_query(
         self, service: QueryService, predicate: str, params: dict[str, str]
@@ -321,8 +316,10 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         if not isinstance(fact, str):
             raise ReproError(f'{kind} body needs a "fact" string')
         atom = parse_atom(fact)
-        budget = service.budget_for(self._timeout_param(params) or body.get("timeout"))
-        outcome = service.submit(((kind, atom),), budget=budget)
+        timeout = self._timeout_param(params)
+        if timeout is None:
+            timeout = _coerce_timeout(body.get("timeout"))
+        outcome = service.submit(((kind, atom),), budget=service.budget_for(timeout))
         self._send_json(
             200,
             {
@@ -349,8 +346,10 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                     'each batch operation needs {"op": "assert"|"retract", "fact": "..."}'
                 )
             operations.append((kind, parse_atom(fact)))
-        budget = service.budget_for(self._timeout_param(params) or body.get("timeout"))
-        outcome = service.submit(operations, budget=budget)
+        timeout = self._timeout_param(params)
+        if timeout is None:
+            timeout = _coerce_timeout(body.get("timeout"))
+        outcome = service.submit(operations, budget=service.budget_for(timeout))
         self._send_json(
             200,
             {
@@ -359,6 +358,22 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 "epoch": outcome.epoch,
             },
         )
+
+
+def _coerce_timeout(raw: object) -> Optional[float]:
+    """Validate a timeout from the query string or a JSON body: numeric
+    and strictly positive, mapped to 400 otherwise."""
+    if raw is None:
+        return None
+    if isinstance(raw, bool):
+        raise ReproError(f"timeout must be a number, got {raw!r}")
+    try:
+        value = float(raw)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        raise ReproError(f"timeout must be a number, got {raw!r}") from None
+    if value <= 0:
+        raise ReproError(f"timeout must be positive, got {raw!r}")
+    return value
 
 
 def _int_param(params: dict[str, str], name: str, default: int) -> int:

@@ -249,11 +249,89 @@ class TestLifecycle:
     def test_health_and_readiness(self, service):
         healthy, health = service.health()
         assert healthy and health["store"] == "ok" and health["writer"] == "alive"
+        assert health["store_rows"] == service.stats()["store_rows"]
         ready, readiness = service.readiness()
         assert ready and readiness["backlog"] == 0
         service.stop()
         ready, readiness = service.readiness()
         assert not ready and readiness["draining"]
+
+    def test_health_stays_ok_under_writer_churn(self):
+        """Regression: health() used to probe the live store from the
+        calling thread, which raced the writer's mutations and made the
+        liveness probe spuriously unhealthy under write load."""
+        kb = KnowledgeBase(WIN_MOVE, facts=MOVES)
+        service = QueryService(kb).start()
+        stop = threading.Event()
+        failures: list[dict] = []
+
+        def churn():
+            i = 0
+            while not stop.is_set():
+                service.assert_fact(parse_atom(f"fact({i})"))
+                i += 1
+
+        writer = threading.Thread(target=churn)
+        writer.start()
+        try:
+            deadline = time.monotonic() + 1.0
+            while time.monotonic() < deadline and not failures:
+                healthy, report = service.health()
+                if not healthy:
+                    failures.append(report)
+        finally:
+            stop.set()
+            writer.join(30)
+            service.stop()
+            kb.close()
+        assert not failures, f"health flapped under churn: {failures[0]}"
+
+    def test_request_enqueued_behind_sentinel_is_failed_not_stranded(self):
+        """Regression for the submit()/stop() race: a request that lands
+        behind the shutdown sentinel must be failed by the writer's drain
+        backstop, never left blocking its submitter forever."""
+        from repro.service.core import _SHUTDOWN, _WriteRequest
+
+        kb = KnowledgeBase(WIN_MOVE, facts=MOVES)
+        service = QueryService(kb).start()
+        release = threading.Event()
+        entered = threading.Event()
+        original = service._apply
+
+        def stalled_apply(request):
+            entered.set()
+            release.wait(5)
+            return original(request)
+
+        service._apply = stalled_apply
+        busy = threading.Thread(
+            target=lambda: service.assert_fact(parse_atom("move(c, d)"))
+        )
+        busy.start()
+        try:
+            assert entered.wait(5)
+            # While the writer is parked mid-apply, recreate the lost
+            # interleaving by hand: closed flag set, sentinel enqueued,
+            # then a straggler request behind it.
+            stranded = _WriteRequest((("assert", parse_atom("move(z, z)")),), None)
+            service._closed = True
+            service._queue.put(_SHUTDOWN)
+            service._queue.put(stranded)
+            release.set()
+            assert stranded.done.wait(5), "writer stranded the request"
+            assert isinstance(stranded.error, ServiceClosed)
+            assert service._writer is not None
+            service._writer.join(5)
+            assert not service._writer.is_alive()
+            busy.join(5)
+            # The stranded write never reached the store; the stalled one did.
+            rows = {tuple(row) for row in kb.query("move")}
+            assert ("c", "d") in rows and ("z", "z") not in rows
+        finally:
+            release.set()
+            busy.join(5)
+            service.stop()
+            kb.close()
 
 
 class TestSnapshotConsistency:

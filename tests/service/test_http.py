@@ -7,6 +7,7 @@ from __future__ import annotations
 import json
 import os
 import signal
+import socket
 import subprocess
 import sys
 import threading
@@ -19,6 +20,7 @@ import pytest
 
 from repro.resilience import FaultInjectingStore, RetryPolicy
 from repro.service import QueryService, ServiceHTTPServer
+from repro.service.http import ServiceRequestHandler
 from repro.session import KnowledgeBase
 from repro.storage import MemoryStore
 
@@ -208,6 +210,27 @@ class TestWriteEndpoints:
         assert status == 400
         assert "ground" in payload["error"]["message"]
 
+    def test_body_timeout_is_validated_like_the_query_param(self, server):
+        for bad in ("soon", True, 0, -1):
+            status, payload, _, _ = _request(
+                server.base,
+                "/assert",
+                method="POST",
+                body={"fact": "move(r, s)", "timeout": bad},
+            )
+            assert status == 400, bad
+            error = payload["error"]
+            assert error["status"] == 400 and "timeout" in error["message"]
+        # A valid body timeout is honoured (here: tripped → budget payload).
+        status, payload, _, _ = _request(
+            server.base,
+            "/assert",
+            method="POST",
+            body={"fact": "move(r, s)", "timeout": 1e-9},
+        )
+        assert status == 504
+        assert payload["error"]["code"] == "budget_exceeded"
+
     def test_write_deadline_maps_to_504_budget_payload(self, server):
         status, payload, _, _ = _request(
             server.base,
@@ -223,6 +246,45 @@ class TestWriteEndpoints:
         # The deadline-tripped write never reached the published model.
         status, payload, _, _ = _request(server.base, "/query/move?a0=p")
         assert payload["rows"] == []
+
+
+class TestIdleKeepAliveDrain:
+    def test_drain_not_blocked_by_idle_keepalive_connection(self, monkeypatch):
+        """Regression: the connection timeout sat on the *server* class,
+        where socketserver never applies it — an idle HTTP/1.1 keep-alive
+        client parked its handler thread in ``readline()`` forever, and
+        the ``block_on_close`` drain joined that thread, so SIGTERM hung
+        until every pooled client hung up."""
+        # The timeout must live on the handler class — socketserver only
+        # applies the handler's; a server-level one is silently inert.
+        assert ServiceRequestHandler.timeout is not None
+        monkeypatch.setattr(ServiceRequestHandler, "timeout", 0.5)
+        kb = KnowledgeBase(WIN_MOVE, facts=MOVES)
+        service = QueryService(kb).start()
+        srv = _Server(service)
+        host, port = srv.httpd.server_address[:2]
+        sock = socket.create_connection((host, port), timeout=10)
+        try:
+            sock.sendall(b"GET /healthz HTTP/1.1\r\nHost: test\r\n\r\n")
+            head = b""
+            while b"\r\n\r\n" not in head:
+                chunk = sock.recv(4096)
+                assert chunk, "connection closed before response"
+                head += chunk
+            assert head.split(b"\r\n", 1)[0].endswith(b"200 OK")
+            # Leave the keep-alive connection open and idle, then drain.
+            done = threading.Event()
+
+            def closer():
+                srv.close()
+                done.set()
+
+            threading.Thread(target=closer, daemon=True).start()
+            assert done.wait(10), "drain hung on the idle keep-alive connection"
+        finally:
+            sock.close()
+            service.stop()
+            kb.close()
 
 
 @pytest.mark.faultinject
