@@ -16,8 +16,8 @@ scraping them out of captured stdout.  A file holds::
 
 ``timings_s`` maps phase/variant labels to seconds (best-of-N, matching
 what the benchmark asserts on); ``speedups`` maps ratio labels to floats.
-Files land in ``$REPRO_BENCH_OUT`` (created if needed) or the current
-directory.  The first :func:`emit` for a name in a process truncates any
+Files land in ``$REPRO_BENCH_OUT`` (created if needed) or, by default,
+the repository root.  The first :func:`emit` for a name in a process truncates any
 stale file from a previous run; later calls from the same run append, so
 a module's parametrised tests accumulate into one document.
 """
@@ -38,7 +38,12 @@ _INITIALISED: set[str] = set()
 
 
 def output_dir() -> Path:
-    return Path(os.environ.get("REPRO_BENCH_OUT", "."))
+    override = os.environ.get("REPRO_BENCH_OUT")
+    if override:
+        return Path(override)
+    # Default to the repository root (parent of benchmarks/) so BENCH_*.json
+    # files land in a stable place regardless of pytest's working directory.
+    return Path(__file__).resolve().parent.parent
 
 
 def _round_values(mapping: Optional[Mapping[str, float]]) -> dict[str, float]:

@@ -1,0 +1,248 @@
+"""Compiled kernel versus object-level engines on the acceptance workloads.
+
+The object-level modular engine already beats the monolithic alternating
+fixpoint by dispatching per SCC, but it still pays CPython object costs on
+every inference: hashing ``Atom`` instances into dicts, allocating
+frozensets per component, chasing pointers through rule objects.  The
+compiled kernel (:mod:`repro.kernel`) interns the ground atom universe
+into dense integer ids once, lowers rules into flat ``array('i')``
+segments, and evaluates with Dowling–Gallier counters over a single
+``bytearray`` truth vector — same dispatch, no per-inference objects.
+
+The kernel is compile-once / evaluate-many: the IR is cached on the
+``GroundContext`` (that is what the session, incremental, and service
+layers reuse across refreshes), so the headline timing here is the
+evaluation with a warm IR cache and the one-off compile is timed and
+emitted separately.
+
+Every workload asserts the partial models are **byte-identical** across
+kernel, object modular, and monolithic alternating fixpoint before any
+timing is trusted, and the per-atom memory footprint of the kernel state
+is measured against the object-level model representation.
+
+Run with ``pytest benchmarks/bench_kernel_speedup.py -s``.
+"""
+
+import sys
+import time
+
+import pytest
+
+from _metrics import emit
+from _smoke import SMOKE
+from repro.core.alternating import alternating_fixpoint
+from repro.core.context import build_context
+from repro.core.modular import modular_well_founded
+from repro.games.graphs import chain_edges, random_game_edges
+from repro.games.winmove import win_move_program
+from repro.kernel import compile_context, kernel_well_founded
+from repro.workloads import layered_program, random_propositional_program
+
+REPEAT = 3
+
+# (name, program factory, full-size speedup floor).  The two primary
+# acceptance workloads carry the 10x floor from the ISSUE; the random
+# workloads have denser alternating components where the object engine
+# is less disadvantaged, so they carry the 5x floor.  Smoke mode trims
+# every workload and relaxes every floor to the CI-wide 5x.
+if SMOKE:
+    WORKLOADS = [
+        ("layered:4x60", lambda: layered_program(4, 60), 5.0),
+        ("win_move:chain:400", lambda: win_move_program(chain_edges(400)), 5.0),
+        (
+            "win_move:random_game:300",
+            lambda: win_move_program(random_game_edges(300, out_degree=3, seed=7)),
+            5.0,
+        ),
+        (
+            "random_prop:40x120",
+            lambda: random_propositional_program(40, 120, seed=3),
+            5.0,
+        ),
+    ]
+else:
+    WORKLOADS = [
+        ("layered:12x200", lambda: layered_program(12, 200), 10.0),
+        ("win_move:chain:2000", lambda: win_move_program(chain_edges(2000)), 10.0),
+        (
+            "win_move:random_game:1000",
+            lambda: win_move_program(random_game_edges(1000, out_degree=3, seed=7)),
+            5.0,
+        ),
+        (
+            "random_prop:80x240",
+            lambda: random_propositional_program(80, 240, seed=3),
+            5.0,
+        ),
+    ]
+
+
+def _best_time(function) -> float:
+    best = float("inf")
+    for _ in range(REPEAT):
+        start = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _render(true_atoms, false_atoms) -> bytes:
+    """A canonical byte serialisation of a partial model."""
+    lines = sorted(str(atom) for atom in true_atoms)
+    lines.extend(sorted(f"not {atom}" for atom in false_atoms))
+    return "\n".join(lines).encode("utf-8")
+
+
+def _assert_byte_identical(context):
+    """Kernel, object modular, and monolithic AFP models, byte for byte."""
+    kernel = kernel_well_founded(context)
+    modular = modular_well_founded(context)
+    monolithic = alternating_fixpoint(context, keep_stages=False)
+    blobs = {
+        "kernel": _render(kernel.model.true_atoms, kernel.model.false_atoms),
+        "modular": _render(modular.model.true_atoms, modular.model.false_atoms),
+        "monolithic": _render(
+            monolithic.positive_fixpoint, monolithic.negative_fixpoint.atoms
+        ),
+    }
+    assert blobs["kernel"] == blobs["modular"] == blobs["monolithic"], (
+        "well-founded models diverge across kernel/modular/monolithic"
+    )
+    return kernel, modular
+
+
+def _object_model_bytes(model) -> int:
+    """Rough footprint of the object-level truth state: the two model sets
+    plus every Atom object (with its args tuple) they reference.  Shallow
+    per-atom payloads (predicate/argument strings are shared via interning
+    in practice) — a deliberately conservative lower bound."""
+    total = sys.getsizeof(model.true_atoms) + sys.getsizeof(model.false_atoms)
+    for atom in model.true_atoms | model.false_atoms:
+        total += sys.getsizeof(atom) + sys.getsizeof(atom.args)
+    return total
+
+
+@pytest.mark.repro("E16")
+@pytest.mark.parametrize(
+    ("workload", "factory", "floor"),
+    WORKLOADS,
+    ids=[name for name, _, _ in WORKLOADS],
+)
+def test_kernel_speedup(report, workload, factory, floor):
+    """Kernel evaluation beats the object modular engine by the per-workload
+    floor, with byte-identical models and a per-atom memory drop."""
+    context = build_context(factory())
+
+    compile_start = time.perf_counter()
+    compiled = compile_context(context)
+    compile_seconds = time.perf_counter() - compile_start
+
+    kernel_result, modular_result = _assert_byte_identical(context)
+
+    kernel = _best_time(lambda: kernel_well_founded(context))
+    modular = _best_time(lambda: modular_well_founded(context))
+
+    stats = compiled.statistics()
+    atoms = max(1, stats["atoms"])
+    # Kernel truth state: one byte per atom; the IR arrays are the
+    # compile-once cost, reported separately per atom for context.
+    kernel_state_per_atom = 1.0
+    ir_bytes_per_atom = stats["bytes"] / atoms
+    object_bytes = _object_model_bytes(modular_result.model)
+    object_per_atom = object_bytes / atoms
+
+    speedup = modular / kernel
+    report(
+        f"{workload}: compiled kernel vs object modular WFS",
+        [
+            (f"atoms {stats['atoms']}, rules {stats['rules']}, components {stats['components']}",),
+            (f"kernel  {kernel * 1000:9.2f} ms  (warm IR cache)",),
+            (f"modular {modular * 1000:9.2f} ms",),
+            (f"compile {compile_seconds * 1000:9.2f} ms  (once per grounding)",),
+            (f"speedup {speedup:9.1f}x  (floor {floor:.0f}x)",),
+            (
+                f"memory/atom: truth {kernel_state_per_atom:.0f} B + IR {ir_bytes_per_atom:.0f} B"
+                f"  vs object model {object_per_atom:.0f} B",
+            ),
+        ],
+    )
+    emit(
+        "kernel",
+        workload=workload,
+        sizes={
+            "atoms": stats["atoms"],
+            "rules": stats["rules"],
+            "components": stats["components"],
+            "body_entries": stats["body_entries"],
+        },
+        timings={
+            "kernel": kernel,
+            "modular": modular,
+            "kernel_compile": compile_seconds,
+        },
+        speedups={"kernel_over_modular": speedup},
+        extra={
+            "methods": kernel_result.method_counts(),
+            "memory_per_atom_bytes": {
+                "kernel_truth": round(kernel_state_per_atom, 2),
+                "kernel_ir": round(ir_bytes_per_atom, 2),
+                "object_model": round(object_per_atom, 2),
+                "reduction_vs_object": round(
+                    object_per_atom / (kernel_state_per_atom + ir_bytes_per_atom), 2
+                ),
+            },
+            "models_byte_identical": True,
+        },
+    )
+    assert kernel_state_per_atom + ir_bytes_per_atom < object_per_atom, (
+        "kernel per-atom footprint must undercut the object model: "
+        f"{kernel_state_per_atom + ir_bytes_per_atom:.1f} B vs {object_per_atom:.1f} B"
+    )
+    assert modular >= floor * kernel, (
+        f"kernel must be ≥{floor:.0f}x faster than object modular on {workload}: "
+        f"kernel {kernel * 1000:.2f} ms, modular {modular * 1000:.2f} ms "
+        f"({speedup:.1f}x)"
+    )
+
+
+@pytest.mark.repro("E16")
+def test_kernel_vs_monolithic(report):
+    """Against the monolithic alternating fixpoint the kernel compounds the
+    component dispatch win with the flat-array win."""
+    layers, size = (4, 60) if SMOKE else (12, 200)
+    context = build_context(layered_program(layers, size))
+    compile_context(context)
+    _assert_byte_identical(context)
+    kernel = _best_time(lambda: kernel_well_founded(context))
+    monolithic = _best_time(lambda: alternating_fixpoint(context, keep_stages=False))
+    report(
+        f"layered {layers}x{size}: kernel vs monolithic AFP",
+        [
+            (f"kernel     {kernel * 1000:9.2f} ms",),
+            (f"monolithic {monolithic * 1000:9.2f} ms",),
+            (f"speedup    {monolithic / kernel:9.1f}x",),
+        ],
+    )
+    emit(
+        "kernel",
+        workload=f"layered:{layers}x{size}:vs_monolithic",
+        timings={"kernel": kernel, "monolithic": monolithic},
+        speedups={"kernel_over_monolithic": monolithic / kernel},
+    )
+    assert monolithic >= 20 * kernel, (
+        f"kernel must be ≥20x faster than the monolithic fixpoint: "
+        f"{monolithic / kernel:.1f}x"
+    )
+
+
+@pytest.mark.repro("E16")
+@pytest.mark.parametrize("engine", ["kernel", "modular"])
+def test_timed_kernel_wfs(benchmark, engine):
+    """pytest-benchmark recording for EXPERIMENTS.md-style comparison."""
+    context = build_context(layered_program(4, 40))
+    if engine == "kernel":
+        compile_context(context)
+        result = benchmark(lambda: kernel_well_founded(context))
+    else:
+        result = benchmark(lambda: modular_well_founded(context))
+    assert result.model.false_atoms

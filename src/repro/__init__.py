@@ -63,7 +63,7 @@ from .resilience import Budget, CancelToken
 from .session import KnowledgeBase, ResultSet, UpdateStats
 from .storage import FactStore, MemoryStore, SqliteStore, open_store
 
-__version__ = "1.2.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Atom",

@@ -81,9 +81,11 @@ EVALUATION_STRATEGIES = ("seminaive", "naive")
 DEFAULT_STRATEGY = "seminaive"
 
 #: Well-founded evaluation engines: component-wise over the SCC condensation
-#: of the atom dependency graph, and the monolithic alternating fixpoint it
-#: is differentially tested against.
-EVALUATION_ENGINES = ("modular", "monolithic")
+#: of the atom dependency graph, the monolithic alternating fixpoint it is
+#: differentially tested against, and the compiled flat-array kernel
+#: (:mod:`repro.kernel`) that interns atoms to dense ints and evaluates the
+#: same component dispatch over ``array``/``bytearray`` state.
+EVALUATION_ENGINES = ("modular", "monolithic", "kernel")
 DEFAULT_ENGINE = "modular"
 
 #: Grounders accepted by :func:`repro.core.context.build_context`.

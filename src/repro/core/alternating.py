@@ -185,11 +185,13 @@ def alternating_fixpoint(
     With ``engine="modular"`` the model is computed component-wise by
     :func:`repro.core.modular.modular_well_founded` (SCC condensation of
     the atom dependency graph, cheapest-sound-method dispatch per
-    component) instead of by monolithic alternation; the result then
-    carries a single synthetic stage holding the fixpoint, since no global
-    ``Ĩ_k`` sequence exists.  The models are identical (Theorem 7.8 plus
-    the splitting property of the well-founded semantics); the monolithic
-    engine remains the differential oracle.
+    component) instead of by monolithic alternation, and with
+    ``engine="kernel"`` by the compiled flat-array evaluator
+    (:func:`repro.kernel.kernel_well_founded` — same dispatch, dense-int
+    IR); the result then carries a single synthetic stage holding the
+    fixpoint, since no global ``Ĩ_k`` sequence exists.  The models are
+    identical (Theorem 7.8 plus the splitting property of the well-founded
+    semantics); the monolithic engine remains the differential oracle.
 
     A *config* supplies ``strategy``/``engine``/``limits`` together; the
     per-field keywords are then rejected (except ``limits``, which may
@@ -202,11 +204,15 @@ def alternating_fixpoint(
     recorder = recorder if recorder is not None else NULL_RECORDER
     with metered(budget) as meter:
         if engine != "monolithic":
-            from .modular import modular_well_founded  # deferred: cycle with engine dispatch
+            # Deferred imports: cycle with the engine dispatch.
+            if engine == "kernel":
+                from ..kernel import kernel_well_founded as delegate
+            else:
+                from .modular import modular_well_founded as delegate
 
             # The delegated call inherits the meter ambiently, so the
             # budget governs the component dispatch as well.
-            modular = modular_well_founded(
+            modular = delegate(
                 program,
                 limits=limits,
                 full_base=full_base,

@@ -149,10 +149,12 @@ def well_founded_model(
     the stages are recorded for inspection and for the Figure 2 benchmark.
 
     With ``engine="modular"`` the model is instead assembled component by
-    component (:func:`repro.core.modular.modular_well_founded`); the
-    resulting ``stages`` collapse to ``(empty, model)`` since no global
-    ``W_P`` sequence is run.  The default monolithic iteration remains the
-    independent unfounded-set oracle of Theorem 7.8.  A *config* supplies
+    component (:func:`repro.core.modular.modular_well_founded`), and with
+    ``engine="kernel"`` by the compiled flat-array evaluator
+    (:func:`repro.kernel.kernel_well_founded`); the resulting ``stages``
+    collapse to ``(empty, model)`` since no global ``W_P`` sequence is run.
+    The default monolithic iteration remains the independent unfounded-set
+    oracle of Theorem 7.8.  A *config* supplies
     ``strategy``/``engine``/``limits`` together.
     """
     strategy, engine, limits, grounder, budget = merge_entry_config(
@@ -161,11 +163,14 @@ def well_founded_model(
     recorder = recorder if recorder is not None else NULL_RECORDER
     with metered(budget) as meter:
         if engine != "monolithic":
-            from .modular import modular_well_founded
+            if engine == "kernel":
+                from ..kernel import kernel_well_founded as delegate
+            else:
+                from .modular import modular_well_founded as delegate
 
             # Inherits the meter ambiently — the budget governs the
             # delegated component dispatch too.
-            result = modular_well_founded(
+            result = delegate(
                 program,
                 limits=limits,
                 full_base=full_base,

@@ -1,0 +1,126 @@
+"""Dense integer interning of ground atoms (the kernel's symbol table).
+
+Every hot structure of the compiled kernel — rule bodies, watch lists,
+truth vectors — is indexed by a dense integer atom id.  :class:`AtomTable`
+owns the two-way mapping: ``atoms[i]`` is the :class:`~repro.datalog.atoms.Atom`
+with id ``i`` and ``ids[atom]`` its id.  Ids are assigned grouped by
+predicate (and sorted within a predicate by textual form), so every
+predicate owns one contiguous ``[lo, hi)`` id range — the property the
+per-predicate truth-vector slices and the planned persisted intern tables
+(ROADMAP, bulk-scale storage) rely on.
+
+The table is append-only: :meth:`intern` never re-numbers, so ids handed
+out to a compiled program stay valid for the table's lifetime.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..datalog.atoms import Atom
+
+__all__ = ["AtomTable"]
+
+
+class AtomTable:
+    """Two-way dense id↔atom map with contiguous per-predicate id ranges."""
+
+    __slots__ = ("atoms", "ids", "_ranges")
+
+    def __init__(self) -> None:
+        self.atoms: List[Atom] = []
+        self.ids: Dict[Atom, int] = {}
+        # predicate -> (lo, hi) over ids; maintained only for the grouped
+        # bulk load, best-effort extended by later intern() calls.
+        self._ranges: Dict[str, Tuple[int, int]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_atoms(cls, universe: Iterable[Atom]) -> "AtomTable":
+        """Intern *universe* grouped by predicate, sorted within each group.
+
+        The deterministic order makes compiled programs reproducible for a
+        given ground context (ids are stable across runs), and the grouping
+        yields the contiguous per-predicate ranges.
+        """
+        table = cls()
+        atoms = table.atoms
+        ids = table.ids
+        ranges = table._ranges
+        for atom in sorted(universe, key=_atom_key):
+            if atom in ids:
+                continue
+            ids[atom] = len(atoms)
+            atoms.append(atom)
+        for index, atom in enumerate(atoms):
+            predicate = atom.predicate
+            if predicate not in ranges:
+                ranges[predicate] = (index, index + 1)
+            else:
+                start, _ = ranges[predicate]
+                ranges[predicate] = (start, index + 1)
+        return table
+
+    def intern(self, atom: Atom) -> int:
+        """Id of *atom*, assigning the next dense id on first sight."""
+        existing = self.ids.get(atom)
+        if existing is not None:
+            return existing
+        new_id = len(self.atoms)
+        self.ids[atom] = new_id
+        self.atoms.append(atom)
+        # A late intern lands outside its predicate's contiguous block; the
+        # range is widened only when the new id extends it directly.
+        span = self._ranges.get(atom.predicate)
+        if span is None:
+            self._ranges[atom.predicate] = (new_id, new_id + 1)
+        elif span[1] == new_id:
+            self._ranges[atom.predicate] = (span[0], new_id + 1)
+        return new_id
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def id_of(self, atom: Atom) -> Optional[int]:
+        """Id of *atom*, or ``None`` if it was never interned."""
+        return self.ids.get(atom)
+
+    def atom_of(self, atom_id: int) -> Atom:
+        return self.atoms[atom_id]
+
+    def predicate_range(self, predicate: str) -> Optional[Tuple[int, int]]:
+        """The ``[lo, hi)`` id range of *predicate*, or ``None``."""
+        return self._ranges.get(predicate)
+
+    def predicate_ranges(self) -> Dict[str, Tuple[int, int]]:
+        return dict(self._ranges)
+
+    def decode(self, atom_ids: Iterable[int]) -> List[Atom]:
+        atoms = self.atoms
+        return [atoms[i] for i in atom_ids]
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.atoms)
+
+    def __contains__(self, atom: Atom) -> bool:
+        return atom in self.ids
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self.atoms)
+
+    def nbytes(self) -> int:
+        """Approximate bookkeeping footprint of the table itself (the list
+        and dict slots; the Atom objects are shared with the context, not
+        owned here)."""
+        import sys
+
+        return sys.getsizeof(self.atoms) + sys.getsizeof(self.ids)
+
+
+def _atom_key(atom: Atom) -> Tuple[str, int, Tuple[str, ...]]:
+    return (atom.predicate, len(atom.args), tuple(str(arg) for arg in atom.args))

@@ -33,6 +33,13 @@ Only *ground* rule sets are maintained this way: for non-ground rules a
 new fact can enlarge the relevant grounding itself, so the owning
 :class:`~repro.session.knowledge_base.KnowledgeBase` falls back to a full
 re-solve.
+
+With ``engine="kernel"`` the cached rule context is additionally compiled
+to the flat int IR of :mod:`repro.kernel` (once, at engine construction)
+and every per-component solve runs over a persistent
+:class:`~repro.kernel.ComponentKernel` truth vector instead of object
+sets; the dispatch, the affected-component closure and the returned
+reports are identical.
 """
 
 from __future__ import annotations
@@ -46,7 +53,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..storage.base import FactStore
 
 from ..analysis.dependency import build_atom_dependency_graph
-from ..config import DEFAULT_STRATEGY, validate_strategy
+from ..config import DEFAULT_STRATEGY, validate_engine, validate_strategy
 from ..core.context import GroundContext, build_context
 from ..core.modular import (
     ComponentReport,
@@ -130,10 +137,13 @@ class IncrementalEngine:
         store: "FactStore | None" = None,
         recorder: Recorder | None = None,
         budget: Budget | None = None,
+        engine: str = "modular",
     ):
         rules.require_ground()
         validate_strategy(strategy)
+        validate_engine(engine)
         self._strategy = strategy
+        self._engine_name = engine
         self._recorder = recorder if recorder is not None else NULL_RECORDER
         # Started afresh by every refresh: the budget is a per-operation
         # deadline, so a long-lived session never "uses up" its allowance.
@@ -149,6 +159,17 @@ class IncrementalEngine:
         meter.check("refresh")
         self._rule_atoms: frozenset[Atom] = self._rule_context.base
         self._undef_atom = fresh_undef_atom(self._rule_atoms)
+
+        # With engine="kernel" the rule context is compiled to the flat
+        # int IR once; every per-component solve then runs over the
+        # persistent ComponentKernel state (truth + fact vectors, kept in
+        # sync below) instead of the object-level sets.
+        self._kernel = None
+        if engine == "kernel":
+            from ..kernel import ComponentKernel, get_kernel
+
+            self._kernel = ComponentKernel(get_kernel(self._rule_context, self._recorder))
+            meter.check("refresh")
 
         graph = build_atom_dependency_graph(self._rule_context)
         meter.check("refresh")
@@ -242,6 +263,12 @@ class IncrementalEngine:
         return self._strategy
 
     @property
+    def engine(self) -> str:
+        """The per-component solver in use: ``"modular"`` (object sets) or
+        ``"kernel"`` (compiled flat-array state)."""
+        return self._engine_name
+
+    @property
     def model(self) -> PartialInterpretation:
         """The current well-founded partial model."""
         return PartialInterpretation(self._true | self._floating, self._false)
@@ -329,6 +356,11 @@ class IncrementalEngine:
     def _solve_all(self, facts: frozenset[Atom]) -> UpdateStats:
         self._true.clear()
         self._false.clear()
+        if self._kernel is not None:
+            # Every component is about to be re-solved in order, so a fresh
+            # truth vector suffices; the fact vector is rebuilt wholesale.
+            self._kernel.reset()
+            self._kernel.set_facts(facts)
         self._floating = set(facts - self._rule_atoms)
         methods: dict[str, int] = {}
         meter = current_meter()
@@ -370,6 +402,7 @@ class IncrementalEngine:
                     self._undef_atom,
                     self._strategy,
                     recorder=recorder,
+                    kernel=self._kernel,
                 )
                 comp_span.annotate(
                     index=index,
@@ -390,12 +423,16 @@ class IncrementalEngine:
             self._false,
             self._undef_atom,
             self._strategy,
+            kernel=self._kernel,
         )
 
     def _solve_delta(self, facts: frozenset[Atom], changed: set[Atom]) -> UpdateStats:
         recorder = self._recorder
         with recorder.span("affected") as affected_span:
             changed_rule_atoms = changed & self._rule_atoms
+            if self._kernel is not None:
+                for atom in changed_rule_atoms:
+                    self._kernel.update_fact(atom, atom in facts)
             floating_changed = 0
             for atom in changed - self._rule_atoms:
                 floating_changed += 1

@@ -23,12 +23,13 @@ lazy: the model refreshes on the next read.  Group related updates in
 whole group back) and the eventual refresh covers the net delta once.
 
 When the rules are ground and the (resolved) semantics is in the
-well-founded family with the modular engine — the defaults — refreshes are
-*incremental*: only the SCC components of the atom dependency graph
-reachable from the changed facts are re-solved
-(:mod:`repro.session.incremental`); everything else keeps its frozen
-verdict.  Any other configuration transparently falls back to a full
-re-solve per refresh, with the same observable results.
+well-founded family with the modular or kernel engine — the defaults are
+in that family — refreshes are *incremental*: only the SCC components of
+the atom dependency graph reachable from the changed facts are re-solved
+(:mod:`repro.session.incremental`; ``engine="kernel"`` additionally runs
+each component solve over the compiled flat-array state of
+:mod:`repro.kernel`).  Any other configuration transparently falls back
+to a full re-solve per refresh, with the same observable results.
 """
 
 from __future__ import annotations
@@ -674,7 +675,7 @@ class KnowledgeBase:
         self._resolved_semantics = semantics
         self._incremental = (
             semantics in _WFS_FAMILY
-            and self._config.engine == "modular"
+            and self._config.engine in ("modular", "kernel")
             and self._rules.is_ground
         )
 
@@ -711,6 +712,7 @@ class KnowledgeBase:
                     store=self._store,
                     recorder=self._recorder,
                     budget=self._config.budget,
+                    engine=self._config.engine,
                 )
             stats = self._engine.refresh_pending(frozenset(self._fact_rules))
             solution = Solution(

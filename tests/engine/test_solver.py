@@ -111,4 +111,4 @@ class TestEngineSelection:
     def test_engine_constant_exported(self):
         from repro.engine.solver import EVALUATION_ENGINES
 
-        assert set(EVALUATION_ENGINES) == {"modular", "monolithic"}
+        assert set(EVALUATION_ENGINES) == {"modular", "monolithic", "kernel"}

@@ -1,0 +1,129 @@
+"""Unit tests for lowering a ground context to the flat int IR."""
+
+from repro.core.context import build_context
+from repro.datalog import parse_program
+from repro.datalog.atoms import atom
+from repro.kernel import compile_context, get_kernel
+from repro.obs import TraceRecorder
+
+GAME_TEXT = """
+move(a, b). move(b, a). move(b, c).
+wins(X) :- move(X, Y), not wins(Y).
+"""
+
+
+def _compiled(text: str):
+    return compile_context(build_context(parse_program(text)))
+
+
+class TestCsrInvariants:
+    def test_offsets_are_monotone_with_trailing_entry(self):
+        compiled = _compiled(GAME_TEXT)
+        assert len(compiled.heads) == compiled.n_rules
+        for off, payload in (
+            (compiled.pos_off, compiled.pos_atoms),
+            (compiled.neg_off, compiled.neg_atoms),
+            (compiled.head_off, compiled.head_rules),
+            (compiled.comp_off, compiled.comp_atoms),
+        ):
+            assert off[0] == 0
+            assert off[-1] == len(payload)
+            assert all(off[i] <= off[i + 1] for i in range(len(off) - 1))
+        assert len(compiled.pos_off) == compiled.n_rules + 1
+        assert len(compiled.head_off) == compiled.n_atoms + 1
+        assert len(compiled.comp_off) == compiled.n_components + 1
+
+    def test_bodies_are_deduplicated_and_sorted(self):
+        compiled = _compiled("p :- q, q, r, r, not s, not s. q. r.")
+        rule = next(
+            i
+            for i in range(compiled.n_rules)
+            if compiled.table.atom_of(compiled.heads[i]).predicate == "p"
+        )
+        pos = list(compiled.pos_atoms[compiled.pos_off[rule] : compiled.pos_off[rule + 1]])
+        neg = list(compiled.neg_atoms[compiled.neg_off[rule] : compiled.neg_off[rule + 1]])
+        assert pos == sorted(set(pos)) and len(pos) == 2
+        assert neg == sorted(set(neg)) and len(neg) == 1
+
+    def test_head_index_inverts_heads(self):
+        compiled = _compiled(GAME_TEXT)
+        for atom_id in range(compiled.n_atoms):
+            rules = compiled.head_rules[
+                compiled.head_off[atom_id] : compiled.head_off[atom_id + 1]
+            ]
+            assert all(compiled.heads[r] == atom_id for r in rules)
+        derived = {compiled.heads[r] for r in range(compiled.n_rules)}
+        indexed = {
+            atom_id
+            for atom_id in range(compiled.n_atoms)
+            if compiled.head_off[atom_id] < compiled.head_off[atom_id + 1]
+        }
+        assert derived == indexed
+
+
+class TestCondensation:
+    def test_components_partition_the_universe(self):
+        compiled = _compiled(GAME_TEXT)
+        assert sorted(compiled.comp_atoms) == list(range(compiled.n_atoms))
+        for comp in range(compiled.n_components):
+            members = compiled.comp_atoms[
+                compiled.comp_off[comp] : compiled.comp_off[comp + 1]
+            ]
+            assert all(compiled.comp_of[a] == comp for a in members)
+
+    def test_callees_first_topological_numbering(self):
+        compiled = _compiled(GAME_TEXT)
+        for rule in range(compiled.n_rules):
+            head_comp = compiled.comp_of[compiled.heads[rule]]
+            body = list(
+                compiled.pos_atoms[compiled.pos_off[rule] : compiled.pos_off[rule + 1]]
+            ) + list(
+                compiled.neg_atoms[compiled.neg_off[rule] : compiled.neg_off[rule + 1]]
+            )
+            assert all(compiled.comp_of[b] <= head_comp for b in body)
+
+    def test_mutual_recursion_shares_a_component(self):
+        compiled = _compiled("win :- not lose. lose :- not win. base.")
+        table = compiled.table
+        win, lose, base = (
+            table.id_of(atom("win")),
+            table.id_of(atom("lose")),
+            table.id_of(atom("base")),
+        )
+        assert compiled.comp_of[win] == compiled.comp_of[lose]
+        assert compiled.comp_of[base] != compiled.comp_of[win]
+
+    def test_self_dependency_flag(self):
+        compiled = _compiled("p :- not p. q :- r. r.")
+        table = compiled.table
+        assert compiled.self_dep[table.id_of(atom("p"))] == 1
+        assert compiled.self_dep[table.id_of(atom("q"))] == 0
+
+
+class TestCachingAndCounters:
+    def test_get_kernel_caches_on_the_context(self):
+        context = build_context(parse_program(GAME_TEXT))
+        first = get_kernel(context)
+        assert get_kernel(context) is first
+
+    def test_fact_ids_cover_the_edb(self):
+        compiled = _compiled(GAME_TEXT)
+        facts = {compiled.table.atom_of(i).predicate for i in compiled.fact_ids}
+        assert facts == {"move"}
+
+    def test_compile_emits_kernel_counters(self):
+        recorder = TraceRecorder()
+        context = build_context(parse_program(GAME_TEXT))
+        compiled = compile_context(context, recorder)
+        assert recorder.counters["kernel.atoms"] == compiled.n_atoms
+        assert recorder.counters["kernel.rules"] == compiled.n_rules
+        assert recorder.counters["kernel.bytes"] == compiled.nbytes()
+
+    def test_statistics_shape(self):
+        compiled = _compiled(GAME_TEXT)
+        stats = compiled.statistics()
+        assert stats["atoms"] == compiled.n_atoms
+        assert stats["rules"] == compiled.n_rules
+        assert stats["components"] == compiled.n_components
+        assert stats["bytes"] == compiled.nbytes() > 0
+        assert stats["body_entries"] == len(compiled.pos_atoms) + len(compiled.neg_atoms)

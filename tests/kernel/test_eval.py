@@ -1,0 +1,152 @@
+"""Unit tests for flat-array kernel evaluation."""
+
+from repro.core.context import build_context
+from repro.datalog import parse_atom, parse_program
+from repro.datalog.atoms import atom
+from repro.games.winmove import figure4a_edges, solve_game, win_move_program
+from repro.kernel import (
+    ComponentKernel,
+    compile_context,
+    evaluate_compiled,
+    get_kernel,
+    kernel_model,
+    kernel_well_founded,
+)
+from repro.obs import TraceRecorder
+
+UNKNOWN, TRUE, FALSE = 0, 1, 2
+
+
+def _truth(text: str):
+    compiled = compile_context(build_context(parse_program(text)))
+    truth, methods, stages, decrements = evaluate_compiled(compiled)
+    return compiled, truth
+
+
+def _code(compiled, truth, name: str) -> int:
+    return truth[compiled.table.id_of(parse_atom(name))]
+
+
+class TestEvaluateCompiled:
+    def test_horn_closure(self):
+        compiled, truth = _truth("a. b :- a. c :- b. d :- missing.")
+        assert _code(compiled, truth, "a") == TRUE
+        assert _code(compiled, truth, "b") == TRUE
+        assert _code(compiled, truth, "c") == TRUE
+        assert _code(compiled, truth, "d") == FALSE
+        assert _code(compiled, truth, "missing") == FALSE
+
+    def test_stratified_negation(self):
+        compiled, truth = _truth("p :- not q. q :- r.")
+        assert _code(compiled, truth, "p") == TRUE
+        assert _code(compiled, truth, "q") == FALSE
+        assert _code(compiled, truth, "r") == FALSE
+
+    def test_undefined_triangle_stays_unknown(self):
+        compiled, truth = _truth("a :- not b. b :- not c. c :- not a.")
+        for name in ("a", "b", "c"):
+            assert _code(compiled, truth, name) == UNKNOWN
+
+    def test_self_negation_is_undefined(self):
+        compiled, truth = _truth("p :- not p.")
+        assert _code(compiled, truth, "p") == UNKNOWN
+
+    def test_unfounded_positive_loop_is_false(self):
+        compiled, truth = _truth("p :- q. q :- p.")
+        assert _code(compiled, truth, "p") == FALSE
+        assert _code(compiled, truth, "q") == FALSE
+
+    def test_figure4a_game_statuses(self):
+        edges = figure4a_edges()
+        oracle = solve_game(edges)
+        model = kernel_model(win_move_program(edges))
+        for node in oracle.won:
+            assert model.is_true(atom("wins", node)), node
+        for node in oracle.lost:
+            assert model.is_false(atom("wins", node)), node
+        for node in oracle.drawn:
+            assert model.is_undefined(atom("wins", node)), node
+
+
+class TestKernelResult:
+    def test_method_counts_and_statistics(self):
+        result = kernel_well_founded(
+            parse_program("a. b :- a. p :- not q. win :- not lose. lose :- not win.")
+        )
+        counts = result.method_counts()
+        assert counts["alternating"] == 1  # the win/lose loop
+        assert result.component_count == sum(counts.values())
+        stats = result.statistics()
+        assert stats["components"] == result.component_count
+        assert stats["kernel_bytes"] > 0
+        assert not result.is_total
+
+    def test_tracing_counters_and_spans(self):
+        recorder = TraceRecorder()
+        result = kernel_well_founded(
+            build_context(parse_program("p :- not q. q :- r. win :- not lose. lose :- not win.")),
+            recorder=recorder,
+        )
+        names = [span.name for span in recorder.spans]
+        assert names == ["compile", "evaluate", "assemble"]
+        totals = recorder.counter_totals()
+        assert totals["kernel.atoms"] == result.compiled.n_atoms
+        assert totals["components.total"] == result.component_count
+        assert totals["components.alternating"] == 1
+        assert "kernel.stages" in totals
+        assert "kernel.decrements" in totals
+
+
+class TestComponentKernel:
+    def test_component_at_a_time_matches_batch(self):
+        text = "r. q :- r. p :- not q. win :- q, not lose. lose :- not win."
+        context = build_context(parse_program(text))
+        compiled = get_kernel(context)
+        batch = kernel_well_founded(context).model
+
+        kernel = ComponentKernel(compiled)
+        kernel.reset()
+        kernel.set_facts({parse_atom("r")})
+        true_atoms: set = set()
+        false_atoms: set = set()
+        for comp in range(compiled.n_components):
+            members = {
+                compiled.table.atom_of(i)
+                for i in compiled.comp_atoms[
+                    compiled.comp_off[comp] : compiled.comp_off[comp + 1]
+                ]
+            }
+            solved = kernel.solve_component(members)
+            assert solved is not None
+            comp_true, comp_false, method, rules, stages, decrements = solved
+            true_atoms |= comp_true
+            false_atoms |= comp_false
+        assert true_atoms == set(batch.true_atoms)
+        assert false_atoms == set(batch.false_atoms)
+
+    def test_update_fact_flips_downstream_components(self):
+        context = build_context(parse_program("p :- not q."))
+        kernel = ComponentKernel(get_kernel(context))
+        kernel.reset()
+        kernel.set_facts(set())
+        q = parse_atom("q")
+
+        def solve(name):
+            comp_true, comp_false, *_ = kernel.solve_component({parse_atom(name)})
+            return bool(comp_true)
+
+        assert solve("q") is False
+        assert solve("p") is True
+        kernel.update_fact(q, True)
+        assert solve("q") is True
+        assert solve("p") is False
+        kernel.update_fact(q, False)
+        assert solve("q") is False
+
+    def test_facts_outside_the_table_are_ignored(self):
+        context = build_context(parse_program("p :- not q."))
+        kernel = ComponentKernel(get_kernel(context))
+        kernel.reset()
+        kernel.set_facts({parse_atom("stranger(1)")})  # no KeyError
+        kernel.update_fact(parse_atom("stranger(2)"), True)
+        assert kernel.solve_component({parse_atom("stranger(1)")}) is None

@@ -1,0 +1,74 @@
+"""Unit tests for the dense atom interning table."""
+
+from repro.datalog.atoms import atom
+from repro.kernel import AtomTable
+
+UNIVERSE = [
+    atom("edge", 1, 2),
+    atom("edge", 2, 3),
+    atom("tc", 1, 2),
+    atom("tc", 1, 3),
+    atom("node", 1),
+]
+
+
+class TestFromAtoms:
+    def test_ids_are_dense_and_bijective(self):
+        table = AtomTable.from_atoms(UNIVERSE)
+        assert len(table) == len(UNIVERSE)
+        assert sorted(table.ids.values()) == list(range(len(UNIVERSE)))
+        for interned in table:
+            assert table.atom_of(table.id_of(interned)) == interned
+
+    def test_predicate_ranges_are_contiguous_and_complete(self):
+        table = AtomTable.from_atoms(UNIVERSE)
+        ranges = table.predicate_ranges()
+        assert set(ranges) == {"edge", "tc", "node"}
+        covered = []
+        for predicate, (lo, hi) in ranges.items():
+            assert lo < hi
+            covered.extend(range(lo, hi))
+            for atom_id in range(lo, hi):
+                assert table.atom_of(atom_id).predicate == predicate
+        assert sorted(covered) == list(range(len(table)))
+
+    def test_order_is_deterministic_across_input_permutations(self):
+        forward = AtomTable.from_atoms(UNIVERSE)
+        backward = AtomTable.from_atoms(reversed(UNIVERSE))
+        assert forward.atoms == backward.atoms
+
+    def test_duplicates_collapse(self):
+        table = AtomTable.from_atoms(UNIVERSE + UNIVERSE)
+        assert len(table) == len(UNIVERSE)
+
+
+class TestIntern:
+    def test_append_only_ids_stay_stable(self):
+        table = AtomTable.from_atoms(UNIVERSE)
+        before = {a: table.id_of(a) for a in table}
+        new_id = table.intern(atom("edge", 9, 9))
+        assert new_id == len(UNIVERSE)
+        assert table.intern(atom("edge", 9, 9)) == new_id  # idempotent
+        for known, known_id in before.items():
+            assert table.id_of(known) == known_id
+
+    def test_unknown_atom_is_none(self):
+        table = AtomTable.from_atoms(UNIVERSE)
+        assert table.id_of(atom("missing")) is None
+        assert atom("missing") not in table
+
+    def test_decode_roundtrip(self):
+        table = AtomTable.from_atoms(UNIVERSE)
+        ids = [table.id_of(a) for a in UNIVERSE]
+        assert table.decode(ids) == UNIVERSE
+
+    def test_late_intern_extends_range_only_when_adjacent(self):
+        table = AtomTable.from_atoms([atom("p", 1)])
+        # p owns [0, 1); the next p id (1) is adjacent, so the range grows.
+        table.intern(atom("p", 2))
+        assert table.predicate_range("p") == (0, 2)
+        # A q breaks adjacency; a later p keeps the stale-but-sound range.
+        table.intern(atom("q", 1))
+        table.intern(atom("p", 3))
+        assert table.predicate_range("p") == (0, 2)
+        assert table.predicate_range("q") == (2, 3)

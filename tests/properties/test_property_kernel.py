@@ -1,0 +1,140 @@
+"""Differential property tests: compiled kernel ≡ object engines.
+
+The compiled flat-array kernel (:mod:`repro.kernel`) must produce a
+partial model **byte-identical** to the object-level modular engine and
+the monolithic alternating fixpoint on every program — the same
+Theorem 7.8 / splitting-property contract the modular engine carries,
+re-proved for the interned-int IR.  Hypothesis drives random non-ground
+programs (grounded before compilation), dense random ground programs,
+and the layered workload; a second family checks that the ``engine``
+knob is semantics-irrelevant: kernel, modular, and monolithic either
+agree exactly or fail identically under every supported semantics.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.config import EngineConfig
+from repro.core.alternating import alternating_fixpoint
+from repro.core.modular import modular_well_founded
+from repro.engine.solver import solve
+from repro.kernel import kernel_well_founded
+from repro.workloads import (
+    layered_program,
+    random_nonground_program,
+    random_propositional_program,
+)
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+
+def _render(true_atoms, false_atoms) -> bytes:
+    lines = sorted(str(atom) for atom in true_atoms)
+    lines.extend(sorted(f"not {atom}" for atom in false_atoms))
+    return "\n".join(lines).encode("utf-8")
+
+
+def _assert_byte_identical(program):
+    """Kernel, modular, and monolithic partial models, byte for byte."""
+    kernel = kernel_well_founded(program)
+    modular = modular_well_founded(program)
+    afp = alternating_fixpoint(program)
+    kernel_blob = _render(kernel.model.true_atoms, kernel.model.false_atoms)
+    modular_blob = _render(modular.model.true_atoms, modular.model.false_atoms)
+    afp_blob = _render(afp.model.true_atoms, afp.model.false_atoms)
+    assert kernel_blob == modular_blob, "kernel vs modular"
+    assert kernel_blob == afp_blob, "kernel vs monolithic AFP"
+    assert kernel.model == modular.model
+    return kernel
+
+
+def _outcome(text: str, semantics: str, engine: str):
+    """The interpretation, or the exception type when solving fails."""
+    try:
+        solution = solve(text, config=EngineConfig(semantics=semantics, engine=engine))
+    except Exception as error:  # noqa: BLE001 - the type is the datum
+        return type(error)
+    return solution.interpretation
+
+
+class TestHypothesisDriven:
+    @SETTINGS
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        rules=st.integers(min_value=2, max_value=10),
+        negation=st.sampled_from([0.0, 0.25, 0.6]),
+    )
+    def test_random_nonground_programs(self, seed, rules, negation):
+        program = random_nonground_program(
+            seed=seed, rules=rules, negation_probability=negation
+        )
+        _assert_byte_identical(program)
+
+    @SETTINGS
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        atoms=st.integers(min_value=1, max_value=14),
+        rules=st.integers(min_value=1, max_value=45),
+    )
+    def test_random_propositional_programs(self, seed, atoms, rules):
+        program = random_propositional_program(atoms=atoms, rules=rules, seed=seed)
+        _assert_byte_identical(program)
+
+    @SETTINGS
+    @given(
+        layers=st.integers(min_value=1, max_value=4),
+        size=st.integers(min_value=2, max_value=8),
+    )
+    def test_layered_programs(self, layers, size):
+        kernel = _assert_byte_identical(layered_program(layers, size))
+        counts = kernel.method_counts()
+        # Same dispatch profile as the object modular engine: one
+        # alternating triangle and two stratified observers per layer.
+        assert counts.get("alternating") == layers
+        assert counts.get("stratified") == 2 * layers
+
+    @SETTINGS
+    @given(
+        seed=st.integers(min_value=0, max_value=5_000),
+        semantics=st.sampled_from(
+            ["horn", "stratified", "stable", "well-founded", "alternating-fixpoint"]
+        ),
+    )
+    def test_engine_is_semantics_irrelevant(self, seed, semantics):
+        """Kernel, modular, and monolithic engines agree — or fail with the
+        same exception — under every supported semantics."""
+        program = random_propositional_program(
+            atoms=8, rules=20, seed=seed, negation_probability=0.5
+        )
+        text = "\n".join(str(rule) for rule in program)
+        outcomes = {
+            engine: _outcome(text, semantics, engine)
+            for engine in ("kernel", "modular", "monolithic")
+        }
+        assert outcomes["kernel"] == outcomes["modular"] == outcomes["monolithic"], (
+            semantics,
+            outcomes,
+        )
+
+
+class TestSeedSweeps:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_dense_negation_ground_programs(self, seed):
+        program = random_propositional_program(
+            atoms=10, rules=60, seed=seed, negation_probability=0.6
+        )
+        _assert_byte_identical(program)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_definite_nonground_programs(self, seed):
+        program = random_nonground_program(seed=seed, negation_probability=0.0)
+        kernel = _assert_byte_identical(program)
+        assert set(kernel.method_counts()) <= {"horn"}
+        assert kernel.is_total
