@@ -98,7 +98,7 @@ def test_single_fact_update_acceptance(report):
     kb.assert_fact(fact)
     _assert_matches_scratch(kb)
     stats = kb.last_update
-    assert stats.mode == "incremental"
+    assert stats.mode == "delta"
     # Only the top layer's chain (plus its bridge) is downstream of the
     # asserted rung: a sliver of the program, not proportional to it.
     assert stats.components_recomputed <= ACCEPTANCE_SIZE + 2
@@ -181,7 +181,7 @@ def test_floating_fact_touches_nothing():
     kb.assert_fact("audit_marker(1)")
     assert kb.is_true("audit_marker", 1)
     stats = kb.last_update
-    assert stats.mode == "incremental"
+    assert stats.mode == "delta"
     assert stats.components_recomputed == 0
     assert stats.floating_changed == 1
     kb.retract_fact("audit_marker(1)")
@@ -203,7 +203,7 @@ def test_batched_updates_pay_one_refresh(report):
             kb.assert_fact(f"chain({layer}, {size - 1})")
     kb.solution
     stats = kb.last_update
-    assert stats.mode == "incremental"
+    assert stats.mode == "delta"
     assert stats.changed == layers
     _assert_matches_scratch(kb)
     report(

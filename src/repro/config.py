@@ -49,12 +49,18 @@ __all__ = [
     "DEFAULT_GROUNDING_MATCHER",
     "SUPPORTED_STORES",
     "DEFAULT_STORE",
+    "REFRESH_MODES",
+    "DEFAULT_REFRESH",
+    "MAINTENANCE_MODES",
+    "DEFAULT_MAINTENANCE",
     "validate_semantics",
     "validate_strategy",
     "validate_engine",
     "validate_grounder",
     "validate_matcher",
     "validate_store",
+    "validate_refresh",
+    "validate_maintenance",
     "EngineConfig",
     "resolve_config",
     "merge_entry_config",
@@ -93,6 +99,20 @@ DEFAULT_ENGINE = "modular"
 #: the linear-scan matcher; prefer ``grounder="relevant", matcher="scan"``.
 SUPPORTED_GROUNDERS = ("relevant", "relevant-scan", "naive")
 DEFAULT_GROUNDER = "relevant"
+
+#: Refresh scheduling under write traffic: ``"eager"`` refreshes the model
+#: after every applied write; ``"coalesce"`` lets batching layers (the
+#: query service's writer loop) drain a window of queued writes into one
+#: maintenance pass before refreshing.
+REFRESH_MODES = ("eager", "coalesce")
+DEFAULT_REFRESH = "eager"
+
+#: Incremental-maintenance granularity for ground sessions: ``"delta"``
+#: maintains per-component derivation state at atom level (counting /
+#: delete-and-rederive — :mod:`repro.delta`); ``"component"`` re-solves
+#: every component upstream of a change wholesale.
+MAINTENANCE_MODES = ("delta", "component")
+DEFAULT_MAINTENANCE = "delta"
 
 
 def _unknown(kind: str, value: object, accepted: Sequence[str]) -> str:
@@ -149,6 +169,22 @@ def validate_store(store: str) -> str:
     return store
 
 
+def validate_refresh(refresh: str) -> str:
+    """Return *refresh* if it is known, raising otherwise."""
+    if refresh not in REFRESH_MODES:
+        raise EvaluationError(_unknown("refresh mode", refresh, REFRESH_MODES))
+    return refresh
+
+
+def validate_maintenance(maintenance: str) -> str:
+    """Return *maintenance* if it is known, raising otherwise."""
+    if maintenance not in MAINTENANCE_MODES:
+        raise EvaluationError(
+            _unknown("maintenance mode", maintenance, MAINTENANCE_MODES)
+        )
+    return maintenance
+
+
 @dataclass(frozen=True)
 class EngineConfig:
     """Every evaluation choice, validated together at construction.
@@ -184,6 +220,15 @@ class EngineConfig:
         checkpoints in every evaluation phase.  Each solve or refresh that
         honours the config starts the budget afresh (a per-operation
         deadline, not a lifetime allowance).
+    refresh:
+        Refresh scheduling under write traffic, one of
+        :data:`REFRESH_MODES`.  ``"coalesce"`` lets the query service's
+        writer drain a window of queued writes into one refresh.
+    maintenance:
+        Incremental-maintenance granularity, one of
+        :data:`MAINTENANCE_MODES`: atom-level ``"delta"`` (default) or
+        whole-``"component"`` re-solve.  Only consulted by the
+        incremental session path (ground rules, well-founded family).
     """
 
     semantics: str = DEFAULT_SEMANTICS
@@ -194,6 +239,8 @@ class EngineConfig:
     store: str = DEFAULT_STORE
     limits: Optional[GroundingLimits] = None
     budget: Optional[Budget] = None
+    refresh: str = DEFAULT_REFRESH
+    maintenance: str = DEFAULT_MAINTENANCE
 
     def __post_init__(self) -> None:
         validate_semantics(self.semantics)
@@ -201,6 +248,8 @@ class EngineConfig:
         validate_engine(self.engine)
         validate_grounder(self.grounder)
         validate_store(self.store)
+        validate_refresh(self.refresh)
+        validate_maintenance(self.maintenance)
         if self.matcher is not None:
             validate_matcher(self.matcher)
             if self.grounder != "relevant":
@@ -245,6 +294,8 @@ class EngineConfig:
             "store": self.store,
             "limits": self.limits,
             "budget": self.budget.describe() if self.budget is not None else None,
+            "refresh": self.refresh,
+            "maintenance": self.maintenance,
         }
 
 

@@ -1,0 +1,12 @@
+"""Atom-level delta maintenance for incremental sessions.
+
+Maintains per-component derivation state (counting for one-pass
+components, delete-and-rederive for recursive definite ones, component
+re-solve only where negation is recursive) so that sustained
+assert/retract churn costs O(affected derivations) instead of
+O(affected components).  See :mod:`repro.delta.maintainer`.
+"""
+
+from .maintainer import DeltaMaintainer, DeltaOutcome, classify_component
+
+__all__ = ["DeltaMaintainer", "DeltaOutcome", "classify_component"]

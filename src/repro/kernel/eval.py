@@ -572,6 +572,16 @@ class ComponentKernel:
         if atom_id is not None:
             self.is_fact[atom_id] = 1 if present else 0
 
+    def set_truth(self, atom: Atom, code: int) -> None:
+        """Write one verdict (``0`` unknown, ``1`` true, ``2`` false) into
+        the persistent truth vector.  Atom-level delta maintenance uses
+        this to keep the vector current for verdicts it derives outside
+        :meth:`solve_component`; atoms outside the compiled universe are
+        ignored."""
+        atom_id = self._ids.get(atom)
+        if atom_id is not None:
+            self.truth[atom_id] = code
+
     # ---- Component solving ------------------------------------------- #
     def solve_component(
         self, component: Iterable[Atom], tracing: bool = False

@@ -17,6 +17,13 @@ at once, by splitting the session's surface along its natural grain:
   an injected storage fault, a budget deadline, a refusal to solve —
   rolls the savepoint back, so the knowledge base (and the published
   snapshot) stay at the last good epoch and readers never notice.
+  With ``EngineConfig(refresh="coalesce")`` the writer additionally
+  drains a window of already-queued requests per iteration and applies
+  them under **one** savepoint and **one** model refresh (one delta
+  maintenance pass), acknowledging each request with the shared epoch —
+  under churn this amortises the refresh across the backlog.  A window
+  that fails falls back to applying its requests individually, so one
+  poisoned request cannot fail its neighbours.
 * **Load is shed, not queued without bound.**  When the write queue is
   full (or the concurrent-reader gate is exhausted) the request is
   rejected immediately with :class:`AdmissionRejected`, which the HTTP
@@ -65,6 +72,9 @@ __all__ = [
 DEFAULT_QUEUE_SIZE = 64
 #: Default bound on concurrently admitted read requests.
 DEFAULT_MAX_READERS = 64
+#: Upper bound on requests coalesced into one refresh window (also capped
+#: by the queue size) — keeps per-window latency and rollback scope small.
+MAX_COALESCE_WINDOW = 32
 #: Hint (seconds) sent as ``Retry-After`` with shed requests.
 RETRY_AFTER_HINT = 1
 
@@ -185,6 +195,11 @@ class QueryService:
         self.max_timeout = max_timeout
         self._retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
         self._recorder = recorder if recorder is not None else kb.recorder
+        # Batched refresh: with the session configured refresh="coalesce",
+        # the writer drains up to a window of queued requests into one
+        # savepoint + one refresh per iteration.
+        self._coalesce = kb.config.refresh == "coalesce"
+        self._coalesce_window = min(queue_size, MAX_COALESCE_WINDOW)
         self._snapshot: Optional[SessionSnapshot] = None
         self._writer: Optional[threading.Thread] = None
         # Serializes the closed-check-then-enqueue in submit() against
@@ -569,7 +584,39 @@ class QueryService:
     def _writer_loop(self) -> None:
         while True:
             item = self._queue.get()
-            if item is _SHUTDOWN:
+            shutdown = item is _SHUTDOWN
+            window: list[_WriteRequest] = []
+            if not shutdown:
+                window.append(item)
+                # Coalescing: opportunistically drain whatever else is
+                # already queued — never blocking — so one savepoint and
+                # one refresh cover the whole backlog.  A sentinel popped
+                # mid-drain is honoured *after* the window (and never
+                # re-queued): the admission lock guarantees nothing was
+                # enqueued behind it.
+                while self._coalesce and len(window) < self._coalesce_window:
+                    try:
+                        extra = self._queue.get_nowait()
+                    except queue.Empty:
+                        break
+                    if extra is _SHUTDOWN:
+                        shutdown = True
+                        break
+                    window.append(extra)
+            live: list[_WriteRequest] = []
+            for request in window:
+                if request.abandoned:
+                    # The submitter gave up while we were busy; skip the
+                    # work entirely rather than applying a write nobody
+                    # awaits.
+                    request.finish(None, ServiceClosed("request abandoned"))
+                else:
+                    live.append(request)
+            if len(live) == 1:
+                self._apply_and_finish(live[0])
+            elif live:
+                self._apply_window(live)
+            if shutdown:
                 # Backstop: the admission lock means nothing should sit
                 # behind the sentinel, but fail rather than strand any
                 # straggler so its submitter is always woken.
@@ -583,21 +630,68 @@ class QueryService:
                             None, ServiceClosed("service stopped before apply")
                         )
                 break
-            request = item
-            if request.abandoned:
-                # The submitter gave up while we were busy; skip the work
-                # entirely rather than applying a write nobody awaits.
-                request.finish(None, ServiceClosed("request abandoned"))
-                continue
-            try:
-                outcome = self._apply(request)
-            except BaseException as error:  # noqa: BLE001 - must not kill the writer
-                self.count("service.write_failures")
-                self._last_write_error = f"{type(error).__name__}: {error}"
-                request.finish(None, error)
-            else:
-                self.count("service.writes_applied")
-                request.finish(outcome, None)
+
+    def _apply_and_finish(self, request: _WriteRequest) -> None:
+        try:
+            outcome = self._apply(request)
+        except BaseException as error:  # noqa: BLE001 - must not kill the writer
+            self.count("service.write_failures")
+            self._last_write_error = f"{type(error).__name__}: {error}"
+            request.finish(None, error)
+        else:
+            self.count("service.writes_applied")
+            request.finish(outcome, None)
+
+    def _apply_window(self, requests: list[_WriteRequest]) -> None:
+        """Apply a coalesced window atomically: one savepoint, every
+        request's operations, one refresh, one published snapshot; every
+        request is acknowledged with the shared epoch.
+
+        Any failure rolls the whole window back and re-applies the
+        requests individually through the single-request path — the
+        healthy ones still land, and only the poisoned one fails, with
+        the same rollback semantics it would have had without coalescing.
+        """
+        store = self._kb.store
+        token = store.savepoint()
+        try:
+            with self._recorder.span(
+                "service.apply_window",
+                requests=len(requests),
+                operations=sum(len(r.operations) for r in requests),
+            ):
+                changed_counts: list[int] = []
+                for request in requests:
+                    changed = 0
+                    for kind, atom in request.operations:
+                        if kind == "assert":
+                            changed += bool(self._kb.assert_fact(atom))
+                        else:
+                            changed += bool(self._kb.retract_fact(atom))
+                    changed_counts.append(changed)
+                # The session refreshes lazily, so this is the window's
+                # single maintenance pass over every queued mutation.
+                snapshot = self._kb.snapshot()
+        except BaseException:  # noqa: BLE001 - fall back to per-request apply
+            store.rollback_to(token)
+            self.count("service.coalesce_fallbacks")
+            for request in requests:
+                self._apply_and_finish(request)
+            return
+        store.release(token)
+        self._snapshot = snapshot
+        self.count("service.coalesced_windows")
+        self.count("service.coalesced_requests", len(requests))
+        for request, changed in zip(requests, changed_counts):
+            self.count("service.writes_applied")
+            request.finish(
+                WriteOutcome(
+                    applied=len(request.operations),
+                    changed=changed,
+                    epoch=snapshot.epoch,
+                ),
+                None,
+            )
 
     def _apply(self, request: _WriteRequest) -> WriteOutcome:
         """Apply one write request: mutate under a savepoint, refresh,

@@ -18,11 +18,18 @@ condensation DAG.  Everything else keeps its frozen verdict.
 * the solved ``(true, false)`` pair and :class:`ComponentReport` of every
   component.
 
-On :meth:`refresh` with a set of changed fact atoms, the affected
-components are the forward closure of the changed atoms' components under
-``dependents``; they are re-solved bottom-up (ascending condensation
-index) with :func:`repro.core.modular.solve_component`, reading the frozen
-verdicts of untouched components from the shared aggregate sets.  Facts
+On :meth:`refresh` with a set of changed fact atoms, the default
+``maintenance="delta"`` path hands the batch to a
+:class:`~repro.delta.DeltaMaintainer`, which updates per-component
+derivation state (counting for one-pass components, delete-and-rederive
+for recursive definite ones) at *atom* granularity and re-solves a
+component wholesale only where negation is recursive.  With
+``maintenance="component"`` the original coarser path runs instead: the
+affected components are the forward closure of the changed atoms'
+components under ``dependents``, re-solved bottom-up (ascending
+condensation index) with :func:`repro.core.modular.solve_component`,
+reading the frozen verdicts of untouched components from the shared
+aggregate sets.  Either way, facts
 whose atom occurs in no rule at all ("floating" facts) bypass the
 component machinery entirely: they are unconditionally true, nothing
 depends on them, and retracting one removes it from the base outright —
@@ -53,7 +60,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..storage.base import FactStore
 
 from ..analysis.dependency import build_atom_dependency_graph
-from ..config import DEFAULT_STRATEGY, validate_engine, validate_strategy
+from ..config import (
+    DEFAULT_MAINTENANCE,
+    DEFAULT_STRATEGY,
+    validate_engine,
+    validate_maintenance,
+    validate_strategy,
+)
 from ..core.context import GroundContext, build_context
 from ..core.modular import (
     ComponentReport,
@@ -63,6 +76,7 @@ from ..core.modular import (
 )
 from ..datalog.atoms import Atom
 from ..datalog.rules import Program
+from ..delta import DeltaMaintainer
 from ..fixpoint.interpretations import PartialInterpretation
 from ..obs.recorder import NULL_RECORDER, Recorder
 from ..resilience.budget import Budget, current_meter, metered
@@ -74,14 +88,19 @@ __all__ = ["UpdateStats", "IncrementalEngine"]
 class UpdateStats:
     """What one model refresh actually did.
 
-    ``mode`` is ``"initial"`` for the first solve, ``"incremental"`` when
-    only the components downstream of the changed facts were re-evaluated,
-    and ``"rebuild"`` when the owning knowledge base had to re-solve from
-    scratch (non-ground rules, or a semantics outside the well-founded
-    family).  ``components_total`` / ``components_recomputed`` /
-    ``components_reused`` quantify the reuse — the acceptance benchmark
-    asserts ``components_recomputed`` stays proportional to the affected
-    region, not to the program.
+    ``mode`` is ``"initial"`` for the first solve, ``"delta"`` when
+    atom-level maintenance absorbed the update (per-component counters and
+    delete-and-rederive — the default), ``"incremental"`` when whole
+    components downstream of the changed facts were re-evaluated
+    (``maintenance="component"``), and ``"rebuild"`` when the owning
+    knowledge base had to re-solve from scratch (non-ground rules, or a
+    semantics outside the well-founded family).  ``components_total`` /
+    ``components_recomputed`` / ``components_reused`` quantify the reuse —
+    the acceptance benchmark asserts ``components_recomputed`` stays
+    proportional to the affected region, not to the program.  In
+    ``"delta"`` mode ``methods`` counts components by *maintenance*
+    method (``counting`` / ``dred`` / ``resolve``) rather than by solver
+    method.
 
     When a tracing :class:`~repro.obs.Recorder` is attached to the engine,
     the same quantities are emitted as the attributes and counters of the
@@ -106,6 +125,13 @@ class UpdateStats:
         return self.components_reused / self.components_total
 
     def describe(self) -> str:
+        if self.mode == "delta":
+            return (
+                f"delta: {self.changed} changed atom(s), "
+                f"{self.components_recomputed}/{self.components_total} "
+                f"component state(s) maintained, {self.components_reused} "
+                f"untouched ({self.reuse_fraction:.0%})"
+            )
         if self.mode != "incremental":
             if not self.components_total:
                 return f"{self.mode}: full re-solve of the program"
@@ -138,12 +164,15 @@ class IncrementalEngine:
         recorder: Recorder | None = None,
         budget: Budget | None = None,
         engine: str = "modular",
+        maintenance: str = DEFAULT_MAINTENANCE,
     ):
         rules.require_ground()
         validate_strategy(strategy)
         validate_engine(engine)
+        validate_maintenance(maintenance)
         self._strategy = strategy
         self._engine_name = engine
+        self._maintenance = maintenance
         self._recorder = recorder if recorder is not None else NULL_RECORDER
         # Started afresh by every refresh: the budget is a per-operation
         # deadline, so a long-lived session never "uses up" its allowance.
@@ -199,16 +228,25 @@ class IncrementalEngine:
         self._facts: frozenset[Atom] = frozenset()
         self._solved = False
         self._last: Optional[UpdateStats] = None
+        # Atom-level maintenance state, built lazily after the first full
+        # solve and discarded whenever the model is rebuilt from scratch.
+        self._delta: Optional[DeltaMaintainer] = None
+        # The model property's per-epoch cache (the interpretation only
+        # moves on a successful refresh, which bumps the epoch).
+        self._model_cache: Optional[tuple[int, PartialInterpretation]] = None
         # Monotone model-version counter: bumped once per *successful*
         # refresh, so two reads observing the same epoch are guaranteed to
         # observe the same model.  The query service stamps every response
         # with the epoch its snapshot was pinned at.
         self._epoch = 0
 
-        # Store-event plumbing: pending atoms whose fact status flipped
-        # since the last successful refresh (symmetric toggle, so an
-        # assert+retract pair cancels).
-        self._pending: set[Atom] = set()
+        # Store-event plumbing: the *last seen direction* per mutated atom
+        # since the last successful refresh.  Keying by direction (rather
+        # than a symmetric presence toggle) means duplicate same-direction
+        # events — a listener replay, a rollback's inverse replay — cannot
+        # cancel a genuinely pending change; an atom is pending iff its
+        # last direction disagrees with the solved base.
+        self._pending: dict[Atom, bool] = {}
         self._observed: "FactStore | None" = None
         if store is not None:
             self.observe(store)
@@ -231,16 +269,19 @@ class IncrementalEngine:
             self._observed = None
 
     def _record_change(self, atom: Atom, added: bool) -> None:
-        if atom in self._pending:
-            self._pending.discard(atom)
-        else:
-            self._pending.add(atom)
+        self._pending[atom] = added
 
     @property
     def pending_changes(self) -> frozenset[Atom]:
         """Atoms whose fact status flipped since the last refresh (as seen
-        through the observed store's events)."""
-        return frozenset(self._pending)
+        through the observed store's events): the last recorded direction
+        disagrees with the solved base, so assert+retract pairs cancel
+        while repeated same-direction events stay pending."""
+        return frozenset(
+            atom
+            for atom, added in self._pending.items()
+            if added != (atom in self._facts)
+        )
 
     def refresh_pending(self, facts: frozenset[Atom]) -> UpdateStats:
         """:meth:`refresh` driven by the observed store's change events.
@@ -250,7 +291,7 @@ class IncrementalEngine:
         pending set is drained only on success — a failed refresh leaves
         it queued so the next call retries the same delta.
         """
-        changed = set(self._pending) if self._solved else None
+        changed = set(self.pending_changes) if self._solved else None
         stats = self.refresh(facts, changed)
         self._pending.clear()
         return stats
@@ -269,9 +310,21 @@ class IncrementalEngine:
         return self._engine_name
 
     @property
+    def maintenance(self) -> str:
+        """The update-maintenance granularity: ``"delta"`` (atom-level
+        counters / DRed) or ``"component"`` (whole-component re-solve)."""
+        return self._maintenance
+
+    @property
     def model(self) -> PartialInterpretation:
-        """The current well-founded partial model."""
-        return PartialInterpretation(self._true | self._floating, self._false)
+        """The current well-founded partial model (cached per epoch — the
+        interpretation only changes on a successful refresh)."""
+        cache = self._model_cache
+        if cache is not None and cache[0] == self._epoch:
+            return cache[1]
+        model = PartialInterpretation(self._true | self._floating, self._false)
+        self._model_cache = (self._epoch, model)
+        return model
 
     @property
     def base(self) -> frozenset[Atom]:
@@ -356,6 +409,9 @@ class IncrementalEngine:
     def _solve_all(self, facts: frozenset[Atom]) -> UpdateStats:
         self._true.clear()
         self._false.clear()
+        # Any previous maintenance state described the old solved model;
+        # a fresh maintainer is primed lazily from the new one.
+        self._delta = None
         if self._kernel is not None:
             # Every component is about to be re-solved in order, so a fresh
             # truth vector suffices; the fact vector is rebuilt wholesale.
@@ -427,20 +483,95 @@ class IncrementalEngine:
         )
 
     def _solve_delta(self, facts: frozenset[Atom], changed: set[Atom]) -> UpdateStats:
+        changed_rule_atoms = changed & self._rule_atoms
+        if self._kernel is not None:
+            for atom in changed_rule_atoms:
+                self._kernel.update_fact(atom, atom in facts)
+        floating_changed = 0
+        for atom in changed - self._rule_atoms:
+            floating_changed += 1
+            if atom in facts:
+                self._floating.add(atom)
+            else:
+                self._floating.discard(atom)
+        if self._maintenance == "delta":
+            return self._solve_delta_atoms(
+                facts, changed, changed_rule_atoms, floating_changed
+            )
+        return self._solve_delta_components(
+            facts, changed, changed_rule_atoms, floating_changed
+        )
+
+    def _solve_delta_atoms(
+        self,
+        facts: frozenset[Atom],
+        changed: set[Atom],
+        changed_rule_atoms: set[Atom],
+        floating_changed: int,
+    ) -> UpdateStats:
+        """Atom-level maintenance: one :class:`DeltaMaintainer` pass."""
+        recorder = self._recorder
+        if self._delta is None:
+            self._delta = DeltaMaintainer(
+                self._rule_context.rules,
+                self._rule_context.rules_by_head,
+                self._components,
+                self._component_of,
+                self._comp_true,
+                self._comp_false,
+                self._true,
+                self._false,
+            )
+        meter = current_meter()
+
+        def resolve(index: int) -> tuple[set[Atom], set[Atom]]:
+            # Sound fallback for negation-through-recursion components: a
+            # whole-component re-solve against the already-maintained
+            # aggregates.  `solve_component` only consults the aggregates
+            # for atoms *outside* the component, so the component's own
+            # stale entries need no subtraction first.
+            comp_true, comp_false, report = self._solve_one(
+                index, self._components[index], facts
+            )
+            self._reports[index] = report
+            return comp_true, comp_false
+
+        sync = self._kernel.set_truth if self._kernel is not None else None
+        outcome = self._delta.apply(
+            facts,
+            changed_rule_atoms,
+            resolve=resolve,
+            sync=sync,
+            step=lambda: meter.step("refresh"),
+        )
+        if recorder.enabled:
+            recorder.count("delta.components", outcome.components)
+            recorder.count("delta.changed_atoms", outcome.atoms_changed)
+            recorder.count("delta.overdeleted", outcome.overdeleted)
+            recorder.count("delta.rederived", outcome.rederived)
+            recorder.count(
+                "delta.resolve_fallbacks", outcome.methods.get("resolve", 0)
+            )
+        return UpdateStats(
+            mode="delta",
+            changed=len(changed),
+            components_total=len(self._components),
+            components_recomputed=outcome.components,
+            components_reused=len(self._components) - outcome.components,
+            floating_changed=floating_changed,
+            methods=dict(outcome.methods),
+        )
+
+    def _solve_delta_components(
+        self,
+        facts: frozenset[Atom],
+        changed: set[Atom],
+        changed_rule_atoms: set[Atom],
+        floating_changed: int,
+    ) -> UpdateStats:
+        """Component-level invalidation (``maintenance="component"``)."""
         recorder = self._recorder
         with recorder.span("affected") as affected_span:
-            changed_rule_atoms = changed & self._rule_atoms
-            if self._kernel is not None:
-                for atom in changed_rule_atoms:
-                    self._kernel.update_fact(atom, atom in facts)
-            floating_changed = 0
-            for atom in changed - self._rule_atoms:
-                floating_changed += 1
-                if atom in facts:
-                    self._floating.add(atom)
-                else:
-                    self._floating.discard(atom)
-
             # Forward closure of the changed components under `dependents`.
             affected: set[int] = {
                 self._component_of[atom] for atom in changed_rule_atoms

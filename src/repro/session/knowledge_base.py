@@ -387,7 +387,12 @@ class KnowledgeBase:
         # is maintained by the store's change events (`_on_store_change`),
         # so it tracks *every* mutation, not only the session's own.
         self._fact_rules: dict[Atom, Rule] = {}
-        self._changed: set[Atom] = set()
+        # Atoms mutated since the last refresh, mapped to their presence
+        # *before* the first mutation: an atom is genuinely pending iff its
+        # current presence differs from that original — assert+retract
+        # pairs cancel, while duplicate same-direction events cannot
+        # cancel a pending change (they never touch the recorded origin).
+        self._changed: dict[Atom, bool] = {}
         self._batch_tokens: list[object] = []
         self._dirty = True
         self._solution: Optional[Solution] = None
@@ -631,18 +636,21 @@ class KnowledgeBase:
             self._fact_rules[atom] = Rule(atom)
         else:
             self._fact_rules.pop(atom, None)
-        self._note_change(atom)
+        self._note_change(atom, added)
 
-    def _note_change(self, atom: Atom) -> None:
+    def _note_change(self, atom: Atom, added: bool) -> None:
         # A fact asserted then retracted (or vice versa) since the last
-        # refresh cancels out; the symmetric toggle keeps `_changed` the
-        # exact set of atoms whose status differs from the solved state.
-        # The old Solution object stays referenced (it is an immutable
-        # snapshot); `_refresh` replaces it when the net delta is non-empty.
-        if atom in self._changed:
-            self._changed.discard(atom)
-        else:
-            self._changed.add(atom)
+        # refresh cancels out: `_changed` remembers the atom's presence
+        # before its first mutation, and `_refresh_inner` compares that
+        # origin against the current EDB — so the pending set is exactly
+        # the atoms whose status differs from the solved state, robust to
+        # replayed same-direction events.  The old Solution object stays
+        # referenced (it is an immutable snapshot); `_refresh` replaces it
+        # when the net delta is non-empty.
+        if atom not in self._changed:
+            # The store notifies only on actual mutation, so before this
+            # event the atom's presence was the opposite direction.
+            self._changed[atom] = not added
         self._dirty = True
         self._attached = None
         self._explainer = None
@@ -697,9 +705,14 @@ class KnowledgeBase:
         # refresh that raises (no stable model, grounding limit, ...) must
         # leave the changes queued so the next read retries instead of
         # serving a model that contradicts the EDB.
-        changed = self._changed
+        changed = {
+            atom
+            for atom, was_present in self._changed.items()
+            if (atom in self._fact_rules) != was_present
+        }
         if not changed and self._solution is not None:
             # Every mutation since the last refresh cancelled out.
+            self._changed.clear()
             self._dirty = False
             return
         if self._incremental:
@@ -713,6 +726,7 @@ class KnowledgeBase:
                     recorder=self._recorder,
                     budget=self._config.budget,
                     engine=self._config.engine,
+                    maintenance=self._config.maintenance,
                 )
             stats = self._engine.refresh_pending(frozenset(self._fact_rules))
             solution = Solution(
@@ -747,7 +761,7 @@ class KnowledgeBase:
                 floating_changed=0,
                 elapsed=time.perf_counter() - started,
             )
-        self._changed = set()
+        self._changed = {}
         self._solution = solution
         self._last_update = stats
         self._update_count += 1

@@ -1,6 +1,7 @@
 """Program and graph workload generators for tests and benchmarks."""
 
 from .generators import (
+    access_policy_program,
     complement_of_transitive_closure_program,
     layered_program,
     random_negative_loop_program,
@@ -8,12 +9,23 @@ from .generators import (
     random_propositional_program,
     reachability_program,
     same_generation_program,
+    social_graph_program,
     transitive_closure_program,
     two_player_choice_program,
     well_founded_nodes_program,
 )
+from .streams import (
+    StreamOp,
+    access_policy_stream,
+    churn_stream,
+    social_graph_stream,
+)
 
 __all__ = [
+    "StreamOp",
+    "access_policy_program",
+    "access_policy_stream",
+    "churn_stream",
     "complement_of_transitive_closure_program",
     "layered_program",
     "random_negative_loop_program",
@@ -21,6 +33,8 @@ __all__ = [
     "random_propositional_program",
     "reachability_program",
     "same_generation_program",
+    "social_graph_program",
+    "social_graph_stream",
     "transitive_closure_program",
     "two_player_choice_program",
     "well_founded_nodes_program",

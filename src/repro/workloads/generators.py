@@ -35,6 +35,8 @@ __all__ = [
     "random_propositional_program",
     "random_negative_loop_program",
     "random_nonground_program",
+    "social_graph_program",
+    "access_policy_program",
     "two_player_choice_program",
 ]
 
@@ -292,6 +294,149 @@ def random_negative_loop_program(pairs: int, seed: int = 0) -> Program:
     for index in order:
         builder.proposition(f"a{index}", f"-b{index}")
         builder.proposition(f"b{index}", f"-a{index}")
+    return builder.build()
+
+
+def social_graph_program(
+    people: int, extra_edges: int = 0, back_edges: int = 0, seed: int = 0
+) -> Program:
+    """A ground social-graph reachability workload for streaming churn.
+
+    *people* nodes ``0 .. people-1`` form a follow backbone
+    ``follows(i, i+1)`` **doubled** by a parallel ``endorses(i, i+1)``
+    relation, so every backbone hop has two independent supports —
+    retracting one backbone edge is the redundant-support churn that
+    atom-level counting maintenance absorbs in O(1) while component-level
+    invalidation re-solves the whole downstream closure.  *extra_edges*
+    seeded random **forward** ``follows`` edges (more redundancy, graph
+    stays acyclic) and *back_edges* seeded short backward edges (each
+    closes a small local cycle, so recursive components exist but their
+    delete-and-rederive cones stay bounded) are layered on top.  The
+    derived relations::
+
+        reach(p)      :- seed(p).                    % seed(0) is a fact
+        reach(v)      :- reach(u), follows(u, v).    % per follow edge
+        reach(v)      :- reach(u), endorses(u, v).   % per endorse edge
+        influencer(p) :- reach(p), not muted(p).     % non-recursive ¬
+        isolated(p)   :- person(p), not reach(p).
+
+    Everything is pre-ground per edge/person, so the program qualifies
+    for incremental maintenance; acyclic ``reach`` atoms are counting
+    singletons, the back-edge loops are DRed components, and
+    ``influencer`` / ``isolated`` form a wide counting frontier.
+    Deterministic per seed.
+    """
+    people = max(2, people)
+    generator = random.Random(seed)
+    builder = ProgramBuilder()
+    builder.fact("seed", 0)
+    edges: list[tuple[int, int]] = []
+    seen: set[tuple[int, int]] = set()
+
+    def add_edge(source: int, target: int) -> None:
+        if source != target and (source, target) not in seen:
+            seen.add((source, target))
+            builder.fact("follows", source, target)
+            edges.append((source, target))
+
+    for person in range(people):
+        builder.fact("person", person)
+        if person + 1 < people:
+            for relation in ("follows", "endorses"):
+                builder.fact(relation, person, person + 1)
+            edges.append((person, person + 1))
+            seen.add((person, person + 1))
+    for _ in range(max(0, extra_edges)):
+        source = generator.randrange(people - 1)
+        add_edge(source, generator.randrange(source + 1, people))
+    for _ in range(max(0, back_edges)):
+        source = generator.randrange(1, people)
+        add_edge(source, max(0, source - generator.randint(1, 4)))
+    for person in range(people):
+        builder.rule(("reach", person), [("seed", person)])
+        builder.rule(
+            ("influencer", person),
+            [("reach", person), ("not", "muted", person)],
+        )
+        builder.rule(
+            ("isolated", person),
+            [("person", person), ("not", "reach", person)],
+        )
+    for source, target in edges:
+        builder.rule(
+            ("reach", target), [("reach", source), ("follows", source, target)]
+        )
+        if target == source + 1:
+            builder.rule(
+                ("reach", target),
+                [("reach", source), ("endorses", source, target)],
+            )
+    return builder.build()
+
+
+def access_policy_program(
+    users: int, groups: int = 4, resources: int = 8, seed: int = 0
+) -> Program:
+    """A ground access-control policy workload for streaming churn.
+
+    Users belong to seeded random groups; groups hold grants on
+    resources; access composes membership with grants minus explicit
+    denials, with an admin override::
+
+        allow(u, r)  :- member(u, g), grants(g, r).   % per (u, g, r)
+        access(u, r) :- allow(u, r), not denied(u, r).
+        access(u, r) :- admin(u), resource(r).
+        flagged(u)   :- admin(u), not trusted(u).
+
+    Entirely non-recursive once ground — every derived atom is a
+    counting singleton, the pure counter-maintenance regime (group
+    membership and denial churn each touch O(affected rules) counters).
+    Deterministic per seed.
+    """
+    users = max(1, users)
+    groups = max(1, groups)
+    resources = max(1, resources)
+    generator = random.Random(seed)
+    builder = ProgramBuilder()
+    membership: dict[int, list[int]] = {}
+    grants: dict[int, list[int]] = {}
+    for group in range(groups):
+        granted = sorted(
+            generator.sample(range(resources), generator.randint(1, resources))
+        )
+        grants[group] = granted
+        for resource in granted:
+            builder.fact("grants", group, resource)
+    for resource in range(resources):
+        builder.fact("resource", resource)
+    for user in range(users):
+        joined = sorted(
+            generator.sample(range(groups), generator.randint(1, min(2, groups)))
+        )
+        membership[user] = joined
+        for group in joined:
+            builder.fact("member", user, group)
+        if generator.random() < 0.05:
+            builder.fact("admin", user)
+        if generator.random() < 0.5:
+            builder.fact("trusted", user)
+    for user in range(users):
+        builder.rule(("flagged", user), [("admin", user), ("not", "trusted", user)])
+        for resource in range(resources):
+            builder.rule(
+                ("access", user, resource),
+                [("allow", user, resource), ("not", "denied", user, resource)],
+            )
+            builder.rule(
+                ("access", user, resource),
+                [("admin", user), ("resource", resource)],
+            )
+        for group in range(groups):
+            for resource in grants[group]:
+                builder.rule(
+                    ("allow", user, resource),
+                    [("member", user, group), ("grants", group, resource)],
+                )
     return builder.build()
 
 

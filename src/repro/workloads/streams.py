@@ -1,0 +1,130 @@
+"""Seeded churn streams over the streaming workload generators.
+
+A *stream* is a deterministic sequence of :class:`StreamOp` assert /
+retract operations against a generated program's EDB — the input the
+streaming benchmark replays against a live session (and, in coalesced
+form, against the query service).  :func:`churn_stream` is the generic
+engine: it walks a pool of candidate atoms with a seeded RNG, tracking
+the simulated EDB so every emitted operation is a *real* mutation
+(retract only what is present, assert only what is absent) — the same
+property the stores' change notifications have.
+
+The two wrappers pair a generator with its natural churn surface:
+
+* :func:`social_graph_stream` — churn over the follow backbone (every
+  hop keeps a parallel ``endorses`` support, so backbone churn is the
+  redundant-support case atom-level maintenance absorbs in O(1)) and
+  over ``muted`` flags (pure counting churn on the ``influencer``
+  frontier);
+* :func:`access_policy_stream` — churn over ``denied`` tuples, group
+  ``member`` ships and ``trusted`` flags: every derived atom is a
+  counting singleton, so each operation touches O(affected rules)
+  counters.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..datalog.atoms import Atom, Constant
+from ..datalog.rules import Program
+from .generators import access_policy_program, social_graph_program
+
+__all__ = [
+    "StreamOp",
+    "churn_stream",
+    "social_graph_stream",
+    "access_policy_stream",
+]
+
+
+@dataclass(frozen=True)
+class StreamOp:
+    """One streamed EDB mutation: ``kind`` is ``"assert"`` or
+    ``"retract"``, applied to the ground ``atom``."""
+
+    kind: str
+    atom: Atom
+
+
+def _ground(predicate: str, *values: object) -> Atom:
+    return Atom(predicate, tuple(Constant(value) for value in values))
+
+
+def churn_stream(
+    pool: Sequence[Atom],
+    present: set[Atom],
+    steps: int,
+    seed: int = 0,
+) -> list[StreamOp]:
+    """*steps* seeded churn operations over *pool*.
+
+    *present* names the pool atoms currently in the EDB; each step picks
+    a pool atom uniformly and flips it — retract if present, assert
+    otherwise — updating the simulated state, so replaying the stream
+    from the same starting EDB applies every operation as a genuine
+    mutation.  Deterministic per seed; *present* is left at the
+    simulated final state (callers may pass a copy to keep the original).
+    """
+    generator = random.Random(seed)
+    operations: list[StreamOp] = []
+    candidates = list(pool)
+    for _ in range(max(0, steps)):
+        atom = generator.choice(candidates)
+        if atom in present:
+            present.discard(atom)
+            operations.append(StreamOp("retract", atom))
+        else:
+            present.add(atom)
+            operations.append(StreamOp("assert", atom))
+    return operations
+
+
+def social_graph_stream(
+    people: int,
+    extra_edges: int = 0,
+    back_edges: int = 0,
+    steps: int = 100,
+    seed: int = 0,
+) -> tuple[Program, list[StreamOp]]:
+    """A :func:`social_graph_program` plus a churn stream over its follow
+    backbone and ``muted`` flags.  Deterministic per seed."""
+    people = max(2, people)
+    program = social_graph_program(people, extra_edges, back_edges, seed=seed)
+    pool: list[Atom] = []
+    present: set[Atom] = set()
+    for person in range(people - 1):
+        edge = _ground("follows", person, person + 1)
+        pool.append(edge)
+        present.add(edge)  # backbone edges start asserted
+    for person in range(people):
+        pool.append(_ground("muted", person))  # flags start absent
+    return program, churn_stream(pool, present, steps, seed=seed)
+
+
+def access_policy_stream(
+    users: int,
+    groups: int = 4,
+    resources: int = 8,
+    steps: int = 100,
+    seed: int = 0,
+) -> tuple[Program, list[StreamOp]]:
+    """An :func:`access_policy_program` plus a churn stream over denials,
+    memberships and trust flags.  Deterministic per seed."""
+    program = access_policy_program(users, groups, resources, seed=seed)
+    facts = {rule.head for rule in program.facts()}
+    generator = random.Random(seed)
+    pool: list[Atom] = []
+    for user in range(max(1, users)):
+        pool.append(_ground("trusted", user))
+        pool.append(_ground("member", user, generator.randrange(max(1, groups))))
+        for _ in range(2):
+            pool.append(
+                _ground("denied", user, generator.randrange(max(1, resources)))
+            )
+    # Deduplicate while keeping the seeded order stable.
+    pool = list(dict.fromkeys(pool))
+    present = {atom for atom in pool if atom in facts}
+    return program, churn_stream(pool, present, steps, seed=seed)

@@ -59,7 +59,7 @@ def test_live_session_headline_facts():
     output = run_example(EXAMPLES_DIR / "live_session.py")
     assert "winning positions: ['c']" in output
     assert "wins(c) verdict  : false" in output
-    assert "incremental:" in output
+    assert "delta:" in output
     assert "reuse:" in output
 
 

@@ -107,11 +107,11 @@ class TestSessionRefreshTree:
             assert kb.is_true("r")
 
             refreshes = [span for span in kb.recorder.spans if span.name == "refresh"]
-            assert len(refreshes) == 2  # initial solve + incremental update
-            child_names = [span.name for span in refreshes[-1].children]
-            assert "affected" in child_names
-            assert "component" in child_names
-            assert refreshes[-1].attributes["mode"] == "incremental"
+            assert len(refreshes) == 2  # initial solve + delta maintenance
+            assert refreshes[-1].attributes["mode"] == "delta"
+            totals = recorder.counter_totals()
+            assert totals.get("delta.components", 0) >= 1
+            assert totals.get("delta.changed_atoms", 0) >= 1
 
             stats = kb.statistics()
             assert stats["refreshes"] == 2
@@ -120,8 +120,8 @@ class TestSessionRefreshTree:
             assert stats["refresh_mean_s"] == pytest.approx(
                 stats["refresh_total_s"] / stats["refreshes"], abs=1e-6
             )
-            assert stats["refresh_modes"] == {"initial": 1, "incremental": 1}
-            assert stats["last_mode"] == kb.last_update.mode == "incremental"
+            assert stats["refresh_modes"] == {"initial": 1, "delta": 1}
+            assert stats["last_mode"] == kb.last_update.mode == "delta"
 
     def test_default_session_uses_null_recorder(self):
         with KnowledgeBase(WIN_MOVE) as kb:

@@ -389,3 +389,160 @@ class TestSnapshotConsistency:
         service.stop()
         kb.close()
         assert not errors, errors[0]
+
+
+class TestCoalescedWrites:
+    """refresh="coalesce": the writer drains its backlog into one
+    atomically-applied window with a single maintenance pass."""
+
+    def _park_writer(self, service):
+        """Patch the single-request path so the first apply blocks until
+        released, letting a backlog build behind the busy writer."""
+        parked = threading.Event()
+        release = threading.Event()
+        original = service._apply_and_finish
+
+        def slow_first(request):
+            service._apply_and_finish = original
+            parked.set()
+            release.wait(10)
+            return original(request)
+
+        service._apply_and_finish = slow_first
+        return parked, release
+
+    def _submit_async(self, service, atom_text, sink, errors):
+        def run():
+            try:
+                sink.append(service.assert_fact(parse_atom(atom_text)))
+            except BaseException as error:  # noqa: BLE001 - surfaced by the test
+                errors.append(error)
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        return thread
+
+    def _await_backlog(self, service, depth):
+        deadline = time.monotonic() + 5
+        while service._queue.qsize() < depth and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert service._queue.qsize() >= depth, "backlog never formed"
+
+    def test_backlog_applies_as_one_window_with_shared_epoch(self):
+        from repro.config import EngineConfig
+
+        kb = KnowledgeBase(
+            WIN_MOVE, facts=MOVES, config=EngineConfig(refresh="coalesce")
+        )
+        service = QueryService(kb, queue_size=8).start()
+        first: list = []
+        window: list = []
+        errors: list = []
+        try:
+            parked, release = self._park_writer(service)
+            opener = self._submit_async(service, "move(c, d)", first, errors)
+            assert parked.wait(5)
+            backlog = [
+                self._submit_async(service, f"move(d, e{i})", window, errors)
+                for i in range(3)
+            ]
+            self._await_backlog(service, 3)
+            release.set()
+            for thread in [opener, *backlog]:
+                thread.join(10)
+            assert not errors, errors
+            assert len(first) == 1 and len(window) == 3
+            # One refresh for the whole window: every outcome carries the
+            # same published epoch, one past the parked write's.
+            epochs = {outcome.epoch for outcome in window}
+            assert epochs == {first[0].epoch + 1}
+            counters = service.stats()["counters"]
+            assert counters["service.coalesced_windows"] == 1
+            assert counters["service.coalesced_requests"] == 3
+            assert counters["service.writes_applied"] == 4
+            rows = {tuple(r) for r in service.query("move")["rows"]}
+            assert {("c", "d"), ("d", "e0"), ("d", "e1"), ("d", "e2")} <= rows
+        finally:
+            release.set()
+            service.stop()
+            kb.close()
+
+    def test_eager_service_never_coalesces(self):
+        kb = KnowledgeBase(WIN_MOVE, facts=MOVES)  # refresh="eager" default
+        service = QueryService(kb, queue_size=8).start()
+        outcomes: list = []
+        errors: list = []
+        try:
+            parked, release = self._park_writer(service)
+            opener = self._submit_async(service, "move(c, d)", outcomes, errors)
+            assert parked.wait(5)
+            backlog = [
+                self._submit_async(service, f"move(d, e{i})", outcomes, errors)
+                for i in range(3)
+            ]
+            self._await_backlog(service, 3)
+            release.set()
+            for thread in [opener, *backlog]:
+                thread.join(10)
+            assert not errors, errors
+            # Four writes, four refreshes, four distinct epochs.
+            assert len({outcome.epoch for outcome in outcomes}) == 4
+            counters = service.stats()["counters"]
+            assert "service.coalesced_windows" not in counters
+            assert counters["service.writes_applied"] == 4
+        finally:
+            release.set()
+            service.stop()
+            kb.close()
+
+    def test_failed_window_falls_back_to_per_request_apply(self):
+        from repro.config import EngineConfig
+
+        inner = MemoryStore()
+        store = FaultInjectingStore(inner, script={"add": set(range(5, 60))})
+        store.armed = False
+        kb = KnowledgeBase(
+            WIN_MOVE,
+            facts=MOVES,
+            store=store,
+            config=EngineConfig(refresh="coalesce"),
+        )
+        service = QueryService(
+            kb, retry_policy=RetryPolicy(max_retries=0, base_delay=0.0, jitter=0.0)
+        ).start()
+        first: list = []
+        window: list = []
+        errors: list = []
+        try:
+            parked, release = self._park_writer(service)
+            opener = self._submit_async(service, "move(c, d)", first, errors)
+            assert parked.wait(5)
+            backlog = [
+                self._submit_async(service, f"move(d, e{i})", window, errors)
+                for i in range(2)
+            ]
+            self._await_backlog(service, 2)
+            good_epoch_floor = service.snapshot().epoch
+            store.armed = True  # every further add faults
+            release.set()
+            for thread in [opener, *backlog]:
+                thread.join(10)
+            # The window apply failed, rolled back, and each request was
+            # retried individually — and failed with the same injected
+            # fault it would have seen without coalescing.
+            assert len(window) == 0 and len(errors) == 2
+            assert all("injected" in str(error) for error in errors)
+            counters = service.stats()["counters"]
+            assert counters["service.coalesce_fallbacks"] == 1
+            assert counters.get("service.coalesced_windows") is None
+            assert counters["service.write_failures"] == 2
+            # The published model never saw the torn window.
+            assert service.snapshot().epoch >= good_epoch_floor
+            store.armed = False
+            recovered = service.assert_fact(parse_atom("move(d, f)"))
+            assert recovered.changed == 1
+        finally:
+            release.set()
+            store.armed = False
+            service.stop()
+            kb.close()

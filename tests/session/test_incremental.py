@@ -41,7 +41,7 @@ class TestInvalidation:
         stats = kb.last_update  # lazy: not refreshed yet
         kb.solution
         stats = kb.last_update
-        assert stats.mode == "incremental"
+        assert stats.mode == "delta"
         assert 0 < stats.components_recomputed <= 3
         assert stats.components_reused == total - stats.components_recomputed
         assert kb.is_false("c")
@@ -116,18 +116,19 @@ class TestEngineDirect:
 
     def test_failed_delta_falls_back_to_full_resolve(self, monkeypatch):
         from repro.datalog import parse_atom
-        from repro.session import incremental as incremental_module
+        from repro.delta import DeltaMaintainer
 
         engine = IncrementalEngine(parse_program("p :- not q. r :- p."))
         engine.refresh(frozenset(), None)
         baseline = engine.model
 
-        # A failure mid-delta would leave the aggregates torn; the engine
-        # must drop to unsolved and rebuild in full on the next refresh.
+        # A failure mid-delta would leave the maintained counters and
+        # aggregates torn; the engine must drop to unsolved, discard the
+        # maintainer, and rebuild in full on the next refresh.
         def boom(*args, **kwargs):
-            raise RuntimeError("component solver died")
+            raise RuntimeError("maintenance pass died")
 
-        monkeypatch.setattr(incremental_module, "solve_component", boom)
+        monkeypatch.setattr(DeltaMaintainer, "apply", boom)
         q = frozenset({parse_atom("q")})
         with pytest.raises(RuntimeError):
             engine.refresh(q, {parse_atom("q")})
@@ -146,6 +147,6 @@ class TestEngineDirect:
         engine.refresh(frozenset({parse_atom("f(1)")}), None)
         assert engine.model.is_true(parse_atom("f(1)"))
         stats = engine.refresh(frozenset(), {parse_atom("f(1)")})
-        assert stats.mode == "incremental"
+        assert stats.mode == "delta"
         assert stats.floating_changed == 1
         assert engine.base == frozenset()

@@ -61,7 +61,7 @@ class TestKernelEngagement:
                 atom,
             )
         # The kernel session really took the incremental path.
-        assert kernel_kb.last_update.mode == "incremental"
+        assert kernel_kb.last_update.mode == "delta"
 
 
 class TestFallbacks:

@@ -135,7 +135,7 @@ class TestStoreEvents:
         kb.solution
         kb.store.remove("x")
         assert kb.is_true("p")
-        assert kb.last_update.mode == "incremental"
+        assert kb.last_update.mode == "delta"
         assert kb._engine.pending_changes == frozenset()
 
     def test_cancelling_store_mutations_skip_refresh(self):
